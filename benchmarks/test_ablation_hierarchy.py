@@ -1,0 +1,53 @@
+"""Ablation — hierarchical prediction vs a flat whole-graph model.
+
+Both models see the same pragma-aware graphs and post-route labels; the only
+difference is the paper's contribution: decomposing the kernel into inner
+loops predicted by GNNp/GNNnp and condensing them into super nodes for GNNg.
+The paper attributes its Table IV margin partly to this "reservation of loop
+hierarchies"; the ablation quantifies it in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import format_table, write_result
+
+
+def _mean(scores: dict[str, float]) -> float:
+    return float(np.mean(list(scores.values())))
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_hierarchy_vs_flat(
+    benchmark, training_corpus, hierarchical_model, flat_pragma_aware_baseline
+):
+    instances = training_corpus["instances"]
+    results = {}
+
+    def run() -> None:
+        results["hierarchical"] = hierarchical_model["model"].evaluate(instances)
+        results["flat"] = flat_pragma_aware_baseline["model"].evaluate_post_route(
+            instances
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [name, f"{scores['latency']:.1f}", f"{scores['dsp']:.1f}",
+         f"{scores['lut']:.1f}", f"{scores['ff']:.1f}", f"{_mean(scores):.1f}"]
+        for name, scores in (
+            ("hierarchical (GNNp/GNNnp/GNNg)", results["hierarchical"]),
+            ("flat whole-graph (same graphs)", results["flat"]),
+        )
+    ]
+    text = format_table(
+        ["Model", "Latency", "DSP", "LUT", "FF", "Mean"],
+        rows,
+        title="Ablation: hierarchy vs flat whole-graph prediction (MAPE %)",
+    )
+    write_result("ablation_hierarchy.txt", text)
+
+    # the hierarchical decomposition should not be worse on average
+    assert _mean(results["hierarchical"]) <= _mean(results["flat"]) * 1.25

@@ -1,0 +1,76 @@
+"""Ablation — separate GNNp / GNNnp models vs one shared inner-loop model.
+
+The paper trains distinct models for pipelined and non-pipelined loops
+"because execution models of pipelined and non-pipelined loops are different
+and training GNN models separately can improve accuracy".  This ablation
+trains a single shared model on the union of the two inner-loop datasets and
+compares its per-class MAPE with the specialised models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import inner_unit_samples
+from repro.core.models import InnerLoopGNN
+from repro.core.trainer import GraphRegressorTrainer
+from repro.nn.data import train_validation_test_split
+
+from conftest import bench_training_config, format_table, write_result
+
+TARGETS = ("lut", "dsp", "ff", "iteration_latency", "latency")
+
+
+def _train_inner(samples, seed=0):
+    rng = np.random.default_rng(seed)
+    train, validation, test = train_validation_test_split(samples, rng=rng)
+    trainer = GraphRegressorTrainer(None, TARGETS, bench_training_config())
+    trainer.fit_preprocessing(train or samples)
+    model = InnerLoopGNN(
+        in_features=trainer.input_dim(train or samples), hidden=32,
+        conv_type="graphsage", rng=np.random.default_rng(seed),
+    )
+    trainer.model = model
+    trainer.train(train or samples, validation or None)
+    return trainer, test or validation or samples
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_separate_vs_shared_inner_models(benchmark, training_corpus):
+    instances = training_corpus["instances"]
+    results = {}
+
+    def run() -> None:
+        pipelined, non_pipelined = inner_unit_samples(instances)
+        trainer_p, test_p = _train_inner(pipelined, seed=0)
+        trainer_np, test_np = _train_inner(non_pipelined, seed=1)
+        trainer_shared, _ = _train_inner(pipelined + non_pipelined, seed=2)
+        results["separate_p"] = trainer_p.evaluate(test_p)
+        results["separate_np"] = trainer_np.evaluate(test_np)
+        results["shared_on_p"] = trainer_shared.evaluate(test_p)
+        results["shared_on_np"] = trainer_shared.evaluate(test_np)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label, key in (
+        ("GNNp (separate)", "separate_p"),
+        ("shared model on pipelined loops", "shared_on_p"),
+        ("GNNnp (separate)", "separate_np"),
+        ("shared model on non-pipelined loops", "shared_on_np"),
+    ):
+        scores = results[key]
+        rows.append([
+            label, f"{scores['latency']:.1f}", f"{scores['iteration_latency']:.1f}",
+            f"{scores['lut']:.1f}", f"{scores['ff']:.1f}",
+            f"{float(np.mean(list(scores.values()))):.1f}",
+        ])
+    text = format_table(
+        ["Model", "Latency", "IterLat", "LUT", "FF", "Mean"],
+        rows,
+        title="Ablation: separate GNNp/GNNnp vs one shared inner model (MAPE %)",
+    )
+    write_result("ablation_inner_models.txt", text)
+
+    assert results["separate_p"] and results["separate_np"]

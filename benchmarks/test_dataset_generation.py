@@ -1,0 +1,56 @@
+"""Dataset-generation benchmark (Section IV-A experimental setup).
+
+The paper builds 3102 / 2300 / 6178 valid designs for GNNp / GNNnp / GNNg by
+running the full C-to-bitstream flow over pragma combinations of the training
+applications.  This benchmark measures the throughput of the simulator-backed
+dataset generator and reports the dataset sizes obtained at the benchmark
+scale, plus the extrapolated full-space sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import inner_unit_samples
+from repro.dse.space import enumerate_design_space
+from repro.kernels import load_kernels
+
+from conftest import bench_kernel_names, format_table, write_result
+
+
+@pytest.mark.benchmark(group="datasets")
+def test_dataset_generation_sizes_and_throughput(benchmark, training_corpus):
+    instances = training_corpus["instances"]
+    result = {}
+
+    def run():
+        pipelined, non_pipelined = inner_unit_samples(instances)
+        result["pipelined"] = len(pipelined)
+        result["non_pipelined"] = len(non_pipelined)
+        result["designs"] = len(instances)
+        return result
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    full_space = {
+        name: len(enumerate_design_space(function))
+        for name, function in load_kernels(bench_kernel_names()).items()
+    }
+    rows = [
+        ["designs evaluated (GNNg samples)", str(result["designs"])],
+        ["pipelined inner loops (GNNp samples)", str(result["pipelined"])],
+        ["non-pipelined inner loops (GNNnp samples)", str(result["non_pipelined"])],
+        ["full enumerable space across kernels", str(sum(full_space.values()))],
+    ]
+    text = format_table(
+        ["Quantity", "Count"], rows,
+        title="Dataset generation (paper: 3102 / 2300 / 6178 designs)",
+    )
+    write_result("dataset_generation.txt", text)
+
+    assert result["designs"] > 0
+    assert result["pipelined"] > 0
+    assert result["non_pipelined"] > 0
+    # the enumerable space is orders of magnitude larger than the sampled
+    # corpus, as in the paper (thousands of configurations per kernel).
+    assert sum(full_space.values()) > result["designs"]

@@ -1,0 +1,88 @@
+"""Table V — design-space exploration on the four unseen kernels.
+
+For ``bicg``, ``symm``, ``mvt`` and ``syrk`` (held out of training) the
+benchmark: enumerates the pragma design space, evaluates every point with the
+ground-truth flow ("Vivado" reference, whose simulated runtime gives the
+exhaustive DSE time), then runs model-guided DSE with three predictors —
+the Wu-style pragma-blind GNN [8], the GNN-DSE-style post-HLS predictor [6]
+and our hierarchical model — and reports #configs, DSE time and ADRS.
+
+Shape checks: our ADRS is the lowest of the three predictors on average, and
+model-guided DSE is orders of magnitude faster than the exhaustive flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import FlatGNNBaseline, GNNDSEBaseline
+from repro.dse import ModelGuidedExplorer, exhaustive_ground_truth
+from repro.dse.space import sample_design_space
+from repro.kernels import dse_kernels
+
+from conftest import bench_training_config, env_int, format_table, write_result
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_dse_on_unseen_kernels(benchmark, training_corpus, hierarchical_model):
+    instances = training_corpus["instances"]
+    ours = hierarchical_model["model"]
+    rows = []
+    adrs_summary: dict[str, list[float]] = {"wu": [], "gnn_dse": [], "ours": []}
+    speedups: list[float] = []
+
+    def run() -> None:
+        # train the two comparison predictors on the same corpus
+        wu = FlatGNNBaseline(
+            pragma_aware=False, label_stage="post_route",
+            training=bench_training_config(),
+        )
+        wu.fit(instances)
+        gnn_dse = GNNDSEBaseline(training=bench_training_config())
+        gnn_dse.fit(instances)
+
+        limit = env_int("REPRO_BENCH_DSE_CONFIGS", 150)
+        for name, function in dse_kernels().items():
+            configs = sample_design_space(
+                function, limit, rng=np.random.default_rng(23)
+            )
+            space = exhaustive_ground_truth(function, configs)
+            results = {}
+            for label, predictor in (
+                ("wu", wu), ("gnn_dse", gnn_dse), ("ours", ours)
+            ):
+                explorer = ModelGuidedExplorer(predictor.predict, name=label)
+                results[label] = explorer.explore(function, space)
+                adrs_summary[label].append(results[label].adrs_percent)
+            ours_result = results["ours"]
+            speedups.append(ours_result.speedup)
+            rows.append([
+                name,
+                str(space.num_configs),
+                f"{space.simulated_tool_seconds / 86400:.1f} days",
+                f"{max(ours_result.model_seconds, 1e-3):.1f} s",
+                f"{results['wu'].adrs_percent:.2f}",
+                f"{results['gnn_dse'].adrs_percent:.2f}",
+                f"{ours_result.adrs_percent:.2f}",
+            ])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    text = format_table(
+        ["Kernel", "#Configs", "Exhaustive (sim.)", "Ours (wall)",
+         "ADRS [8] %", "ADRS [6] %", "ADRS Ours %"],
+        rows,
+        title="Table V reproduction: DSE on unseen applications",
+    )
+    averages = {k: float(np.mean(v)) for k, v in adrs_summary.items()}
+    text += (
+        f"\nAverage ADRS (%): Wu [8]={averages['wu']:.2f}  "
+        f"GNN-DSE [6]={averages['gnn_dse']:.2f}  Ours={averages['ours']:.2f}\n"
+        f"Mean exhaustive/model speedup: {np.mean(speedups):.0f}x\n"
+    )
+    write_result("table5_dse.txt", text)
+
+    # Shape checks
+    assert averages["ours"] <= averages["wu"], "ours should beat the pragma-blind DSE"
+    assert np.mean(speedups) > 100.0, "model-guided DSE should be orders faster"

@@ -1,0 +1,86 @@
+"""Model-guided design-space exploration on an unseen kernel (Table V).
+
+Trains the hierarchical predictor on a few kernels, holds out ``bicg``, then
+explores bicg's pragma design space three ways:
+
+* exhaustively with the ground-truth flow (the reference Pareto front and the
+  "Vivado" DSE time the paper reports in days);
+* guided by the hierarchical model (ours);
+* guided by a pragma-blind whole-graph GNN (the Wu et al. [8] stand-in).
+
+Reports the ADRS of both model-guided explorations and the speedup over the
+exhaustive flow.
+
+Run with::
+
+    python examples/dse_bicg.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import FlatGNNBaseline
+from repro.core import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    TrainingConfig,
+    build_design_instances,
+)
+from repro.dse import ModelGuidedExplorer, exhaustive_ground_truth
+from repro.dse.space import sample_design_space
+from repro.kernels import load_kernel, load_kernels
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # ------------------------------------------------------------------ #
+    # train on a handful of kernels; bicg stays unseen
+    # ------------------------------------------------------------------ #
+    train_kernels = load_kernels(("gemm", "atax", "gesummv", "fir"))
+    configs = {
+        name: sample_design_space(function, 20, rng=rng)
+        for name, function in train_kernels.items()
+    }
+    instances = build_design_instances(train_kernels, configs)
+    print(f"training corpus: {len(instances)} design instances")
+
+    training = TrainingConfig(epochs=40, batch_size=32)
+    ours = HierarchicalQoRModel(
+        HierarchicalModelConfig(conv_type="graphsage", training=training)
+    )
+    ours.fit(instances)
+
+    wu_baseline = FlatGNNBaseline(
+        pragma_aware=False, label_stage="post_route", training=training
+    )
+    wu_baseline.fit(instances)
+
+    # ------------------------------------------------------------------ #
+    # explore the unseen kernel
+    # ------------------------------------------------------------------ #
+    bicg = load_kernel("bicg")
+    space_configs = sample_design_space(bicg, 120, rng=rng)
+    print(f"\nbicg design space: {len(space_configs)} configurations")
+    space = exhaustive_ground_truth(bicg, space_configs)
+    print(f"exhaustive flow time (simulated): "
+          f"{space.simulated_tool_seconds / 86400:.2f} days")
+
+    for name, predictor in (("ours", ours), ("pragma-blind GNN [8]", wu_baseline)):
+        explorer = ModelGuidedExplorer(predictor.predict, name=name)
+        result = explorer.explore(bicg, space)
+        print(f"{name:22s} ADRS = {result.adrs_percent:5.2f}%  "
+              f"DSE time = {result.model_seconds:6.1f} s  "
+              f"speedup vs exhaustive = {result.speedup:,.0f}x  "
+              f"designs selected = {len(result.selected_keys)}")
+
+    front = space.exact_front()
+    print("\nexact Pareto front (latency cycles, area cost):")
+    for point in sorted(front, key=lambda p: p.objectives[0])[:10]:
+        print(f"  latency={point.objectives[0]:10.0f}  area={point.objectives[1]:10.0f}  "
+              f"[{point.key[:60]}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Using the HLS + implementation flow simulator directly.
+
+The flow simulator is a useful substrate on its own: it shows how pragmas
+change the schedule, the initiation interval, and the post-HLS vs post-route
+resource gap that motivates source-to-post-route prediction.  This example
+sweeps pipeline / unroll / partition choices for the gemm kernel and prints
+the resulting QoR, including the per-loop HLS report details.
+
+Run with::
+
+    python examples/flow_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ArrayDirective, LoopDirective, PartitionType, PragmaConfig
+from repro.hls import run_full_flow, run_hls
+from repro.kernels import load_kernel
+
+
+def sweep() -> None:
+    gemm = load_kernel("gemm")
+    configurations = {
+        "baseline": PragmaConfig(),
+        "pipeline k": PragmaConfig.from_dicts(
+            loops={"L0_0_0": LoopDirective(pipeline=True)}
+        ),
+        "pipeline j": PragmaConfig.from_dicts(
+            loops={"L0_0": LoopDirective(pipeline=True)}
+        ),
+        "pipeline j + partition 4": PragmaConfig.from_dicts(
+            loops={"L0_0": LoopDirective(pipeline=True)},
+            arrays={
+                "A": ArrayDirective(PartitionType.CYCLIC, factor=4, dim=2),
+                "B": ArrayDirective(PartitionType.CYCLIC, factor=4, dim=1),
+            },
+        ),
+        "pipeline j + partition 4 + unroll i4": PragmaConfig.from_dicts(
+            loops={"L0_0": LoopDirective(pipeline=True),
+                   "L0": LoopDirective(unroll_factor=4)},
+            arrays={
+                "A": ArrayDirective(PartitionType.CYCLIC, factor=4, dim=2),
+                "B": ArrayDirective(PartitionType.CYCLIC, factor=4, dim=1),
+            },
+        ),
+    }
+    print(f"{'configuration':40s} {'latency':>9s} {'LUT':>8s} {'FF':>8s} "
+          f"{'DSP':>5s} {'post-HLS LUT':>12s}")
+    for name, config in configurations.items():
+        qor = run_full_flow(gemm, config)
+        post_hls_lut = qor.hls_report.resources.lut
+        print(f"{name:40s} {qor.latency:9d} {qor.lut:8.0f} {qor.ff:8.0f} "
+              f"{qor.dsp:5.0f} {post_hls_lut:12.0f}")
+
+    # per-loop detail of one design
+    config = configurations["pipeline j + partition 4"]
+    report = run_hls(gemm, config)
+    print("\nper-loop HLS report for 'pipeline j + partition 4':")
+    for label, loop_report in sorted(report.loops.items()):
+        print(f"  {label:8s} pipelined={str(loop_report.pipelined):5s} "
+              f"II={loop_report.ii:3d} iteration_latency={loop_report.iteration_latency:4d} "
+              f"tripcount={loop_report.tripcount:4d} latency={loop_report.latency:7d}")
+
+
+if __name__ == "__main__":
+    sweep()

@@ -1,0 +1,81 @@
+"""Quickstart: from HLS-C source to a post-route QoR prediction.
+
+Walks the complete loop of the paper at a miniature scale:
+
+1. take a kernel written in the HLS-C subset (gemm);
+2. generate ground-truth labels for a sampled set of pragma configurations
+   by running the HLS + implementation flow simulator;
+3. train the hierarchical GNN models (GNNp / GNNnp / GNNg);
+4. predict the post-route QoR of a configuration the model has not seen and
+   compare against the flow.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    TrainingConfig,
+    build_design_instances,
+)
+from repro.dse.space import sample_design_space
+from repro.frontend import LoopDirective, PragmaConfig
+from repro.hls import run_full_flow
+from repro.kernels import kernel_source, load_kernel
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    gemm = load_kernel("gemm")
+    print("kernel source:")
+    print(kernel_source("gemm"))
+
+    # ---------------------------------------------------------------- #
+    # 1. ground-truth labels for a sampled design space
+    # ---------------------------------------------------------------- #
+    configs = sample_design_space(gemm, 40, rng=rng)
+    print(f"sampled {len(configs)} pragma configurations, running the flow...")
+    instances = build_design_instances({"gemm": gemm}, {"gemm": configs})
+    baseline = instances[0].qor
+    print(f"baseline QoR: latency={baseline.latency} cycles, "
+          f"LUT={baseline.lut:.0f}, FF={baseline.ff:.0f}, DSP={baseline.dsp:.0f}")
+
+    # ---------------------------------------------------------------- #
+    # 2. train the hierarchical predictor
+    # ---------------------------------------------------------------- #
+    model = HierarchicalQoRModel(
+        HierarchicalModelConfig(
+            conv_type="graphsage", hidden=32,
+            training=TrainingConfig(epochs=40, batch_size=16),
+        )
+    )
+    report = model.fit(instances)
+    print("dataset sizes:", report.dataset_sizes)
+    for name, scores in report.test_mape().items():
+        printable = {metric: round(value, 1) for metric, value in scores.items()}
+        print(f"{name} test MAPE (%): {printable}")
+
+    # ---------------------------------------------------------------- #
+    # 3. predict an unseen configuration without running any flow
+    # ---------------------------------------------------------------- #
+    unseen = PragmaConfig.from_dicts(
+        loops={"L0_0": LoopDirective(pipeline=True),
+               "L0": LoopDirective(unroll_factor=2)},
+    )
+    predicted = model.predict(gemm, unseen)
+    actual = run_full_flow(gemm, unseen)
+    print("\nunseen configuration:", unseen.describe())
+    print(f"predicted: latency={predicted['latency']:.0f}  LUT={predicted['lut']:.0f}  "
+          f"FF={predicted['ff']:.0f}  DSP={predicted['dsp']:.0f}")
+    print(f"actual:    latency={actual.latency}  LUT={actual.lut:.0f}  "
+          f"FF={actual.ff:.0f}  DSP={actual.dsp:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — Hierarchical source-to-post-route QoR prediction for FPGA HLS.
+
+A from-scratch Python reproduction of "Hierarchical Source-to-Post-Route QoR
+Prediction in High-Level Synthesis with GNNs" (DATE 2024): an HLS-C front-end
+and IR, pragma-aware CDFG construction, an HLS + place-and-route flow
+simulator for ground-truth labels, a numpy GNN framework, the hierarchical
+GNNp/GNNnp/GNNg prediction pipeline, comparison baselines and a design-space
+exploration engine.
+
+Quick start::
+
+    from repro.kernels import load_kernel
+    from repro.frontend import PragmaConfig, LoopDirective
+    from repro.hls import run_full_flow
+
+    gemm = load_kernel("gemm")
+    config = PragmaConfig.from_dicts(loops={"L0_0_0": LoopDirective(pipeline=True)})
+    print(run_full_flow(gemm, config).as_dict())
+
+See ``examples/quickstart.py`` for the full train-and-predict loop.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,18 @@
+"""Baseline QoR predictors the paper compares against."""
+
+from repro.baselines.flat_gnn import FlatGNNBaseline, post_hls_targets
+from repro.baselines.gbm import (
+    GBMBaseline,
+    GradientBoostingRegressor,
+    RegressionTree,
+    extract_features,
+    feature_names,
+)
+from repro.baselines.gnn_dse import GNNDSEBaseline
+
+__all__ = [
+    "FlatGNNBaseline", "post_hls_targets",
+    "GBMBaseline", "GradientBoostingRegressor", "RegressionTree",
+    "extract_features", "feature_names",
+    "GNNDSEBaseline",
+]

@@ -1,0 +1,178 @@
+"""Whole-graph GNN baselines.
+
+``FlatGNNBaseline`` reproduces the comparison axes of Table IV / Table V:
+
+* in **pragma-blind** mode (``pragma_aware=False``) it mirrors Wu et al. [8]:
+  the input graph is built from the IR alone, so two design points that
+  differ only in pragmas produce identical graphs — the model cannot separate
+  their (very different) post-route labels;
+* in **pragma-aware** mode it is the "no hierarchy" ablation: the same
+  pragma-aware graphs as our method, but predicted in one shot with a single
+  whole-graph GNN instead of the hierarchical GNNp/GNNnp/GNNg pipeline.
+
+Which post-synthesis stage the labels come from is selectable
+(``label_stage``), so the same class also implements the GNN-DSE-style [6]
+baseline that predicts *post-HLS* metrics (see
+:mod:`repro.baselines.gnn_dse`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dataset import DesignInstance, flat_sample, graph_to_sample
+from repro.core.models import GlobalGNN
+from repro.core.trainer import GraphRegressorTrainer, TrainingConfig, TrainingResult
+from repro.frontend.pragmas import PragmaConfig
+from repro.graph.construction import build_flat_graph
+from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
+from repro.ir.structure import IRFunction
+from repro.nn.data import GraphSample, train_validation_test_split
+
+QOR_TARGETS = ("lut", "dsp", "ff", "latency")
+
+
+def post_hls_targets(instance: DesignInstance) -> dict[str, float]:
+    """Post-HLS (pre-route) labels of one design instance."""
+    report = instance.qor.hls_report
+    if report is None:
+        raise ValueError("design instance has no HLS report attached")
+    return {
+        "latency": float(report.latency),
+        "lut": float(report.resources.lut),
+        "dsp": float(report.resources.dsp),
+        "ff": float(report.resources.ff),
+    }
+
+
+class FlatGNNBaseline:
+    """A single whole-graph GNN predicting design-level QoR."""
+
+    def __init__(
+        self,
+        *,
+        pragma_aware: bool = False,
+        label_stage: str = "post_route",
+        conv_type: str = "graphsage",
+        hidden: int = 32,
+        num_layers: int = 3,
+        training: TrainingConfig | None = None,
+        library: OperatorLibrary = DEFAULT_LIBRARY,
+        seed: int = 0,
+    ):
+        if label_stage not in ("post_route", "post_hls"):
+            raise ValueError("label_stage must be 'post_route' or 'post_hls'")
+        self.pragma_aware = pragma_aware
+        self.label_stage = label_stage
+        self.conv_type = conv_type
+        self.hidden = hidden
+        self.num_layers = num_layers
+        self.training = training or TrainingConfig()
+        self.library = library
+        self.seed = seed
+        self.trainer: GraphRegressorTrainer | None = None
+
+    # ------------------------------------------------------------------ #
+    # dataset assembly
+    # ------------------------------------------------------------------ #
+    def _sample_of(self, instance: DesignInstance) -> GraphSample:
+        sample = flat_sample(
+            instance, pragma_aware=self.pragma_aware, library=self.library
+        )
+        if self.label_stage == "post_hls":
+            sample.targets = post_hls_targets(instance)
+        return sample
+
+    def build_samples(self, instances: list[DesignInstance]) -> list[GraphSample]:
+        return [self._sample_of(instance) for instance in instances]
+
+    # ------------------------------------------------------------------ #
+    # training / inference
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        instances: list[DesignInstance],
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> TrainingResult:
+        rng = rng or np.random.default_rng(self.seed)
+        samples = self.build_samples(instances)
+        train, validation, test = train_validation_test_split(samples, rng=rng)
+        train = train or samples
+        trainer = GraphRegressorTrainer(
+            model=None, target_names=QOR_TARGETS, config=self.training
+        )
+        trainer.fit_preprocessing(train)
+        model = GlobalGNN(
+            in_features=trainer.input_dim(train),
+            hidden=self.hidden,
+            num_layers=self.num_layers,
+            conv_type=self.conv_type,
+            rng=np.random.default_rng(self.seed),
+        )
+        trainer.model = model
+        result = trainer.train(train, validation or None, test or None)
+        self.trainer = trainer
+        return result
+
+    def predict(
+        self, function: IRFunction, config: PragmaConfig | None = None
+    ) -> dict[str, float]:
+        if self.trainer is None:
+            raise RuntimeError("baseline has not been trained")
+        config = config or PragmaConfig()
+        graph = build_flat_graph(
+            function,
+            config if self.pragma_aware else PragmaConfig(),
+            pragma_aware=self.pragma_aware,
+            library=self.library,
+        )
+        predictions = self.trainer.predict([graph_to_sample(graph)])
+        return {name: float(values[0]) for name, values in predictions.items()}
+
+    def evaluate(self, instances: list[DesignInstance]) -> dict[str, float]:
+        """MAPE of the baseline against its own label stage."""
+        from repro.nn.losses import mape
+
+        samples = self.build_samples(instances)
+        predictions = {name: [] for name in QOR_TARGETS}
+        truths = {name: [] for name in QOR_TARGETS}
+        for instance, sample in zip(instances, samples):
+            predicted = self.predict(instance.function, instance.config)
+            for name in QOR_TARGETS:
+                predictions[name].append(predicted[name])
+                truths[name].append(sample.targets[name])
+        return {
+            name: mape(np.array(predictions[name]), np.array(truths[name]))
+            for name in QOR_TARGETS
+        }
+
+    def evaluate_post_route(self, instances: list[DesignInstance]) -> dict[str, float]:
+        """MAPE against post-route labels regardless of the training stage.
+
+        This is how a post-HLS predictor's error looks when judged against
+        the post-route truth — the deviation the paper's Table I / Section I
+        argues makes post-HLS labels misleading for DSE.
+        """
+        from repro.nn.losses import mape
+
+        predictions = {name: [] for name in QOR_TARGETS}
+        truths = {name: [] for name in QOR_TARGETS}
+        for instance in instances:
+            predicted = self.predict(instance.function, instance.config)
+            truth = {
+                "latency": float(instance.qor.latency),
+                "lut": float(instance.qor.lut),
+                "dsp": float(instance.qor.dsp),
+                "ff": float(instance.qor.ff),
+            }
+            for name in QOR_TARGETS:
+                predictions[name].append(predicted[name])
+                truths[name].append(truth[name])
+        return {
+            name: mape(np.array(predictions[name]), np.array(truths[name]))
+            for name in QOR_TARGETS
+        }
+
+
+__all__ = ["FlatGNNBaseline", "QOR_TARGETS", "post_hls_targets"]

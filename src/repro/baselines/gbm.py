@@ -1,0 +1,273 @@
+"""Gradient-boosted-machine baseline (Zhong et al. [3] style).
+
+The earliest learning-based HLS QoR estimators profile the source code into a
+flat feature vector (operation histogram, loop statistics, pragma settings)
+and fit boosted regression trees per metric.  This module implements both the
+feature extraction and a small gradient-boosting regressor (least-squares
+boosting over depth-limited CART trees) from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import DesignInstance
+from repro.frontend.pragmas import PragmaConfig
+from repro.hls.directives import effective_unroll_factors, partition_banks
+from repro.ir.passes import loop_nest_analysis, operation_histogram
+from repro.ir.structure import IRFunction
+
+QOR_TARGETS = ("lut", "dsp", "ff", "latency")
+
+#: opcodes counted individually in the feature vector
+_COUNTED_OPS = (
+    "add", "sub", "mul", "sdiv", "fadd", "fsub", "fmul", "fdiv",
+    "load", "store", "icmp", "fcmp", "select", "getelementptr", "call",
+)
+
+
+# --------------------------------------------------------------------------- #
+# feature extraction
+# --------------------------------------------------------------------------- #
+def extract_features(function: IRFunction, config: PragmaConfig) -> np.ndarray:
+    """Flat feature vector for one design point (code profile + pragmas)."""
+    histogram = operation_histogram(function)
+    nests = loop_nest_analysis(function)
+    unroll = effective_unroll_factors(function, config)
+
+    op_counts = [float(histogram.get(name, 0)) for name in _COUNTED_OPS]
+    loop_count = float(len(nests))
+    max_depth = float(max([info.depth for info in nests.values()] or [0]))
+    total_iterations = float(
+        sum(info.total_iterations for info in nests.values())
+    )
+    pipelined = float(
+        sum(1 for label in nests if config.loop(label).pipeline)
+    )
+    flattened = float(
+        sum(1 for label in nests if config.loop(label).flatten)
+    )
+    unroll_sum = float(sum(unroll.values()))
+    unroll_max = float(max(unroll.values() or [1]))
+    banks = [
+        partition_banks(info, config.array(name))
+        for name, info in function.arrays.items()
+    ]
+    bank_total = float(sum(banks) if banks else 0)
+    bank_max = float(max(banks) if banks else 0)
+    array_count = float(len(function.arrays))
+    array_words = float(sum(info.total_size for info in function.arrays.values()))
+    return np.array(
+        op_counts
+        + [
+            loop_count, max_depth, np.log1p(total_iterations), pipelined,
+            flattened, unroll_sum, unroll_max, bank_total, bank_max,
+            array_count, np.log1p(array_words),
+        ],
+        dtype=np.float64,
+    )
+
+
+def feature_names() -> list[str]:
+    """Names of the entries of :func:`extract_features` (for inspection)."""
+    return [f"count_{name}" for name in _COUNTED_OPS] + [
+        "loop_count", "max_depth", "log_total_iterations", "pipelined_loops",
+        "flattened_loops", "unroll_sum", "unroll_max", "bank_total", "bank_max",
+        "array_count", "log_array_words",
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# regression trees and boosting
+# --------------------------------------------------------------------------- #
+@dataclass
+class _TreeNode:
+    feature: int = -1
+    threshold: float = 0.0
+    value: float = 0.0
+    left: "._TreeNode | None" = None
+    right: "._TreeNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """A depth-limited CART regression tree with variance-reduction splits."""
+
+    def __init__(self, max_depth: int = 3, min_samples_leaf: int = 4):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.root: _TreeNode | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        self.root = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        node = _TreeNode(value=float(y.mean()) if y.size else 0.0)
+        if depth >= self.max_depth or y.size < 2 * self.min_samples_leaf:
+            return node
+        best_gain = 0.0
+        best: tuple[int, float] | None = None
+        base_error = float(((y - y.mean()) ** 2).sum())
+        for feature in range(X.shape[1]):
+            column = X[:, feature]
+            candidates = np.unique(column)
+            if candidates.size <= 1:
+                continue
+            thresholds = (candidates[:-1] + candidates[1:]) / 2.0
+            if thresholds.size > 16:
+                thresholds = np.quantile(column, np.linspace(0.05, 0.95, 16))
+            for threshold in np.unique(thresholds):
+                mask = column <= threshold
+                if (
+                    mask.sum() < self.min_samples_leaf
+                    or (~mask).sum() < self.min_samples_leaf
+                ):
+                    continue
+                left, right = y[mask], y[~mask]
+                error = float(((left - left.mean()) ** 2).sum()) + float(
+                    ((right - right.mean()) ** 2).sum()
+                )
+                gain = base_error - error
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.root is None:
+            raise RuntimeError("tree has not been fitted")
+        output = np.empty(X.shape[0], dtype=np.float64)
+        for index, row in enumerate(X):
+            node = self.root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            output[index] = node.value
+        return output
+
+
+class GradientBoostingRegressor:
+    """Least-squares gradient boosting over regression trees."""
+
+    def __init__(
+        self,
+        n_estimators: int = 120,
+        learning_rate: float = 0.08,
+        max_depth: int = 3,
+        min_samples_leaf: int = 4,
+    ):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.base_value = 0.0
+        self.trees: list[RegressionTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        self.base_value = float(y.mean()) if y.size else 0.0
+        prediction = np.full_like(y, self.base_value)
+        self.trees = []
+        for _ in range(self.n_estimators):
+            residual = y - prediction
+            tree = RegressionTree(self.max_depth, self.min_samples_leaf).fit(X, residual)
+            update = tree.predict(X)
+            prediction = prediction + self.learning_rate * update
+            self.trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        prediction = np.full(X.shape[0], self.base_value, dtype=np.float64)
+        for tree in self.trees:
+            prediction = prediction + self.learning_rate * tree.predict(X)
+        return prediction
+
+
+# --------------------------------------------------------------------------- #
+# the baseline model
+# --------------------------------------------------------------------------- #
+@dataclass
+class GBMBaseline:
+    """Per-metric boosted trees on profile features (post-HLS labels)."""
+
+    n_estimators: int = 120
+    learning_rate: float = 0.08
+    max_depth: int = 3
+    label_stage: str = "post_hls"
+    models: dict[str, GradientBoostingRegressor] = field(default_factory=dict)
+
+    def _targets(self, instance: DesignInstance) -> dict[str, float]:
+        if self.label_stage == "post_route":
+            return {
+                "latency": float(instance.qor.latency),
+                "lut": float(instance.qor.lut),
+                "dsp": float(instance.qor.dsp),
+                "ff": float(instance.qor.ff),
+            }
+        report = instance.qor.hls_report
+        return {
+            "latency": float(report.latency),
+            "lut": float(report.resources.lut),
+            "dsp": float(report.resources.dsp),
+            "ff": float(report.resources.ff),
+        }
+
+    def fit(self, instances: list[DesignInstance]) -> "GBMBaseline":
+        X = np.stack(
+            [extract_features(i.function, i.config) for i in instances]
+        )
+        for name in QOR_TARGETS:
+            y = np.log1p(np.array([self._targets(i)[name] for i in instances]))
+            model = GradientBoostingRegressor(
+                self.n_estimators, self.learning_rate, self.max_depth
+            )
+            self.models[name] = model.fit(X, y)
+        return self
+
+    def predict(
+        self, function: IRFunction, config: PragmaConfig | None = None
+    ) -> dict[str, float]:
+        if not self.models:
+            raise RuntimeError("GBM baseline has not been trained")
+        features = extract_features(function, config or PragmaConfig()).reshape(1, -1)
+        return {
+            name: float(np.expm1(model.predict(features)[0]))
+            for name, model in self.models.items()
+        }
+
+    def evaluate(self, instances: list[DesignInstance]) -> dict[str, float]:
+        from repro.nn.losses import mape
+
+        scores = {}
+        predictions = {name: [] for name in QOR_TARGETS}
+        truths = {name: [] for name in QOR_TARGETS}
+        for instance in instances:
+            predicted = self.predict(instance.function, instance.config)
+            truth = self._targets(instance)
+            for name in QOR_TARGETS:
+                predictions[name].append(predicted[name])
+                truths[name].append(truth[name])
+        for name in QOR_TARGETS:
+            scores[name] = mape(np.array(predictions[name]), np.array(truths[name]))
+        return scores
+
+
+__all__ = [
+    "GBMBaseline", "GradientBoostingRegressor", "RegressionTree",
+    "extract_features", "feature_names", "QOR_TARGETS",
+]

@@ -1,0 +1,44 @@
+"""GNN-DSE-style baseline (Sohrabizadeh et al. [6]).
+
+GNN-DSE represents the source code (with pragmas) as a graph and predicts
+*post-HLS* metrics, then drives DSE with those predictions.  Because post-HLS
+resource estimates deviate from the post-route truth, the Pareto set it
+selects is systematically biased — which is the effect Table V quantifies.
+
+Implementation-wise this is a :class:`~repro.baselines.flat_gnn.FlatGNNBaseline`
+configured with pragma-aware graphs and post-HLS labels.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.flat_gnn import FlatGNNBaseline
+from repro.core.trainer import TrainingConfig
+from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
+
+
+class GNNDSEBaseline(FlatGNNBaseline):
+    """Pragma-aware whole-graph GNN trained on post-HLS labels."""
+
+    def __init__(
+        self,
+        *,
+        conv_type: str = "graphsage",
+        hidden: int = 32,
+        num_layers: int = 3,
+        training: TrainingConfig | None = None,
+        library: OperatorLibrary = DEFAULT_LIBRARY,
+        seed: int = 0,
+    ):
+        super().__init__(
+            pragma_aware=True,
+            label_stage="post_hls",
+            conv_type=conv_type,
+            hidden=hidden,
+            num_layers=num_layers,
+            training=training,
+            library=library,
+            seed=seed,
+        )
+
+
+__all__ = ["GNNDSEBaseline"]

@@ -1,0 +1,220 @@
+"""Command-line interface.
+
+Three subcommands cover the library's main workflows:
+
+``repro-qor train``
+    Generate ground-truth labels for a set of kernels (running the flow
+    simulator over a sampled design space), train the hierarchical model and
+    save it to an ``.npz`` file.
+
+``repro-qor predict``
+    Load a trained model and predict post-route QoR for a kernel under a
+    pragma configuration given as ``loop=directive`` / ``array=spec`` options
+    (or estimate it with the flow simulator via ``--flow``).
+
+``repro-qor dse``
+    Run model-guided design-space exploration on one kernel and report the
+    Pareto front and ADRS against the exhaustive flow.
+
+Run ``python -m repro.cli --help`` for the full option list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.core import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    TrainingConfig,
+    build_design_instances,
+    load_model,
+    save_model,
+)
+from repro.dse import ModelGuidedExplorer, exhaustive_ground_truth
+from repro.dse.space import sample_design_space
+from repro.frontend import ArrayDirective, LoopDirective, PartitionType, PragmaConfig
+from repro.hls import run_full_flow
+from repro.ir import lower_source
+from repro.kernels import KERNEL_SOURCES, load_kernel
+
+
+def _load_function(args: argparse.Namespace):
+    """Resolve --kernel (registry name) or --source (path to HLS-C file)."""
+    if getattr(args, "source", None):
+        with open(args.source) as handle:
+            return lower_source(handle.read())
+    if args.kernel not in KERNEL_SOURCES:
+        raise SystemExit(
+            f"unknown kernel {args.kernel!r}; available: {sorted(KERNEL_SOURCES)}"
+        )
+    return load_kernel(args.kernel)
+
+
+def parse_config(loop_specs: list[str], array_specs: list[str]) -> PragmaConfig:
+    """Build a :class:`PragmaConfig` from CLI option strings.
+
+    Loop options look like ``L0_0=pipeline``, ``L0=unroll:4``,
+    ``L0=pipeline+unroll:2`` or ``L0=flatten``; array options look like
+    ``A=cyclic:4:2`` (type : factor : dim).
+    """
+    loops: dict[str, LoopDirective] = {}
+    for spec in loop_specs or []:
+        label, _, directives = spec.partition("=")
+        pipeline = flatten = False
+        unroll = 1
+        ii = 0
+        for part in directives.split("+"):
+            name, _, value = part.partition(":")
+            name = name.strip().lower()
+            if name == "pipeline":
+                pipeline = True
+                if value:
+                    ii = int(value)
+            elif name == "unroll":
+                unroll = int(value) if value else 0
+            elif name == "flatten":
+                flatten = True
+            elif name:
+                raise SystemExit(f"unknown loop directive {name!r} in {spec!r}")
+        loops[label.strip()] = LoopDirective(
+            pipeline=pipeline, ii=ii, unroll_factor=unroll, flatten=flatten
+        )
+    arrays: dict[str, ArrayDirective] = {}
+    for spec in array_specs or []:
+        name, _, directives = spec.partition("=")
+        parts = directives.split(":")
+        partition_type = PartitionType(parts[0].strip().lower())
+        factor = int(parts[1]) if len(parts) > 1 else 2
+        dim = int(parts[2]) if len(parts) > 2 else 1
+        arrays[name.strip()] = ArrayDirective(
+            partition_type=partition_type, factor=factor, dim=dim
+        )
+    return PragmaConfig.from_dicts(loops, arrays)
+
+
+# --------------------------------------------------------------------------- #
+# subcommands
+# --------------------------------------------------------------------------- #
+def cmd_train(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    kernels = {name: load_kernel(name) for name in args.kernels}
+    configs = {
+        name: sample_design_space(function, args.configs, rng=rng)
+        for name, function in kernels.items()
+    }
+    print(f"generating labels for {sum(len(c) for c in configs.values())} designs...")
+    instances = build_design_instances(kernels, configs)
+    model = HierarchicalQoRModel(
+        HierarchicalModelConfig(
+            conv_type=args.gnn, hidden=args.hidden,
+            training=TrainingConfig(epochs=args.epochs, batch_size=args.batch_size),
+        )
+    )
+    report = model.fit(instances, rng=rng)
+    print("dataset sizes:", report.dataset_sizes)
+    for name, scores in report.test_mape().items():
+        print(name, {k: round(v, 1) for k, v in scores.items()})
+    path = save_model(model, args.output)
+    print(f"model saved to {path}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    function = _load_function(args)
+    config = parse_config(args.loop, args.array)
+    result: dict[str, float]
+    if args.flow or not args.model:
+        qor = run_full_flow(function, config)
+        result = qor.as_dict()
+        source = "flow simulator"
+    else:
+        model = load_model(args.model)
+        result = model.predict(function, config)
+        source = f"model {args.model}"
+    print(f"kernel={function.name}  config={config.describe()}  ({source})")
+    print(json.dumps({k: round(v, 1) for k, v in result.items()}, indent=2))
+    return 0
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    function = _load_function(args)
+    rng = np.random.default_rng(args.seed)
+    configs = sample_design_space(function, args.configs, rng=rng)
+    print(f"evaluating {len(configs)} configurations with the ground-truth flow...")
+    space = exhaustive_ground_truth(function, configs)
+    print(f"exhaustive (simulated) flow time: {space.simulated_tool_seconds/3600:.1f} h")
+    if args.model:
+        model = load_model(args.model)
+        explorer = ModelGuidedExplorer(model.predict, name="hierarchical")
+        result = explorer.explore(function, space)
+        print(f"model-guided ADRS: {result.adrs_percent:.2f}%  "
+              f"wall time {result.model_seconds:.1f}s  speedup {result.speedup:,.0f}x")
+        front = result.approx_front
+    else:
+        front = space.exact_front()
+    print("Pareto front (latency, area):")
+    for point in sorted(front, key=lambda p: p.objectives[0]):
+        print(f"  {point.objectives[0]:12.0f}  {point.objectives[1]:12.0f}  {point.key}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-qor",
+        description="Hierarchical source-to-post-route QoR prediction for HLS",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser("train", help="train and save a hierarchical model")
+    train.add_argument("--kernels", nargs="+", default=["gemm", "atax", "gesummv"],
+                       help="registry kernels to train on")
+    train.add_argument("--configs", type=int, default=24,
+                       help="design points sampled per kernel")
+    train.add_argument("--epochs", type=int, default=40)
+    train.add_argument("--batch-size", type=int, default=32)
+    train.add_argument("--hidden", type=int, default=32)
+    train.add_argument("--gnn", default="graphsage",
+                       choices=["gcn", "gat", "graphsage", "transformer", "pna"])
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--output", default="qor_model.npz")
+    train.set_defaults(func=cmd_train)
+
+    predict = subparsers.add_parser("predict", help="predict QoR for a design point")
+    predict.add_argument("--kernel", default="gemm", help="registry kernel name")
+    predict.add_argument("--source", help="path to an HLS-C source file")
+    predict.add_argument("--model", help="path to a saved model (.npz)")
+    predict.add_argument("--flow", action="store_true",
+                         help="use the flow simulator instead of a model")
+    predict.add_argument("--loop", action="append", default=[],
+                         help="loop directive, e.g. L0_0=pipeline+unroll:2")
+    predict.add_argument("--array", action="append", default=[],
+                         help="array partition, e.g. A=cyclic:4:2")
+    predict.set_defaults(func=cmd_predict)
+
+    dse = subparsers.add_parser("dse", help="explore a kernel's design space")
+    dse.add_argument("--kernel", default="bicg")
+    dse.add_argument("--source", help="path to an HLS-C source file")
+    dse.add_argument("--model", help="saved model to guide the exploration")
+    dse.add_argument("--configs", type=int, default=100)
+    dse.add_argument("--seed", type=int, default=0)
+    dse.set_defaults(func=cmd_dse)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""Hierarchical training and prediction (Sections III-C and III-D).
+
+``HierarchicalQoRModel`` bundles the three GNNs of the paper:
+
+* ``GNNp`` — QoR of pipelined inner-hierarchy loops;
+* ``GNNnp`` — QoR of non-pipelined inner-hierarchy loops;
+* ``GNNg`` — QoR of the whole application, operating on the condensed outer
+  graph whose super nodes carry the QoR *predicted* by the inner models.
+
+Training is staged exactly as in the paper: the inner models are trained
+first on extracted sub-loops, their weights are frozen, their predictions
+annotate the super nodes, and only then is the global model trained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataset import (
+    DesignInstance,
+    application_targets,
+    decomposition_of,
+    graph_to_sample,
+    inner_unit_samples,
+)
+from repro.core.models import GlobalGNN, InnerLoopGNN
+from repro.core.trainer import GraphRegressorTrainer, TrainingConfig, TrainingResult
+from repro.frontend.pragmas import PragmaConfig
+from repro.graph.features import annotate_super_node
+from repro.graph.hierarchy import HierarchicalDecomposition, InnerLoopUnit, decompose
+from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
+from repro.ir.structure import IRFunction
+from repro.nn.data import GraphSample, train_validation_test_split
+
+
+@dataclass
+class HierarchicalModelConfig:
+    """Hyper-parameters of the whole hierarchical model suite."""
+
+    conv_type: str = "graphsage"
+    hidden: int = 32
+    num_layers: int = 3
+    training: TrainingConfig = field(default_factory=TrainingConfig)
+    seed: int = 0
+
+
+@dataclass
+class HierarchicalTrainingReport:
+    """Per-stage training results and dataset sizes."""
+
+    gnn_p: TrainingResult | None = None
+    gnn_np: TrainingResult | None = None
+    gnn_g: TrainingResult | None = None
+    dataset_sizes: dict[str, int] = field(default_factory=dict)
+
+    def test_mape(self) -> dict[str, dict[str, float]]:
+        """Test MAPE per model and target (shape of Table III rows)."""
+        report: dict[str, dict[str, float]] = {}
+        if self.gnn_p is not None:
+            report["GNNp"] = dict(self.gnn_p.test_mape or self.gnn_p.validation_mape)
+        if self.gnn_np is not None:
+            report["GNNnp"] = dict(self.gnn_np.test_mape or self.gnn_np.validation_mape)
+        if self.gnn_g is not None:
+            report["GNNg"] = dict(self.gnn_g.test_mape or self.gnn_g.validation_mape)
+        return report
+
+
+class HierarchicalQoRModel:
+    """The paper's hierarchical source-to-post-route QoR predictor."""
+
+    INNER_TARGETS = ("lut", "dsp", "ff", "iteration_latency", "latency")
+    GLOBAL_TARGETS = ("lut", "dsp", "ff", "latency")
+
+    def __init__(
+        self,
+        config: HierarchicalModelConfig | None = None,
+        *,
+        library: OperatorLibrary = DEFAULT_LIBRARY,
+    ):
+        self.config = config or HierarchicalModelConfig()
+        self.library = library
+        self.trainer_p: GraphRegressorTrainer | None = None
+        self.trainer_np: GraphRegressorTrainer | None = None
+        self.trainer_g: GraphRegressorTrainer | None = None
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        instances: list[DesignInstance],
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> HierarchicalTrainingReport:
+        """Train GNNp, GNNnp and GNNg from design instances."""
+        rng = rng or np.random.default_rng(self.config.seed)
+        report = HierarchicalTrainingReport()
+
+        pipelined, non_pipelined = inner_unit_samples(instances, library=self.library)
+        report.dataset_sizes = {
+            "GNNp": len(pipelined),
+            "GNNnp": len(non_pipelined),
+            "GNNg": len(instances),
+        }
+        if pipelined:
+            self.trainer_p, report.gnn_p = self._train_inner(pipelined, rng)
+        if non_pipelined:
+            self.trainer_np, report.gnn_np = self._train_inner(non_pipelined, rng)
+
+        # stage 2: annotate super nodes with (frozen) inner predictions
+        application_samples = [
+            self._application_sample(instance) for instance in instances
+        ]
+        self.trainer_g, report.gnn_g = self._train_global(application_samples, rng)
+        return report
+
+    def _train_inner(
+        self, samples: list[GraphSample], rng: np.random.Generator
+    ) -> tuple[GraphRegressorTrainer, TrainingResult]:
+        train, validation, test = train_validation_test_split(samples, rng=rng)
+        train = train or samples
+        trainer = GraphRegressorTrainer(
+            model=None, target_names=self.INNER_TARGETS, config=self.config.training
+        )
+        trainer.fit_preprocessing(train)
+        model = InnerLoopGNN(
+            in_features=trainer.input_dim(train),
+            hidden=self.config.hidden,
+            num_layers=self.config.num_layers,
+            conv_type=self.config.conv_type,
+            rng=np.random.default_rng(self.config.seed),
+        )
+        trainer.model = model
+        result = trainer.train(train, validation or None, test or None)
+        return trainer, result
+
+    def _train_global(
+        self, samples: list[GraphSample], rng: np.random.Generator
+    ) -> tuple[GraphRegressorTrainer, TrainingResult]:
+        train, validation, test = train_validation_test_split(samples, rng=rng)
+        train = train or samples
+        trainer = GraphRegressorTrainer(
+            model=None, target_names=self.GLOBAL_TARGETS, config=self.config.training
+        )
+        trainer.fit_preprocessing(train)
+        model = GlobalGNN(
+            in_features=trainer.input_dim(train),
+            hidden=self.config.hidden,
+            num_layers=self.config.num_layers,
+            conv_type=self.config.conv_type,
+            rng=np.random.default_rng(self.config.seed + 1),
+        )
+        trainer.model = model
+        result = trainer.train(train, validation or None, test or None)
+        return trainer, result
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def predict_inner_unit(self, unit: InnerLoopUnit) -> dict[str, float]:
+        """QoR prediction for one inner-hierarchy loop."""
+        trainer = self.trainer_p if unit.pipelined else self.trainer_np
+        if trainer is None:
+            trainer = self.trainer_np if unit.pipelined else self.trainer_p
+        if trainer is None:
+            raise RuntimeError("inner models have not been trained")
+        sample = graph_to_sample(unit.subgraph)
+        predictions = trainer.predict([sample])
+        return {name: float(values[0]) for name, values in predictions.items()}
+
+    def _annotated_outer_sample(
+        self,
+        decomposition: HierarchicalDecomposition,
+        targets: dict[str, float] | None = None,
+        metadata: dict[str, str] | None = None,
+    ) -> GraphSample:
+        for unit in decomposition.inner_units:
+            prediction = self.predict_inner_unit(unit)
+            for node_id in decomposition.super_node_ids(unit.label):
+                annotate_super_node(
+                    decomposition.outer_graph, node_id,
+                    latency=prediction.get("latency", 0.0),
+                    lut=prediction.get("lut", 0.0),
+                    ff=prediction.get("ff", 0.0),
+                    dsp=prediction.get("dsp", 0.0),
+                    iteration_latency=prediction.get("iteration_latency", 0.0),
+                )
+        return graph_to_sample(decomposition.outer_graph, targets, metadata)
+
+    def _application_sample(self, instance: DesignInstance) -> GraphSample:
+        decomposition = decomposition_of(instance, library=self.library)
+        return self._annotated_outer_sample(
+            decomposition, application_targets(instance),
+            metadata={"kernel": instance.kernel, "config": instance.config.describe()},
+        )
+
+    def predict(
+        self, function: IRFunction, config: PragmaConfig | None = None
+    ) -> dict[str, float]:
+        """Predict post-route QoR of a kernel under a configuration.
+
+        Runs graph construction, inner-unit prediction, super-node annotation
+        and the global model — no HLS or implementation flow is invoked.
+        """
+        if self.trainer_g is None:
+            raise RuntimeError("the hierarchical model has not been trained")
+        config = config or PragmaConfig()
+        decomposition = decompose(function, config, library=self.library)
+        sample = self._annotated_outer_sample(decomposition)
+        predictions = self.trainer_g.predict([sample])
+        return {name: float(values[0]) for name, values in predictions.items()}
+
+    def evaluate(self, instances: list[DesignInstance]) -> dict[str, float]:
+        """Whole-design MAPE of the hierarchical predictor over instances."""
+        from repro.nn.losses import mape
+
+        predictions: dict[str, list[float]] = {name: [] for name in self.GLOBAL_TARGETS}
+        truths: dict[str, list[float]] = {name: [] for name in self.GLOBAL_TARGETS}
+        for instance in instances:
+            predicted = self.predict(instance.function, instance.config)
+            truth = application_targets(instance)
+            for name in self.GLOBAL_TARGETS:
+                predictions[name].append(predicted[name])
+                truths[name].append(truth[name])
+        return {
+            name: mape(np.array(predictions[name]), np.array(truths[name]))
+            for name in self.GLOBAL_TARGETS
+        }
+
+
+__all__ = [
+    "HierarchicalModelConfig", "HierarchicalTrainingReport", "HierarchicalQoRModel",
+]

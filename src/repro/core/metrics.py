@@ -1,0 +1,39 @@
+"""QoR prediction quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import mape, rmse
+
+
+def qor_mape_table(
+    predictions: dict[str, np.ndarray], truths: dict[str, np.ndarray]
+) -> dict[str, float]:
+    """Per-metric MAPE (%) — one row of Table III."""
+    return {
+        name: mape(predictions[name], truths[name])
+        for name in predictions
+        if name in truths
+    }
+
+
+def relative_error(prediction: float, truth: float, epsilon: float = 1e-9) -> float:
+    """Absolute relative error of a single prediction (fraction, not %)."""
+    return abs(prediction - truth) / max(abs(truth), epsilon)
+
+
+def summarize_errors(errors: list[float]) -> dict[str, float]:
+    """Mean / median / p90 / max of a list of relative errors (%)."""
+    if not errors:
+        return {"mean": 0.0, "median": 0.0, "p90": 0.0, "max": 0.0}
+    array = np.asarray(errors, dtype=np.float64) * 100.0
+    return {
+        "mean": float(array.mean()),
+        "median": float(np.median(array)),
+        "p90": float(np.percentile(array, 90)),
+        "max": float(array.max()),
+    }
+
+
+__all__ = ["mape", "rmse", "qor_mape_table", "relative_error", "summarize_errors"]

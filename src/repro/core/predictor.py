@@ -1,0 +1,75 @@
+"""Source-level convenience API.
+
+``QoRPredictor`` wraps :class:`~repro.core.hierarchical.HierarchicalQoRModel`
+with the front-end so that users can go straight from HLS-C source text and a
+pragma configuration to a post-route QoR estimate, which is the headline
+usage mode of the paper ("source-to-post-route prediction").
+"""
+
+from __future__ import annotations
+
+from repro.core.dataset import DesignInstance, build_design_instances
+from repro.core.hierarchical import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    HierarchicalTrainingReport,
+)
+from repro.frontend.pragmas import PragmaConfig
+from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
+from repro.ir.builder import lower_source
+from repro.ir.structure import IRFunction
+
+
+class QoRPredictor:
+    """End-to-end predictor: HLS-C source + pragmas -> post-route QoR."""
+
+    def __init__(
+        self,
+        config: HierarchicalModelConfig | None = None,
+        *,
+        library: OperatorLibrary = DEFAULT_LIBRARY,
+    ):
+        self.library = library
+        self.model = HierarchicalQoRModel(config, library=library)
+        self._functions: dict[str, IRFunction] = {}
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit_sources(
+        self,
+        sources: dict[str, str],
+        configs_per_kernel: dict[str, list[PragmaConfig]],
+    ) -> HierarchicalTrainingReport:
+        """Train from raw source strings (runs the ground-truth flow)."""
+        kernels = {name: lower_source(text) for name, text in sources.items()}
+        self._functions.update(kernels)
+        instances = build_design_instances(
+            kernels, configs_per_kernel, library=self.library
+        )
+        return self.model.fit(instances)
+
+    def fit_instances(self, instances: list[DesignInstance]) -> HierarchicalTrainingReport:
+        """Train from pre-built design instances (labels already computed)."""
+        for instance in instances:
+            self._functions.setdefault(instance.kernel, instance.function)
+        return self.model.fit(instances)
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def predict_source(
+        self, source: str, config: PragmaConfig | None = None
+    ) -> dict[str, float]:
+        """Predict QoR for source text under a pragma configuration."""
+        function = lower_source(source)
+        return self.model.predict(function, config)
+
+    def predict(
+        self, function: IRFunction, config: PragmaConfig | None = None
+    ) -> dict[str, float]:
+        """Predict QoR for an already-lowered kernel."""
+        return self.model.predict(function, config)
+
+
+__all__ = ["QoRPredictor"]

@@ -1,0 +1,128 @@
+"""Persistence for trained QoR models.
+
+The paper publishes trained models alongside the code; this module provides
+the equivalent for the reproduction: a trained
+:class:`~repro.core.hierarchical.HierarchicalQoRModel` (three GNNs plus their
+pre-processing state) round-trips through a single ``.npz`` archive, so DSE
+runs and examples can reuse models without re-training.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.hierarchical import HierarchicalModelConfig, HierarchicalQoRModel
+from repro.core.models import GlobalGNN, InnerLoopGNN
+from repro.core.trainer import GraphRegressorTrainer, TrainingConfig
+from repro.nn.data import FeatureScaler, OptypeEncoder, TargetScaler
+
+_MODEL_KINDS = {"p": "inner", "np": "inner", "g": "global"}
+
+
+def _pack_trainer(prefix: str, trainer: GraphRegressorTrainer, blob: dict) -> dict:
+    """Serialize one trainer (model weights + preprocessing) into ``blob``.
+
+    Returns the JSON-compatible metadata describing the trainer.
+    """
+    state = trainer.model.state_dict()
+    for key, value in state.items():
+        blob[f"{prefix}.{key}"] = value
+    blob[f"{prefix}.feature_mean"] = trainer.feature_scaler.mean_
+    blob[f"{prefix}.feature_std"] = trainer.feature_scaler.std_
+    metadata = {
+        "targets": list(trainer.target_names),
+        "vocabulary": trainer.encoder.vocabulary,
+        "input_dim": trainer.model.encoder.encoder.in_features,
+        "hidden": trainer.model.encoder.encoder.out_features,
+        "num_layers": len(trainer.model.encoder.convs),
+        "conv_type": trainer.model.encoder.conv_type,
+        "target_scalers": {
+            name: [scaler.mean_, scaler.std_]
+            for name, scaler in trainer.target_scalers.items()
+        },
+        "num_parameters": len(state),
+    }
+    return metadata
+
+
+def _unpack_trainer(
+    prefix: str, metadata: dict, blob: np.lib.npyio.NpzFile, kind: str
+) -> GraphRegressorTrainer:
+    trainer = GraphRegressorTrainer(
+        model=None, target_names=tuple(metadata["targets"]),
+        config=TrainingConfig(),
+    )
+    trainer.encoder = OptypeEncoder(vocabulary=metadata["vocabulary"])
+    trainer.feature_scaler = FeatureScaler()
+    trainer.feature_scaler.mean_ = blob[f"{prefix}.feature_mean"]
+    trainer.feature_scaler.std_ = blob[f"{prefix}.feature_std"]
+    for name, (mean, std) in metadata["target_scalers"].items():
+        scaler = TargetScaler()
+        scaler.mean_, scaler.std_ = float(mean), float(std)
+        trainer.target_scalers[name] = scaler
+    model_class = InnerLoopGNN if kind == "inner" else GlobalGNN
+    model = model_class(
+        in_features=int(metadata["input_dim"]),
+        hidden=int(metadata["hidden"]),
+        num_layers=int(metadata["num_layers"]),
+        conv_type=metadata["conv_type"],
+    )
+    state = {
+        f"param_{index}": blob[f"{prefix}.param_{index}"]
+        for index in range(int(metadata["num_parameters"]))
+    }
+    model.load_state_dict(state)
+    trainer.model = model
+    return trainer
+
+
+def save_model(model: HierarchicalQoRModel, path: str | Path) -> Path:
+    """Save a trained hierarchical model to ``path`` (``.npz``)."""
+    path = Path(path)
+    blob: dict[str, np.ndarray] = {}
+    manifest: dict[str, dict] = {
+        "config": {
+            "conv_type": model.config.conv_type,
+            "hidden": model.config.hidden,
+            "num_layers": model.config.num_layers,
+        },
+    }
+    for name, trainer in (
+        ("p", model.trainer_p), ("np", model.trainer_np), ("g", model.trainer_g)
+    ):
+        if trainer is not None:
+            manifest[name] = _pack_trainer(name, trainer, blob)
+    blob["__manifest__"] = np.frombuffer(
+        json.dumps(manifest).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **blob)
+    return path
+
+
+def load_model(path: str | Path) -> HierarchicalQoRModel:
+    """Load a hierarchical model saved with :func:`save_model`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no saved model at {path}")
+    blob = np.load(path, allow_pickle=False)
+    manifest = json.loads(bytes(blob["__manifest__"]).decode("utf-8"))
+    config = HierarchicalModelConfig(
+        conv_type=manifest["config"]["conv_type"],
+        hidden=int(manifest["config"]["hidden"]),
+        num_layers=int(manifest["config"]["num_layers"]),
+    )
+    model = HierarchicalQoRModel(config)
+    if "p" in manifest:
+        model.trainer_p = _unpack_trainer("p", manifest["p"], blob, "inner")
+    if "np" in manifest:
+        model.trainer_np = _unpack_trainer("np", manifest["np"], blob, "inner")
+    if "g" in manifest:
+        model.trainer_g = _unpack_trainer("g", manifest["g"], blob, "global")
+    return model
+
+
+__all__ = ["save_model", "load_model"]

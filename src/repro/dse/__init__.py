@@ -1,0 +1,35 @@
+"""Design-space exploration: space enumeration, Pareto analysis, explorers."""
+
+from repro.dse.explorer import (
+    DSEResult,
+    GroundTruthSpace,
+    ModelGuidedExplorer,
+    exhaustive_ground_truth,
+    oracle_dse,
+    qor_objectives,
+    resource_cost,
+)
+from repro.dse.pareto import (
+    DesignPoint,
+    adrs,
+    dominates,
+    hypervolume_2d,
+    normalize_objectives,
+    pareto_front,
+)
+from repro.dse.space import (
+    UNROLL_FACTORS,
+    LoopChain,
+    enumerate_design_space,
+    loop_chains,
+    sample_design_space,
+)
+
+__all__ = [
+    "DSEResult", "GroundTruthSpace", "ModelGuidedExplorer",
+    "exhaustive_ground_truth", "oracle_dse", "qor_objectives", "resource_cost",
+    "DesignPoint", "adrs", "dominates", "hypervolume_2d",
+    "normalize_objectives", "pareto_front",
+    "UNROLL_FACTORS", "LoopChain", "enumerate_design_space", "loop_chains",
+    "sample_design_space",
+]

@@ -1,0 +1,190 @@
+"""Design-space exploration engines (Section IV-D).
+
+Two explorers are provided:
+
+* :func:`exhaustive_ground_truth` — runs the complete C-to-bitstream flow for
+  every configuration; its (simulated) tool runtime is what the paper reports
+  as the "Vivado" DSE time, and its Pareto front is the exact reference set;
+* :class:`ModelGuidedExplorer` — queries a QoR prediction function for every
+  configuration, selects the predicted-Pareto-optimal configurations, and is
+  evaluated by the ADRS between the *true* QoR of its selections and the
+  exact front.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.dse.pareto import DesignPoint, adrs, pareto_front
+from repro.frontend.pragmas import PragmaConfig
+from repro.hls.flow import run_full_flow
+from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
+from repro.hls.reports import QoRResult
+from repro.ir.structure import IRFunction
+
+#: relative LUT-equivalent weights used to fold LUT/FF/DSP into one area cost
+_DSP_LUT_EQUIVALENT = 100.0
+_FF_LUT_EQUIVALENT = 0.5
+
+
+def resource_cost(metrics: dict[str, float]) -> float:
+    """Scalar area objective combining LUT, FF and DSP usage."""
+    return (
+        float(metrics.get("lut", 0.0))
+        + _FF_LUT_EQUIVALENT * float(metrics.get("ff", 0.0))
+        + _DSP_LUT_EQUIVALENT * float(metrics.get("dsp", 0.0))
+    )
+
+
+def qor_objectives(metrics: dict[str, float]) -> tuple[float, float]:
+    """The two DSE objectives: latency and area cost (both minimized)."""
+    return (float(metrics.get("latency", 0.0)), resource_cost(metrics))
+
+
+@dataclass
+class GroundTruthSpace:
+    """Exhaustively evaluated design space of one kernel."""
+
+    kernel: str
+    configs: list[PragmaConfig]
+    results: dict[str, QoRResult]
+    simulated_tool_seconds: float
+
+    @property
+    def num_configs(self) -> int:
+        return len(self.configs)
+
+    def design_points(self) -> list[DesignPoint]:
+        return [
+            DesignPoint(
+                key=config.key(),
+                objectives=qor_objectives(self.results[config.key()].as_dict()),
+                metadata={"config": config},
+            )
+            for config in self.configs
+        ]
+
+    def exact_front(self) -> list[DesignPoint]:
+        return pareto_front(self.design_points())
+
+
+def exhaustive_ground_truth(
+    function: IRFunction,
+    configs: list[PragmaConfig],
+    *,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+) -> GroundTruthSpace:
+    """Evaluate every configuration with the full flow (the reference DSE)."""
+    results: dict[str, QoRResult] = {}
+    tool_seconds = 0.0
+    for config in configs:
+        qor = run_full_flow(function, config, library=library)
+        results[config.key()] = qor
+        tool_seconds += qor.total_flow_runtime
+    return GroundTruthSpace(
+        kernel=function.name, configs=list(configs), results=results,
+        simulated_tool_seconds=tool_seconds,
+    )
+
+
+@dataclass
+class DSEResult:
+    """Outcome of one model-guided exploration."""
+
+    kernel: str
+    num_configs: int
+    adrs: float
+    model_seconds: float
+    simulated_tool_seconds: float
+    selected_keys: list[str] = field(default_factory=list)
+    exact_front: list[DesignPoint] = field(default_factory=list)
+    approx_front: list[DesignPoint] = field(default_factory=list)
+
+    @property
+    def adrs_percent(self) -> float:
+        return self.adrs * 100.0
+
+    @property
+    def speedup(self) -> float:
+        """Exhaustive tool time divided by model-guided exploration time."""
+        if self.model_seconds <= 0:
+            return float("inf")
+        return self.simulated_tool_seconds / self.model_seconds
+
+
+class ModelGuidedExplorer:
+    """DSE driven by a QoR prediction function.
+
+    ``predict_fn(function, config)`` must return a dict with at least
+    ``latency``, ``lut``, ``ff`` and ``dsp`` (predicted values).  The explorer
+    ranks all configurations by predicted Pareto-optimality and returns the
+    selected set; ADRS is computed against the exact front using the *actual*
+    QoR of the selected configurations.
+    """
+
+    def __init__(
+        self,
+        predict_fn: Callable[[IRFunction, PragmaConfig], dict[str, float]],
+        name: str = "model",
+    ):
+        self.predict_fn = predict_fn
+        self.name = name
+
+    def explore(
+        self,
+        function: IRFunction,
+        space: GroundTruthSpace,
+    ) -> DSEResult:
+        start = time.perf_counter()
+        predicted_points: list[DesignPoint] = []
+        for config in space.configs:
+            metrics = self.predict_fn(function, config)
+            predicted_points.append(
+                DesignPoint(
+                    key=config.key(),
+                    objectives=qor_objectives(metrics),
+                    metadata={"config": config},
+                )
+            )
+        predicted_front = pareto_front(predicted_points)
+        model_seconds = time.perf_counter() - start
+
+        selected_keys = [point.key for point in predicted_front]
+        # the approximate reference set is the TRUE QoR of the selected designs
+        approx_points = [
+            DesignPoint(
+                key=key, objectives=qor_objectives(space.results[key].as_dict())
+            )
+            for key in selected_keys
+        ]
+        approx_front = pareto_front(approx_points)
+        exact_front = space.exact_front()
+        return DSEResult(
+            kernel=space.kernel,
+            num_configs=space.num_configs,
+            adrs=adrs(exact_front, approx_front),
+            model_seconds=model_seconds,
+            simulated_tool_seconds=space.simulated_tool_seconds,
+            selected_keys=selected_keys,
+            exact_front=exact_front,
+            approx_front=approx_front,
+        )
+
+
+def oracle_dse(space: GroundTruthSpace) -> DSEResult:
+    """DSE with perfect knowledge (ADRS = 0); useful as a sanity baseline."""
+    exact = space.exact_front()
+    return DSEResult(
+        kernel=space.kernel, num_configs=space.num_configs, adrs=0.0,
+        model_seconds=0.0, simulated_tool_seconds=space.simulated_tool_seconds,
+        selected_keys=[point.key for point in exact],
+        exact_front=exact, approx_front=exact,
+    )
+
+
+__all__ = [
+    "resource_cost", "qor_objectives", "GroundTruthSpace",
+    "exhaustive_ground_truth", "DSEResult", "ModelGuidedExplorer", "oracle_dse",
+]

@@ -1,0 +1,124 @@
+"""Pareto-front utilities and the ADRS metric.
+
+DSE quality is measured with the average distance from reference set (ADRS):
+the mean, over points of the exact Pareto front, of the distance to the
+closest point of the approximate front found by a method.  Lower is better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated design: its configuration key and objective values.
+
+    Objectives are minimized.  For the paper's DSE we use latency and a
+    resource cost; any number of objectives is supported.
+    """
+
+    key: str
+    objectives: tuple[float, ...]
+    metadata: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+def dominates(a: tuple[float, ...], b: tuple[float, ...]) -> bool:
+    """True if objective vector ``a`` Pareto-dominates ``b`` (minimization)."""
+    at_least_as_good = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Non-dominated subset of ``points`` (duplicates collapse to one)."""
+    front: list[DesignPoint] = []
+    seen: set[tuple[float, ...]] = set()
+    for candidate in points:
+        if any(
+            dominates(other.objectives, candidate.objectives)
+            for other in points
+            if other is not candidate
+        ):
+            continue
+        if candidate.objectives in seen:
+            continue
+        seen.add(candidate.objectives)
+        front.append(candidate)
+    return front
+
+
+def _normalized_distance(
+    reference: tuple[float, ...], candidate: tuple[float, ...]
+) -> float:
+    """Relative worst-dimension gap of ``candidate`` vs ``reference``.
+
+    The standard ADRS distance ``f(gamma, omega)``: the maximum over
+    objectives of the relative degradation, clipped at zero (a candidate that
+    is better in one dimension is not rewarded for it).
+    """
+    worst = 0.0
+    for ref_value, cand_value in zip(reference, candidate):
+        denominator = abs(ref_value) if abs(ref_value) > 1e-12 else 1.0
+        worst = max(worst, (cand_value - ref_value) / denominator)
+    return max(0.0, worst)
+
+
+def adrs(exact_front: list[DesignPoint], approx_front: list[DesignPoint]) -> float:
+    """Average distance from reference set, as a fraction (0.069 = 6.91 %)."""
+    if not exact_front:
+        return 0.0
+    if not approx_front:
+        return float("inf")
+    total = 0.0
+    for reference in exact_front:
+        total += min(
+            _normalized_distance(reference.objectives, candidate.objectives)
+            for candidate in approx_front
+        )
+    return total / len(exact_front)
+
+
+def hypervolume_2d(
+    front: list[DesignPoint], reference_point: tuple[float, float]
+) -> float:
+    """2-D hypervolume of a front w.r.t. a reference point (minimization)."""
+    if not front:
+        return 0.0
+    points = sorted(
+        {p.objectives[:2] for p in front
+         if p.objectives[0] <= reference_point[0]
+         and p.objectives[1] <= reference_point[1]}
+    )
+    if not points:
+        return 0.0
+    volume = 0.0
+    previous_y = reference_point[1]
+    for x, y in points:
+        if y < previous_y:
+            volume += (reference_point[0] - x) * (previous_y - y)
+            previous_y = y
+    return volume
+
+
+def normalize_objectives(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Scale every objective to [0, 1] over the given set of points."""
+    if not points:
+        return []
+    matrix = np.array([p.objectives for p in points], dtype=np.float64)
+    minima = matrix.min(axis=0)
+    maxima = matrix.max(axis=0)
+    span = np.maximum(maxima - minima, 1e-12)
+    normalized = (matrix - minima) / span
+    return [
+        DesignPoint(key=p.key, objectives=tuple(row), metadata=p.metadata)
+        for p, row in zip(points, normalized)
+    ]
+
+
+__all__ = [
+    "DesignPoint", "dominates", "pareto_front", "adrs", "hypervolume_2d",
+    "normalize_objectives",
+]

@@ -1,0 +1,206 @@
+"""Design-space construction (Section IV-D experimental protocol).
+
+The space of one kernel is built the way the paper describes: loop
+pipelining, loop flattening and loop unrolling are applied iteratively from
+inner to outer loops with unroll factors from ``{1, 2, 4, 8, 16}``, and array
+partitioning factors are kept consistent with the unroll factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.frontend.pragmas import (
+    ArrayDirective,
+    LoopDirective,
+    PartitionType,
+    PragmaConfig,
+)
+from repro.ir.structure import IRFunction, Loop
+
+#: unroll factors explored by the paper
+UNROLL_FACTORS: tuple[int, ...] = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class LoopChain:
+    """One top-level loop nest described as a chain of nesting levels.
+
+    ``labels`` go from the outermost level to the innermost level; for nests
+    with sibling loops, the chain follows the first sub-loop at each level
+    (pragma choices for siblings are shared, which keeps the space close to
+    the paper's per-kernel sizes).
+    """
+
+    labels: tuple[str, ...]
+    tripcounts: tuple[int, ...]
+    perfect: bool
+
+
+def loop_chains(function: IRFunction) -> list[LoopChain]:
+    """One chain per top-level loop nest."""
+    chains: list[LoopChain] = []
+    for top in function.top_level_loops():
+        labels: list[str] = []
+        tripcounts: list[int] = []
+        current: Loop | None = top
+        while current is not None:
+            labels.append(current.label)
+            tripcounts.append(max(1, current.tripcount))
+            subs = current.sub_loops()
+            current = subs[0] if subs else None
+        chains.append(
+            LoopChain(
+                labels=tuple(labels), tripcounts=tuple(tripcounts),
+                perfect=top.is_perfect_nest(),
+            )
+        )
+    return chains
+
+
+def _factors_for(tripcount: int) -> tuple[int, ...]:
+    return tuple(f for f in UNROLL_FACTORS if f <= tripcount)
+
+
+def _chain_options(chain: LoopChain) -> list[dict[str, LoopDirective]]:
+    """All pragma assignments for one loop nest."""
+    depth = len(chain.labels)
+    options: list[dict[str, LoopDirective]] = []
+    # choice of pipeline level: none, or any level (inner levels then unroll fully)
+    for pipeline_level in [None] + list(range(depth)):
+        flatten_choices = [False]
+        if (
+            pipeline_level is not None
+            and pipeline_level == depth - 1
+            and depth >= 2
+            and chain.perfect
+        ):
+            flatten_choices = [False, True]
+        for flatten in flatten_choices:
+            # unroll factors are chosen for the pipelined level and the levels
+            # outside (above) it; deeper levels are fully unrolled implicitly.
+            free_levels = (
+                list(range(depth)) if pipeline_level is None
+                else list(range(pipeline_level + 1))
+            )
+            factor_sets = [_factors_for(chain.tripcounts[lv]) for lv in free_levels]
+            for combo in product(*factor_sets):
+                directives: dict[str, LoopDirective] = {}
+                for level, factor in zip(free_levels, combo):
+                    pipeline_here = pipeline_level is not None and level == pipeline_level
+                    flatten_here = flatten and level < depth - 1
+                    if factor == 1 and not pipeline_here and not flatten_here:
+                        continue
+                    directives[chain.labels[level]] = LoopDirective(
+                        pipeline=pipeline_here,
+                        unroll_factor=factor,
+                        flatten=flatten_here,
+                    )
+                if flatten:
+                    # flattening must be requested on every intermediate level
+                    for level in range(depth - 1):
+                        label = chain.labels[level]
+                        existing = directives.get(label, LoopDirective())
+                        directives[label] = LoopDirective(
+                            pipeline=existing.pipeline,
+                            ii=existing.ii,
+                            unroll_factor=existing.unroll_factor,
+                            flatten=True,
+                        )
+                options.append(directives)
+    # remove duplicates introduced by factor-1 skipping
+    unique: dict[str, dict[str, LoopDirective]] = {}
+    for directives in options:
+        key = ";".join(
+            f"{label}:{d.describe()}" for label, d in sorted(directives.items())
+        )
+        unique.setdefault(key, directives)
+    return list(unique.values())
+
+
+def _partition_directives(
+    function: IRFunction, loop_directives: dict[str, LoopDirective]
+) -> dict[str, ArrayDirective]:
+    """Array partitioning consistent with the chosen unroll factors.
+
+    The partition factor of every accessed array follows the maximum
+    parallelism requested by the loop directives (the paper keeps partition
+    factors consistent with unroll factors); arrays are partitioned
+    cyclically along their innermost dimension.
+    """
+    max_factor = 1
+    for directive in loop_directives.values():
+        max_factor = max(max_factor, directive.unroll_factor)
+        if directive.pipeline:
+            max_factor = max(max_factor, 2)
+    if max_factor <= 1:
+        return {}
+    directives: dict[str, ArrayDirective] = {}
+    for name, info in function.arrays.items():
+        factor = min(max_factor, max(info.dims))
+        if factor <= 1:
+            continue
+        directives[name] = ArrayDirective(
+            partition_type=PartitionType.CYCLIC, factor=factor, dim=len(info.dims)
+        )
+    return directives
+
+
+def enumerate_design_space(
+    function: IRFunction,
+    *,
+    max_configs: int = 4096,
+    rng: np.random.Generator | None = None,
+) -> list[PragmaConfig]:
+    """Enumerate the pragma design space of one kernel.
+
+    The cross product over independent loop nests can exceed ``max_configs``;
+    in that case a deterministic subsample is returned (the baseline
+    configuration is always kept).
+    """
+    chains = loop_chains(function)
+    per_chain = [_chain_options(chain) for chain in chains]
+    configs: list[PragmaConfig] = []
+    for combo in product(*per_chain):
+        loops: dict[str, LoopDirective] = {}
+        for directives in combo:
+            loops.update(directives)
+        arrays = _partition_directives(function, loops)
+        configs.append(PragmaConfig.from_dicts(loops, arrays))
+    # dedupe on the canonical key
+    unique: dict[str, PragmaConfig] = {}
+    for config in configs:
+        unique.setdefault(config.key(), config)
+    configs = list(unique.values())
+    if len(configs) > max_configs:
+        rng = rng or np.random.default_rng(7)
+        keep = rng.choice(len(configs), size=max_configs, replace=False)
+        kept = [configs[i] for i in sorted(keep)]
+        if all(c.describe() != "baseline" for c in kept):
+            kept[0] = PragmaConfig()
+        configs = kept
+    return configs
+
+
+def sample_design_space(
+    function: IRFunction,
+    count: int,
+    *,
+    rng: np.random.Generator | None = None,
+) -> list[PragmaConfig]:
+    """A random subset of the design space (used for dataset generation)."""
+    rng = rng or np.random.default_rng(0)
+    configs = enumerate_design_space(function, rng=rng)
+    if len(configs) <= count:
+        return configs
+    indices = rng.choice(len(configs), size=count, replace=False)
+    return [configs[i] for i in sorted(indices)]
+
+
+__all__ = [
+    "UNROLL_FACTORS", "LoopChain", "loop_chains", "enumerate_design_space",
+    "sample_design_space",
+]

@@ -1,0 +1,210 @@
+"""Abstract syntax tree node definitions for the HLS-C subset.
+
+The AST is deliberately small: the kernels targeted by the paper (Polybench,
+MachSuite, CHStone-style loop nests) only need scalar/array declarations,
+``for`` loops with constant bounds, ``if``/``else`` and arithmetic
+expressions.  Every node keeps its source line so later passes can report
+precise diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------- #
+# expressions
+# --------------------------------------------------------------------------- #
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+    line: int = 0
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    """Reference to a scalar variable."""
+
+    name: str = ""
+
+
+@dataclass
+class ArrayRef(Expr):
+    """Reference to an array element: ``name[idx0][idx1]...``."""
+
+    name: str = ""
+    indices: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Unary operation, e.g. ``-x`` or ``!x``."""
+
+    op: str = "-"
+    operand: Expr | None = None
+
+
+@dataclass
+class BinaryOp(Expr):
+    """Binary operation, e.g. ``a * b`` or ``i < N``."""
+
+    op: str = "+"
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class TernaryOp(Expr):
+    """Conditional expression ``cond ? a : b``."""
+
+    cond: Expr | None = None
+    then_expr: Expr | None = None
+    else_expr: Expr | None = None
+
+
+@dataclass
+class CallExpr(Expr):
+    """Call to a math intrinsic such as ``sqrtf(x)`` or ``fabs(x)``."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------------- #
+# statements
+# --------------------------------------------------------------------------- #
+@dataclass
+class Stmt:
+    """Base class for statements."""
+
+    line: int = 0
+    pragmas: list["Pragma"] = field(default_factory=list)
+
+
+@dataclass
+class Declaration(Stmt):
+    """Scalar or local-array declaration, e.g. ``int acc = 0;``."""
+
+    type_name: str = "int"
+    name: str = ""
+    dims: list[int] = field(default_factory=list)
+    init: Expr | None = None
+
+
+@dataclass
+class Assignment(Stmt):
+    """Assignment to a scalar or array element (including ``+=`` forms)."""
+
+    target: Expr | None = None
+    op: str = "="
+    value: Expr | None = None
+
+
+@dataclass
+class Block(Stmt):
+    """A ``{ ... }`` compound statement."""
+
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ForLoop(Stmt):
+    """A ``for`` loop with an affine induction variable.
+
+    ``label`` is assigned during parsing from the lexical position of the
+    loop inside its function (e.g. ``L0``, ``L0_0``) and is used to address
+    pragma configurations at specific loops.
+    """
+
+    var: str = ""
+    start: Expr | None = None
+    bound: Expr | None = None
+    step: int = 1
+    cmp_op: str = "<"
+    body: Block | None = None
+    label: str = ""
+
+
+@dataclass
+class IfStmt(Stmt):
+    """An ``if``/``else`` statement."""
+
+    cond: Expr | None = None
+    then_body: Block | None = None
+    else_body: Block | None = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+# --------------------------------------------------------------------------- #
+# declarations / top level
+# --------------------------------------------------------------------------- #
+@dataclass
+class Param:
+    """A function parameter; arrays carry their constant dimensions."""
+
+    type_name: str = "int"
+    name: str = ""
+    dims: list[int] = field(default_factory=list)
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+
+@dataclass
+class FunctionDef:
+    """A top-level function definition."""
+
+    name: str = ""
+    return_type: str = "void"
+    params: list[Param] = field(default_factory=list)
+    body: Block | None = None
+    pragmas: list["Pragma"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    """A parsed source file: one or more function definitions."""
+
+    functions: list[FunctionDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FunctionDef:
+        """Return the function named ``name`` (raises ``KeyError`` if absent)."""
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"no function named {name!r}")
+
+    @property
+    def top(self) -> FunctionDef:
+        """The last function in the file, treated as the HLS top function."""
+        if not self.functions:
+            raise ValueError("translation unit contains no functions")
+        return self.functions[-1]
+
+
+# Imported late to avoid a circular import at type-checking time.
+from repro.frontend.pragmas import Pragma  # noqa: E402  (re-export for dataclasses)
+
+__all__ = [
+    "Expr", "IntLiteral", "FloatLiteral", "VarRef", "ArrayRef", "UnaryOp",
+    "BinaryOp", "TernaryOp", "CallExpr",
+    "Stmt", "Declaration", "Assignment", "Block", "ForLoop", "IfStmt",
+    "ReturnStmt", "Param", "FunctionDef", "TranslationUnit", "Pragma",
+]

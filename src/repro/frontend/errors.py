@@ -1,0 +1,31 @@
+"""Exceptions raised by the HLS-C front-end."""
+
+from __future__ import annotations
+
+
+class FrontendError(Exception):
+    """Base class for all front-end errors."""
+
+
+class LexerError(FrontendError):
+    """Raised when the lexer encounters an unrecognized character."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParserError(FrontendError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class PragmaError(FrontendError):
+    """Raised when a ``#pragma HLS`` directive is malformed or invalid."""

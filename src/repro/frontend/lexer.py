@@ -1,0 +1,243 @@
+"""Tokenizer for the HLS-C subset.
+
+The front-end accepts a restricted C dialect sufficient to express the
+loop-nest kernels used in the paper (Polybench / MachSuite style code):
+``int``/``float`` scalars and constant-dimension arrays, ``for`` loops with
+constant bounds, ``if``/``else``, arithmetic expressions and ``#pragma HLS``
+directives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator
+
+from repro.frontend.errors import LexerError
+
+
+class TokenKind(Enum):
+    """All token categories produced by :class:`Lexer`."""
+
+    IDENT = auto()
+    INT_LITERAL = auto()
+    FLOAT_LITERAL = auto()
+    KEYWORD = auto()
+    PRAGMA = auto()       # a whole '#pragma ...' line, payload in ``text``
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    SEMICOLON = auto()
+    COMMA = auto()
+    # operators
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    ASSIGN = auto()
+    PLUS_ASSIGN = auto()
+    MINUS_ASSIGN = auto()
+    STAR_ASSIGN = auto()
+    SLASH_ASSIGN = auto()
+    PLUS_PLUS = auto()
+    MINUS_MINUS = auto()
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    EQ = auto()
+    NE = auto()
+    AND = auto()
+    OR = auto()
+    NOT = auto()
+    QUESTION = auto()
+    COLON = auto()
+    EOF = auto()
+
+
+KEYWORDS = frozenset(
+    {"void", "int", "float", "double", "for", "if", "else", "return", "const"}
+)
+
+_SINGLE_CHAR_TOKENS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMICOLON,
+    ",": TokenKind.COMMA,
+    "%": TokenKind.PERCENT,
+    "?": TokenKind.QUESTION,
+    ":": TokenKind.COLON,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source location."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Converts HLS-C source text into a stream of :class:`Token` objects."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Return the full list of tokens, terminated by an ``EOF`` token."""
+        return list(self._iter_tokens())
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _iter_tokens(self) -> Iterator[Token]:
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                yield Token(TokenKind.EOF, "", self.line, self.column)
+                return
+            char = self.source[self.pos]
+            if char == "#":
+                yield self._lex_pragma()
+            elif char.isalpha() or char == "_":
+                yield self._lex_identifier()
+            elif char.isdigit() or (char == "." and self._peek(1).isdigit()):
+                yield self._lex_number()
+            else:
+                yield self._lex_operator()
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index < len(self.source):
+            return self.source[index]
+        return ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            char = self.source[self.pos]
+            if char.isspace():
+                self._advance()
+            elif char == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self.source[self.pos] != "\n":
+                    self._advance()
+            elif char == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.source) and not (
+                    self.source[self.pos] == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    def _lex_pragma(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self.pos < len(self.source) and self.source[self.pos] != "\n":
+            self._advance()
+        text = self.source[start:self.pos].strip()
+        return Token(TokenKind.PRAGMA, text, line, column)
+
+    def _lex_identifier(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        while self.pos < len(self.source) and (
+            self.source[self.pos].isalnum() or self.source[self.pos] == "_"
+        ):
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+        return Token(kind, text, line, column)
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        start = self.pos
+        is_float = False
+        while self.pos < len(self.source) and (
+            self.source[self.pos].isdigit()
+            or self.source[self.pos] in ".eE"
+            or (self.source[self.pos] in "+-" and self.source[self.pos - 1] in "eE")
+        ):
+            if self.source[self.pos] in ".eE":
+                is_float = True
+            self._advance()
+        # allow float suffix 'f'
+        if self.pos < len(self.source) and self.source[self.pos] in "fF":
+            is_float = True
+            self._advance()
+            text = self.source[start:self.pos - 1]
+        else:
+            text = self.source[start:self.pos]
+        kind = TokenKind.FLOAT_LITERAL if is_float else TokenKind.INT_LITERAL
+        return Token(kind, text, line, column)
+
+    def _lex_operator(self) -> Token:
+        line, column = self.line, self.column
+        char = self.source[self.pos]
+        two = char + self._peek(1)
+        two_char_tokens = {
+            "+=": TokenKind.PLUS_ASSIGN,
+            "-=": TokenKind.MINUS_ASSIGN,
+            "*=": TokenKind.STAR_ASSIGN,
+            "/=": TokenKind.SLASH_ASSIGN,
+            "++": TokenKind.PLUS_PLUS,
+            "--": TokenKind.MINUS_MINUS,
+            "<=": TokenKind.LE,
+            ">=": TokenKind.GE,
+            "==": TokenKind.EQ,
+            "!=": TokenKind.NE,
+            "&&": TokenKind.AND,
+            "||": TokenKind.OR,
+        }
+        if two in two_char_tokens:
+            self._advance(2)
+            return Token(two_char_tokens[two], two, line, column)
+        single_char_operators = {
+            "+": TokenKind.PLUS,
+            "-": TokenKind.MINUS,
+            "*": TokenKind.STAR,
+            "/": TokenKind.SLASH,
+            "=": TokenKind.ASSIGN,
+            "<": TokenKind.LT,
+            ">": TokenKind.GT,
+            "!": TokenKind.NOT,
+        }
+        if char in single_char_operators:
+            self._advance()
+            return Token(single_char_operators[char], char, line, column)
+        if char in _SINGLE_CHAR_TOKENS:
+            self._advance()
+            return Token(_SINGLE_CHAR_TOKENS[char], char, line, column)
+        raise LexerError(f"Unexpected character {char!r}", line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` and return the token list."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,471 @@
+"""Recursive-descent parser for the HLS-C subset.
+
+Produces a :class:`~repro.frontend.ast_nodes.TranslationUnit`.  Loops are
+labelled with their lexical nesting path (``L0``, ``L0_0``, ...) so that HLS
+pragma configurations can be addressed to specific loops both from source
+pragmas and programmatically during design-space exploration.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import ParserError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.pragmas import Pragma, parse_pragma
+
+_TYPE_NAMES = {"void", "int", "float", "double"}
+
+
+class Parser:
+    """Parses a token stream into an AST."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.index = 0
+        self._loop_counters: list[int] = []
+
+    # ------------------------------------------------------------------ #
+    # token helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def _peek_kind(self, offset: int = 0) -> TokenKind:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index].kind
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def _expect(self, kind: TokenKind, text: str | None = None) -> Token:
+        token = self.current
+        if token.kind is not kind or (text is not None and token.text != text):
+            expected = text or kind.name
+            raise ParserError(
+                f"expected {expected}, found {token.text!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _match(self, kind: TokenKind, text: str | None = None) -> bool:
+        token = self.current
+        if token.kind is kind and (text is None or token.text == text):
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # top level
+    # ------------------------------------------------------------------ #
+    def parse(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while self.current.kind is not TokenKind.EOF:
+            # allow stray pragmas before functions (e.g. file-level directives)
+            if self.current.kind is TokenKind.PRAGMA:
+                self._advance()
+                continue
+            unit.functions.append(self._parse_function())
+        return unit
+
+    def _parse_function(self) -> ast.FunctionDef:
+        return_type = self._expect(TokenKind.KEYWORD).text
+        if return_type not in _TYPE_NAMES:
+            raise ParserError(f"unknown return type {return_type!r}")
+        name_token = self._expect(TokenKind.IDENT)
+        func = ast.FunctionDef(
+            name=name_token.text, return_type=return_type, line=name_token.line
+        )
+        self._expect(TokenKind.LPAREN)
+        if not self._match(TokenKind.RPAREN):
+            while True:
+                func.params.append(self._parse_param())
+                if self._match(TokenKind.RPAREN):
+                    break
+                self._expect(TokenKind.COMMA)
+        self._loop_counters = [0]
+        func.body = self._parse_block(collect_pragmas_into=func.pragmas)
+        return func
+
+    def _parse_param(self) -> ast.Param:
+        self._match(TokenKind.KEYWORD, "const")
+        type_token = self._expect(TokenKind.KEYWORD)
+        if type_token.text not in _TYPE_NAMES or type_token.text == "void":
+            raise ParserError(
+                f"unsupported parameter type {type_token.text!r}",
+                type_token.line, type_token.column,
+            )
+        # accept (and ignore) pointer syntax: treated as a 1-D array of
+        # unknown size; callers should prefer explicit dimensions.
+        is_pointer = self._match(TokenKind.STAR)
+        name = self._expect(TokenKind.IDENT).text
+        dims: list[int] = []
+        while self._match(TokenKind.LBRACKET):
+            dim_token = self._expect(TokenKind.INT_LITERAL)
+            dims.append(int(dim_token.text))
+            self._expect(TokenKind.RBRACKET)
+        if is_pointer and not dims:
+            dims = [1024]
+        return ast.Param(type_name=type_token.text, name=name, dims=dims)
+
+    # ------------------------------------------------------------------ #
+    # statements
+    # ------------------------------------------------------------------ #
+    def _parse_block(self, collect_pragmas_into: list[Pragma] | None = None) -> ast.Block:
+        open_token = self._expect(TokenKind.LBRACE)
+        block = ast.Block(line=open_token.line)
+        pending_pragmas: list[Pragma] = []
+        while not self._match(TokenKind.RBRACE):
+            if self.current.kind is TokenKind.EOF:
+                raise ParserError("unexpected end of file inside block")
+            if self.current.kind is TokenKind.PRAGMA:
+                pragma_token = self._advance()
+                pragma = parse_pragma(pragma_token.text)
+                if pragma is not None:
+                    pending_pragmas.append(pragma)
+                continue
+            stmt = self._parse_statement()
+            if pending_pragmas:
+                stmt.pragmas.extend(pending_pragmas)
+                if collect_pragmas_into is not None:
+                    collect_pragmas_into.extend(pending_pragmas)
+                pending_pragmas = []
+            block.statements.append(stmt)
+        if pending_pragmas and collect_pragmas_into is not None:
+            # trailing pragmas attach to the enclosing function (array
+            # partitioning is frequently written at function scope).
+            collect_pragmas_into.extend(pending_pragmas)
+        elif pending_pragmas and block.statements:
+            block.statements[-1].pragmas.extend(pending_pragmas)
+        return block
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.kind is TokenKind.KEYWORD:
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "return":
+                return self._parse_return()
+            if token.text in _TYPE_NAMES:
+                return self._parse_declaration()
+            if token.text == "const":
+                return self._parse_declaration()
+        if token.kind is TokenKind.LBRACE:
+            return self._parse_block()
+        return self._parse_assignment()
+
+    def _parse_declaration(self) -> ast.Stmt:
+        self._match(TokenKind.KEYWORD, "const")
+        type_token = self._expect(TokenKind.KEYWORD)
+        first = self._parse_declarator(type_token.text)
+        declarations = [first]
+        while self._match(TokenKind.COMMA):
+            declarations.append(self._parse_declarator(type_token.text))
+        self._expect(TokenKind.SEMICOLON)
+        if len(declarations) == 1:
+            return declarations[0]
+        block = ast.Block(line=type_token.line, statements=declarations)
+        return block
+
+    def _parse_declarator(self, type_name: str) -> ast.Declaration:
+        name_token = self._expect(TokenKind.IDENT)
+        decl = ast.Declaration(
+            line=name_token.line, type_name=type_name, name=name_token.text
+        )
+        while self._match(TokenKind.LBRACKET):
+            dim = self._expect(TokenKind.INT_LITERAL)
+            decl.dims.append(int(dim.text))
+            self._expect(TokenKind.RBRACKET)
+        if self._match(TokenKind.ASSIGN):
+            decl.init = self._parse_expression()
+        return decl
+
+    def _parse_for(self) -> ast.ForLoop:
+        for_token = self._expect(TokenKind.KEYWORD, "for")
+        label = self._next_loop_label()
+        self._expect(TokenKind.LPAREN)
+        # init: either "int i = 0" or "i = 0"
+        if self.current.kind is TokenKind.KEYWORD and self.current.text in _TYPE_NAMES:
+            self._advance()
+        var_name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.ASSIGN)
+        start = self._parse_expression()
+        self._expect(TokenKind.SEMICOLON)
+        # condition: var <op> bound
+        cond_var = self._expect(TokenKind.IDENT).text
+        if cond_var != var_name:
+            raise ParserError(
+                f"for-loop condition must test {var_name!r}, found {cond_var!r}",
+                for_token.line, for_token.column,
+            )
+        cmp_token = self._advance()
+        if cmp_token.kind not in (TokenKind.LT, TokenKind.LE, TokenKind.GT, TokenKind.GE):
+            raise ParserError(
+                f"unsupported loop comparison {cmp_token.text!r}",
+                cmp_token.line, cmp_token.column,
+            )
+        bound = self._parse_expression()
+        self._expect(TokenKind.SEMICOLON)
+        # increment: i++, ++i, i += k, i = i + k
+        step = self._parse_loop_step(var_name)
+        self._expect(TokenKind.RPAREN)
+        self._loop_counters.append(0)
+        if self.current.kind is TokenKind.LBRACE:
+            body = self._parse_block()
+        else:
+            body = ast.Block(statements=[self._parse_statement()])
+        self._loop_counters.pop()
+        return ast.ForLoop(
+            line=for_token.line,
+            var=var_name,
+            start=start,
+            bound=bound,
+            step=step,
+            cmp_op=cmp_token.text,
+            body=body,
+            label=label,
+        )
+
+    def _parse_loop_step(self, var_name: str) -> int:
+        token = self.current
+        if token.kind is TokenKind.PLUS_PLUS:
+            self._advance()
+            self._expect(TokenKind.IDENT, var_name)
+            return 1
+        if token.kind is TokenKind.MINUS_MINUS:
+            self._advance()
+            self._expect(TokenKind.IDENT, var_name)
+            return -1
+        self._expect(TokenKind.IDENT, var_name)
+        token = self.current
+        if token.kind is TokenKind.PLUS_PLUS:
+            self._advance()
+            return 1
+        if token.kind is TokenKind.MINUS_MINUS:
+            self._advance()
+            return -1
+        if token.kind is TokenKind.PLUS_ASSIGN:
+            self._advance()
+            step_token = self._expect(TokenKind.INT_LITERAL)
+            return int(step_token.text)
+        if token.kind is TokenKind.MINUS_ASSIGN:
+            self._advance()
+            step_token = self._expect(TokenKind.INT_LITERAL)
+            return -int(step_token.text)
+        if token.kind is TokenKind.ASSIGN:
+            self._advance()
+            self._expect(TokenKind.IDENT, var_name)
+            sign_token = self._advance()
+            sign = 1 if sign_token.kind is TokenKind.PLUS else -1
+            step_token = self._expect(TokenKind.INT_LITERAL)
+            return sign * int(step_token.text)
+        raise ParserError(
+            f"unsupported loop increment near {token.text!r}", token.line, token.column
+        )
+
+    def _next_loop_label(self) -> str:
+        index = self._loop_counters[-1]
+        self._loop_counters[-1] += 1
+        depth_path = [str(count - 1) for count in self._loop_counters[:-1]]
+        parts = depth_path + [str(index)]
+        return "L" + "_".join(parts)
+
+    def _parse_if(self) -> ast.IfStmt:
+        if_token = self._expect(TokenKind.KEYWORD, "if")
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expression()
+        self._expect(TokenKind.RPAREN)
+        if self.current.kind is TokenKind.LBRACE:
+            then_body = self._parse_block()
+        else:
+            then_body = ast.Block(statements=[self._parse_statement()])
+        else_body = None
+        if self._match(TokenKind.KEYWORD, "else"):
+            if self.current.kind is TokenKind.LBRACE:
+                else_body = self._parse_block()
+            elif self.current.kind is TokenKind.KEYWORD and self.current.text == "if":
+                else_body = ast.Block(statements=[self._parse_if()])
+            else:
+                else_body = ast.Block(statements=[self._parse_statement()])
+        return ast.IfStmt(
+            line=if_token.line, cond=cond, then_body=then_body, else_body=else_body
+        )
+
+    def _parse_return(self) -> ast.ReturnStmt:
+        token = self._expect(TokenKind.KEYWORD, "return")
+        value = None
+        if self.current.kind is not TokenKind.SEMICOLON:
+            value = self._parse_expression()
+        self._expect(TokenKind.SEMICOLON)
+        return ast.ReturnStmt(line=token.line, value=value)
+
+    def _parse_assignment(self) -> ast.Assignment:
+        target = self._parse_primary()
+        if not isinstance(target, (ast.VarRef, ast.ArrayRef)):
+            raise ParserError("assignment target must be a variable or array element")
+        op_token = self._advance()
+        op_map = {
+            TokenKind.ASSIGN: "=",
+            TokenKind.PLUS_ASSIGN: "+=",
+            TokenKind.MINUS_ASSIGN: "-=",
+            TokenKind.STAR_ASSIGN: "*=",
+            TokenKind.SLASH_ASSIGN: "/=",
+        }
+        if op_token.kind is TokenKind.PLUS_PLUS or op_token.kind is TokenKind.MINUS_MINUS:
+            self._expect(TokenKind.SEMICOLON)
+            op = "+=" if op_token.kind is TokenKind.PLUS_PLUS else "-="
+            return ast.Assignment(
+                line=op_token.line, target=target, op=op,
+                value=ast.IntLiteral(line=op_token.line, value=1),
+            )
+        if op_token.kind not in op_map:
+            raise ParserError(
+                f"expected assignment operator, found {op_token.text!r}",
+                op_token.line, op_token.column,
+            )
+        value = self._parse_expression()
+        self._expect(TokenKind.SEMICOLON)
+        return ast.Assignment(
+            line=op_token.line, target=target, op=op_map[op_token.kind], value=value
+        )
+
+    # ------------------------------------------------------------------ #
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------ #
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_ternary()
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_logical_or()
+        if self._match(TokenKind.QUESTION):
+            then_expr = self._parse_expression()
+            self._expect(TokenKind.COLON)
+            else_expr = self._parse_expression()
+            return ast.TernaryOp(
+                line=cond.line, cond=cond, then_expr=then_expr, else_expr=else_expr
+            )
+        return cond
+
+    def _parse_logical_or(self) -> ast.Expr:
+        left = self._parse_logical_and()
+        while self.current.kind is TokenKind.OR:
+            self._advance()
+            right = self._parse_logical_and()
+            left = ast.BinaryOp(line=left.line, op="||", left=left, right=right)
+        return left
+
+    def _parse_logical_and(self) -> ast.Expr:
+        left = self._parse_comparison()
+        while self.current.kind is TokenKind.AND:
+            self._advance()
+            right = self._parse_comparison()
+            left = ast.BinaryOp(line=left.line, op="&&", left=left, right=right)
+        return left
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        comparison_ops = {
+            TokenKind.LT: "<", TokenKind.LE: "<=", TokenKind.GT: ">",
+            TokenKind.GE: ">=", TokenKind.EQ: "==", TokenKind.NE: "!=",
+        }
+        while self.current.kind in comparison_ops:
+            op = comparison_ops[self._advance().kind]
+            right = self._parse_additive()
+            left = ast.BinaryOp(line=left.line, op=op, left=left, right=right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self.current.kind in (TokenKind.PLUS, TokenKind.MINUS):
+            op = self._advance().text
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(line=left.line, op=op, left=left, right=right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self.current.kind in (TokenKind.STAR, TokenKind.SLASH, TokenKind.PERCENT):
+            op = self._advance().text
+            right = self._parse_unary()
+            left = ast.BinaryOp(line=left.line, op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.MINUS:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(line=token.line, op="-", operand=operand)
+        if token.kind is TokenKind.NOT:
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(line=token.line, op="!", operand=operand)
+        if token.kind is TokenKind.PLUS:
+            self._advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.INT_LITERAL:
+            self._advance()
+            return ast.IntLiteral(line=token.line, value=int(token.text))
+        if token.kind is TokenKind.FLOAT_LITERAL:
+            self._advance()
+            return ast.FloatLiteral(line=token.line, value=float(token.text))
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            # cast expression: (float) x  /  (int) x
+            if (
+                self.current.kind is TokenKind.KEYWORD
+                and self.current.text in _TYPE_NAMES
+                and self._peek_kind(1) is TokenKind.RPAREN
+            ):
+                self._advance()
+                self._expect(TokenKind.RPAREN)
+                return self._parse_unary()
+            expr = self._parse_expression()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self.current.kind is TokenKind.LPAREN:
+                return self._parse_call(token)
+            if self.current.kind is TokenKind.LBRACKET:
+                indices = []
+                while self._match(TokenKind.LBRACKET):
+                    indices.append(self._parse_expression())
+                    self._expect(TokenKind.RBRACKET)
+                return ast.ArrayRef(line=token.line, name=token.text, indices=indices)
+            return ast.VarRef(line=token.line, name=token.text)
+        raise ParserError(
+            f"unexpected token {token.text!r} in expression", token.line, token.column
+        )
+
+    def _parse_call(self, name_token: Token) -> ast.CallExpr:
+        self._expect(TokenKind.LPAREN)
+        args: list[ast.Expr] = []
+        if not self._match(TokenKind.RPAREN):
+            while True:
+                args.append(self._parse_expression())
+                if self._match(TokenKind.RPAREN):
+                    break
+                self._expect(TokenKind.COMMA)
+        return ast.CallExpr(line=name_token.line, name=name_token.text, args=args)
+
+
+def parse_source(source: str) -> ast.TranslationUnit:
+    """Parse HLS-C source text into a :class:`TranslationUnit`."""
+    return Parser(tokenize(source)).parse()
+
+
+def parse_function(source: str, name: str | None = None) -> ast.FunctionDef:
+    """Parse source text and return one function (the top function by default)."""
+    unit = parse_source(source)
+    if name is None:
+        return unit.top
+    return unit.function(name)

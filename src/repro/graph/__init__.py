@@ -1,0 +1,45 @@
+"""Pragma-aware CDFG construction, feature annotation and loop-hierarchy
+decomposition."""
+
+from repro.graph.cdfg import (
+    CDFG,
+    CDFGEdge,
+    CDFGNode,
+    EdgeKind,
+    LoopLevelFeatures,
+    NODE_FEATURE_NAMES,
+    NodeKind,
+)
+from repro.graph.construction import (
+    GraphBuilder,
+    IOPORT_OPTYPE,
+    SUPER_NONPIPELINED_OPTYPE,
+    SUPER_PIPELINED_OPTYPE,
+    build_flat_graph,
+    build_loop_subgraph,
+)
+from repro.graph.features import (
+    analytical_ii,
+    annotate_super_node,
+    loop_level_features,
+    replicated_access_counts,
+    scale_feature_matrix,
+)
+from repro.graph.hierarchy import (
+    HierarchicalDecomposition,
+    InnerLoopUnit,
+    InnerUnitCategory,
+    classify_inner_units,
+    decompose,
+)
+
+__all__ = [
+    "CDFG", "CDFGEdge", "CDFGNode", "EdgeKind", "LoopLevelFeatures",
+    "NODE_FEATURE_NAMES", "NodeKind",
+    "GraphBuilder", "IOPORT_OPTYPE", "SUPER_NONPIPELINED_OPTYPE",
+    "SUPER_PIPELINED_OPTYPE", "build_flat_graph", "build_loop_subgraph",
+    "analytical_ii", "annotate_super_node", "loop_level_features",
+    "replicated_access_counts", "scale_feature_matrix",
+    "HierarchicalDecomposition", "InnerLoopUnit", "InnerUnitCategory",
+    "classify_inner_units", "decompose",
+]

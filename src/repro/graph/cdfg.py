@@ -1,0 +1,280 @@
+"""Control and data flow graph (CDFG) data structure.
+
+The CDFG is the input representation for every GNN in the project.  Nodes are
+operations (plus the paper's two extensions: I/O *memory-port* nodes inserted
+for array arguments, and *super nodes* that stand for already-predicted inner
+loops during hierarchical modeling).  Edges carry a type: data flow, control
+flow, or memory (port-to-access) edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import networkx as nx
+import numpy as np
+
+
+class NodeKind(Enum):
+    """The three node categories used during hierarchical modeling."""
+
+    OPERATION = "operation"
+    MEMORY_PORT = "memory_port"
+    SUPER_NODE = "super_node"
+
+
+class EdgeKind(Enum):
+    """Edge categories in the CDFG."""
+
+    DATA = "data"
+    CONTROL = "control"
+    MEMORY = "memory"
+
+
+#: Names of the per-node numerical features, in canonical order.  These are
+#: exactly the Table II features of the paper (optype is handled separately
+#: with a one-hot encoding).
+NODE_FEATURE_NAMES = (
+    "invocations",
+    "in_degree",
+    "out_degree",
+    "cycles",
+    "delay",
+    "lut",
+    "dsp",
+    "ff",
+    # derived: cycles x invocations — the total cycle "work" a node (or a
+    # condensed super node) contributes over the whole execution.
+    "work",
+)
+
+
+@dataclass
+class CDFGNode:
+    """A single CDFG node.
+
+    ``optype`` is the string fed to the one-hot encoder (IR opcode value,
+    ``"ioport"`` for memory ports, ``"super_p"``/``"super_np"`` for super
+    nodes).  ``features`` maps :data:`NODE_FEATURE_NAMES` entries to values.
+    """
+
+    node_id: int
+    kind: NodeKind = NodeKind.OPERATION
+    optype: str = "add"
+    dtype: str = "i32"
+    loop_label: str = ""
+    array: str = ""
+    instr_id: int = -1
+    replica: int = 0
+    features: dict[str, float] = field(default_factory=dict)
+
+    def feature_vector(self) -> np.ndarray:
+        """Numerical feature vector in :data:`NODE_FEATURE_NAMES` order."""
+        return np.array(
+            [float(self.features.get(name, 0.0)) for name in NODE_FEATURE_NAMES],
+            dtype=np.float64,
+        )
+
+
+@dataclass(frozen=True)
+class CDFGEdge:
+    """A directed edge between two CDFG nodes."""
+
+    src: int
+    dst: int
+    kind: EdgeKind = EdgeKind.DATA
+
+
+@dataclass
+class LoopLevelFeatures:
+    """Loop-level features attached to a (sub)graph (Section III-B.2).
+
+    ``ii`` is the initiation-interval lower bound computed analytically,
+    ``tripcount`` the (post-transform) trip count, ``pipelined`` whether loop
+    pipelining applies, ``unroll_factor`` the residual unroll factor after
+    graph replication and ``depth`` the number of loop levels condensed into
+    this graph (flattened nests have depth > 1).
+    """
+
+    ii: float = 1.0
+    tripcount: float = 1.0
+    pipelined: bool = False
+    unroll_factor: float = 1.0
+    depth: float = 1.0
+
+    def as_vector(self) -> np.ndarray:
+        return np.array(
+            [self.ii, self.tripcount, 1.0 if self.pipelined else 0.0,
+             self.unroll_factor, self.depth],
+            dtype=np.float64,
+        )
+
+    @staticmethod
+    def feature_names() -> tuple[str, ...]:
+        return ("ii", "tripcount", "pipelined", "unroll_factor", "depth")
+
+
+class CDFG:
+    """A control and data flow graph with typed nodes and edges."""
+
+    def __init__(self, name: str = "cdfg"):
+        self.name = name
+        self.nodes: list[CDFGNode] = []
+        self.edges: list[CDFGEdge] = []
+        self.loop_features: LoopLevelFeatures = LoopLevelFeatures()
+        #: free-form metadata (kernel name, config description, loop label...)
+        self.metadata: dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        optype: str,
+        kind: NodeKind = NodeKind.OPERATION,
+        dtype: str = "i32",
+        loop_label: str = "",
+        array: str = "",
+        instr_id: int = -1,
+        replica: int = 0,
+        features: dict[str, float] | None = None,
+    ) -> CDFGNode:
+        node = CDFGNode(
+            node_id=len(self.nodes), kind=kind, optype=optype, dtype=dtype,
+            loop_label=loop_label, array=array, instr_id=instr_id,
+            replica=replica, features=dict(features or {}),
+        )
+        self.nodes.append(node)
+        return node
+
+    def add_edge(self, src: int, dst: int, kind: EdgeKind = EdgeKind.DATA) -> None:
+        if src == dst:
+            return
+        if not (0 <= src < len(self.nodes)) or not (0 <= dst < len(self.nodes)):
+            raise ValueError(
+                f"edge ({src}, {dst}) references nodes outside the graph "
+                f"(size {len(self.nodes)})"
+            )
+        self.edges.append(CDFGEdge(src=src, dst=dst, kind=kind))
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def in_degree(self, node_id: int) -> int:
+        return sum(1 for edge in self.edges if edge.dst == node_id)
+
+    def out_degree(self, node_id: int) -> int:
+        return sum(1 for edge in self.edges if edge.src == node_id)
+
+    def degree_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(in_degree, out_degree) arrays for all nodes, computed in one pass."""
+        in_degree = np.zeros(self.num_nodes, dtype=np.int64)
+        out_degree = np.zeros(self.num_nodes, dtype=np.int64)
+        for edge in self.edges:
+            out_degree[edge.src] += 1
+            in_degree[edge.dst] += 1
+        return in_degree, out_degree
+
+    def nodes_of_kind(self, kind: NodeKind) -> list[CDFGNode]:
+        return [node for node in self.nodes if node.kind is kind]
+
+    def nodes_of_optype(self, optype: str) -> list[CDFGNode]:
+        return [node for node in self.nodes if node.optype == optype]
+
+    def memory_port_nodes(self, array: str | None = None) -> list[CDFGNode]:
+        ports = self.nodes_of_kind(NodeKind.MEMORY_PORT)
+        if array is None:
+            return ports
+        return [node for node in ports if node.array == array]
+
+    def edge_index(self) -> np.ndarray:
+        """Edge list as a (2, E) integer array (PyG-style ``edge_index``)."""
+        if not self.edges:
+            return np.zeros((2, 0), dtype=np.int64)
+        return np.array(
+            [[edge.src for edge in self.edges], [edge.dst for edge in self.edges]],
+            dtype=np.int64,
+        )
+
+    def edge_kind_codes(self) -> np.ndarray:
+        """Integer code per edge (0=data, 1=control, 2=memory)."""
+        codes = {EdgeKind.DATA: 0, EdgeKind.CONTROL: 1, EdgeKind.MEMORY: 2}
+        return np.array([codes[edge.kind] for edge in self.edges], dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # conversions
+    # ------------------------------------------------------------------ #
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Convert to a networkx graph (used for analysis and visualisation)."""
+        graph = nx.MultiDiGraph(name=self.name)
+        for node in self.nodes:
+            graph.add_node(
+                node.node_id, optype=node.optype, kind=node.kind.value,
+                loop=node.loop_label, array=node.array, **node.features,
+            )
+        for edge in self.edges:
+            graph.add_edge(edge.src, edge.dst, kind=edge.kind.value)
+        return graph
+
+    def subgraph(self, node_ids: list[int], name: str = "") -> "CDFG":
+        """Induced subgraph over ``node_ids`` (node ids are re-numbered)."""
+        keep = {old: new for new, old in enumerate(node_ids)}
+        sub = CDFG(name=name or f"{self.name}.sub")
+        for old_id in node_ids:
+            source = self.nodes[old_id]
+            sub.nodes.append(
+                CDFGNode(
+                    node_id=keep[old_id], kind=source.kind, optype=source.optype,
+                    dtype=source.dtype, loop_label=source.loop_label,
+                    array=source.array, instr_id=source.instr_id,
+                    replica=source.replica, features=dict(source.features),
+                )
+            )
+        for edge in self.edges:
+            if edge.src in keep and edge.dst in keep:
+                sub.edges.append(
+                    CDFGEdge(src=keep[edge.src], dst=keep[edge.dst], kind=edge.kind)
+                )
+        sub.loop_features = self.loop_features
+        sub.metadata = dict(self.metadata)
+        return sub
+
+    def feature_matrix(self) -> np.ndarray:
+        """(N, len(NODE_FEATURE_NAMES)) matrix of numerical node features."""
+        if not self.nodes:
+            return np.zeros((0, len(NODE_FEATURE_NAMES)))
+        return np.stack([node.feature_vector() for node in self.nodes])
+
+    def optype_list(self) -> list[str]:
+        return [node.optype for node in self.nodes]
+
+    def summary(self) -> dict[str, int]:
+        """Node/edge counts by category (handy for tests and logging)."""
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "operation_nodes": len(self.nodes_of_kind(NodeKind.OPERATION)),
+            "memory_ports": len(self.nodes_of_kind(NodeKind.MEMORY_PORT)),
+            "super_nodes": len(self.nodes_of_kind(NodeKind.SUPER_NODE)),
+            "data_edges": sum(1 for e in self.edges if e.kind is EdgeKind.DATA),
+            "control_edges": sum(1 for e in self.edges if e.kind is EdgeKind.CONTROL),
+            "memory_edges": sum(1 for e in self.edges if e.kind is EdgeKind.MEMORY),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CDFG({self.name!r}, nodes={self.num_nodes}, edges={self.num_edges})"
+
+
+__all__ = [
+    "CDFG", "CDFGNode", "CDFGEdge", "NodeKind", "EdgeKind",
+    "LoopLevelFeatures", "NODE_FEATURE_NAMES",
+]

@@ -1,0 +1,454 @@
+"""Pragma-aware CDFG construction (Section III-A of the paper).
+
+The builder turns an :class:`~repro.ir.structure.IRFunction` plus a
+:class:`~repro.frontend.pragmas.PragmaConfig` into a :class:`CDFG`:
+
+* **loop pipelining** leaves the graph unchanged (it is captured through
+  loop-level features instead);
+* **loop unrolling** replicates the logic nodes of the unrolled region and
+  rewires data edges to the original predecessors/successors (Fig. 2b);
+* **array partitioning** inserts one memory-port node per bank and connects
+  each load/store to the banks it can actually touch, determined from the
+  affine access map and the partition type (Fig. 2c);
+* loops listed in ``condense_loops`` are emitted as a single *super node*
+  (used by the hierarchical approach to represent an already-predicted inner
+  loop), replicated when their parent loop is unrolled (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.pragmas import ArrayDirective, PartitionType, PragmaConfig
+from repro.graph.cdfg import CDFG, EdgeKind, NodeKind
+from repro.hls.directives import effective_unroll_factors, partition_banks
+from repro.hls.op_library import DEFAULT_LIBRARY, MEMORY_PORT, OperatorLibrary
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.structure import IfRegion, IRFunction, Loop, Region
+
+#: Optype strings for the two extension node categories.
+IOPORT_OPTYPE = "ioport"
+SUPER_PIPELINED_OPTYPE = "super_p"
+SUPER_NONPIPELINED_OPTYPE = "super_np"
+
+
+# --------------------------------------------------------------------------- #
+# internal helpers
+# --------------------------------------------------------------------------- #
+class _ValueScope:
+    """Maps IR instruction ids to CDFG node ids, with lexical nesting."""
+
+    def __init__(self, parent: "_ValueScope | None" = None):
+        self.parent = parent
+        self._map: dict[int, int] = {}
+
+    def bind(self, instr_id: int, node_id: int) -> None:
+        self._map[instr_id] = node_id
+
+    def lookup(self, instr_id: int) -> int | None:
+        scope: _ValueScope | None = self
+        while scope is not None:
+            if instr_id in scope._map:
+                return scope._map[instr_id]
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class _LoopContext:
+    """Per-enclosing-loop state during emission."""
+
+    label: str
+    var: str
+    residual_tripcount: int
+    unroll_factor: int
+    replica: int = 0
+
+
+@dataclass
+class _EmitState:
+    """Carried through the recursive emission of a region."""
+
+    scope: _ValueScope
+    loops: tuple[_LoopContext, ...] = ()
+    #: iteration offset per induction variable introduced by unrolling
+    offsets: dict[str, int] = field(default_factory=dict)
+    prev_node: int | None = None
+
+
+class GraphBuilder:
+    """Builds pragma-aware CDFGs from an IR function and a design point."""
+
+    def __init__(
+        self,
+        function: IRFunction,
+        config: PragmaConfig | None = None,
+        library: OperatorLibrary = DEFAULT_LIBRARY,
+        *,
+        pragma_aware: bool = True,
+        condense_loops: dict[str, bool] | None = None,
+        max_replication: int = 64,
+        max_nodes: int = 4096,
+    ):
+        """
+        Parameters
+        ----------
+        function:
+            The lowered kernel.
+        config:
+            The design point (pragma configuration).  ``None`` means the
+            baseline configuration (no directives).
+        pragma_aware:
+            When False the graph ignores the configuration entirely (no node
+            replication, a single port per array) — this reproduces the
+            pragma-blind graphs of the Wu et al. baseline.
+        condense_loops:
+            Maps loop labels to a "pipelined" flag; those loops are emitted
+            as super nodes instead of expanding their bodies.
+        max_replication:
+            Safety cap on the number of replicas created for one loop.
+        max_nodes:
+            Soft budget on the total graph size: once exceeded, further
+            unroll replicas are not materialized (the already-annotated
+            ``invocations`` features still carry the iteration counts).
+        """
+        self.function = function
+        self.config = config or PragmaConfig()
+        self.library = library
+        self.pragma_aware = pragma_aware
+        self.condense_loops = dict(condense_loops or {})
+        self.max_replication = max_replication
+        self.max_nodes = max_nodes
+        self.unroll = (
+            effective_unroll_factors(function, self.config)
+            if pragma_aware else {loop.label: 1 for loop in function.all_loops()}
+        )
+        self.cdfg = CDFG(name=function.name)
+        self._port_nodes: dict[str, list[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def build_function_graph(self) -> CDFG:
+        """CDFG of the whole function body."""
+        self._add_memory_ports(self.function.arrays.values())
+        state = _EmitState(scope=_ValueScope())
+        self._emit_region(self.function.body, state)
+        self._finalize()
+        return self.cdfg
+
+    def build_loop_graph(self, loop: Loop) -> CDFG:
+        """CDFG of a single loop nest (an inner-hierarchy unit)."""
+        self.cdfg = CDFG(name=f"{self.function.name}:{loop.label}")
+        self._port_nodes = {}
+        touched = self._arrays_touched(loop)
+        self._add_memory_ports(
+            info for name, info in self.function.arrays.items() if name in touched
+        )
+        state = _EmitState(scope=_ValueScope())
+        self._emit_loop(loop, state)
+        self._finalize()
+        return self.cdfg
+
+    # ------------------------------------------------------------------ #
+    # memory ports
+    # ------------------------------------------------------------------ #
+    def _add_memory_ports(self, arrays) -> None:
+        for info in arrays:
+            directive = (
+                self.config.array(info.name) if self.pragma_aware else ArrayDirective()
+            )
+            banks = partition_banks(info, directive) if self.pragma_aware else 1
+            banks = min(banks, self.max_replication)
+            node_ids = []
+            for bank in range(banks):
+                node = self.cdfg.add_node(
+                    IOPORT_OPTYPE, kind=NodeKind.MEMORY_PORT, dtype=info.dtype,
+                    array=info.name, replica=bank,
+                    features={name: 0.0 for name in ()},
+                )
+                node.features.update(
+                    invocations=1.0,
+                    cycles=float(MEMORY_PORT.cycles),
+                    delay=MEMORY_PORT.delay_ns,
+                    lut=float(MEMORY_PORT.lut),
+                    dsp=float(MEMORY_PORT.dsp),
+                    ff=float(MEMORY_PORT.ff),
+                )
+                node_ids.append(node.node_id)
+            self._port_nodes[info.name] = node_ids
+
+    def _connected_banks(
+        self, instr: Instruction, offsets: dict[str, int]
+    ) -> list[int]:
+        """Which memory-port banks a load/store may touch.
+
+        Follows the paper: LLVM-pass style analysis of the index expression
+        determines the target bank when it is statically known; dynamic or
+        unanalysable indices connect to every port.
+        """
+        ports = self._port_nodes.get(instr.array, [])
+        if len(ports) <= 1:
+            return list(range(len(ports)))
+        info = self.function.arrays[instr.array]
+        directive = self.config.array(instr.array)
+        banks = len(ports)
+        access = instr.access
+        if access is None or not access.is_affine:
+            return list(range(banks))
+        dim = min(max(directive.dim, 1), max(1, access.ndims)) - 1
+        coeffs = access.dim_map(dim)
+        const = access.dim_const(dim)
+        if directive.partition_type in (PartitionType.CYCLIC, PartitionType.COMPLETE):
+            # index ≡ sum(coeff * (unroll_base + offset)) + const (mod banks);
+            # the bank is fixed when every varying term is a multiple of banks.
+            fixed = const
+            for var, coeff in coeffs.items():
+                if var in offsets:
+                    fixed += coeff * offsets[var]
+                    factor = self.unroll.get(self._loop_of_var(var), 1)
+                    if (coeff * factor) % banks != 0:
+                        return list(range(banks))
+                elif coeff % banks != 0:
+                    return list(range(banks))
+            return [fixed % banks]
+        # block partitioning: the bank changes as outer iterations advance,
+        # so only constant indices resolve to a single bank.
+        if any(coeff != 0 for coeff in coeffs.values()):
+            return list(range(banks))
+        dim_size = info.dims[dim] if dim < len(info.dims) else info.total_size
+        block = max(1, -(-dim_size // banks))
+        return [min(banks - 1, const // block)]
+
+    def _loop_of_var(self, var: str) -> str:
+        for loop in self.function.all_loops():
+            if loop.var == var:
+                return loop.label
+        return ""
+
+    def _arrays_touched(self, loop: Loop) -> set[str]:
+        touched = set()
+        for instr in loop.body.walk_instructions():
+            if instr.array:
+                touched.add(instr.array)
+        return touched
+
+    # ------------------------------------------------------------------ #
+    # region / loop emission
+    # ------------------------------------------------------------------ #
+    def _emit_region(self, region: Region, state: _EmitState) -> None:
+        for item in region.items:
+            if isinstance(item, Instruction):
+                self._emit_instruction(item, state)
+            elif isinstance(item, Loop):
+                self._emit_loop(item, state)
+            elif isinstance(item, IfRegion):
+                self._emit_if(item, state)
+
+    def _emit_instruction(self, instr: Instruction, state: _EmitState) -> int:
+        if instr.opcode is Opcode.ALLOCA:
+            return -1
+        loop_label = state.loops[-1].label if state.loops else ""
+        replica = state.loops[-1].replica if state.loops else 0
+        node = self.cdfg.add_node(
+            instr.opcode.value if instr.opcode is not Opcode.CALL else instr.callee,
+            kind=NodeKind.OPERATION, dtype=instr.dtype, loop_label=loop_label,
+            array=instr.array, instr_id=instr.instr_id, replica=replica,
+        )
+        node.features["invocations"] = float(self._invocations(state))
+        char = self.library.lookup_instr(instr)
+        node.features.update(
+            cycles=float(char.cycles), delay=char.delay_ns, lut=float(char.lut),
+            dsp=float(char.dsp), ff=float(char.ff),
+            work=float(max(1, char.cycles)) * node.features["invocations"],
+        )
+        # data-flow edges from producing nodes
+        for operand in instr.value_operands:
+            src = state.scope.lookup(operand.instr_id)
+            if src is not None:
+                self.cdfg.add_edge(src, node.node_id, EdgeKind.DATA)
+        # sequential control edge (program order within the region)
+        if state.prev_node is not None:
+            self.cdfg.add_edge(state.prev_node, node.node_id, EdgeKind.CONTROL)
+        state.prev_node = node.node_id
+        state.scope.bind(instr.instr_id, node.node_id)
+        # memory edges to/from port banks
+        if instr.opcode in (Opcode.LOAD, Opcode.STORE) and instr.array in self._port_nodes:
+            ports = self._port_nodes[instr.array]
+            for bank in self._connected_banks(instr, state.offsets):
+                port_node = ports[bank]
+                if instr.opcode is Opcode.LOAD:
+                    self.cdfg.add_edge(port_node, node.node_id, EdgeKind.MEMORY)
+                else:
+                    self.cdfg.add_edge(node.node_id, port_node, EdgeKind.MEMORY)
+        return node.node_id
+
+    def _invocations(self, state: _EmitState) -> int:
+        total = 1
+        for context in state.loops:
+            total *= max(1, context.residual_tripcount)
+        return total
+
+    def _emit_loop(self, loop: Loop, state: _EmitState) -> None:
+        if loop.label in self.condense_loops:
+            self._emit_super_node(loop, state)
+            return
+        factor = self.unroll.get(loop.label, 1)
+        tripcount = max(1, loop.tripcount)
+        factor = min(factor, tripcount, self.max_replication)
+        residual = max(1, tripcount // factor)
+        fully_unrolled = factor >= tripcount
+
+        header_nodes: list[int] = []
+        loop_scope = _ValueScope(parent=state.scope)
+        if not fully_unrolled:
+            for instr in loop.header_instrs + loop.latch_instrs:
+                loop_label = loop.label
+                node = self.cdfg.add_node(
+                    instr.opcode.value, kind=NodeKind.OPERATION, dtype=instr.dtype,
+                    loop_label=loop_label, instr_id=instr.instr_id,
+                )
+                node.features["invocations"] = float(
+                    self._invocations(state) * residual
+                )
+                char = self.library.lookup_instr(instr)
+                node.features.update(
+                    cycles=float(char.cycles), delay=char.delay_ns,
+                    lut=float(char.lut), dsp=float(char.dsp), ff=float(char.ff),
+                    work=float(max(1, char.cycles)) * node.features["invocations"],
+                )
+                loop_scope.bind(instr.instr_id, node.node_id)
+                header_nodes.append(node.node_id)
+            # wire header control/data flow: phi -> icmp -> br, phi -> incr
+            if len(header_nodes) >= 4:
+                phi, icmp, br, incr = header_nodes[:4]
+                self.cdfg.add_edge(phi, icmp, EdgeKind.DATA)
+                self.cdfg.add_edge(icmp, br, EdgeKind.DATA)
+                self.cdfg.add_edge(phi, incr, EdgeKind.DATA)
+                self.cdfg.add_edge(incr, phi, EdgeKind.DATA)
+                if state.prev_node is not None:
+                    self.cdfg.add_edge(state.prev_node, phi, EdgeKind.CONTROL)
+                state.prev_node = br
+
+        for replica in range(factor):
+            if replica > 0 and self.cdfg.num_nodes >= self.max_nodes:
+                break
+            context = _LoopContext(
+                label=loop.label, var=loop.var, residual_tripcount=residual,
+                unroll_factor=factor, replica=replica,
+            )
+            replica_scope = _ValueScope(parent=loop_scope)
+            offsets = dict(state.offsets)
+            offsets[loop.var] = replica
+            replica_state = _EmitState(
+                scope=replica_scope, loops=state.loops + (context,),
+                offsets=offsets, prev_node=state.prev_node,
+            )
+            self._emit_region(loop.body, replica_state)
+            if replica_state.prev_node is not None:
+                state.prev_node = replica_state.prev_node
+
+    def _emit_super_node(self, loop: Loop, state: _EmitState) -> None:
+        pipelined = self.condense_loops.get(loop.label, False)
+        optype = SUPER_PIPELINED_OPTYPE if pipelined else SUPER_NONPIPELINED_OPTYPE
+        replica = state.loops[-1].replica if state.loops else 0
+        node = self.cdfg.add_node(
+            optype, kind=NodeKind.SUPER_NODE,
+            loop_label=loop.label, replica=replica,
+        )
+        node.features["invocations"] = float(self._invocations(state))
+        # data edges from outer values consumed inside the condensed loop
+        inner_ids = {instr.instr_id for instr in loop.body.walk_instructions()}
+        inner_ids |= {instr.instr_id for instr in loop.header_instrs}
+        inner_ids |= {instr.instr_id for instr in loop.latch_instrs}
+        external_uses: set[int] = set()
+        for instr in loop.body.walk_instructions():
+            for operand in instr.value_operands:
+                if operand.instr_id not in inner_ids:
+                    external_uses.add(operand.instr_id)
+        for instr_id in sorted(external_uses):
+            src = state.scope.lookup(instr_id)
+            if src is not None:
+                self.cdfg.add_edge(src, node.node_id, EdgeKind.DATA)
+        # memory edges between the super node and the banks of arrays it uses
+        for instr in loop.body.walk_instructions():
+            if instr.opcode not in (Opcode.LOAD, Opcode.STORE):
+                continue
+            if instr.array not in self._port_nodes:
+                continue
+            for bank in self._connected_banks(instr, state.offsets):
+                port_node = self._port_nodes[instr.array][bank]
+                if instr.opcode is Opcode.LOAD:
+                    self.cdfg.add_edge(port_node, node.node_id, EdgeKind.MEMORY)
+                else:
+                    self.cdfg.add_edge(node.node_id, port_node, EdgeKind.MEMORY)
+        # values defined inside and used outside resolve to the super node
+        for instr_id in inner_ids:
+            state.scope.bind(instr_id, node.node_id)
+        if state.prev_node is not None:
+            self.cdfg.add_edge(state.prev_node, node.node_id, EdgeKind.CONTROL)
+        state.prev_node = node.node_id
+
+    def _emit_if(self, if_region: IfRegion, state: _EmitState) -> None:
+        cond_node = state.scope.lookup(if_region.cond_instr_id)
+        for region in (if_region.then_region, if_region.else_region):
+            branch_state = _EmitState(
+                scope=_ValueScope(parent=state.scope), loops=state.loops,
+                offsets=dict(state.offsets), prev_node=cond_node,
+            )
+            self._emit_region(region, branch_state)
+            # propagate bindings of the branch into the parent scope so that
+            # select nodes emitted after the if-region find their operands.
+            for instr in region.walk_instructions():
+                node_id = branch_state.scope.lookup(instr.instr_id)
+                if node_id is not None:
+                    state.scope.bind(instr.instr_id, node_id)
+            if branch_state.prev_node is not None:
+                state.prev_node = branch_state.prev_node
+
+    # ------------------------------------------------------------------ #
+    # finalization
+    # ------------------------------------------------------------------ #
+    def _finalize(self) -> None:
+        in_degree, out_degree = self.cdfg.degree_arrays()
+        for node in self.cdfg.nodes:
+            node.features["in_degree"] = float(in_degree[node.node_id])
+            node.features["out_degree"] = float(out_degree[node.node_id])
+        self.cdfg.metadata["kernel"] = self.function.name
+        self.cdfg.metadata["config"] = self.config.describe()
+
+
+# --------------------------------------------------------------------------- #
+# convenience wrappers
+# --------------------------------------------------------------------------- #
+def build_flat_graph(
+    function: IRFunction,
+    config: PragmaConfig | None = None,
+    *,
+    pragma_aware: bool = True,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+) -> CDFG:
+    """Whole-function CDFG (optionally pragma-blind for the Wu baseline)."""
+    builder = GraphBuilder(
+        function, config, library, pragma_aware=pragma_aware
+    )
+    return builder.build_function_graph()
+
+
+def build_loop_subgraph(
+    function: IRFunction,
+    loop: Loop,
+    config: PragmaConfig | None = None,
+    *,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+) -> CDFG:
+    """CDFG of one loop nest under the given configuration."""
+    builder = GraphBuilder(function, config, library)
+    return builder.build_loop_graph(loop)
+
+
+__all__ = [
+    "GraphBuilder", "build_flat_graph", "build_loop_subgraph",
+    "effective_unroll_factors", "partition_banks",
+    "IOPORT_OPTYPE", "SUPER_PIPELINED_OPTYPE", "SUPER_NONPIPELINED_OPTYPE",
+]

@@ -1,0 +1,167 @@
+"""Loop-hierarchy decomposition (Section III-C of the paper).
+
+The hierarchical modeling approach splits a kernel into
+
+* **inner-hierarchy units** — loops that contain only computing logic once
+  the pragma configuration is applied (four categories: a single-level loop,
+  a nest pipelined at its outer level, a flattened perfect nest pipelined at
+  the innermost level, or a nest whose sub-loops are all fully unrolled); and
+* the **outer hierarchy** — everything else.  Each inner unit collapses to a
+  *super node* carrying its (predicted) QoR, and the resulting condensed
+  graph is the input of the global model ``GNNg``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.frontend.pragmas import PragmaConfig
+from repro.graph.cdfg import CDFG, NodeKind
+from repro.graph.construction import GraphBuilder
+from repro.graph.features import loop_level_features
+from repro.hls.directives import effective_unroll_factors, resolve_loop_roles
+from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
+from repro.ir.structure import IRFunction, Loop
+
+
+class InnerUnitCategory(IntEnum):
+    """The four inner-hierarchy loop categories defined by the paper."""
+
+    SINGLE_LEVEL = 1
+    PIPELINED_NEST = 2
+    FLATTENED_PIPELINED_NEST = 3
+    FULLY_UNROLLED_NEST = 4
+
+
+@dataclass
+class InnerLoopUnit:
+    """One inner-hierarchy loop with its subgraph and loop-level features."""
+
+    loop: Loop
+    category: InnerUnitCategory
+    pipelined: bool
+    subgraph: CDFG
+    flattened_levels: int = 1
+
+    @property
+    def label(self) -> str:
+        return self.loop.label
+
+
+@dataclass
+class HierarchicalDecomposition:
+    """Result of decomposing a kernel under one configuration."""
+
+    function: IRFunction
+    config: PragmaConfig
+    inner_units: list[InnerLoopUnit] = field(default_factory=list)
+    outer_graph: CDFG = field(default_factory=CDFG)
+
+    def unit(self, label: str) -> InnerLoopUnit:
+        for unit in self.inner_units:
+            if unit.label == label:
+                return unit
+        raise KeyError(f"no inner unit for loop {label!r}")
+
+    def super_node_ids(self, label: str) -> list[int]:
+        """Super nodes in the outer graph standing for loop ``label``
+        (several when the parent loop is unrolled)."""
+        return [
+            node.node_id for node in self.outer_graph.nodes
+            if node.kind is NodeKind.SUPER_NODE and node.loop_label == label
+        ]
+
+
+def classify_inner_units(
+    function: IRFunction, config: PragmaConfig
+) -> list[tuple[Loop, InnerUnitCategory, bool, int]]:
+    """Find the inner-hierarchy units of a kernel under a configuration.
+
+    Returns ``(loop, category, pipelined, flattened_levels)`` tuples for the
+    *maximal* loops that qualify, scanning the loop tree top-down.
+    """
+    roles = resolve_loop_roles(function, config)
+    unroll = effective_unroll_factors(function, config)
+    units: list[tuple[Loop, InnerUnitCategory, bool, int]] = []
+
+    def all_subloops_fully_unrolled(loop: Loop) -> bool:
+        return all(
+            unroll.get(sub.label, 1) >= max(1, sub.tripcount)
+            for sub in loop.all_sub_loops()
+        )
+
+    def visit(loop: Loop) -> None:
+        role = roles[loop.label]
+        subs = loop.sub_loops()
+        if role.flattened_into:
+            chain_length = 1
+            current = loop
+            while current.label != role.flattened_into and current.sub_loops():
+                current = current.sub_loops()[0]
+                chain_length += 1
+            units.append(
+                (loop, InnerUnitCategory.FLATTENED_PIPELINED_NEST, True, chain_length)
+            )
+            return
+        if role.pipelined:
+            category = (
+                InnerUnitCategory.SINGLE_LEVEL if not subs
+                else InnerUnitCategory.PIPELINED_NEST
+            )
+            units.append((loop, category, True, 1))
+            return
+        if not subs:
+            units.append((loop, InnerUnitCategory.SINGLE_LEVEL, False, 1))
+            return
+        if all_subloops_fully_unrolled(loop):
+            units.append((loop, InnerUnitCategory.FULLY_UNROLLED_NEST, False, 1))
+            return
+        for sub in subs:
+            visit(sub)
+
+    for top in function.top_level_loops():
+        visit(top)
+    return units
+
+
+def decompose(
+    function: IRFunction,
+    config: PragmaConfig | None = None,
+    *,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+) -> HierarchicalDecomposition:
+    """Decompose a kernel into inner units and the condensed outer graph."""
+    config = config or PragmaConfig()
+    classified = classify_inner_units(function, config)
+    inner_units: list[InnerLoopUnit] = []
+    condense: dict[str, bool] = {}
+    for loop, category, pipelined, flattened_levels in classified:
+        builder = GraphBuilder(function, config, library)
+        subgraph = builder.build_loop_graph(loop)
+        subgraph.loop_features = loop_level_features(
+            function, loop, config, pipelined=pipelined,
+            flattened_levels=flattened_levels, library=library,
+        )
+        subgraph.metadata["loop"] = loop.label
+        inner_units.append(
+            InnerLoopUnit(
+                loop=loop, category=category, pipelined=pipelined,
+                subgraph=subgraph, flattened_levels=flattened_levels,
+            )
+        )
+        condense[loop.label] = pipelined
+    outer_builder = GraphBuilder(
+        function, config, library, condense_loops=condense
+    )
+    outer_graph = outer_builder.build_function_graph()
+    return HierarchicalDecomposition(
+        function=function, config=config,
+        inner_units=inner_units, outer_graph=outer_graph,
+    )
+
+
+__all__ = [
+    "InnerUnitCategory", "InnerLoopUnit", "HierarchicalDecomposition",
+    "classify_inner_units", "decompose",
+]

@@ -1,0 +1,60 @@
+"""HLS + implementation flow simulator (the ground-truth label generator).
+
+This package substitutes for Vitis HLS 2022.1 + Vivado 2022.1 in the paper's
+methodology: it schedules and binds a kernel under a pragma configuration,
+reports latency (post-HLS) and applies a post-route implementation model to
+produce LUT/FF/DSP labels.
+"""
+
+from repro.hls.binding import (
+    bind_operations,
+    loop_control,
+    memory_interface,
+    staging_registers,
+)
+from repro.hls.directives import (
+    PORTS_PER_BANK,
+    all_array_ports,
+    array_ports,
+    effective_unroll_factors,
+    partition_banks,
+    resolve_loop_roles,
+)
+from repro.hls.flow import MAX_HARDWARE_OPS, HLSFlow, run_full_flow, run_hls
+from repro.hls.implementation import (
+    DEVICE_DSPS,
+    DEVICE_FFS,
+    DEVICE_LUTS,
+    run_implementation,
+)
+from repro.hls.op_library import (
+    CLOCK_PERIOD_NS,
+    DEFAULT_LIBRARY,
+    MEMORY_PORT,
+    OpCharacterization,
+    OperatorLibrary,
+)
+from repro.hls.reports import HLSReport, ImplReport, LoopReport, QoRResult, ResourceUsage
+from repro.hls.scheduling import (
+    Schedulable,
+    ScheduledItem,
+    ScheduleResult,
+    build_schedulables,
+    initiation_interval,
+    list_schedule,
+    recurrence_ii,
+    resource_ii,
+)
+
+__all__ = [
+    "bind_operations", "loop_control", "memory_interface", "staging_registers",
+    "PORTS_PER_BANK", "all_array_ports", "array_ports",
+    "effective_unroll_factors", "partition_banks", "resolve_loop_roles",
+    "MAX_HARDWARE_OPS", "HLSFlow", "run_full_flow", "run_hls",
+    "DEVICE_DSPS", "DEVICE_FFS", "DEVICE_LUTS", "run_implementation",
+    "CLOCK_PERIOD_NS", "DEFAULT_LIBRARY", "MEMORY_PORT",
+    "OpCharacterization", "OperatorLibrary",
+    "HLSReport", "ImplReport", "LoopReport", "QoRResult", "ResourceUsage",
+    "Schedulable", "ScheduledItem", "ScheduleResult", "build_schedulables",
+    "initiation_interval", "list_schedule", "recurrence_ii", "resource_ii",
+]

@@ -1,0 +1,124 @@
+"""Resource binding: from schedules to post-HLS resource estimates.
+
+After scheduling, the binding stage decides how many functional units of each
+operation type a block needs and adds the register, memory and control
+overheads that the HLS report accounts for:
+
+* **pipelined blocks** share units across loop iterations — a block with
+  ``n`` operations of a type and initiation interval ``II`` needs
+  ``ceil(n / II)`` units;
+* **non-pipelined blocks** share units across cycles — the requirement is
+  the peak per-cycle pressure observed in the schedule;
+* pipeline/staging registers, per-bank memory interface logic and the loop
+  FSM contribute LUT/FF on top of the functional units.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.frontend.pragmas import PragmaConfig
+from repro.hls.directives import partition_banks
+from repro.hls.op_library import DEFAULT_LIBRARY, MEMORY_PORT, OperatorLibrary
+from repro.hls.reports import ResourceUsage
+from repro.hls.scheduling import ScheduleResult
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.structure import ArrayInfo
+
+#: estimated register width of a value held across a pipeline stage
+_STAGE_REGISTER_BITS = 24
+#: FSM / loop-control overhead per loop
+_LOOP_CONTROL_LUT = 46
+_LOOP_CONTROL_FF = 34
+
+
+def bind_operations(
+    instructions: list[Instruction],
+    schedule: ScheduleResult,
+    *,
+    pipelined: bool,
+    ii: int = 1,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+) -> ResourceUsage:
+    """Functional-unit resource requirement of one block of operations."""
+    counts: dict[tuple[Opcode, str], int] = {}
+    for instr in instructions:
+        if instr.opcode in (Opcode.BR, Opcode.PHI, Opcode.RET, Opcode.ALLOCA):
+            continue
+        key = (instr.opcode, instr.callee)
+        counts[key] = counts.get(key, 0) + 1
+    pressure = schedule.pressure_by_optype() if not pipelined else {}
+    total = ResourceUsage()
+    for (opcode, callee), count in counts.items():
+        char = library.lookup(opcode, callee=callee)
+        if pipelined:
+            units = math.ceil(count / max(1, ii))
+        else:
+            units = min(count, max(1, pressure.get(opcode.value, count)))
+        total = total + ResourceUsage(
+            lut=char.lut * units, ff=char.ff * units, dsp=char.dsp * units,
+        )
+    return total
+
+
+def staging_registers(
+    instructions: list[Instruction],
+    schedule: ScheduleResult,
+    *,
+    pipelined: bool,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+) -> ResourceUsage:
+    """Registers inserted to hold values across clock-cycle boundaries."""
+    crossing_values = 0
+    for placed in schedule.items:
+        item = placed.item
+        if item.instr is None:
+            continue
+        if item.latency_cycles > 0 or item.is_memory:
+            crossing_values += 1
+    depth = max(1, schedule.length_cycles)
+    if pipelined:
+        # every stage of the pipeline keeps its live values registered
+        ff = crossing_values * _STAGE_REGISTER_BITS + depth * _STAGE_REGISTER_BITS
+    else:
+        ff = crossing_values * _STAGE_REGISTER_BITS
+    return ResourceUsage(ff=float(ff), lut=float(crossing_values * 2))
+
+
+def memory_interface(
+    arrays: dict[str, ArrayInfo],
+    config: PragmaConfig,
+    accessed_arrays: set[str],
+) -> ResourceUsage:
+    """Per-bank BRAM interface logic and BRAM usage for the accessed arrays."""
+    total = ResourceUsage()
+    for name in sorted(accessed_arrays):
+        info = arrays.get(name)
+        if info is None or not info.dims:
+            continue
+        banks = partition_banks(info, config.array(name))
+        words_per_bank = max(1, math.ceil(info.total_size / banks))
+        bits_per_word = 32
+        bram_per_bank = max(1, math.ceil(words_per_bank * bits_per_word / 18432))
+        total = total + ResourceUsage(
+            lut=float(banks * MEMORY_PORT.lut),
+            ff=float(banks * MEMORY_PORT.ff),
+            bram=float(banks * bram_per_bank),
+        )
+    return total
+
+
+def loop_control(num_loops: int = 1, pipelined: bool = False) -> ResourceUsage:
+    """FSM and induction-variable logic for ``num_loops`` loop levels."""
+    lut = _LOOP_CONTROL_LUT * num_loops
+    ff = _LOOP_CONTROL_FF * num_loops
+    if pipelined:
+        # pipeline control (valid/stall chains) is slightly larger
+        lut = int(lut * 1.4)
+        ff = int(ff * 1.6)
+    return ResourceUsage(lut=float(lut), ff=float(ff))
+
+
+__all__ = [
+    "bind_operations", "staging_registers", "memory_interface", "loop_control",
+]

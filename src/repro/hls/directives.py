@@ -1,0 +1,133 @@
+"""Directive (pragma) resolution: how HLS interprets a design point.
+
+This module captures the Vitis HLS semantics of the pragmas the paper
+supports, independent of both the graph constructor and the flow simulator so
+that both consume identical interpretations:
+
+* ``unroll``: factors clamp to the trip count; a pipelined ancestor forces
+  full unrolling of every nested loop; factor 0 means "fully unroll".
+* ``pipeline``: marks a loop as pipelined.  Together with ``loop_flatten`` on
+  a perfect nest, the pipelined innermost loop absorbs the outer levels
+  (their trip counts multiply into the pipeline's trip count).
+* ``array_partition``: splits an array into banks; each bank exposes
+  ``PORTS_PER_BANK`` memory ports to the scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend.pragmas import ArrayDirective, PartitionType, PragmaConfig
+from repro.ir.structure import ArrayInfo, IRFunction, Loop
+
+#: A BRAM bank exposes a true dual-port interface.
+PORTS_PER_BANK = 2
+
+
+def effective_unroll_factors(function: IRFunction, config: PragmaConfig) -> dict[str, int]:
+    """Resolve the unroll factor actually applied to every loop."""
+    factors: dict[str, int] = {}
+
+    def visit(loop: Loop, force_full: bool) -> None:
+        directive = config.loop(loop.label)
+        tripcount = max(1, loop.tripcount)
+        factor = directive.unroll_factor
+        if force_full or factor == 0:
+            factor = tripcount
+        factor = max(1, min(factor, tripcount))
+        factors[loop.label] = factor
+        for sub in loop.sub_loops():
+            visit(sub, force_full or directive.pipeline)
+
+    for top in function.top_level_loops():
+        visit(top, False)
+    return factors
+
+
+def partition_banks(info: ArrayInfo, directive: ArrayDirective) -> int:
+    """Number of banks an array is split into by a partition directive."""
+    if directive.partition_type is PartitionType.COMPLETE:
+        dim = min(max(directive.dim, 1), len(info.dims))
+        return max(1, info.dims[dim - 1])
+    return max(1, directive.factor)
+
+
+def array_ports(info: ArrayInfo, directive: ArrayDirective) -> int:
+    """Concurrent memory ports available for one array under a directive."""
+    return partition_banks(info, directive) * PORTS_PER_BANK
+
+
+def all_array_ports(function: IRFunction, config: PragmaConfig) -> dict[str, int]:
+    """Port budget per array for a design point."""
+    return {
+        name: array_ports(info, config.array(name))
+        for name, info in function.arrays.items()
+    }
+
+
+@dataclass(frozen=True)
+class LoopRole:
+    """How one loop participates in the design under a configuration.
+
+    ``pipelined`` — the loop itself carries the pipeline (its body initiates
+    every II cycles).  ``flattened_into`` — the label of the pipelined
+    descendant this loop collapses into (perfect-nest flattening), or ``""``.
+    ``fully_unrolled`` — the loop disappears into replicated logic.
+    """
+
+    label: str
+    pipelined: bool = False
+    flattened_into: str = ""
+    fully_unrolled: bool = False
+
+
+def resolve_loop_roles(function: IRFunction, config: PragmaConfig) -> dict[str, LoopRole]:
+    """Determine the role of every loop under a design point."""
+    unroll = effective_unroll_factors(function, config)
+    roles: dict[str, LoopRole] = {}
+
+    def pipelined_descendant_of_perfect_nest(loop: Loop) -> Loop | None:
+        """The innermost loop of a perfect nest rooted at ``loop`` if the whole
+        chain requests flattening down to a pipelined innermost loop."""
+        current = loop
+        while True:
+            subs = current.sub_loops()
+            if not subs:
+                return current if config.loop(current.label).pipeline else None
+            if len(subs) != 1 or sum(1 for _ in current.body.instructions()) > 0:
+                return None
+            # intermediate levels must request (or default to) flattening
+            if not (config.loop(current.label).flatten or current is loop):
+                return None
+            current = subs[0]
+
+    def visit(loop: Loop, ancestor_pipelined: bool) -> None:
+        directive = config.loop(loop.label)
+        fully_unrolled = unroll.get(loop.label, 1) >= max(1, loop.tripcount)
+        flattened_into = ""
+        pipelined = directive.pipeline
+        if not pipelined and not ancestor_pipelined and directive.flatten:
+            target = pipelined_descendant_of_perfect_nest(loop)
+            if target is not None and target.label != loop.label:
+                flattened_into = target.label
+        if ancestor_pipelined:
+            # a loop nested inside a pipelined loop is fully unrolled and has
+            # no independent schedule of its own.
+            pipelined = False
+            fully_unrolled = True
+        roles[loop.label] = LoopRole(
+            label=loop.label, pipelined=pipelined,
+            flattened_into=flattened_into, fully_unrolled=fully_unrolled,
+        )
+        for sub in loop.sub_loops():
+            visit(sub, ancestor_pipelined or directive.pipeline)
+
+    for top in function.top_level_loops():
+        visit(top, False)
+    return roles
+
+
+__all__ = [
+    "PORTS_PER_BANK", "effective_unroll_factors", "partition_banks",
+    "array_ports", "all_array_ports", "LoopRole", "resolve_loop_roles",
+]

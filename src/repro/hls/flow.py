@@ -1,0 +1,493 @@
+"""The C-to-bitstream flow simulator.
+
+``run_hls`` plays the role of Vitis HLS (scheduling, binding, loop transforms
+under the pragma configuration, producing latency and post-HLS resources);
+``run_full_flow`` chains it with the post-route implementation model of
+:mod:`repro.hls.implementation` to produce the final ground-truth QoR labels
+used throughout the project (Fig. 1 of the paper, training phase).
+
+The latency of the overall design and of every loop is computed bottom-up
+over the loop tree, following Vitis HLS semantics:
+
+* loops nested inside a pipelined loop are fully unrolled; the pipelined loop
+  runs ``TC`` iterations with an initiation interval ``II = max(II_rec,
+  II_res)`` and an iteration latency obtained from a port-constrained list
+  schedule of its (replicated) body;
+* non-pipelined loops execute iterations sequentially; unrolling replicates
+  the body logic and the replicas compete for memory ports;
+* perfect nests with ``loop_flatten`` collapse into the pipelined innermost
+  loop with a multiplied trip count;
+* sibling loops and straight-line code execute sequentially.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.frontend.pragmas import PragmaConfig
+from repro.hls.binding import (
+    bind_operations,
+    loop_control,
+    memory_interface,
+    staging_registers,
+)
+from repro.hls.directives import (
+    all_array_ports,
+    effective_unroll_factors,
+    partition_banks,
+    resolve_loop_roles,
+)
+from repro.hls.implementation import run_implementation
+from repro.hls.op_library import CLOCK_PERIOD_NS, DEFAULT_LIBRARY, OperatorLibrary
+from repro.hls.reports import HLSReport, ImplReport, LoopReport, QoRResult, ResourceUsage
+from repro.hls.scheduling import (
+    Schedulable,
+    initiation_interval,
+    list_schedule,
+)
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.structure import IfRegion, IRFunction, Loop, Region
+
+#: hard cap on the number of hardware operation instances considered when
+#: replicating loop bodies (guards against pathological full unrolls).
+MAX_HARDWARE_OPS = 16384
+
+#: fixed function-level interface overhead (AXI-lite control, return logic)
+_FUNCTION_INTERFACE = ResourceUsage(lut=142.0, ff=188.0)
+
+
+@dataclass
+class _RegionResult:
+    latency: int = 0
+    resources: ResourceUsage = field(default_factory=ResourceUsage)
+    accessed_arrays: set[str] = field(default_factory=set)
+
+
+class HLSFlow:
+    """Evaluates one design point (kernel + pragma configuration)."""
+
+    def __init__(
+        self,
+        function: IRFunction,
+        config: PragmaConfig | None = None,
+        *,
+        library: OperatorLibrary = DEFAULT_LIBRARY,
+        clock_period_ns: float = CLOCK_PERIOD_NS,
+    ):
+        self.function = function
+        self.config = config or PragmaConfig()
+        self.library = library
+        self.clock_period_ns = clock_period_ns
+        self.unroll = effective_unroll_factors(function, self.config)
+        self.roles = resolve_loop_roles(function, self.config)
+        self.ports = all_array_ports(function, self.config)
+        self.loop_reports: dict[str, LoopReport] = {}
+        self._instr_by_id = {
+            instr.instr_id: instr for instr in function.all_instructions()
+        }
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def run(self) -> HLSReport:
+        """Run scheduling/binding and produce the post-HLS report."""
+        body_result = self._evaluate_region(self.function.body)
+        resources = body_result.resources
+        resources = resources + memory_interface(
+            self.function.arrays, self.config, body_result.accessed_arrays
+        )
+        resources = resources + _FUNCTION_INTERFACE
+        latency = max(1, body_result.latency + 2)
+        runtime = 95.0 + 0.006 * resources.lut + 0.35 * math.sqrt(max(1, latency))
+        report = HLSReport(
+            kernel=self.function.name,
+            config_key=self.config.key(),
+            latency=latency,
+            resources=resources,
+            loops=dict(self.loop_reports),
+            runtime_seconds=runtime,
+        )
+        return report
+
+    # ------------------------------------------------------------------ #
+    # region evaluation
+    # ------------------------------------------------------------------ #
+    def _evaluate_region(self, region: Region) -> _RegionResult:
+        result = _RegionResult()
+        straight_line: list[Instruction] = []
+        for item in region.items:
+            if isinstance(item, Instruction):
+                straight_line.append(item)
+                if item.array:
+                    result.accessed_arrays.add(item.array)
+            elif isinstance(item, Loop):
+                report = self._evaluate_loop(item)
+                result.latency += report.latency
+                result.resources = result.resources + report.resources
+                result.accessed_arrays |= self._arrays_in_loop(item)
+            elif isinstance(item, IfRegion):
+                then_result = self._evaluate_region(item.then_region)
+                else_result = self._evaluate_region(item.else_region)
+                result.latency += max(then_result.latency, else_result.latency)
+                result.resources = (
+                    result.resources + then_result.resources + else_result.resources
+                )
+                result.accessed_arrays |= then_result.accessed_arrays
+                result.accessed_arrays |= else_result.accessed_arrays
+        if straight_line:
+            schedule = self._schedule_instructions([straight_line])
+            result.latency += schedule.length_cycles
+            result.resources = result.resources + bind_operations(
+                straight_line, schedule, pipelined=False, library=self.library
+            )
+            result.resources = result.resources + staging_registers(
+                straight_line, schedule, pipelined=False, library=self.library
+            )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # loop evaluation
+    # ------------------------------------------------------------------ #
+    def _evaluate_loop(self, loop: Loop) -> LoopReport:
+        role = self.roles[loop.label]
+        if role.flattened_into:
+            report = self._evaluate_flattened_nest(loop, role.flattened_into)
+        elif role.pipelined:
+            report = self._evaluate_pipelined(loop)
+        else:
+            report = self._evaluate_sequential(loop)
+        self.loop_reports[loop.label] = report
+        return report
+
+    def _evaluate_pipelined(self, loop: Loop, extra_tripcount: int = 1,
+                            flattened_levels: int = 1) -> LoopReport:
+        """A pipelined loop: inner loops fully unrolled, iterations overlap."""
+        factor = self.unroll.get(loop.label, 1)
+        tripcount = max(1, loop.tripcount)
+        factor = min(factor, tripcount)
+        iterations = max(1, math.ceil(tripcount / factor)) * max(1, extra_tripcount)
+
+        replicas = self._replicated_body(loop, factor)
+        flat_instrs = [instr for replica in replicas for instr in replica]
+        schedule = self._schedule_instructions(
+            replicas, serialize_chains=self._recurrence_chains(loop)
+        )
+        iteration_latency = max(1, schedule.length_cycles)
+        ii = self._loop_ii(loop, flat_instrs, unroll_factor=factor)
+        if not self.config.loop(loop.label).ii:
+            # without an explicit user target the achieved II never exceeds
+            # the iteration latency (issuing slower than that gains nothing).
+            ii = min(ii, iteration_latency)
+        latency = iteration_latency + ii * (iterations - 1) + 2
+
+        resources = bind_operations(
+            flat_instrs, schedule, pipelined=True, ii=ii, library=self.library
+        )
+        resources = resources + staging_registers(
+            flat_instrs, schedule, pipelined=True, library=self.library
+        )
+        resources = resources + loop_control(flattened_levels, pipelined=True)
+        return LoopReport(
+            label=loop.label, pipelined=True, unroll_factor=factor,
+            tripcount=iterations, ii=ii, iteration_latency=iteration_latency,
+            latency=latency, resources=resources, is_inner_unit=True,
+            flattened_levels=flattened_levels,
+        )
+
+    def _evaluate_flattened_nest(self, loop: Loop, innermost_label: str) -> LoopReport:
+        """A perfect nest flattened into its pipelined innermost loop."""
+        chain: list[Loop] = [loop]
+        current = loop
+        while current.label != innermost_label:
+            subs = current.sub_loops()
+            if not subs:
+                break
+            current = subs[0]
+            chain.append(current)
+        innermost = chain[-1]
+        outer_iterations = 1
+        for level in chain[:-1]:
+            outer_iterations *= max(1, level.tripcount)
+        report = self._evaluate_pipelined(
+            innermost, extra_tripcount=outer_iterations,
+            flattened_levels=len(chain),
+        )
+        report.label = loop.label
+        return report
+
+    def _evaluate_sequential(self, loop: Loop) -> LoopReport:
+        """A non-pipelined loop: iterations execute back to back."""
+        factor = self.unroll.get(loop.label, 1)
+        tripcount = max(1, loop.tripcount)
+        factor = min(factor, tripcount)
+        iterations = max(1, math.ceil(tripcount / factor))
+        fully_unrolled = factor >= tripcount
+
+        # child loops first (they are replicated `factor` times in hardware)
+        child_latency = 0
+        child_resources = ResourceUsage()
+        for child in loop.sub_loops():
+            child_report = self._evaluate_loop(child)
+            concurrency = self._replica_concurrency(child, factor)
+            child_latency += int(
+                math.ceil(child_report.latency * factor / max(1, concurrency))
+            )
+            child_resources = child_resources + child_report.resources.scaled(factor)
+
+        # straight-line part of the body, replicated by the unroll factor
+        body_instrs = [
+            instr for instr in loop.body.instructions()
+        ] + self._if_instructions(loop.body)
+        replicas = [list(body_instrs) for _ in range(factor)] if body_instrs else []
+        schedule = self._schedule_instructions(
+            replicas, serialize_chains=self._recurrence_chains(loop)
+        )
+        straight_latency = schedule.length_cycles if body_instrs else 0
+        flat_instrs = [instr for replica in replicas for instr in replica]
+
+        iteration_latency = max(1, straight_latency + child_latency + 1)
+        if fully_unrolled and not loop.sub_loops():
+            # the loop dissolves into straight-line logic
+            latency = max(1, straight_latency)
+            iteration_latency = latency
+        else:
+            latency = iterations * iteration_latency + 1
+
+        resources = child_resources
+        if flat_instrs:
+            resources = resources + bind_operations(
+                flat_instrs, schedule, pipelined=False, library=self.library
+            )
+            resources = resources + staging_registers(
+                flat_instrs, schedule, pipelined=False, library=self.library
+            )
+        if not fully_unrolled:
+            resources = resources + loop_control(1, pipelined=False)
+        return LoopReport(
+            label=loop.label, pipelined=False, unroll_factor=factor,
+            tripcount=iterations, ii=iteration_latency,
+            iteration_latency=iteration_latency, latency=latency,
+            resources=resources, is_inner_unit=loop.is_innermost,
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _replicated_body(self, loop: Loop, factor: int) -> list[list[Instruction]]:
+        """Body instructions of a pipelined loop, with inner loops fully
+        unrolled and the loop's own unroll applied — one list per replica."""
+        base: list[Instruction] = []
+
+        def expand(region: Region, multiplier: int) -> None:
+            for item in region.items:
+                if isinstance(item, Instruction):
+                    if item.opcode is Opcode.ALLOCA:
+                        continue
+                    base.extend([item] * min(multiplier, MAX_HARDWARE_OPS))
+                elif isinstance(item, Loop):
+                    inner_multiplier = multiplier * max(1, item.tripcount)
+                    expand(item.body, min(inner_multiplier, MAX_HARDWARE_OPS))
+                elif isinstance(item, IfRegion):
+                    expand(item.then_region, multiplier)
+                    expand(item.else_region, multiplier)
+
+        expand(loop.body, 1)
+        if len(base) * factor > MAX_HARDWARE_OPS:
+            factor = max(1, MAX_HARDWARE_OPS // max(1, len(base)))
+        return [list(base) for _ in range(factor)]
+
+    def _if_instructions(self, region: Region) -> list[Instruction]:
+        """Instructions inside if-regions directly under ``region``."""
+        extra: list[Instruction] = []
+        for item in region.items:
+            if isinstance(item, IfRegion):
+                extra.extend(item.then_region.walk_instructions())
+                extra.extend(item.else_region.walk_instructions())
+        return extra
+
+    def _schedule_instructions(
+        self,
+        replicas: list[list[Instruction]],
+        serialize_chains: list[tuple[int, ...]] | None = None,
+    ):
+        """Schedule replicated instruction lists with port limits.
+
+        ``serialize_chains`` lists recurrence chains (tuples of instruction
+        ids); occurrences of a chain in consecutive replicas are serialized,
+        modelling the fact that unrolling a reduction does not break its
+        dependence chain.
+        """
+        items: list[Schedulable] = []
+        uid = 0
+        chain_tails: dict[tuple[int, ...], int] = {}
+        serialize_chains = serialize_chains or []
+        chain_membership = {
+            instr_id: chain for chain in serialize_chains for instr_id in chain
+        }
+        for replica in replicas:
+            local_map: dict[int, int] = {}
+            for instr in replica:
+                if instr.opcode is Opcode.ALLOCA:
+                    continue
+                char = self.library.lookup_instr(instr)
+                item = Schedulable(
+                    uid=uid, instr=instr, latency_cycles=char.cycles,
+                    delay_ns=char.delay_ns, array=instr.array,
+                    is_memory=instr.opcode in (Opcode.LOAD, Opcode.STORE),
+                    is_store=instr.opcode is Opcode.STORE,
+                )
+                for operand in instr.value_operands:
+                    if operand.instr_id in local_map:
+                        item.depends_on.append(local_map[operand.instr_id])
+                chain = chain_membership.get(instr.instr_id)
+                if chain is not None:
+                    if chain in chain_tails:
+                        item.depends_on.append(chain_tails[chain])
+                    chain_tails[chain] = uid
+                local_map[instr.instr_id] = uid
+                items.append(item)
+                uid += 1
+        return list_schedule(
+            items, port_limits=self.ports, clock_period_ns=self.clock_period_ns
+        )
+
+    def _recurrence_chains(self, loop: Loop) -> list[tuple[int, ...]]:
+        labels = {loop.label} | {sub.label for sub in loop.all_sub_loops()}
+        return [
+            rec.chain for rec in self.function.recurrences
+            if rec.loop_label in labels
+        ]
+
+    def _loop_ii(
+        self, loop: Loop, body_instrs: list[Instruction], unroll_factor: int
+    ) -> int:
+        access_counts: dict[str, int] = {}
+        for instr in body_instrs:
+            if instr.opcode in (Opcode.LOAD, Opcode.STORE) and instr.array:
+                access_counts[instr.array] = access_counts.get(instr.array, 0) + 1
+        recurrences = [
+            rec for rec in self.function.recurrences if rec.loop_label == loop.label
+        ]
+        if unroll_factor > 1 and recurrences:
+            # an unrolled accumulation serializes its replicas: the effective
+            # dependence chain within one (unrolled) iteration grows.
+            recurrences = [
+                type(rec)(
+                    loop_label=rec.loop_label, distance=rec.distance,
+                    chain=rec.chain * unroll_factor, kind=rec.kind, array=rec.array,
+                )
+                for rec in recurrences
+            ]
+        target = self.config.loop(loop.label).ii
+        return initiation_interval(
+            recurrences, self._instr_by_id, access_counts, self.ports,
+            target_ii=target, library=self.library,
+        )
+
+    def _replica_concurrency(self, child: Loop, factor: int) -> int:
+        """How many replicas of a child loop can run concurrently, limited by
+        the memory bandwidth of the arrays the child accesses.
+
+        One replica of the child issues roughly ``total_accesses / latency``
+        memory operations per cycle to each array; the available ports cap
+        how many replicas can sustain that rate simultaneously.
+        """
+        if factor <= 1:
+            return 1
+        child_report = self.loop_reports.get(child.label)
+        child_latency = max(1, child_report.latency if child_report else 1)
+        accesses = self._total_access_counts(child)
+        concurrency = factor
+        for array, count in accesses.items():
+            ports = max(1, self.ports.get(array, 1))
+            per_replica_demand = count / child_latency
+            if per_replica_demand <= 0:
+                continue
+            concurrency = min(concurrency, max(1, int(ports / per_replica_demand)))
+        return max(1, concurrency)
+
+    def _total_access_counts(self, loop: Loop) -> dict[str, int]:
+        """Total dynamic load/store count per array over one full execution
+        of ``loop`` (its own iterations included)."""
+        counts: dict[str, int] = {}
+
+        def visit(region: Region, multiplier: int) -> None:
+            for item in region.items:
+                if isinstance(item, Instruction):
+                    if item.opcode in (Opcode.LOAD, Opcode.STORE) and item.array:
+                        counts[item.array] = counts.get(item.array, 0) + multiplier
+                elif isinstance(item, Loop):
+                    visit(item.body, multiplier * max(1, item.tripcount))
+                elif isinstance(item, IfRegion):
+                    visit(item.then_region, multiplier)
+                    visit(item.else_region, multiplier)
+
+        visit(loop.body, max(1, loop.tripcount))
+        return counts
+
+    def _arrays_in_loop(self, loop: Loop) -> set[str]:
+        return {
+            instr.array for instr in loop.body.walk_instructions() if instr.array
+        }
+
+
+# --------------------------------------------------------------------------- #
+# module-level entry points
+# --------------------------------------------------------------------------- #
+def run_hls(
+    function: IRFunction,
+    config: PragmaConfig | None = None,
+    *,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+    clock_period_ns: float = CLOCK_PERIOD_NS,
+) -> HLSReport:
+    """Run the HLS step only (scheduling + binding): the post-HLS report."""
+    return HLSFlow(
+        function, config, library=library, clock_period_ns=clock_period_ns
+    ).run()
+
+
+def run_full_flow(
+    function: IRFunction,
+    config: PragmaConfig | None = None,
+    *,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+    clock_period_ns: float = CLOCK_PERIOD_NS,
+) -> QoRResult:
+    """Run the complete C-to-bitstream flow and return ground-truth QoR.
+
+    Latency comes from the HLS report and LUT/FF/DSP from the post-route
+    implementation report, exactly mirroring the label construction of the
+    paper.
+    """
+    config = config or PragmaConfig()
+    hls_report = run_hls(
+        function, config, library=library, clock_period_ns=clock_period_ns
+    )
+    banks = sum(
+        partition_banks(info, config.array(name))
+        for name, info in function.arrays.items()
+    )
+    pipeline_depth = max(
+        [report.iteration_latency for report in hls_report.loops.values()
+         if report.pipelined] or [1]
+    )
+    replication = 1
+    for factor in effective_unroll_factors(function, config).values():
+        replication = min(replication * factor, 4096)
+    impl_report = run_implementation(
+        hls_report, config, memory_banks=max(1, banks),
+        pipeline_depth=pipeline_depth, replication=replication,
+    )
+    return QoRResult(
+        kernel=function.name,
+        config_key=config.key(),
+        latency=hls_report.latency,
+        resources=impl_report.resources,
+        hls_report=hls_report,
+        impl_report=impl_report,
+    )
+
+
+__all__ = ["HLSFlow", "run_hls", "run_full_flow", "MAX_HARDWARE_OPS"]

@@ -1,0 +1,124 @@
+"""Post-route implementation model (logic synthesis + place & route).
+
+The paper's labels couple an HLS report (latency) with an *implementation*
+report (post-route LUT/FF/DSP), because post-HLS resource estimates deviate
+systematically from what Vivado reports after place & route.  This module
+reproduces that systematic gap on top of the post-HLS estimate from
+:mod:`repro.hls.binding`:
+
+* logic optimization removes a structure-dependent fraction of LUTs (LUT
+  combining, constant propagation) — larger designs with more regular
+  replication (unrolling) optimize better;
+* technology mapping and routing add interconnect LUTs and control-set FFs
+  that grow **super-linearly** with design size and with the number of
+  memory banks (multiplexing/arbitration logic);
+* retiming moves registers into DSP blocks, slightly reducing FF counts for
+  DSP-heavy designs;
+* a small, deterministic, design-keyed perturbation models tool noise.
+
+All effects are deterministic functions of the design structure, so a model
+that sees the (pragma-aware) CDFG can learn them — which is exactly the
+learning problem the paper poses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+from repro.frontend.pragmas import PragmaConfig
+from repro.hls.op_library import CLOCK_PERIOD_NS
+from repro.hls.reports import HLSReport, ImplReport, ResourceUsage
+
+#: ZCU102 (XCZU9EG) device capacity, used for utilization-dependent effects.
+DEVICE_LUTS = 274_080
+DEVICE_FFS = 548_160
+DEVICE_DSPS = 2_520
+
+
+def _design_noise(kernel: str, config_key: str, salt: str, spread: float) -> float:
+    """Deterministic pseudo-random factor in ``[1 - spread, 1 + spread]``.
+
+    Keyed on the kernel and configuration so that re-running the flow always
+    produces identical labels (reproducible datasets), while different design
+    points see independent perturbations — mimicking P&R seed noise.
+    """
+    digest = hashlib.sha256(f"{kernel}|{config_key}|{salt}".encode()).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return 1.0 + spread * (2.0 * fraction - 1.0)
+
+
+def run_implementation(
+    hls_report: HLSReport,
+    config: PragmaConfig | None = None,
+    *,
+    memory_banks: int = 1,
+    pipeline_depth: int = 1,
+    replication: int = 1,
+    noise_spread: float = 0.025,
+) -> ImplReport:
+    """Produce the post-route implementation report for a synthesized design.
+
+    Parameters
+    ----------
+    hls_report:
+        Post-HLS resource estimate and latency.
+    memory_banks:
+        Total number of BRAM banks after array partitioning (drives
+        interconnect and arbitration overhead).
+    pipeline_depth:
+        Maximum pipeline depth across loops (drives control-set FF growth).
+    replication:
+        Total hardware replication factor from unrolling (regular replicated
+        logic packs better, reducing LUTs).
+    """
+    config_key = hls_report.config_key
+    kernel = hls_report.kernel
+    est = hls_report.resources
+
+    # --- logic optimization: structure-dependent LUT reduction -------------
+    regularity = min(0.14, 0.02 * math.log2(max(1, replication)) + 0.04)
+    lut_after_synth = est.lut * (1.0 - regularity)
+
+    # --- interconnect / routing overhead ------------------------------------
+    utilization = min(0.85, est.lut / DEVICE_LUTS)
+    interconnect = 0.045 * (est.lut ** 1.08) / max(1.0, est.lut ** 0.08)
+    congestion = 1.0 + 0.35 * utilization * utilization
+    bank_mux = 9.5 * memory_banks * math.log2(max(2, memory_banks))
+    lut_routed = (lut_after_synth + interconnect + bank_mux) * congestion
+
+    # --- register effects ----------------------------------------------------
+    control_sets = 1.0 + 0.012 * pipeline_depth + 0.05 * utilization
+    dsp_retiming = 1.0 - min(0.08, 0.008 * est.dsp / max(1.0, est.dsp ** 0.5 + 1))
+    ff_routed = est.ff * control_sets * dsp_retiming + 6.0 * memory_banks
+
+    # --- DSP mapping ---------------------------------------------------------
+    # mul-by-constant and small multiplies occasionally map to fabric.
+    dsp_routed = est.dsp * (1.0 - min(0.06, 0.01 * math.log2(max(1, replication))))
+
+    # --- deterministic tool noise -------------------------------------------
+    lut_routed *= _design_noise(kernel, config_key, "lut", noise_spread)
+    ff_routed *= _design_noise(kernel, config_key, "ff", noise_spread)
+    dsp_routed *= _design_noise(kernel, config_key, "dsp", noise_spread / 2)
+
+    # --- achieved clock ------------------------------------------------------
+    achieved_clock = CLOCK_PERIOD_NS * (1.0 + 0.25 * utilization) * _design_noise(
+        kernel, config_key, "clk", noise_spread
+    )
+
+    # --- runtime model (used to report "Vivado DSE time" in Table V) --------
+    runtime = 380.0 + 0.055 * lut_routed + 14.0 * memory_banks + 90.0 * utilization
+
+    return ImplReport(
+        kernel=kernel,
+        config_key=config_key,
+        resources=ResourceUsage(
+            lut=round(lut_routed), ff=round(ff_routed),
+            dsp=round(dsp_routed), bram=est.bram,
+        ),
+        achieved_clock_ns=achieved_clock,
+        runtime_seconds=runtime,
+    )
+
+
+__all__ = ["run_implementation", "DEVICE_LUTS", "DEVICE_FFS", "DEVICE_DSPS"]

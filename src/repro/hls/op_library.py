@@ -1,0 +1,164 @@
+"""Operator characterization library.
+
+The paper profiles micro-benchmarks through Vitis HLS / Vivado to build a
+per-operation library of latency (clock cycles), combinational delay (ns) and
+resource usage (LUT / FF / DSP), which is then used both to annotate CDFG
+node features (Table II) and inside the QoR ground-truth flow.  This module
+plays that role: a single characterization table shared by the feature
+annotator (:mod:`repro.graph.features`) and the HLS flow simulator
+(:mod:`repro.hls`), targeting a ZCU102-class device at a 300 MHz clock.
+
+Values are representative of Vitis HLS 2022.x operator characterizations for
+32-bit operands; they do not need to match the vendor tool exactly — what
+matters for the reproduction is that the same library drives both the model
+inputs and the label generator, exactly as in the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.instructions import Opcode
+
+#: Target clock period in nanoseconds (300 MHz, as commonly used on ZCU102).
+CLOCK_PERIOD_NS = 3.33
+
+
+@dataclass(frozen=True)
+class OpCharacterization:
+    """Delay/latency/resource figures for one operation type."""
+
+    cycles: int = 0
+    delay_ns: float = 0.0
+    lut: int = 0
+    ff: int = 0
+    dsp: int = 0
+
+    def as_feature_tuple(self) -> tuple[float, float, float, float, float]:
+        """(cycles, delay, lut, dsp, ff) in the order used by Table II."""
+        return (float(self.cycles), self.delay_ns, float(self.lut),
+                float(self.dsp), float(self.ff))
+
+
+# --------------------------------------------------------------------------- #
+# characterization tables
+# --------------------------------------------------------------------------- #
+_INT_OPS: dict[Opcode, OpCharacterization] = {
+    Opcode.ADD: OpCharacterization(cycles=0, delay_ns=1.78, lut=39, ff=0, dsp=0),
+    Opcode.SUB: OpCharacterization(cycles=0, delay_ns=1.78, lut=39, ff=0, dsp=0),
+    Opcode.MUL: OpCharacterization(cycles=3, delay_ns=2.41, lut=26, ff=76, dsp=3),
+    Opcode.DIV: OpCharacterization(cycles=35, delay_ns=2.95, lut=802, ff=1446, dsp=0),
+    Opcode.REM: OpCharacterization(cycles=35, delay_ns=2.95, lut=818, ff=1462, dsp=0),
+    Opcode.ICMP: OpCharacterization(cycles=0, delay_ns=1.15, lut=17, ff=0, dsp=0),
+    Opcode.AND: OpCharacterization(cycles=0, delay_ns=0.62, lut=12, ff=0, dsp=0),
+    Opcode.OR: OpCharacterization(cycles=0, delay_ns=0.62, lut=12, ff=0, dsp=0),
+    Opcode.XOR: OpCharacterization(cycles=0, delay_ns=0.62, lut=12, ff=0, dsp=0),
+    Opcode.SHL: OpCharacterization(cycles=0, delay_ns=1.01, lut=28, ff=0, dsp=0),
+    Opcode.LSHR: OpCharacterization(cycles=0, delay_ns=1.01, lut=28, ff=0, dsp=0),
+    Opcode.SELECT: OpCharacterization(cycles=0, delay_ns=0.98, lut=16, ff=0, dsp=0),
+}
+
+_FLOAT_OPS: dict[Opcode, OpCharacterization] = {
+    Opcode.FADD: OpCharacterization(cycles=4, delay_ns=2.76, lut=195, ff=324, dsp=2),
+    Opcode.FSUB: OpCharacterization(cycles=4, delay_ns=2.76, lut=195, ff=324, dsp=2),
+    Opcode.FMUL: OpCharacterization(cycles=3, delay_ns=2.61, lut=83, ff=134, dsp=3),
+    Opcode.FDIV: OpCharacterization(cycles=12, delay_ns=2.89, lut=761, ff=791, dsp=0),
+    Opcode.FCMP: OpCharacterization(cycles=1, delay_ns=1.86, lut=66, ff=72, dsp=0),
+}
+
+_MEMORY_OPS: dict[Opcode, OpCharacterization] = {
+    # BRAM read latency is 2 cycles in Vitis HLS default configuration.
+    Opcode.LOAD: OpCharacterization(cycles=2, delay_ns=2.32, lut=12, ff=6, dsp=0),
+    Opcode.STORE: OpCharacterization(cycles=1, delay_ns=1.92, lut=10, ff=4, dsp=0),
+    Opcode.GEP: OpCharacterization(cycles=0, delay_ns=1.21, lut=14, ff=0, dsp=0),
+    Opcode.ALLOCA: OpCharacterization(cycles=0, delay_ns=0.0, lut=0, ff=0, dsp=0),
+}
+
+_CONTROL_OPS: dict[Opcode, OpCharacterization] = {
+    # non-arithmetic operations carry no resource features, matching the
+    # paper's "set resource-related features to zero" rule.
+    Opcode.BR: OpCharacterization(cycles=0, delay_ns=0.45, lut=0, ff=0, dsp=0),
+    Opcode.PHI: OpCharacterization(cycles=0, delay_ns=0.35, lut=0, ff=0, dsp=0),
+    Opcode.RET: OpCharacterization(cycles=0, delay_ns=0.0, lut=0, ff=0, dsp=0),
+    Opcode.CAST: OpCharacterization(cycles=0, delay_ns=0.52, lut=0, ff=0, dsp=0),
+}
+
+#: math intrinsics reachable through ``call``
+_INTRINSICS: dict[str, OpCharacterization] = {
+    "sqrtf": OpCharacterization(cycles=16, delay_ns=2.92, lut=462, ff=810, dsp=0),
+    "sqrt": OpCharacterization(cycles=16, delay_ns=2.92, lut=462, ff=810, dsp=0),
+    "expf": OpCharacterization(cycles=21, delay_ns=2.95, lut=874, ff=1209, dsp=7),
+    "exp": OpCharacterization(cycles=21, delay_ns=2.95, lut=874, ff=1209, dsp=7),
+    "logf": OpCharacterization(cycles=22, delay_ns=2.95, lut=909, ff=1241, dsp=5),
+    "log": OpCharacterization(cycles=22, delay_ns=2.95, lut=909, ff=1241, dsp=5),
+    "fabs": OpCharacterization(cycles=0, delay_ns=0.71, lut=33, ff=0, dsp=0),
+    "fabsf": OpCharacterization(cycles=0, delay_ns=0.71, lut=33, ff=0, dsp=0),
+    "sinf": OpCharacterization(cycles=24, delay_ns=2.95, lut=1370, ff=1668, dsp=9),
+    "cosf": OpCharacterization(cycles=24, delay_ns=2.95, lut=1370, ff=1668, dsp=9),
+    "powf": OpCharacterization(cycles=38, delay_ns=2.95, lut=1792, ff=2430, dsp=12),
+    "pow": OpCharacterization(cycles=38, delay_ns=2.95, lut=1792, ff=2430, dsp=12),
+    "fmaxf": OpCharacterization(cycles=1, delay_ns=1.86, lut=82, ff=70, dsp=0),
+    "fminf": OpCharacterization(cycles=1, delay_ns=1.86, lut=82, ff=70, dsp=0),
+}
+
+_DEFAULT = OpCharacterization(cycles=1, delay_ns=1.5, lut=24, ff=16, dsp=0)
+
+#: memory port node characterization (BRAM interface logic per port)
+MEMORY_PORT = OpCharacterization(cycles=0, delay_ns=1.1, lut=18, ff=12, dsp=0)
+
+
+class OperatorLibrary:
+    """Lookup of per-operation delay, latency and resource usage.
+
+    A single default instance (:data:`DEFAULT_LIBRARY`) is shared across the
+    project; tests may build modified libraries to model other devices or
+    clock targets.
+    """
+
+    def __init__(
+        self,
+        clock_period_ns: float = CLOCK_PERIOD_NS,
+        overrides: dict[Opcode, OpCharacterization] | None = None,
+    ):
+        self.clock_period_ns = clock_period_ns
+        self._table: dict[Opcode, OpCharacterization] = {}
+        for table in (_INT_OPS, _FLOAT_OPS, _MEMORY_OPS, _CONTROL_OPS):
+            self._table.update(table)
+        if overrides:
+            self._table.update(overrides)
+        self._intrinsics = dict(_INTRINSICS)
+
+    def lookup(self, opcode: Opcode, dtype: str = "i32", callee: str = "") -> OpCharacterization:
+        """Characterization for an operation.
+
+        ``dtype`` disambiguates nothing today (float ops have distinct
+        opcodes) but is kept in the signature because bitwidth-aware
+        libraries refine on it.  ``callee`` selects the intrinsic entry for
+        ``call`` instructions.
+        """
+        if opcode is Opcode.CALL:
+            return self._intrinsics.get(callee, _DEFAULT)
+        return self._table.get(opcode, _DEFAULT)
+
+    def lookup_instr(self, instr) -> OpCharacterization:
+        """Characterization for an IR instruction."""
+        return self.lookup(instr.opcode, instr.dtype, instr.callee)
+
+    def cycles(self, opcode: Opcode, callee: str = "") -> int:
+        return self.lookup(opcode, callee=callee).cycles
+
+    def delay(self, opcode: Opcode, callee: str = "") -> float:
+        return self.lookup(opcode, callee=callee).delay_ns
+
+    def known_opcodes(self) -> list[Opcode]:
+        return sorted(self._table, key=lambda op: op.value)
+
+
+#: shared default library (ZCU102-class device, 300 MHz)
+DEFAULT_LIBRARY = OperatorLibrary()
+
+
+__all__ = [
+    "CLOCK_PERIOD_NS", "OpCharacterization", "OperatorLibrary",
+    "DEFAULT_LIBRARY", "MEMORY_PORT",
+]

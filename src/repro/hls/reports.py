@@ -1,0 +1,139 @@
+"""Report dataclasses produced by the HLS and implementation flows.
+
+Mirrors the artifacts the paper extracts from the vendor tools: latency and
+initiation intervals from the **HLS report**, and post-route resource usage
+from the **implementation (place & route) report**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """LUT / FF / DSP / BRAM usage of a design or design fragment."""
+
+    lut: float = 0.0
+    ff: float = 0.0
+    dsp: float = 0.0
+    bram: float = 0.0
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            lut=self.lut + other.lut, ff=self.ff + other.ff,
+            dsp=self.dsp + other.dsp, bram=self.bram + other.bram,
+        )
+
+    def scaled(self, factor: float) -> "ResourceUsage":
+        return ResourceUsage(
+            lut=self.lut * factor, ff=self.ff * factor,
+            dsp=self.dsp * factor, bram=self.bram * factor,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {"lut": self.lut, "ff": self.ff, "dsp": self.dsp, "bram": self.bram}
+
+    @staticmethod
+    def zero() -> "ResourceUsage":
+        return ResourceUsage()
+
+
+@dataclass
+class LoopReport:
+    """Per-loop results from the HLS flow.
+
+    ``latency`` is the total cycle count of the loop (all iterations),
+    ``iteration_latency`` the cycles of one iteration (the IL feature of the
+    paper), ``ii`` the achieved initiation interval (1 iteration per ``ii``
+    cycles when pipelined; equals ``iteration_latency`` otherwise).
+    """
+
+    label: str
+    pipelined: bool = False
+    unroll_factor: int = 1
+    tripcount: int = 1
+    ii: int = 1
+    iteration_latency: int = 1
+    latency: int = 1
+    resources: ResourceUsage = field(default_factory=ResourceUsage)
+    is_inner_unit: bool = False
+    flattened_levels: int = 1
+
+
+@dataclass
+class HLSReport:
+    """The post-synthesis (post-HLS) report for one design point."""
+
+    kernel: str
+    config_key: str
+    latency: int = 0
+    resources: ResourceUsage = field(default_factory=ResourceUsage)
+    loops: dict[str, LoopReport] = field(default_factory=dict)
+    #: simulated wall-clock runtime of the HLS step (seconds)
+    runtime_seconds: float = 0.0
+
+    def loop(self, label: str) -> LoopReport:
+        return self.loops[label]
+
+
+@dataclass
+class ImplReport:
+    """The post-route (place & route) implementation report."""
+
+    kernel: str
+    config_key: str
+    resources: ResourceUsage = field(default_factory=ResourceUsage)
+    achieved_clock_ns: float = 0.0
+    #: simulated wall-clock runtime of logic synthesis + P&R (seconds)
+    runtime_seconds: float = 0.0
+
+
+@dataclass
+class QoRResult:
+    """Combined quality-of-results for one design point.
+
+    This is what one sample's label looks like in the datasets: latency from
+    the HLS report, LUT/FF/DSP from the post-route implementation report
+    (exactly the label construction described in the paper's Fig. 1).
+    """
+
+    kernel: str
+    config_key: str
+    latency: int
+    resources: ResourceUsage
+    hls_report: HLSReport | None = None
+    impl_report: ImplReport | None = None
+
+    @property
+    def lut(self) -> float:
+        return self.resources.lut
+
+    @property
+    def ff(self) -> float:
+        return self.resources.ff
+
+    @property
+    def dsp(self) -> float:
+        return self.resources.dsp
+
+    @property
+    def total_flow_runtime(self) -> float:
+        """Simulated end-to-end C-to-bitstream runtime in seconds."""
+        runtime = 0.0
+        if self.hls_report is not None:
+            runtime += self.hls_report.runtime_seconds
+        if self.impl_report is not None:
+            runtime += self.impl_report.runtime_seconds
+        return runtime
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "latency": float(self.latency),
+            "lut": self.resources.lut,
+            "ff": self.resources.ff,
+            "dsp": self.resources.dsp,
+        }
+
+
+__all__ = ["ResourceUsage", "LoopReport", "HLSReport", "ImplReport", "QoRResult"]

@@ -1,0 +1,266 @@
+"""Operation scheduling and initiation-interval analysis.
+
+Implements the scheduling layer of the HLS flow simulator:
+
+* a chaining-aware list scheduler with memory-port constraints (used to
+  compute iteration latencies and the per-cycle functional-unit pressure that
+  drives resource binding);
+* the initiation-interval lower bound ``II = max(II_rec, II_res)`` from the
+  paper (Section III-B.2), combining recurrence-constrained and
+  resource-constrained terms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.hls.op_library import CLOCK_PERIOD_NS, DEFAULT_LIBRARY, OperatorLibrary
+from repro.ir.instructions import Instruction, Opcode, ValueRef
+from repro.ir.structure import Recurrence
+
+
+@dataclass
+class Schedulable:
+    """An item the list scheduler places: an instruction or a nested block.
+
+    Nested blocks (already-scheduled sub-loops) appear as single multi-cycle
+    pseudo-operations with a fixed ``latency_cycles``.
+    """
+
+    uid: int
+    instr: Instruction | None = None
+    latency_cycles: int = 0
+    delay_ns: float = 0.0
+    depends_on: list[int] = field(default_factory=list)
+    array: str = ""
+    is_memory: bool = False
+    is_store: bool = False
+
+    @property
+    def is_block(self) -> bool:
+        return self.instr is None
+
+
+@dataclass
+class ScheduledItem:
+    """Placement of one schedulable item."""
+
+    item: Schedulable
+    start_cycle: int
+    finish_cycle: int
+    finish_delay_ns: float
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of scheduling a straight-line block of items."""
+
+    items: list[ScheduledItem] = field(default_factory=list)
+    length_cycles: int = 1
+
+    def pressure_by_optype(self) -> dict[str, int]:
+        """Maximum number of simultaneously-active operations per optype.
+
+        This is the quantity the binding stage uses to decide how many
+        functional units of each kind the block needs.
+        """
+        usage: dict[str, dict[int, int]] = {}
+        for placed in self.items:
+            if placed.item.instr is None:
+                continue
+            optype = placed.item.instr.opcode.value
+            span = range(placed.start_cycle, max(placed.start_cycle, placed.finish_cycle) + 1)
+            per_cycle = usage.setdefault(optype, {})
+            for cycle in span:
+                per_cycle[cycle] = per_cycle.get(cycle, 0) + 1
+        return {
+            optype: max(per_cycle.values()) if per_cycle else 0
+            for optype, per_cycle in usage.items()
+        }
+
+
+def build_schedulables(
+    instructions: list[Instruction],
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+) -> list[Schedulable]:
+    """Wrap IR instructions into schedulable items with data/memory deps."""
+    items: list[Schedulable] = []
+    by_instr_id: dict[int, int] = {}
+    last_store_per_array: dict[str, int] = {}
+    last_accesses_per_array: dict[str, list[int]] = {}
+    for index, instr in enumerate(instructions):
+        char = library.lookup_instr(instr)
+        item = Schedulable(
+            uid=index, instr=instr, latency_cycles=char.cycles,
+            delay_ns=char.delay_ns, array=instr.array,
+            is_memory=instr.opcode in (Opcode.LOAD, Opcode.STORE),
+            is_store=instr.opcode is Opcode.STORE,
+        )
+        for operand in instr.value_operands:
+            if operand.instr_id in by_instr_id:
+                item.depends_on.append(by_instr_id[operand.instr_id])
+        # conservative memory ordering: accesses to an array may not bypass a
+        # previous store to the same array, and stores are ordered after all
+        # previous accesses to the array.
+        if item.is_memory:
+            if instr.array in last_store_per_array:
+                item.depends_on.append(last_store_per_array[instr.array])
+            if item.is_store:
+                item.depends_on.extend(last_accesses_per_array.get(instr.array, []))
+                last_store_per_array[instr.array] = index
+            last_accesses_per_array.setdefault(instr.array, []).append(index)
+        items.append(item)
+        by_instr_id[instr.instr_id] = index
+    return items
+
+
+def list_schedule(
+    items: list[Schedulable],
+    *,
+    port_limits: dict[str, int] | None = None,
+    clock_period_ns: float = CLOCK_PERIOD_NS,
+) -> ScheduleResult:
+    """Chaining-aware list scheduling with per-array memory-port limits.
+
+    Combinational operations (0-cycle) chain within a clock period while the
+    accumulated delay fits; multi-cycle operations occupy ``latency_cycles``
+    cycles.  At most ``port_limits[array]`` memory operations targeting the
+    same array may start in the same cycle.
+    """
+    port_limits = port_limits or {}
+    placed: dict[int, ScheduledItem] = {}
+    port_usage: dict[tuple[str, int], int] = {}
+    order = _topological_order(items)
+    for uid in order:
+        item = items[uid]
+        earliest_cycle = 0
+        chain_delay = 0.0
+        for dep_uid in item.depends_on:
+            dep = placed.get(dep_uid)
+            if dep is None:
+                continue
+            dep_item = dep.item
+            if dep_item.latency_cycles > 0 or dep_item.is_block:
+                candidate_cycle = dep.finish_cycle + 1
+                candidate_delay = 0.0
+            else:
+                candidate_cycle = dep.finish_cycle
+                candidate_delay = dep.finish_delay_ns
+            if candidate_cycle > earliest_cycle:
+                earliest_cycle, chain_delay = candidate_cycle, candidate_delay
+            elif candidate_cycle == earliest_cycle:
+                chain_delay = max(chain_delay, candidate_delay)
+        # chaining check: push to the next cycle if the combinational path
+        # would exceed the clock period.
+        if item.latency_cycles == 0 and chain_delay + item.delay_ns > clock_period_ns:
+            earliest_cycle += 1
+            chain_delay = 0.0
+        # memory-port constraint
+        if item.is_memory and item.array in port_limits:
+            limit = max(1, port_limits[item.array])
+            while port_usage.get((item.array, earliest_cycle), 0) >= limit:
+                earliest_cycle += 1
+                chain_delay = 0.0
+            port_usage[(item.array, earliest_cycle)] = (
+                port_usage.get((item.array, earliest_cycle), 0) + 1
+            )
+        if item.latency_cycles == 0 and not item.is_block:
+            finish_cycle = earliest_cycle
+            finish_delay = chain_delay + item.delay_ns
+        else:
+            finish_cycle = earliest_cycle + max(1, item.latency_cycles) - 1
+            finish_delay = item.delay_ns
+        placed[uid] = ScheduledItem(
+            item=item, start_cycle=earliest_cycle,
+            finish_cycle=finish_cycle, finish_delay_ns=finish_delay,
+        )
+    result = ScheduleResult(items=[placed[uid] for uid in sorted(placed)])
+    if result.items:
+        result.length_cycles = max(p.finish_cycle for p in result.items) + 1
+    return result
+
+
+def _topological_order(items: list[Schedulable]) -> list[int]:
+    """Topological order over the dependence edges (stable for ties)."""
+    indegree = {item.uid: 0 for item in items}
+    successors: dict[int, list[int]] = {item.uid: [] for item in items}
+    for item in items:
+        for dep in item.depends_on:
+            if dep in indegree:
+                indegree[item.uid] += 1
+                successors[dep].append(item.uid)
+    ready = sorted(uid for uid, deg in indegree.items() if deg == 0)
+    order: list[int] = []
+    while ready:
+        uid = ready.pop(0)
+        order.append(uid)
+        for succ in successors[uid]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+        ready.sort()
+    if len(order) != len(items):
+        # dependence cycles should not occur (SSA + conservative memory
+        # ordering is acyclic); fall back to program order defensively.
+        return [item.uid for item in items]
+    return order
+
+
+# --------------------------------------------------------------------------- #
+# initiation interval
+# --------------------------------------------------------------------------- #
+def recurrence_ii(
+    recurrences: list[Recurrence],
+    instr_by_id: dict[int, Instruction],
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+) -> int:
+    """Recurrence-constrained II: ``max(ceil(Delay_p / Distance_p))``."""
+    worst = 1
+    for recurrence in recurrences:
+        delay_cycles = 0
+        for instr_id in recurrence.chain:
+            instr = instr_by_id.get(instr_id)
+            if instr is None:
+                continue
+            delay_cycles += max(1, library.lookup_instr(instr).cycles)
+        if recurrence.distance <= 0:
+            continue
+        worst = max(worst, math.ceil(delay_cycles / recurrence.distance))
+    return worst
+
+
+def resource_ii(
+    access_counts: dict[str, int],
+    ports: dict[str, int],
+) -> int:
+    """Resource-constrained II: ``max(ceil(Access_m / Ports_m))`` over arrays."""
+    worst = 1
+    for array, accesses in access_counts.items():
+        port_count = max(1, ports.get(array, 1))
+        worst = max(worst, math.ceil(accesses / port_count))
+    return worst
+
+
+def initiation_interval(
+    recurrences: list[Recurrence],
+    instr_by_id: dict[int, Instruction],
+    access_counts: dict[str, int],
+    ports: dict[str, int],
+    *,
+    target_ii: int = 0,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+) -> int:
+    """The achieved II: the maximum of both lower bounds and any user target."""
+    lower_bound = max(
+        recurrence_ii(recurrences, instr_by_id, library),
+        resource_ii(access_counts, ports),
+    )
+    return max(lower_bound, target_ii, 1)
+
+
+__all__ = [
+    "Schedulable", "ScheduledItem", "ScheduleResult",
+    "build_schedulables", "list_schedule",
+    "recurrence_ii", "resource_ii", "initiation_interval",
+]

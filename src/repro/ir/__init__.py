@@ -1,0 +1,46 @@
+"""Structured SSA intermediate representation and analysis passes."""
+
+from repro.ir.builder import IRBuilder, LoweringError, lower_function, lower_source
+from repro.ir.instructions import (
+    AffineAccess,
+    ArrayOperand,
+    ConstOperand,
+    Instruction,
+    Opcode,
+    Operand,
+    ParamOperand,
+    ValueRef,
+    binop_opcode,
+)
+from repro.ir.passes import (
+    ArrayAccessSummary,
+    LoopNestInfo,
+    MemoryAccess,
+    arithmetic_intensity,
+    enclosing_loops,
+    innermost_loops,
+    invocation_counts,
+    loop_nest_analysis,
+    loop_recurrences,
+    memory_access_analysis,
+    operation_histogram,
+)
+from repro.ir.structure import (
+    ArrayInfo,
+    IfRegion,
+    IRFunction,
+    Loop,
+    Recurrence,
+    Region,
+)
+
+__all__ = [
+    "IRBuilder", "LoweringError", "lower_function", "lower_source",
+    "AffineAccess", "ArrayOperand", "ConstOperand", "Instruction", "Opcode",
+    "Operand", "ParamOperand", "ValueRef", "binop_opcode",
+    "ArrayAccessSummary", "LoopNestInfo", "MemoryAccess",
+    "arithmetic_intensity", "enclosing_loops", "innermost_loops",
+    "invocation_counts", "loop_nest_analysis", "loop_recurrences",
+    "memory_access_analysis", "operation_histogram",
+    "ArrayInfo", "IfRegion", "IRFunction", "Loop", "Recurrence", "Region",
+]

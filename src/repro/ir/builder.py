@@ -1,0 +1,680 @@
+"""Lowering from the HLS-C AST to the structured SSA IR.
+
+The builder mirrors what Clang + mem2reg would produce for the supported C
+subset: scalar variables become SSA values tracked in a symbol table, array
+accesses become ``getelementptr`` + ``load``/``store`` pairs with affine
+access maps, ``for`` loops become :class:`~repro.ir.structure.Loop` regions
+with explicit ``phi``/``icmp``/``br`` control instructions, and loop-carried
+dependences (scalar accumulations and read-after-write array recurrences) are
+recorded as :class:`~repro.ir.structure.Recurrence` objects for the HLS
+scheduler's II computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frontend import ast_nodes as ast
+from repro.ir.instructions import (
+    AffineAccess,
+    ArrayOperand,
+    ConstOperand,
+    Instruction,
+    Opcode,
+    Operand,
+    ParamOperand,
+    ValueRef,
+    binop_opcode,
+)
+from repro.ir.structure import ArrayInfo, IfRegion, IRFunction, Loop, Recurrence, Region
+
+
+class LoweringError(Exception):
+    """Raised when the AST cannot be lowered (unsupported construct)."""
+
+
+@dataclass
+class _Value:
+    """A value binding in the symbol table."""
+
+    operand: Operand
+    dtype: str
+
+
+_FLOAT_INTRINSICS = {
+    "sqrtf", "sqrt", "expf", "exp", "logf", "log", "fabs", "fabsf",
+    "sinf", "cosf", "powf", "pow", "fmaxf", "fminf",
+}
+
+
+class IRBuilder:
+    """Builds an :class:`IRFunction` from a parsed :class:`FunctionDef`."""
+
+    def __init__(self, func_def: ast.FunctionDef):
+        self.func_def = func_def
+        self.function = IRFunction(name=func_def.name)
+        self._scopes: list[dict[str, _Value]] = [{}]
+        self._region_stack: list[Region] = [self.function.body]
+        self._loop_stack: list[Loop] = []
+        self._instr_index: dict[int, Instruction] = {}
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def build(self) -> IRFunction:
+        """Lower the function and return the IR."""
+        for param in self.func_def.params:
+            dtype = "f32" if param.type_name in ("float", "double") else "i32"
+            if param.is_array:
+                self.function.arrays[param.name] = ArrayInfo(
+                    name=param.name, dims=tuple(param.dims), dtype=dtype,
+                    is_argument=True,
+                )
+            else:
+                self.function.scalar_params.append((param.name, dtype))
+                self._bind(param.name, ParamOperand(param.name, dtype), dtype)
+        if self.func_def.body is not None:
+            self._lower_block(self.func_def.body)
+        return self.function
+
+    # ------------------------------------------------------------------ #
+    # scope / region helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def _region(self) -> Region:
+        return self._region_stack[-1]
+
+    def _bind(self, name: str, operand: Operand, dtype: str) -> None:
+        self._scopes[-1][name] = _Value(operand, dtype)
+
+    def _rebind(self, name: str, operand: Operand, dtype: str) -> None:
+        """Update an existing binding wherever it was declared."""
+        for scope in reversed(self._scopes):
+            if name in scope:
+                scope[name] = _Value(operand, dtype)
+                return
+        self._scopes[-1][name] = _Value(operand, dtype)
+
+    def _lookup(self, name: str) -> _Value | None:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _emit(
+        self,
+        opcode: Opcode,
+        operands: list[Operand],
+        dtype: str = "i32",
+        *,
+        array: str = "",
+        access: AffineAccess | None = None,
+        callee: str = "",
+        name: str = "",
+        line: int = 0,
+        region: Region | None = None,
+        collect: list[Instruction] | None = None,
+    ) -> Instruction:
+        instr = Instruction(
+            instr_id=self.function.next_instr_id,
+            opcode=opcode,
+            dtype=dtype,
+            operands=operands,
+            array=array,
+            access=access,
+            callee=callee,
+            name=name,
+            line=line,
+        )
+        self.function.next_instr_id += 1
+        self._instr_index[instr.instr_id] = instr
+        if collect is not None:
+            collect.append(instr)
+        else:
+            (region or self._region).items.append(instr)
+        return instr
+
+    # ------------------------------------------------------------------ #
+    # statements
+    # ------------------------------------------------------------------ #
+    def _lower_block(self, block: ast.Block) -> None:
+        self._scopes.append({})
+        for stmt in block.statements:
+            self._lower_stmt(stmt)
+        self._scopes.pop()
+
+    def _lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Declaration):
+            self._lower_declaration(stmt)
+        elif isinstance(stmt, ast.Assignment):
+            self._lower_assignment(stmt)
+        elif isinstance(stmt, ast.ForLoop):
+            self._lower_for(stmt)
+        elif isinstance(stmt, ast.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self._lower_stmt(inner)
+        elif isinstance(stmt, ast.ReturnStmt):
+            operands: list[Operand] = []
+            if stmt.value is not None:
+                value, _ = self._lower_expr(stmt.value)
+                operands.append(value)
+            self._emit(Opcode.RET, operands, "void", line=stmt.line)
+        else:
+            raise LoweringError(f"unsupported statement {type(stmt).__name__}")
+
+    def _lower_declaration(self, decl: ast.Declaration) -> None:
+        dtype = "f32" if decl.type_name in ("float", "double") else "i32"
+        if decl.dims:
+            self.function.arrays[decl.name] = ArrayInfo(
+                name=decl.name, dims=tuple(decl.dims), dtype=dtype, is_argument=False,
+            )
+            self._emit(
+                Opcode.ALLOCA, [ArrayOperand(decl.name)], dtype,
+                array=decl.name, line=decl.line,
+            )
+            return
+        if decl.init is not None:
+            value, value_dtype = self._lower_expr(decl.init)
+            if value_dtype != dtype and isinstance(value, (ValueRef, ParamOperand)):
+                cast = self._emit(Opcode.CAST, [value], dtype, line=decl.line)
+                value = ValueRef(cast.instr_id)
+            self._bind(decl.name, value, dtype)
+        else:
+            self._bind(decl.name, ConstOperand(0, dtype), dtype)
+
+    def _lower_assignment(self, assign: ast.Assignment) -> None:
+        target = assign.target
+        if isinstance(target, ast.VarRef):
+            self._lower_scalar_assignment(target, assign)
+        elif isinstance(target, ast.ArrayRef):
+            self._lower_array_assignment(target, assign)
+        else:
+            raise LoweringError("assignment target must be scalar or array element")
+
+    def _lower_scalar_assignment(self, target: ast.VarRef, assign: ast.Assignment) -> None:
+        old = self._lookup(target.name)
+        rhs_value, rhs_dtype = self._lower_expr(assign.value)
+        if assign.op == "=":
+            new_value, new_dtype = rhs_value, rhs_dtype
+        else:
+            if old is None:
+                raise LoweringError(f"compound assignment to undeclared {target.name!r}")
+            op = assign.op[0]
+            dtype = "f32" if "f32" in (old.dtype, rhs_dtype) else "i32"
+            opcode = binop_opcode(op, dtype)
+            instr = self._emit(
+                opcode, [old.operand, rhs_value], dtype, line=assign.line
+            )
+            new_value, new_dtype = ValueRef(instr.instr_id), dtype
+        # detect loop-carried scalar recurrence: new value depends on old value
+        if self._loop_stack and old is not None and isinstance(new_value, ValueRef):
+            chain: list[int] = []
+            if assign.op != "=":
+                # compound assignment (x += ...) is always a recurrence whose
+                # cycle contains only the combining instruction.
+                chain = [new_value.instr_id]
+            elif isinstance(old.operand, ValueRef):
+                chain = self._dataflow_chain(new_value.instr_id, old.operand.instr_id)
+            if chain:
+                self.function.recurrences.append(
+                    Recurrence(
+                        loop_label=self._loop_stack[-1].label,
+                        distance=1,
+                        chain=tuple(chain),
+                        kind="scalar",
+                    )
+                )
+        self._rebind(target.name, new_value, new_dtype)
+
+    def _lower_array_assignment(self, target: ast.ArrayRef, assign: ast.Assignment) -> None:
+        info = self.function.arrays.get(target.name)
+        if info is None:
+            raise LoweringError(f"store to undeclared array {target.name!r}")
+        access, index_value = self._lower_array_index(target)
+        rhs_value, rhs_dtype = self._lower_expr(assign.value)
+        if assign.op != "=":
+            load = self._emit(
+                Opcode.LOAD, [ArrayOperand(target.name), index_value], info.dtype,
+                array=target.name, access=access, line=assign.line,
+            )
+            op = assign.op[0]
+            dtype = "f32" if "f32" in (info.dtype, rhs_dtype) else "i32"
+            opcode = binop_opcode(op, dtype)
+            combined = self._emit(
+                opcode, [ValueRef(load.instr_id), rhs_value], dtype, line=assign.line
+            )
+            rhs_value = ValueRef(combined.instr_id)
+        store = self._emit(
+            Opcode.STORE, [rhs_value, ArrayOperand(target.name), index_value],
+            info.dtype, array=target.name, access=access, line=assign.line,
+        )
+        self._record_array_recurrence(store)
+
+    def _record_array_recurrence(self, store: Instruction) -> None:
+        """Detect read-after-write recurrences like ``a[j] += a[j-1]``."""
+        if not self._loop_stack or store.access is None or not store.access.is_affine:
+            return
+        loop = self._loop_stack[-1]
+        value_operand = store.operands[0]
+        if not isinstance(value_operand, ValueRef):
+            return
+        cone = self._backward_cone(value_operand.instr_id)
+        for instr_id in cone:
+            instr = self._instr_index[instr_id]
+            if instr.opcode is not Opcode.LOAD or instr.array != store.array:
+                continue
+            if instr.access is None or not instr.access.is_affine:
+                continue
+            distance = self._access_distance(store.access, instr.access, loop.var)
+            if distance is None:
+                if instr.access != store.access:
+                    continue
+                # identical accesses: a cross-iteration dependence only exists
+                # when the index does not advance with the loop variable
+                # (e.g. ``a[0] += x[i]`` — an accumulation into a fixed cell).
+                uses_loop_var = any(
+                    loop.var in store.access.dim_map(dim)
+                    for dim in range(store.access.ndims)
+                )
+                if uses_loop_var:
+                    continue
+                distance = 1
+            if distance <= 0:
+                continue
+            chain = self._dataflow_chain(value_operand.instr_id, instr_id)
+            chain = [instr_id] + chain + [store.instr_id]
+            self.function.recurrences.append(
+                Recurrence(
+                    loop_label=loop.label,
+                    distance=distance,
+                    chain=tuple(dict.fromkeys(chain)),
+                    kind="array",
+                    array=store.array,
+                )
+            )
+
+    @staticmethod
+    def _access_distance(
+        write: AffineAccess, read: AffineAccess, loop_var: str
+    ) -> int | None:
+        """Iteration distance between a write and a read access, if constant."""
+        if write.ndims != read.ndims:
+            return None
+        total = 0
+        for dim in range(write.ndims):
+            write_map = write.dim_map(dim)
+            read_map = read.dim_map(dim)
+            if write_map != read_map:
+                return None
+            coeff = write_map.get(loop_var, 0)
+            const_delta = write.dim_const(dim) - read.dim_const(dim)
+            if const_delta == 0:
+                continue
+            if coeff == 0 or const_delta % coeff != 0:
+                return None
+            total += const_delta // coeff
+        return total if total != 0 else None
+
+    # ------------------------------------------------------------------ #
+    # loops and conditionals
+    # ------------------------------------------------------------------ #
+    def _lower_for(self, stmt: ast.ForLoop) -> None:
+        start = self._const_int(stmt.start)
+        bound = self._const_int(stmt.bound)
+        loop = Loop(
+            label=stmt.label, var=stmt.var, start=start, bound=bound,
+            step=stmt.step, cmp_op=stmt.cmp_op, line=stmt.line,
+        )
+        # header: phi (induction variable), icmp (exit test), br (backedge)
+        phi = self._emit(
+            Opcode.PHI, [ConstOperand(start, "i32")], "i32",
+            name=stmt.var, line=stmt.line, collect=loop.header_instrs,
+        )
+        icmp = self._emit(
+            Opcode.ICMP, [ValueRef(phi.instr_id), ConstOperand(bound, "i32")], "i1",
+            line=stmt.line, collect=loop.header_instrs,
+        )
+        self._emit(
+            Opcode.BR, [ValueRef(icmp.instr_id)], "void",
+            line=stmt.line, collect=loop.header_instrs,
+        )
+        # latch: induction increment
+        incr = self._emit(
+            Opcode.ADD, [ValueRef(phi.instr_id), ConstOperand(stmt.step, "i32")],
+            "i32", line=stmt.line, collect=loop.latch_instrs,
+        )
+        phi.operands.append(ValueRef(incr.instr_id))
+
+        self._region.items.append(loop)
+        self._loop_stack.append(loop)
+        self._region_stack.append(loop.body)
+        self._scopes.append({stmt.var: _Value(ValueRef(phi.instr_id), "i32")})
+        if stmt.body is not None:
+            for inner in stmt.body.statements:
+                self._lower_stmt(inner)
+        self._scopes.pop()
+        self._region_stack.pop()
+        self._loop_stack.pop()
+
+    def _lower_if(self, stmt: ast.IfStmt) -> None:
+        cond_value, _ = self._lower_expr(stmt.cond)
+        if not isinstance(cond_value, ValueRef):
+            cmp = self._emit(
+                Opcode.ICMP, [cond_value, ConstOperand(0, "i32")], "i1", line=stmt.line
+            )
+            cond_value = ValueRef(cmp.instr_id)
+        if_region = IfRegion(cond_instr_id=cond_value.instr_id, line=stmt.line)
+        self._region.items.append(if_region)
+
+        # lower both branches while tracking scalar rebinds, then merge with
+        # select (mux) instructions — mirrors what if-conversion does in HLS.
+        before = self._snapshot_bindings()
+        self._region_stack.append(if_region.then_region)
+        self._scopes.append({})
+        if stmt.then_body is not None:
+            for inner in stmt.then_body.statements:
+                self._lower_stmt(inner)
+        self._scopes.pop()
+        self._region_stack.pop()
+        after_then = self._snapshot_bindings()
+        self._restore_bindings(before)
+
+        self._region_stack.append(if_region.else_region)
+        self._scopes.append({})
+        if stmt.else_body is not None:
+            for inner in stmt.else_body.statements:
+                self._lower_stmt(inner)
+        self._scopes.pop()
+        self._region_stack.pop()
+        after_else = self._snapshot_bindings()
+        self._restore_bindings(before)
+
+        changed = {
+            name for name in before
+            if after_then.get(name) != before.get(name)
+            or after_else.get(name) != before.get(name)
+        }
+        for name in sorted(changed):
+            then_value = after_then.get(name, before[name])
+            else_value = after_else.get(name, before[name])
+            dtype = then_value.dtype
+            select = self._emit(
+                Opcode.SELECT,
+                [ValueRef(if_region.cond_instr_id), then_value.operand, else_value.operand],
+                dtype, line=stmt.line,
+            )
+            self._rebind(name, ValueRef(select.instr_id), dtype)
+
+    def _snapshot_bindings(self) -> dict[str, _Value]:
+        snapshot: dict[str, _Value] = {}
+        for scope in self._scopes:
+            snapshot.update(scope)
+        return snapshot
+
+    def _restore_bindings(self, snapshot: dict[str, _Value]) -> None:
+        for scope in self._scopes:
+            for name in list(scope):
+                if name in snapshot:
+                    scope[name] = snapshot[name]
+
+    # ------------------------------------------------------------------ #
+    # expressions
+    # ------------------------------------------------------------------ #
+    def _lower_expr(self, expr: ast.Expr | None) -> tuple[Operand, str]:
+        if expr is None:
+            raise LoweringError("missing expression")
+        if isinstance(expr, ast.IntLiteral):
+            return ConstOperand(expr.value, "i32"), "i32"
+        if isinstance(expr, ast.FloatLiteral):
+            return ConstOperand(expr.value, "f32"), "f32"
+        if isinstance(expr, ast.VarRef):
+            value = self._lookup(expr.name)
+            if value is None:
+                raise LoweringError(f"use of undeclared variable {expr.name!r}")
+            return value.operand, value.dtype
+        if isinstance(expr, ast.ArrayRef):
+            return self._lower_array_load(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self._lower_unary(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._lower_binary(expr)
+        if isinstance(expr, ast.TernaryOp):
+            return self._lower_ternary(expr)
+        if isinstance(expr, ast.CallExpr):
+            return self._lower_call(expr)
+        raise LoweringError(f"unsupported expression {type(expr).__name__}")
+
+    def _lower_array_load(self, expr: ast.ArrayRef) -> tuple[Operand, str]:
+        info = self.function.arrays.get(expr.name)
+        if info is None:
+            raise LoweringError(f"load from undeclared array {expr.name!r}")
+        access, index_value = self._lower_array_index(expr)
+        load = self._emit(
+            Opcode.LOAD, [ArrayOperand(expr.name), index_value], info.dtype,
+            array=expr.name, access=access, line=expr.line,
+        )
+        return ValueRef(load.instr_id), info.dtype
+
+    def _lower_array_index(self, ref: ast.ArrayRef) -> tuple[AffineAccess, Operand]:
+        """Lower index expressions, emit a GEP and build the affine access map."""
+        dims: list[tuple[tuple[str, int], ...]] = []
+        consts: list[int] = []
+        is_affine = True
+        index_operands: list[Operand] = [ArrayOperand(ref.name)]
+        for index_expr in ref.indices:
+            value, _ = self._lower_expr(index_expr)
+            index_operands.append(value)
+            affine = self._analyse_affine(index_expr)
+            if affine is None:
+                is_affine = False
+                dims.append(())
+                consts.append(0)
+            else:
+                coeffs, const = affine
+                dims.append(tuple(sorted(coeffs.items())))
+                consts.append(const)
+        gep = self._emit(
+            Opcode.GEP, index_operands, "i32", array=ref.name, line=ref.line
+        )
+        access = AffineAccess(
+            array=ref.name, dims=tuple(dims), consts=tuple(consts), is_affine=is_affine
+        )
+        gep.access = access
+        return access, ValueRef(gep.instr_id)
+
+    def _analyse_affine(self, expr: ast.Expr) -> tuple[dict[str, int], int] | None:
+        """Return ({loop_var: coeff}, const) if ``expr`` is affine in loop vars."""
+        loop_vars = {loop.var for loop in self._loop_stack}
+        if isinstance(expr, ast.IntLiteral):
+            return {}, expr.value
+        if isinstance(expr, ast.VarRef):
+            if expr.name in loop_vars:
+                return {expr.name: 1}, 0
+            return None
+        if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+            inner = self._analyse_affine(expr.operand)
+            if inner is None:
+                return None
+            coeffs, const = inner
+            return {var: -c for var, c in coeffs.items()}, -const
+        if isinstance(expr, ast.BinaryOp):
+            left = self._analyse_affine(expr.left)
+            right = self._analyse_affine(expr.right)
+            if expr.op == "+" and left and right:
+                coeffs = dict(left[0])
+                for var, coeff in right[0].items():
+                    coeffs[var] = coeffs.get(var, 0) + coeff
+                return coeffs, left[1] + right[1]
+            if expr.op == "-" and left and right:
+                coeffs = dict(left[0])
+                for var, coeff in right[0].items():
+                    coeffs[var] = coeffs.get(var, 0) - coeff
+                return coeffs, left[1] - right[1]
+            if expr.op == "*" and left and right:
+                if not left[0]:
+                    scale = left[1]
+                    return {v: c * scale for v, c in right[0].items()}, right[1] * scale
+                if not right[0]:
+                    scale = right[1]
+                    return {v: c * scale for v, c in left[0].items()}, left[1] * scale
+                return None
+        return None
+
+    def _lower_unary(self, expr: ast.UnaryOp) -> tuple[Operand, str]:
+        value, dtype = self._lower_expr(expr.operand)
+        if expr.op == "-":
+            if isinstance(value, ConstOperand):
+                return ConstOperand(-value.value, dtype), dtype
+            opcode = Opcode.FSUB if dtype == "f32" else Opcode.SUB
+            instr = self._emit(
+                opcode, [ConstOperand(0, dtype), value], dtype, line=expr.line
+            )
+            return ValueRef(instr.instr_id), dtype
+        if expr.op == "!":
+            instr = self._emit(
+                Opcode.XOR, [value, ConstOperand(1, "i1")], "i1", line=expr.line
+            )
+            return ValueRef(instr.instr_id), "i1"
+        raise LoweringError(f"unsupported unary operator {expr.op!r}")
+
+    def _lower_binary(self, expr: ast.BinaryOp) -> tuple[Operand, str]:
+        left, left_dtype = self._lower_expr(expr.left)
+        right, right_dtype = self._lower_expr(expr.right)
+        dtype = "f32" if "f32" in (left_dtype, right_dtype) else "i32"
+        opcode = binop_opcode(expr.op, dtype)
+        result_dtype = "i1" if opcode in (Opcode.ICMP, Opcode.FCMP) else dtype
+        # constant folding keeps index arithmetic out of the graph, the same
+        # way LLVM folds constants before PrograML sees them.
+        if isinstance(left, ConstOperand) and isinstance(right, ConstOperand):
+            folded = self._fold(expr.op, left.value, right.value)
+            if folded is not None:
+                return ConstOperand(folded, dtype), dtype
+        instr = self._emit(opcode, [left, right], result_dtype, line=expr.line)
+        return ValueRef(instr.instr_id), result_dtype
+
+    @staticmethod
+    def _fold(op: str, left: float, right: float) -> float | None:
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return left / right if right else None
+            if op == "%":
+                return left % right if right else None
+        except (ZeroDivisionError, TypeError):  # pragma: no cover - defensive
+            return None
+        return None
+
+    def _lower_ternary(self, expr: ast.TernaryOp) -> tuple[Operand, str]:
+        cond, _ = self._lower_expr(expr.cond)
+        then_value, then_dtype = self._lower_expr(expr.then_expr)
+        else_value, else_dtype = self._lower_expr(expr.else_expr)
+        dtype = "f32" if "f32" in (then_dtype, else_dtype) else "i32"
+        instr = self._emit(
+            Opcode.SELECT, [cond, then_value, else_value], dtype, line=expr.line
+        )
+        return ValueRef(instr.instr_id), dtype
+
+    def _lower_call(self, expr: ast.CallExpr) -> tuple[Operand, str]:
+        operands = []
+        for arg in expr.args:
+            value, _ = self._lower_expr(arg)
+            operands.append(value)
+        dtype = "f32" if expr.name in _FLOAT_INTRINSICS else "i32"
+        instr = self._emit(
+            Opcode.CALL, operands, dtype, callee=expr.name, line=expr.line
+        )
+        return ValueRef(instr.instr_id), dtype
+
+    # ------------------------------------------------------------------ #
+    # data-flow helpers
+    # ------------------------------------------------------------------ #
+    def _backward_cone(self, instr_id: int) -> set[int]:
+        """All instruction ids reachable backwards through data-flow edges."""
+        cone: set[int] = set()
+        stack = [instr_id]
+        while stack:
+            current = stack.pop()
+            if current in cone:
+                continue
+            cone.add(current)
+            instr = self._instr_index.get(current)
+            if instr is None:
+                continue
+            for operand in instr.value_operands:
+                stack.append(operand.instr_id)
+        return cone
+
+    def _dataflow_chain(self, from_id: int, to_id: int) -> list[int]:
+        """Instructions on data-flow paths from ``to_id`` up to ``from_id``.
+
+        Returns an empty list if ``from_id`` does not depend on ``to_id``.
+        The returned chain excludes ``to_id`` itself but includes ``from_id``.
+        """
+        memo: dict[int, bool] = {}
+
+        def reaches(instr_id: int) -> bool:
+            if instr_id == to_id:
+                return True
+            if instr_id in memo:
+                return memo[instr_id]
+            memo[instr_id] = False
+            instr = self._instr_index.get(instr_id)
+            if instr is None:
+                return False
+            result = any(reaches(op.instr_id) for op in instr.value_operands)
+            memo[instr_id] = result
+            return result
+
+        if not reaches(from_id):
+            return []
+        chain = [
+            instr_id for instr_id in self._backward_cone(from_id)
+            if instr_id != to_id and reaches(instr_id)
+        ]
+        return sorted(chain)
+
+    @staticmethod
+    def _const_int(expr: ast.Expr | None) -> int:
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.UnaryOp) and expr.op == "-" and isinstance(
+            expr.operand, ast.IntLiteral
+        ):
+            return -expr.operand.value
+        if isinstance(expr, ast.BinaryOp):
+            left = IRBuilder._const_int(expr.left)
+            right = IRBuilder._const_int(expr.right)
+            if expr.op == "+":
+                return left + right
+            if expr.op == "-":
+                return left - right
+            if expr.op == "*":
+                return left * right
+            if expr.op == "/":
+                return left // right
+        raise LoweringError(
+            "loop bounds must be compile-time integer constants "
+            f"(found {type(expr).__name__})"
+        )
+
+
+def lower_function(func_def: ast.FunctionDef) -> IRFunction:
+    """Lower one parsed function definition to IR."""
+    return IRBuilder(func_def).build()
+
+
+def lower_source(source: str, name: str | None = None) -> IRFunction:
+    """Parse HLS-C source and lower the top (or named) function to IR."""
+    from repro.frontend.parser import parse_function
+
+    return lower_function(parse_function(source, name))
+
+
+__all__ = ["IRBuilder", "LoweringError", "lower_function", "lower_source"]

@@ -1,0 +1,72 @@
+"""Extraction of standalone loop kernels.
+
+The paper builds the GNNp / GNNnp datasets from *sub-loops extracted from the
+application source code*: each inner-hierarchy loop is treated as a small
+kernel of its own, pushed through the complete flow to obtain its QoR labels.
+This module produces that standalone kernel from a loop of a larger function.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Opcode, ParamOperand, ValueRef
+from repro.ir.structure import IRFunction, Loop, Region
+
+
+def extract_loop_kernel(function: IRFunction, loop: Loop, name: str | None = None) -> IRFunction:
+    """Create an :class:`IRFunction` whose body is just ``loop``.
+
+    Arrays touched by the loop become array arguments; scalar parameters of
+    the original function stay scalar parameters; values produced outside the
+    loop (for example outer-loop induction variables) are treated as runtime
+    scalar inputs of the extracted kernel.
+    """
+    kernel = IRFunction(name=name or f"{function.name}__{loop.label}")
+    body_instrs = list(loop.body.walk_instructions())
+    inner_ids = {instr.instr_id for instr in body_instrs}
+    inner_ids |= {instr.instr_id for instr in loop.header_instrs}
+    inner_ids |= {instr.instr_id for instr in loop.latch_instrs}
+
+    touched_arrays = {instr.array for instr in body_instrs if instr.array}
+    for array_name in sorted(touched_arrays):
+        if array_name in function.arrays:
+            kernel.arrays[array_name] = function.arrays[array_name]
+
+    kernel.scalar_params = list(function.scalar_params)
+    # values flowing in from outside the loop become scalar parameters
+    external = sorted(
+        {
+            operand.instr_id
+            for instr in body_instrs
+            for operand in instr.value_operands
+            if operand.instr_id not in inner_ids
+        }
+    )
+    for instr_id in external:
+        kernel.scalar_params.append((f"ext_{instr_id}", "i32"))
+
+    kernel.body = Region(items=[loop])
+    labels = {loop.label} | {sub.label for sub in loop.all_sub_loops()}
+    kernel.recurrences = [
+        rec for rec in function.recurrences if rec.loop_label in labels
+    ]
+    kernel.next_instr_id = function.next_instr_id
+    return kernel
+
+
+def loop_scalar_inputs(function: IRFunction, loop: Loop) -> list[int]:
+    """Instruction ids of values defined outside ``loop`` but used inside."""
+    body_instrs = list(loop.body.walk_instructions())
+    inner_ids = {instr.instr_id for instr in body_instrs}
+    inner_ids |= {instr.instr_id for instr in loop.header_instrs}
+    inner_ids |= {instr.instr_id for instr in loop.latch_instrs}
+    return sorted(
+        {
+            operand.instr_id
+            for instr in body_instrs
+            for operand in instr.value_operands
+            if operand.instr_id not in inner_ids
+        }
+    )
+
+
+__all__ = ["extract_loop_kernel", "loop_scalar_inputs"]

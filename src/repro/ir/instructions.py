@@ -1,0 +1,202 @@
+"""Instruction-level intermediate representation.
+
+The IR is a small LLVM-inspired SSA form: every :class:`Instruction` produces
+at most one value, and operands reference other instructions, constants or
+function parameters.  The opcode vocabulary deliberately matches the node
+types the paper's CDFG uses (``add``, ``mul``, ``load``, ``store``, ``icmp``,
+``br``, ``phi``, ``select``/mux, ...), because the opcode is the primary node
+feature (``optype``) fed to the GNNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Opcode(Enum):
+    """Operation types recognised by the IR, CDFG and HLS operator library."""
+
+    # integer arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "sdiv"
+    REM = "srem"
+    # floating point arithmetic
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    # logic / comparison / control
+    ICMP = "icmp"
+    FCMP = "fcmp"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    LSHR = "lshr"
+    SELECT = "select"
+    PHI = "phi"
+    BR = "br"
+    RET = "ret"
+    # memory
+    LOAD = "load"
+    STORE = "store"
+    GEP = "getelementptr"
+    ALLOCA = "alloca"
+    # misc
+    CAST = "cast"
+    CALL = "call"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (Opcode.LOAD, Opcode.STORE)
+
+    @property
+    def is_float(self) -> bool:
+        return self in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FCMP)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self in (
+            Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+            Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+        )
+
+    @property
+    def is_control(self) -> bool:
+        return self in (Opcode.BR, Opcode.RET, Opcode.PHI)
+
+
+# --------------------------------------------------------------------------- #
+# operands
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Operand:
+    """Base class for instruction operands."""
+
+
+@dataclass(frozen=True)
+class ValueRef(Operand):
+    """Reference to the value produced by another instruction."""
+
+    instr_id: int
+
+
+@dataclass(frozen=True)
+class ConstOperand(Operand):
+    """A compile-time constant."""
+
+    value: float
+    dtype: str = "i32"
+
+
+@dataclass(frozen=True)
+class ParamOperand(Operand):
+    """A scalar function parameter (runtime value, not an array)."""
+
+    name: str
+    dtype: str = "i32"
+
+
+@dataclass(frozen=True)
+class ArrayOperand(Operand):
+    """An array base (function argument or local array)."""
+
+    name: str
+
+
+# --------------------------------------------------------------------------- #
+# affine memory accesses
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class AffineAccess:
+    """An affine array access ``sum(coeff_i * loopvar_i) + const`` per dim.
+
+    ``dims`` holds one mapping per array dimension: ``{loop_var: coefficient}``.
+    ``consts`` holds the constant offset of each dimension.  ``is_affine`` is
+    False when the index could not be analysed (dynamic/indirect access), in
+    which case the memory-port connection rule of the paper ("connect to all
+    ports") applies.
+    """
+
+    array: str
+    dims: tuple[tuple[tuple[str, int], ...], ...] = ()
+    consts: tuple[int, ...] = ()
+    is_affine: bool = True
+
+    def dim_map(self, dim: int) -> dict[str, int]:
+        """The ``{loop_var: coeff}`` mapping for dimension ``dim`` (0-based)."""
+        if dim >= len(self.dims):
+            return {}
+        return dict(self.dims[dim])
+
+    def dim_const(self, dim: int) -> int:
+        if dim >= len(self.consts):
+            return 0
+        return self.consts[dim]
+
+    @property
+    def ndims(self) -> int:
+        return max(len(self.dims), len(self.consts))
+
+
+# --------------------------------------------------------------------------- #
+# instructions
+# --------------------------------------------------------------------------- #
+@dataclass
+class Instruction:
+    """A single IR instruction.
+
+    ``instr_id`` is unique within the function.  ``array`` and ``access`` are
+    populated for memory instructions (``load``/``store``/``gep``).  ``callee``
+    holds the intrinsic name for ``call`` instructions (``sqrtf``, ``expf``,
+    ...), which the operator library maps to delay/resource entries.
+    """
+
+    instr_id: int
+    opcode: Opcode
+    dtype: str = "i32"
+    operands: list[Operand] = field(default_factory=list)
+    name: str = ""
+    array: str = ""
+    access: AffineAccess | None = None
+    callee: str = ""
+    line: int = 0
+
+    @property
+    def value_operands(self) -> list[ValueRef]:
+        """Operands that reference other instructions (data-flow edges)."""
+        return [op for op in self.operands if isinstance(op, ValueRef)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        extra = f" @{self.array}" if self.array else ""
+        return f"%{self.instr_id} = {self.opcode.value}{extra} ({self.dtype})"
+
+
+_INT_BINOP_OPCODES = {
+    "+": Opcode.ADD, "-": Opcode.SUB, "*": Opcode.MUL, "/": Opcode.DIV,
+    "%": Opcode.REM, "&&": Opcode.AND, "||": Opcode.OR,
+}
+_FLOAT_BINOP_OPCODES = {
+    "+": Opcode.FADD, "-": Opcode.FSUB, "*": Opcode.FMUL, "/": Opcode.FDIV,
+}
+_COMPARISON_OPS = {"<", "<=", ">", ">=", "==", "!="}
+
+
+def binop_opcode(op: str, dtype: str) -> Opcode:
+    """Map a source-level binary operator + operand type to an IR opcode."""
+    if op in _COMPARISON_OPS:
+        return Opcode.FCMP if dtype.startswith("f") else Opcode.ICMP
+    if dtype.startswith("f") and op in _FLOAT_BINOP_OPCODES:
+        return _FLOAT_BINOP_OPCODES[op]
+    if op in _INT_BINOP_OPCODES:
+        return _INT_BINOP_OPCODES[op]
+    raise ValueError(f"unsupported binary operator {op!r} for dtype {dtype!r}")
+
+
+__all__ = [
+    "Opcode", "Operand", "ValueRef", "ConstOperand", "ParamOperand",
+    "ArrayOperand", "AffineAccess", "Instruction", "binop_opcode",
+]

@@ -1,0 +1,188 @@
+"""Analysis passes over the structured IR.
+
+These are the "LLVM passes" mentioned in the paper: tripcount extraction,
+memory-access analysis (which load/store touches which array with which affine
+map — used for memory-port connection and the resource-constrained II), and
+bookkeeping queries used by the graph constructor and the HLS scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.structure import IfRegion, IRFunction, Loop, Region
+
+
+# --------------------------------------------------------------------------- #
+# loop nest analysis
+# --------------------------------------------------------------------------- #
+@dataclass
+class LoopNestInfo:
+    """Summary of one loop within its nest."""
+
+    loop: Loop
+    parent_label: str | None
+    depth: int
+    enclosing_tripcount: int
+
+    @property
+    def label(self) -> str:
+        return self.loop.label
+
+    @property
+    def total_iterations(self) -> int:
+        """Iterations of this loop times all enclosing loops."""
+        return self.enclosing_tripcount * self.loop.tripcount
+
+
+def loop_nest_analysis(function: IRFunction) -> dict[str, LoopNestInfo]:
+    """Compute parent/depth/enclosing-tripcount info for every loop."""
+    result: dict[str, LoopNestInfo] = {}
+
+    def visit(region: Region, parent: str | None, depth: int, enclosing: int) -> None:
+        for item in region.items:
+            if isinstance(item, Loop):
+                result[item.label] = LoopNestInfo(
+                    loop=item, parent_label=parent, depth=depth,
+                    enclosing_tripcount=enclosing,
+                )
+                visit(item.body, item.label, depth + 1,
+                      enclosing * max(1, item.tripcount))
+            elif isinstance(item, IfRegion):
+                visit(item.then_region, parent, depth, enclosing)
+                visit(item.else_region, parent, depth, enclosing)
+
+    visit(function.body, None, 0, 1)
+    return result
+
+
+def enclosing_loops(function: IRFunction) -> dict[int, tuple[str, ...]]:
+    """Map every instruction id to the labels of its enclosing loops
+    (outermost first).  Loop control instructions belong to their own loop."""
+    result: dict[int, tuple[str, ...]] = {}
+
+    def visit(region: Region, stack: tuple[str, ...]) -> None:
+        for item in region.items:
+            if isinstance(item, Instruction):
+                result[item.instr_id] = stack
+            elif isinstance(item, Loop):
+                inner = stack + (item.label,)
+                for instr in item.header_instrs:
+                    result[instr.instr_id] = inner
+                for instr in item.latch_instrs:
+                    result[instr.instr_id] = inner
+                visit(item.body, inner)
+            elif isinstance(item, IfRegion):
+                visit(item.then_region, stack)
+                visit(item.else_region, stack)
+
+    visit(function.body, ())
+    return result
+
+
+def invocation_counts(function: IRFunction) -> dict[int, int]:
+    """Number of times each instruction executes (product of enclosing
+    tripcounts), before any unrolling is applied."""
+    nests = loop_nest_analysis(function)
+    enclosing = enclosing_loops(function)
+    counts: dict[int, int] = {}
+    for instr in function.all_instructions():
+        total = 1
+        for label in enclosing.get(instr.instr_id, ()):
+            total *= max(1, nests[label].loop.tripcount)
+        counts[instr.instr_id] = total
+    return counts
+
+
+# --------------------------------------------------------------------------- #
+# memory access analysis
+# --------------------------------------------------------------------------- #
+@dataclass
+class MemoryAccess:
+    """One load or store to an array."""
+
+    instr: Instruction
+    is_store: bool
+    loop_labels: tuple[str, ...] = ()
+
+    @property
+    def array(self) -> str:
+        return self.instr.array
+
+
+@dataclass
+class ArrayAccessSummary:
+    """All accesses touching one array."""
+
+    array: str
+    accesses: list[MemoryAccess] = field(default_factory=list)
+
+    @property
+    def load_count(self) -> int:
+        return sum(1 for access in self.accesses if not access.is_store)
+
+    @property
+    def store_count(self) -> int:
+        return sum(1 for access in self.accesses if access.is_store)
+
+    def accesses_in_loop(self, label: str) -> list[MemoryAccess]:
+        return [a for a in self.accesses if label in a.loop_labels]
+
+
+def memory_access_analysis(function: IRFunction) -> dict[str, ArrayAccessSummary]:
+    """Group every load/store by the array it touches."""
+    enclosing = enclosing_loops(function)
+    summaries: dict[str, ArrayAccessSummary] = {}
+    for instr in function.all_instructions():
+        if instr.opcode not in (Opcode.LOAD, Opcode.STORE):
+            continue
+        summary = summaries.setdefault(instr.array, ArrayAccessSummary(instr.array))
+        summary.accesses.append(
+            MemoryAccess(
+                instr=instr,
+                is_store=instr.opcode is Opcode.STORE,
+                loop_labels=enclosing.get(instr.instr_id, ()),
+            )
+        )
+    return summaries
+
+
+# --------------------------------------------------------------------------- #
+# miscellaneous statistics
+# --------------------------------------------------------------------------- #
+def operation_histogram(function: IRFunction) -> Counter:
+    """Count instructions by opcode (used by the GBM baseline features)."""
+    return Counter(instr.opcode.value for instr in function.all_instructions())
+
+
+def arithmetic_intensity(function: IRFunction) -> float:
+    """Ratio of arithmetic instructions to memory instructions."""
+    histogram = operation_histogram(function)
+    arith = sum(
+        count for name, count in histogram.items()
+        if Opcode(name).is_arithmetic
+    )
+    memory = histogram.get("load", 0) + histogram.get("store", 0)
+    if memory == 0:
+        return float(arith)
+    return arith / memory
+
+
+def innermost_loops(function: IRFunction) -> list[Loop]:
+    """All loops that contain no nested sub-loops."""
+    return [loop for loop in function.all_loops() if loop.is_innermost]
+
+
+def loop_recurrences(function: IRFunction, label: str):
+    """Recurrences recorded for the loop ``label``."""
+    return [rec for rec in function.recurrences if rec.loop_label == label]
+
+
+__all__ = [
+    "LoopNestInfo", "loop_nest_analysis", "enclosing_loops", "invocation_counts",
+    "MemoryAccess", "ArrayAccessSummary", "memory_access_analysis",
+    "operation_histogram", "arithmetic_intensity", "innermost_loops",
+    "loop_recurrences",
+]

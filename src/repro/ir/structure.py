@@ -1,0 +1,235 @@
+"""Structured (region-based) IR: functions, loops and conditional regions.
+
+Unlike a flat CFG, the IR keeps the loop structure of the source program
+explicit — a function body is a :class:`Region` whose items are instructions,
+:class:`Loop` nodes (each with its own body region) or :class:`IfRegion`
+nodes.  This mirrors how HLS tools reason about loop nests and makes the
+hierarchical decomposition used by the paper (inner-hierarchy loops vs the
+outer hierarchy) a simple tree traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.ir.instructions import Instruction
+
+
+@dataclass
+class Region:
+    """An ordered sequence of instructions and nested control structures."""
+
+    items: list["RegionItem"] = field(default_factory=list)
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over instructions directly in this region (not nested)."""
+        for item in self.items:
+            if isinstance(item, Instruction):
+                yield item
+
+    def loops(self) -> Iterator["Loop"]:
+        """Iterate over loops directly in this region (not nested)."""
+        for item in self.items:
+            if isinstance(item, Loop):
+                yield item
+
+    def walk_instructions(self) -> Iterator[Instruction]:
+        """Iterate over every instruction in this region, recursively."""
+        for item in self.items:
+            if isinstance(item, Instruction):
+                yield item
+            elif isinstance(item, Loop):
+                yield from item.header_instrs
+                yield from item.body.walk_instructions()
+                yield from item.latch_instrs
+            elif isinstance(item, IfRegion):
+                yield from item.then_region.walk_instructions()
+                yield from item.else_region.walk_instructions()
+
+    def walk_loops(self) -> Iterator["Loop"]:
+        """Iterate over every loop in this region, recursively (pre-order)."""
+        for item in self.items:
+            if isinstance(item, Loop):
+                yield item
+                yield from item.body.walk_loops()
+            elif isinstance(item, IfRegion):
+                yield from item.then_region.walk_loops()
+                yield from item.else_region.walk_loops()
+
+
+@dataclass
+class Loop:
+    """A counted loop with a constant trip count.
+
+    ``header_instrs`` holds the control instructions evaluated every
+    iteration (induction-variable ``phi``, exit ``icmp``, backedge ``br``);
+    ``latch_instrs`` holds the induction-variable increment.  ``body`` holds
+    the loop payload, which may itself contain nested loops.
+    """
+
+    label: str = ""
+    var: str = ""
+    start: int = 0
+    bound: int = 0
+    step: int = 1
+    cmp_op: str = "<"
+    body: Region = field(default_factory=Region)
+    header_instrs: list[Instruction] = field(default_factory=list)
+    latch_instrs: list[Instruction] = field(default_factory=list)
+    line: int = 0
+
+    @property
+    def tripcount(self) -> int:
+        """Number of iterations executed by this loop."""
+        if self.step == 0:
+            return 0
+        span = self.bound - self.start
+        if self.cmp_op in ("<=", ">="):
+            span += 1 if self.step > 0 else -1
+        count = span / self.step
+        if count <= 0:
+            return 0
+        import math
+        return int(math.ceil(count))
+
+    def sub_loops(self) -> list["Loop"]:
+        """Loops directly nested inside this loop (one level down)."""
+        return list(self.body.loops())
+
+    def all_sub_loops(self) -> list["Loop"]:
+        """All loops nested inside this loop, at any depth."""
+        return list(self.body.walk_loops())
+
+    @property
+    def is_innermost(self) -> bool:
+        return not self.all_sub_loops()
+
+    @property
+    def depth_below(self) -> int:
+        """Number of loop levels nested inside (0 for an innermost loop)."""
+        subs = self.sub_loops()
+        if not subs:
+            return 0
+        return 1 + max(sub.depth_below for sub in subs)
+
+    def is_perfect_nest(self) -> bool:
+        """True if this loop's body contains only a single sub-loop (no other
+        instructions except index bookkeeping) at every level — the condition
+        Vitis HLS requires for loop flattening."""
+        current = self
+        while True:
+            subs = current.sub_loops()
+            if not subs:
+                return True
+            if len(subs) > 1:
+                return False
+            body_instr_count = sum(1 for _ in current.body.instructions())
+            if body_instr_count > 0:
+                return False
+            current = subs[0]
+
+    def body_instruction_count(self) -> int:
+        """Number of instructions in the loop body (recursively)."""
+        return sum(1 for _ in self.body.walk_instructions())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Loop({self.label}, tc={self.tripcount}, depth_below={self.depth_below})"
+
+
+@dataclass
+class IfRegion:
+    """A two-way conditional region.  ``cond_instr_id`` produces the predicate."""
+
+    cond_instr_id: int = -1
+    then_region: Region = field(default_factory=Region)
+    else_region: Region = field(default_factory=Region)
+    line: int = 0
+
+
+RegionItem = Union[Instruction, Loop, IfRegion]
+
+
+@dataclass(frozen=True)
+class Recurrence:
+    """A loop-carried dependence recorded during lowering.
+
+    ``loop_label`` is the innermost enclosing loop, ``distance`` the iteration
+    distance of the dependence and ``chain`` the ids of the instructions on
+    the cyclic data-flow path.  The HLS scheduler uses these to compute the
+    recurrence-constrained initiation interval (II_rec in the paper).
+    """
+
+    loop_label: str
+    distance: int
+    chain: tuple[int, ...]
+    kind: str = "scalar"
+    array: str = ""
+
+
+@dataclass
+class ArrayInfo:
+    """Metadata for an array (function argument or local array)."""
+
+    name: str
+    dims: tuple[int, ...]
+    dtype: str = "i32"
+    is_argument: bool = True
+
+    @property
+    def total_size(self) -> int:
+        size = 1
+        for dim in self.dims:
+            size *= dim
+        return size
+
+
+@dataclass
+class IRFunction:
+    """A lowered function: scalar params, arrays and a structured body."""
+
+    name: str = ""
+    scalar_params: list[tuple[str, str]] = field(default_factory=list)
+    arrays: dict[str, ArrayInfo] = field(default_factory=dict)
+    body: Region = field(default_factory=Region)
+    recurrences: list[Recurrence] = field(default_factory=list)
+    next_instr_id: int = 0
+
+    def all_instructions(self) -> list[Instruction]:
+        """Every instruction in the function, in textual order."""
+        return list(self.body.walk_instructions())
+
+    def all_loops(self) -> list["Loop"]:
+        """Every loop in the function, in pre-order."""
+        return list(self.body.walk_loops())
+
+    def top_level_loops(self) -> list["Loop"]:
+        return list(self.body.loops())
+
+    def loop_by_label(self, label: str) -> Loop:
+        for loop in self.all_loops():
+            if loop.label == label:
+                return loop
+        raise KeyError(f"no loop labelled {label!r} in function {self.name!r}")
+
+    def instruction_by_id(self, instr_id: int) -> Instruction:
+        for instr in self.all_instructions():
+            if instr.instr_id == instr_id:
+                return instr
+        raise KeyError(f"no instruction with id {instr_id}")
+
+    @property
+    def instruction_count(self) -> int:
+        return len(self.all_instructions())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"IRFunction({self.name}, instrs={self.instruction_count}, "
+            f"loops={len(self.all_loops())})"
+        )
+
+
+__all__ = [
+    "Region", "Loop", "IfRegion", "RegionItem", "Recurrence", "ArrayInfo",
+    "IRFunction",
+]

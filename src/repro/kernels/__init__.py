@@ -1,0 +1,24 @@
+"""Benchmark kernels (Polybench / MachSuite / CHStone style) in HLS-C."""
+
+from repro.kernels.chstone import CHSTONE_KERNELS
+from repro.kernels.machsuite import MACHSUITE_KERNELS
+from repro.kernels.polybench import POLYBENCH_KERNELS
+from repro.kernels.registry import (
+    DSE_KERNELS,
+    EXTRA_KERNELS,
+    KERNEL_SOURCES,
+    TRAIN_KERNELS,
+    all_kernels,
+    dse_kernels,
+    kernel_source,
+    load_kernel,
+    load_kernels,
+    training_kernels,
+)
+
+__all__ = [
+    "CHSTONE_KERNELS", "MACHSUITE_KERNELS", "POLYBENCH_KERNELS",
+    "DSE_KERNELS", "EXTRA_KERNELS", "KERNEL_SOURCES", "TRAIN_KERNELS",
+    "all_kernels", "dse_kernels", "kernel_source", "load_kernel",
+    "load_kernels", "training_kernels",
+]

@@ -1,0 +1,66 @@
+"""CHStone-style kernels (media / fixed-point processing) in HLS-C.
+
+The original CHStone programs are full applications; the kernels here keep
+their characteristic inner loops (prediction filters, windowed transforms)
+at a size compatible with exhaustive ground-truth generation.
+"""
+
+from __future__ import annotations
+
+ADPCM_PREDICT = """
+void adpcm_predict(int input[64], int output[64], int coeffs[8], int history[8]) {
+  int n, k;
+  for (n = 0; n < 64; n++) {
+    int pred = 0;
+    for (k = 0; k < 8; k++) {
+      pred += coeffs[k] * history[k];
+    }
+    int err = input[n] - pred / 64;
+    output[n] = err;
+    for (k = 7; k > 0; k--) {
+      history[k] = history[k - 1];
+    }
+    history[0] = input[n];
+  }
+}
+"""
+
+DCT8X8 = """
+void dct8x8(int block[8][8], int out[8][8], int cosines[8][8]) {
+  int u, v, x, y;
+  for (u = 0; u < 8; u++) {
+    for (v = 0; v < 8; v++) {
+      int acc = 0;
+      for (x = 0; x < 8; x++) {
+        for (y = 0; y < 8; y++) {
+          acc += block[x][y] * cosines[x][u] * cosines[y][v];
+        }
+      }
+      out[u][v] = acc / 16;
+    }
+  }
+}
+"""
+
+GSM_AUTOCORR = """
+void gsm_autocorr(int samples[64], int acf[9]) {
+  int k, i;
+  for (k = 0; k < 9; k++) {
+    int sum = 0;
+    for (i = 0; i < 64; i++) {
+      if (i >= k) {
+        sum += samples[i] * samples[i - k];
+      }
+    }
+    acf[k] = sum;
+  }
+}
+"""
+
+CHSTONE_KERNELS: dict[str, str] = {
+    "adpcm_predict": ADPCM_PREDICT,
+    "dct8x8": DCT8X8,
+    "gsm_autocorr": GSM_AUTOCORR,
+}
+
+__all__ = ["CHSTONE_KERNELS"] + [name.upper() for name in CHSTONE_KERNELS]

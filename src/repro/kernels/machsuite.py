@@ -1,0 +1,96 @@
+"""MachSuite-style kernels (stencils, sparse and signal processing) in HLS-C."""
+
+from __future__ import annotations
+
+STENCIL2D = """
+void stencil2d(int orig[16][16], int sol[16][16], int filt[3][3]) {
+  int r, c, k1, k2;
+  for (r = 0; r < 14; r++) {
+    for (c = 0; c < 14; c++) {
+      int temp = 0;
+      for (k1 = 0; k1 < 3; k1++) {
+        for (k2 = 0; k2 < 3; k2++) {
+          temp += filt[k1][k2] * orig[r + k1][c + k2];
+        }
+      }
+      sol[r][c] = temp;
+    }
+  }
+}
+"""
+
+STENCIL3D = """
+void stencil3d(int orig[8][8][8], int sol[8][8][8], int C0, int C1) {
+  int i, j, k;
+  for (i = 1; i < 7; i++) {
+    for (j = 1; j < 7; j++) {
+      for (k = 1; k < 7; k++) {
+        int sum0 = orig[i][j][k];
+        int sum1 = orig[i+1][j][k] + orig[i-1][j][k]
+                 + orig[i][j+1][k] + orig[i][j-1][k]
+                 + orig[i][j][k+1] + orig[i][j][k-1];
+        sol[i][j][k] = C0 * sum0 + C1 * sum1;
+      }
+    }
+  }
+}
+"""
+
+SPMV_ELLPACK = """
+void spmv_ellpack(int nzval[32][8], int cols[32][8], int vec[32], int out[32]) {
+  int i, j;
+  for (i = 0; i < 32; i++) {
+    int sum = 0;
+    for (j = 0; j < 8; j++) {
+      int col = cols[i][j];
+      sum += nzval[i][j] * vec[col];
+    }
+    out[i] = sum;
+  }
+}
+"""
+
+FIR = """
+void fir(int input[64], int coeff[16], int output[64]) {
+  int n, k;
+  for (n = 0; n < 64; n++) {
+    int acc = 0;
+    for (k = 0; k < 16; k++) {
+      if (n >= k) {
+        acc += coeff[k] * input[n - k];
+      }
+    }
+    output[n] = acc;
+  }
+}
+"""
+
+MD_KNN = """
+void md_knn(float fx[16], float px[16], float py[16], float pz[16],
+            int neighbors[16][8]) {
+  int i, j;
+  for (i = 0; i < 16; i++) {
+    float force = 0.0;
+    for (j = 0; j < 8; j++) {
+      int idx = neighbors[i][j];
+      float dx = px[i] - px[idx];
+      float dy = py[i] - py[idx];
+      float dz = pz[i] - pz[idx];
+      float r2 = dx * dx + dy * dy + dz * dz + 1.0;
+      float inv = 1.0 / r2;
+      force += dx * inv * inv;
+    }
+    fx[i] = force;
+  }
+}
+"""
+
+MACHSUITE_KERNELS: dict[str, str] = {
+    "stencil2d": STENCIL2D,
+    "stencil3d": STENCIL3D,
+    "spmv_ellpack": SPMV_ELLPACK,
+    "fir": FIR,
+    "md_knn": MD_KNN,
+}
+
+__all__ = ["MACHSUITE_KERNELS"] + [name.upper() for name in MACHSUITE_KERNELS]

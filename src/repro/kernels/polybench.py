@@ -1,0 +1,253 @@
+"""Polybench-style linear-algebra kernels written in the HLS-C subset.
+
+Sizes are scaled down (N = 16..32) relative to the original Polybench
+"MINI"/"SMALL" datasets so that exhaustive ground-truth generation and graph
+construction stay laptop-scale, while preserving each kernel's loop structure
+and memory-access pattern — which is what the prediction models key on.
+"""
+
+from __future__ import annotations
+
+GEMM = """
+void gemm(int A[16][16], int B[16][16], int C[16][16], int alpha, int beta) {
+  int i, j, k;
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 16; j++) {
+      int acc = 0;
+      for (k = 0; k < 16; k++) {
+        acc += A[i][k] * B[k][j];
+      }
+      C[i][j] = beta * C[i][j] + alpha * acc;
+    }
+  }
+}
+"""
+
+BICG = """
+void bicg(int A[16][16], int s[16], int q[16], int p[16], int r[16]) {
+  int i, j;
+  for (i = 0; i < 16; i++) {
+    s[i] = 0;
+  }
+  for (i = 0; i < 16; i++) {
+    int acc = 0;
+    for (j = 0; j < 16; j++) {
+      s[j] += r[i] * A[i][j];
+      acc += A[i][j] * p[j];
+    }
+    q[i] = acc;
+  }
+}
+"""
+
+MVT = """
+void mvt(int A[16][16], int x1[16], int x2[16], int y1[16], int y2[16]) {
+  int i, j;
+  for (i = 0; i < 16; i++) {
+    int acc = 0;
+    for (j = 0; j < 16; j++) {
+      acc += A[i][j] * y1[j];
+    }
+    x1[i] += acc;
+  }
+  for (i = 0; i < 16; i++) {
+    int acc = 0;
+    for (j = 0; j < 16; j++) {
+      acc += A[j][i] * y2[j];
+    }
+    x2[i] += acc;
+  }
+}
+"""
+
+SYRK = """
+void syrk(int A[16][16], int C[16][16], int alpha, int beta) {
+  int i, j, k;
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 16; j++) {
+      C[i][j] = C[i][j] * beta;
+    }
+  }
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 16; j++) {
+      int acc = 0;
+      for (k = 0; k < 16; k++) {
+        acc += A[i][k] * A[j][k];
+      }
+      C[i][j] += alpha * acc;
+    }
+  }
+}
+"""
+
+SYMM = """
+void symm(int A[16][16], int B[16][16], int C[16][16], int alpha, int beta) {
+  int i, j, k;
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 16; j++) {
+      int temp = 0;
+      for (k = 0; k < 16; k++) {
+        if (k < i) {
+          temp += B[k][j] * A[i][k];
+        }
+      }
+      C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i] + alpha * temp;
+    }
+  }
+}
+"""
+
+ATAX = """
+void atax(int A[16][16], int x[16], int y[16], int tmp[16]) {
+  int i, j;
+  for (i = 0; i < 16; i++) {
+    y[i] = 0;
+  }
+  for (i = 0; i < 16; i++) {
+    int acc = 0;
+    for (j = 0; j < 16; j++) {
+      acc += A[i][j] * x[j];
+    }
+    tmp[i] = acc;
+    for (j = 0; j < 16; j++) {
+      y[j] += A[i][j] * tmp[i];
+    }
+  }
+}
+"""
+
+GESUMMV = """
+void gesummv(int A[16][16], int B[16][16], int x[16], int y[16], int tmp[16],
+             int alpha, int beta) {
+  int i, j;
+  for (i = 0; i < 16; i++) {
+    int acc_a = 0;
+    int acc_b = 0;
+    for (j = 0; j < 16; j++) {
+      acc_a += A[i][j] * x[j];
+      acc_b += B[i][j] * x[j];
+    }
+    tmp[i] = acc_a;
+    y[i] = alpha * acc_a + beta * acc_b;
+  }
+}
+"""
+
+GEMVER = """
+void gemver(int A[16][16], int u1[16], int v1[16], int u2[16], int v2[16],
+            int w[16], int x[16], int y[16], int z[16], int alpha, int beta) {
+  int i, j;
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 16; j++) {
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    }
+  }
+  for (i = 0; i < 16; i++) {
+    int acc = 0;
+    for (j = 0; j < 16; j++) {
+      acc += beta * A[j][i] * y[j];
+    }
+    x[i] = x[i] + acc + z[i];
+  }
+  for (i = 0; i < 16; i++) {
+    int acc = 0;
+    for (j = 0; j < 16; j++) {
+      acc += alpha * A[i][j] * x[j];
+    }
+    w[i] += acc;
+  }
+}
+"""
+
+MM2 = """
+void mm2(int A[16][16], int B[16][16], int C[16][16], int D[16][16],
+         int tmp[16][16], int alpha, int beta) {
+  int i, j, k;
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 16; j++) {
+      int acc = 0;
+      for (k = 0; k < 16; k++) {
+        acc += alpha * A[i][k] * B[k][j];
+      }
+      tmp[i][j] = acc;
+    }
+  }
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 16; j++) {
+      int acc = 0;
+      for (k = 0; k < 16; k++) {
+        acc += tmp[i][k] * C[k][j];
+      }
+      D[i][j] = D[i][j] * beta + acc;
+    }
+  }
+}
+"""
+
+DOITGEN = """
+void doitgen(int A[8][8][8], int C4[8][8], int sum[8]) {
+  int r, q, p, s;
+  for (r = 0; r < 8; r++) {
+    for (q = 0; q < 8; q++) {
+      for (p = 0; p < 8; p++) {
+        int acc = 0;
+        for (s = 0; s < 8; s++) {
+          acc += A[r][q][s] * C4[s][p];
+        }
+        sum[p] = acc;
+      }
+      for (p = 0; p < 8; p++) {
+        A[r][q][p] = sum[p];
+      }
+    }
+  }
+}
+"""
+
+TRMM = """
+void trmm(int A[16][16], int B[16][16], int alpha) {
+  int i, j, k;
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 16; j++) {
+      int acc = 0;
+      for (k = 0; k < 16; k++) {
+        if (k > i) {
+          acc += A[k][i] * B[k][j];
+        }
+      }
+      B[i][j] = alpha * (B[i][j] + acc);
+    }
+  }
+}
+"""
+
+JACOBI1D = """
+void jacobi1d(int A[64], int B[64]) {
+  int t, i;
+  for (t = 0; t < 4; t++) {
+    for (i = 1; i < 63; i++) {
+      B[i] = (A[i-1] + A[i] + A[i+1]) / 3;
+    }
+    for (i = 1; i < 63; i++) {
+      A[i] = (B[i-1] + B[i] + B[i+1]) / 3;
+    }
+  }
+}
+"""
+
+POLYBENCH_KERNELS: dict[str, str] = {
+    "gemm": GEMM,
+    "bicg": BICG,
+    "mvt": MVT,
+    "syrk": SYRK,
+    "symm": SYMM,
+    "atax": ATAX,
+    "gesummv": GESUMMV,
+    "gemver": GEMVER,
+    "mm2": MM2,
+    "doitgen": DOITGEN,
+    "trmm": TRMM,
+    "jacobi1d": JACOBI1D,
+}
+
+__all__ = ["POLYBENCH_KERNELS"] + [name.upper() for name in POLYBENCH_KERNELS]

@@ -1,0 +1,82 @@
+"""Kernel registry: the 16 applications and the train / DSE split.
+
+The paper uses 16 applications from Polybench, MachSuite and CHStone:
+12 for GNN training/testing and 4 (``bicg``, ``symm``, ``mvt``, ``syrk``) for
+the DSE experiment.  This registry mirrors that split.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ir.builder import lower_source
+from repro.ir.structure import IRFunction
+from repro.kernels.chstone import CHSTONE_KERNELS
+from repro.kernels.machsuite import MACHSUITE_KERNELS
+from repro.kernels.polybench import POLYBENCH_KERNELS
+
+#: every kernel source, keyed by name
+KERNEL_SOURCES: dict[str, str] = {
+    **POLYBENCH_KERNELS,
+    **MACHSUITE_KERNELS,
+    **CHSTONE_KERNELS,
+}
+
+#: the four applications held out for the DSE experiment (Table V)
+DSE_KERNELS: tuple[str, ...] = ("bicg", "symm", "mvt", "syrk")
+
+#: the twelve applications used for model training and testing
+TRAIN_KERNELS: tuple[str, ...] = tuple(
+    name for name in (
+        "gemm", "atax", "gesummv", "gemver", "mm2", "doitgen", "trmm",
+        "jacobi1d", "stencil2d", "stencil3d", "fir", "gsm_autocorr",
+    )
+)
+
+#: additional kernels available for extended experiments
+EXTRA_KERNELS: tuple[str, ...] = tuple(
+    name for name in KERNEL_SOURCES
+    if name not in TRAIN_KERNELS and name not in DSE_KERNELS
+)
+
+
+def kernel_source(name: str) -> str:
+    """Raw HLS-C source of one kernel."""
+    if name not in KERNEL_SOURCES:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {sorted(KERNEL_SOURCES)}"
+        )
+    return KERNEL_SOURCES[name]
+
+
+@lru_cache(maxsize=None)
+def load_kernel(name: str) -> IRFunction:
+    """Parse and lower one kernel to IR (cached)."""
+    return lower_source(kernel_source(name))
+
+
+def load_kernels(names: tuple[str, ...] | list[str]) -> dict[str, IRFunction]:
+    """Lower several kernels, keyed by name."""
+    return {name: load_kernel(name) for name in names}
+
+
+def training_kernels() -> dict[str, IRFunction]:
+    """The 12 training applications."""
+    return load_kernels(TRAIN_KERNELS)
+
+
+def dse_kernels() -> dict[str, IRFunction]:
+    """The 4 held-out DSE applications (bicg, symm, mvt, syrk)."""
+    return load_kernels(DSE_KERNELS)
+
+
+def all_kernels() -> dict[str, IRFunction]:
+    """All 16 benchmark applications (plus extras)."""
+    return load_kernels(tuple(KERNEL_SOURCES))
+
+
+__all__ = [
+    "KERNEL_SOURCES", "DSE_KERNELS", "TRAIN_KERNELS", "EXTRA_KERNELS",
+    "kernel_source", "load_kernel", "load_kernels",
+    "training_kernels", "dse_kernels", "all_kernels",
+]

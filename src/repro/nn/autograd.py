@@ -1,0 +1,454 @@
+"""A small reverse-mode automatic differentiation engine on numpy arrays.
+
+This replaces PyTorch for the purposes of the reproduction: it provides the
+minimal set of differentiable primitives needed to express MLPs and the five
+message-passing GNN architectures used in the paper (GCN, GAT, GraphSAGE,
+TransformerConv, PNA), including the segment (scatter/gather) operations that
+graph message passing is built from.
+
+Design notes
+------------
+* A :class:`Tensor` wraps an ``np.ndarray`` (always ``float64``), remembers
+  the tensors it was computed from and a closure that accumulates gradients
+  into them.
+* Broadcasting in ``+``/``*``/``-``/``/`` is supported; gradients are summed
+  over the broadcast axes.
+* ``backward()`` runs a topological sort and applies the chain rule; only
+  tensors created with ``requires_grad=True`` (parameters) and intermediate
+  results keep gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+Array = np.ndarray
+
+
+def _as_array(value) -> Array:
+    if isinstance(value, np.ndarray):
+        return value.astype(np.float64, copy=False)
+    return np.asarray(value, dtype=np.float64)
+
+
+def _scatter_add(ids: Array, values: Array, num_segments: int) -> Array:
+    """Column-wise ``bincount`` scatter-add (much faster than ``np.add.at``)."""
+    if values.ndim == 1:
+        return np.bincount(ids, weights=values, minlength=num_segments)
+    out = np.empty((num_segments,) + values.shape[1:], dtype=np.float64)
+    for column in range(values.shape[1]):
+        out[:, column] = np.bincount(
+            ids, weights=values[:, column], minlength=num_segments
+        )
+    return out
+
+
+def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
+    """Sum ``grad`` over axes that were broadcast to reach ``grad.shape``."""
+    if grad.shape == shape:
+        return grad
+    # sum over leading extra dimensions
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # sum over axes that were size 1 in the original shape
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A differentiable multi-dimensional array."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[Array], None] | None = None,
+        name: str = "",
+    ):
+        self.data = _as_array(data)
+        self.grad: Array | None = None
+        self.requires_grad = requires_grad
+        self._parents = _parents
+        self._backward = _backward
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def numpy(self) -> Array:
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data.copy())
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # autograd machinery
+    # ------------------------------------------------------------------ #
+    def _accumulate(self, grad: Array) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad = self.grad + grad
+
+    @property
+    def _needs_graph(self) -> bool:
+        return self.requires_grad or bool(self._parents)
+
+    def backward(self, grad: Array | None = None) -> None:
+        """Back-propagate from this tensor (must be scalar if ``grad`` absent)."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without gradient requires a scalar output")
+            grad = np.ones_like(self.data)
+        # topological order of the computation graph
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other._needs_graph:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor(out_data, _parents=(self, other), _backward=backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(-grad)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other._needs_graph:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor(out_data, _parents=(self, other), _backward=backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other._needs_graph:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / (other.data ** 2), other.shape)
+                )
+
+        return Tensor(out_data, _parents=(self, other), _backward=backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        out_data = self.data ** exponent
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        out_data = self.data @ other.data
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(grad @ other.data.T)
+            if other._needs_graph:
+                other._accumulate(self.data.T @ grad)
+
+        return Tensor(out_data, _parents=(self, other), _backward=backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------ #
+    # elementwise non-linearities
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(np.clip(self.data, -60.0, 60.0))
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(grad * out_data)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(np.maximum(self.data, 1e-12))
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(grad / np.maximum(self.data, 1e-12))
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(grad * sign)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(np.float64)
+        out_data = self.data * mask
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(grad * mask)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
+        mask = np.where(self.data > 0, 1.0, negative_slope)
+        out_data = self.data * mask
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(grad * mask)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(grad * (1.0 - out_data ** 2))
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions / shape ops
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: Array) -> None:
+            if not self._needs_graph:
+                return
+            expanded = grad
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(expanded, self.shape).copy())
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def mean(self, axis: int | None = None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        out_data = self.data.reshape(*shape)
+        original_shape = self.shape
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(grad.reshape(original_shape))
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def transpose(self) -> "Tensor":
+        out_data = self.data.T
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(grad.T)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def gather_rows(self, index: Array) -> "Tensor":
+        """Select rows: ``out[i] = self[index[i]]`` (differentiable)."""
+        index = np.asarray(index, dtype=np.int64)
+        out_data = self.data[index]
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                self._accumulate(_scatter_add(index, grad, self.data.shape[0]))
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+    def slice_cols(self, start: int, stop: int) -> "Tensor":
+        out_data = self.data[:, start:stop]
+
+        def backward(grad: Array) -> None:
+            if self._needs_graph:
+                accumulated = np.zeros_like(self.data)
+                accumulated[:, start:stop] = grad
+                self._accumulate(accumulated)
+
+        return Tensor(out_data, _parents=(self,), _backward=backward)
+
+
+# --------------------------------------------------------------------------- #
+# free functions
+# --------------------------------------------------------------------------- #
+def concat(tensors: Iterable[Tensor], axis: int = 1) -> Tensor:
+    """Concatenate tensors along ``axis`` (differentiable)."""
+    tensors = list(tensors)
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+
+    def backward(grad: Array) -> None:
+        offset = 0
+        for tensor, size in zip(tensors, sizes):
+            if tensor._needs_graph:
+                slicer: list = [slice(None)] * grad.ndim
+                slicer[axis] = slice(offset, offset + size)
+                tensor._accumulate(grad[tuple(slicer)])
+            offset += size
+
+    return Tensor(out_data, _parents=tuple(tensors), _backward=backward)
+
+
+def segment_sum(values: Tensor, segment_ids: Array, num_segments: int) -> Tensor:
+    """Sum rows of ``values`` into ``num_segments`` buckets (scatter-add)."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    out_data = _scatter_add(segment_ids, values.data, num_segments)
+
+    def backward(grad: Array) -> None:
+        if values._needs_graph:
+            values._accumulate(grad[segment_ids])
+
+    return Tensor(out_data, _parents=(values,), _backward=backward)
+
+
+def segment_mean(values: Tensor, segment_ids: Array, num_segments: int) -> Tensor:
+    """Average rows of ``values`` per segment (empty segments give zero)."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+    counts = np.maximum(counts, 1.0).reshape((num_segments,) + (1,) * (values.ndim - 1))
+    return segment_sum(values, segment_ids, num_segments) * Tensor(1.0 / counts)
+
+
+def segment_max(values: Tensor, segment_ids: Array, num_segments: int) -> Tensor:
+    """Per-segment maximum; gradients flow to the arg-max rows only."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    feature_shape = values.data.shape[1:]
+    out_data = np.full((num_segments,) + feature_shape, -np.inf, dtype=np.float64)
+    np.maximum.at(out_data, segment_ids, values.data)
+    empty = np.isneginf(out_data)
+    out_data = np.where(empty, 0.0, out_data)
+    # rows achieving the maximum (ties share the gradient)
+    is_max = np.isclose(values.data, out_data[segment_ids]) & ~empty[segment_ids]
+
+    def backward(grad: Array) -> None:
+        if values._needs_graph:
+            values._accumulate(grad[segment_ids] * is_max.astype(np.float64))
+
+    return Tensor(out_data, _parents=(values,), _backward=backward)
+
+
+def segment_softmax(scores: Tensor, segment_ids: Array, num_segments: int) -> Tensor:
+    """Softmax over the entries of each segment (used for attention)."""
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    maxima = segment_max(scores, segment_ids, num_segments)
+    shifted = scores - maxima.gather_rows(segment_ids)
+    exped = shifted.exp()
+    denominators = segment_sum(exped, segment_ids, num_segments)
+    return exped / (denominators.gather_rows(segment_ids) + 1e-12)
+
+
+def stack_rows(tensors: list[Tensor]) -> Tensor:
+    """Stack 1-D tensors into a matrix (row per tensor)."""
+    out_data = np.stack([t.data for t in tensors])
+
+    def backward(grad: Array) -> None:
+        for row, tensor in enumerate(tensors):
+            if tensor._needs_graph:
+                tensor._accumulate(grad[row])
+
+    return Tensor(out_data, _parents=tuple(tensors), _backward=backward)
+
+
+__all__ = [
+    "Tensor", "concat", "segment_sum", "segment_mean", "segment_max",
+    "segment_softmax", "stack_rows",
+]

@@ -1,0 +1,261 @@
+"""Graph data containers, encoders, batching and scalers.
+
+Follows the PyTorch-Geometric conventions: a :class:`GraphSample` holds one
+graph's node features, edge index and regression targets; a :class:`Batch`
+concatenates several graphs into one disjoint union with a ``batch`` vector
+mapping nodes back to their graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+# --------------------------------------------------------------------------- #
+# samples and batches
+# --------------------------------------------------------------------------- #
+@dataclass
+class GraphSample:
+    """One training sample: an annotated graph and its QoR labels."""
+
+    optypes: list[str]
+    features: np.ndarray
+    edge_index: np.ndarray
+    targets: dict[str, float] = field(default_factory=dict)
+    loop_features: np.ndarray = field(default_factory=lambda: np.zeros(5))
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.optypes)
+
+    @property
+    def num_edges(self) -> int:
+        return self.edge_index.shape[1] if self.edge_index.size else 0
+
+
+@dataclass
+class Batch:
+    """A disjoint union of graphs ready for the GNN forward pass.
+
+    ``feature_totals`` holds, per graph, the ``log1p`` of the column-wise sum
+    of the raw (unscaled) numerical node features — a global skip connection
+    that gives the readout MLPs direct access to aggregate quantities such as
+    the summed per-operation LUT/FF/DSP estimates.
+    """
+
+    x: np.ndarray
+    edge_index: np.ndarray
+    batch: np.ndarray
+    loop_features: np.ndarray
+    targets: dict[str, np.ndarray]
+    num_graphs: int
+    feature_totals: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+
+    @property
+    def num_nodes(self) -> int:
+        return self.x.shape[0]
+
+
+class OptypeEncoder:
+    """One-hot encoder over operation-type strings.
+
+    Unknown optypes at inference time map to a dedicated ``<unk>`` slot, so a
+    model trained on one benchmark set degrades gracefully on new kernels.
+    """
+
+    UNKNOWN = "<unk>"
+
+    def __init__(self, vocabulary: list[str] | None = None):
+        self._index: dict[str, int] = {}
+        if vocabulary:
+            for optype in vocabulary:
+                self._index.setdefault(optype, len(self._index))
+            self._index.setdefault(self.UNKNOWN, len(self._index))
+
+    def fit(self, optype_lists: list[list[str]]) -> "OptypeEncoder":
+        for optypes in optype_lists:
+            for optype in optypes:
+                self._index.setdefault(optype, len(self._index))
+        self._index.setdefault(self.UNKNOWN, len(self._index))
+        return self
+
+    @property
+    def dim(self) -> int:
+        return len(self._index)
+
+    @property
+    def vocabulary(self) -> list[str]:
+        return sorted(self._index, key=self._index.get)
+
+    def encode(self, optypes: list[str]) -> np.ndarray:
+        unknown = self._index[self.UNKNOWN]
+        columns = np.fromiter(
+            (self._index.get(optype, unknown) for optype in optypes),
+            dtype=np.int64, count=len(optypes),
+        )
+        matrix = np.zeros((len(optypes), self.dim), dtype=np.float64)
+        if len(optypes):
+            matrix[np.arange(len(optypes)), columns] = 1.0
+        return matrix
+
+
+class FeatureScaler:
+    """Standardize numerical node features after ``log1p`` compression."""
+
+    def __init__(self, log_compress: bool = True):
+        self.log_compress = log_compress
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def _compress(self, matrix: np.ndarray) -> np.ndarray:
+        if self.log_compress:
+            return np.log1p(np.maximum(matrix, 0.0))
+        return matrix
+
+    def fit(self, matrices: list[np.ndarray]) -> "FeatureScaler":
+        stacked = np.concatenate(
+            [self._compress(m) for m in matrices if m.size], axis=0
+        )
+        self.mean_ = stacked.mean(axis=0)
+        self.std_ = np.maximum(stacked.std(axis=0), 1e-6)
+        return self
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("FeatureScaler.transform called before fit")
+        if matrix.size == 0:
+            return matrix
+        return (self._compress(matrix) - self.mean_) / self.std_
+
+
+class TargetScaler:
+    """Log-compress and standardize regression targets.
+
+    QoR targets span several orders of magnitude across design points (for
+    example latency from tens to millions of cycles), so models regress the
+    standardized ``log1p`` value and predictions are mapped back with
+    :meth:`inverse`.
+    """
+
+    def __init__(self):
+        self.mean_ = 0.0
+        self.std_ = 1.0
+
+    def fit(self, values: np.ndarray) -> "TargetScaler":
+        compressed = np.log1p(np.maximum(np.asarray(values, dtype=np.float64), 0.0))
+        self.mean_ = float(compressed.mean()) if compressed.size else 0.0
+        self.std_ = float(max(compressed.std(), 1e-6)) if compressed.size else 1.0
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        compressed = np.log1p(np.maximum(np.asarray(values, dtype=np.float64), 0.0))
+        return (compressed - self.mean_) / self.std_
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        raw = np.asarray(values, dtype=np.float64) * self.std_ + self.mean_
+        return np.expm1(np.clip(raw, -50.0, 50.0))
+
+
+def make_batch(
+    samples: list[GraphSample],
+    encoder: OptypeEncoder,
+    feature_scaler: FeatureScaler | None = None,
+    target_names: tuple[str, ...] = (),
+    encoded_cache: dict[int, tuple["GraphSample", np.ndarray]] | None = None,
+) -> Batch:
+    """Assemble a mini-batch from graph samples.
+
+    ``encoded_cache`` (keyed by ``id(sample)``) lets callers reuse the encoded
+    node-feature matrices across epochs instead of re-encoding every batch.
+    The cache entries hold a reference to the sample itself so object ids can
+    never be recycled while an entry is alive.
+    """
+    xs: list[np.ndarray] = []
+    edges: list[np.ndarray] = []
+    batch_vector: list[np.ndarray] = []
+    loop_features: list[np.ndarray] = []
+    totals: list[np.ndarray] = []
+    offset = 0
+    for graph_id, sample in enumerate(samples):
+        entry = None if encoded_cache is None else encoded_cache.get(id(sample))
+        cached = entry[1] if entry is not None and entry[0] is sample else None
+        if cached is None:
+            numeric = sample.features
+            if feature_scaler is not None:
+                numeric = feature_scaler.transform(numeric)
+            encoded = encoder.encode(sample.optypes)
+            cached = np.concatenate([encoded, numeric], axis=1)
+            if encoded_cache is not None:
+                encoded_cache[id(sample)] = (sample, cached)
+        xs.append(cached)
+        if sample.features.size:
+            totals.append(np.log1p(np.maximum(sample.features, 0.0).sum(axis=0)))
+        else:
+            totals.append(np.zeros(0))
+        if sample.num_edges:
+            edges.append(sample.edge_index + offset)
+        batch_vector.append(np.full(sample.num_nodes, graph_id, dtype=np.int64))
+        loop_features.append(np.asarray(sample.loop_features, dtype=np.float64))
+        offset += sample.num_nodes
+    x = np.concatenate(xs, axis=0) if xs else np.zeros((0, encoder.dim))
+    edge_index = (
+        np.concatenate(edges, axis=1) if edges else np.zeros((2, 0), dtype=np.int64)
+    )
+    targets = {
+        name: np.array([sample.targets.get(name, 0.0) for sample in samples])
+        for name in target_names
+    }
+    width = max((t.shape[0] for t in totals), default=0)
+    totals = [
+        t if t.shape[0] == width else np.zeros(width) for t in totals
+    ]
+    return Batch(
+        x=x,
+        edge_index=edge_index,
+        batch=np.concatenate(batch_vector) if batch_vector else np.zeros(0, dtype=np.int64),
+        loop_features=np.stack(loop_features) if loop_features else np.zeros((0, 5)),
+        targets=targets,
+        num_graphs=len(samples),
+        feature_totals=np.stack(totals) if totals else np.zeros((0, 0)),
+    )
+
+
+def iterate_minibatches(
+    samples: list[GraphSample],
+    batch_size: int,
+    rng: np.random.Generator | None = None,
+    shuffle: bool = True,
+):
+    """Yield lists of samples of size ``batch_size`` (last batch may be short)."""
+    order = np.arange(len(samples))
+    if shuffle:
+        rng = rng or np.random.default_rng(0)
+        rng.shuffle(order)
+    for start in range(0, len(samples), batch_size):
+        yield [samples[index] for index in order[start:start + batch_size]]
+
+
+def train_validation_test_split(
+    samples: list[GraphSample],
+    fractions: tuple[float, float, float] = (0.8, 0.1, 0.1),
+    rng: np.random.Generator | None = None,
+) -> tuple[list[GraphSample], list[GraphSample], list[GraphSample]]:
+    """Random 80/10/10 split (the paper's protocol)."""
+    rng = rng or np.random.default_rng(0)
+    order = np.arange(len(samples))
+    rng.shuffle(order)
+    n_train = int(round(fractions[0] * len(samples)))
+    n_val = int(round(fractions[1] * len(samples)))
+    train = [samples[i] for i in order[:n_train]]
+    validation = [samples[i] for i in order[n_train:n_train + n_val]]
+    test = [samples[i] for i in order[n_train + n_val:]]
+    return train, validation, test
+
+
+__all__ = [
+    "GraphSample", "Batch", "OptypeEncoder", "FeatureScaler", "TargetScaler",
+    "make_batch", "iterate_minibatches", "train_validation_test_split",
+]

@@ -1,0 +1,171 @@
+"""Neural-network building blocks: modules, linear layers and MLPs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor updated by the optimizer."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class providing parameter discovery and train/eval switching."""
+
+    def __init__(self):
+        self.training = True
+
+    def parameters(self) -> list[Parameter]:
+        found: list[Parameter] = []
+        seen: set[int] = set()
+
+        def collect(obj) -> None:
+            if isinstance(obj, Parameter):
+                if id(obj) not in seen:
+                    seen.add(id(obj))
+                    found.append(obj)
+            elif isinstance(obj, Module):
+                for value in vars(obj).values():
+                    collect(value)
+            elif isinstance(obj, (list, tuple)):
+                for value in obj:
+                    collect(value)
+            elif isinstance(obj, dict):
+                for value in obj.values():
+                    collect(value)
+
+        collect(self)
+        return found
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in vars(self).values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of parameter index to value (for serialization)."""
+        return {
+            f"param_{index}": parameter.data.copy()
+            for index, parameter in enumerate(self.parameters())
+        }
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        parameters = self.parameters()
+        if len(state) != len(parameters):
+            raise ValueError(
+                f"state has {len(state)} entries, model has {len(parameters)} parameters"
+            )
+        for index, parameter in enumerate(parameters):
+            value = state[f"param_{index}"]
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"parameter {index} shape mismatch: "
+                    f"{value.shape} vs {parameter.data.shape}"
+                )
+            parameter.data = value.astype(np.float64).copy()
+
+    def num_parameters(self) -> int:
+        return sum(parameter.data.size for parameter in self.parameters())
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def glorot(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+class Linear(Module):
+    """A dense layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(glorot((in_features, out_features), rng), name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Dropout(Module):
+    """Inverted dropout (identity in eval mode)."""
+
+    def __init__(self, rate: float = 0.1, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.rate = rate
+        self.rng = rng or np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate <= 0.0:
+            return x
+        keep = 1.0 - self.rate
+        mask = (self.rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+
+class MLP(Module):
+    """A multi-layer perceptron with ReLU activations between layers."""
+
+    def __init__(
+        self,
+        dims: list[int],
+        *,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least an input and an output dimension")
+        rng = rng or np.random.default_rng(0)
+        self.layers = [
+            Linear(dims[index], dims[index + 1], rng=rng)
+            for index in range(len(dims) - 1)
+        ]
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        for index, layer in enumerate(self.layers):
+            x = layer(x)
+            if index < len(self.layers) - 1:
+                x = x.relu()
+                if self.dropout is not None:
+                    x = self.dropout(x)
+        return x
+
+
+__all__ = ["Parameter", "Module", "Linear", "Dropout", "MLP", "glorot"]

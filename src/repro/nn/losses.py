@@ -1,0 +1,54 @@
+"""Regression losses and evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    difference = prediction - target
+    return (difference * difference).mean()
+
+
+def mae_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean absolute error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return (prediction - target).abs().mean()
+
+
+def huber_loss(prediction: Tensor, target: Tensor | np.ndarray, delta: float = 1.0) -> Tensor:
+    """Huber (smooth-L1) loss, robust to occasional large label values."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    difference = (prediction - target).abs()
+    quadratic = difference * difference * 0.5
+    linear = difference * delta - 0.5 * delta * delta
+    mask = (difference.data <= delta).astype(np.float64)
+    combined = quadratic * Tensor(mask) + linear * Tensor(1.0 - mask)
+    return combined.mean()
+
+
+def mape(prediction: np.ndarray, target: np.ndarray, epsilon: float = 1.0) -> float:
+    """Mean absolute percentage error (the paper's accuracy metric).
+
+    QoR targets are counts (cycles, LUTs, DSPs, ...), so the denominator is
+    floored at ``epsilon = 1`` to keep zero-valued targets (e.g. a design
+    using no DSP blocks) from producing unbounded percentages.
+    """
+    prediction = np.asarray(prediction, dtype=np.float64).reshape(-1)
+    target = np.asarray(target, dtype=np.float64).reshape(-1)
+    denominator = np.maximum(np.abs(target), epsilon)
+    return float(np.mean(np.abs(prediction - target) / denominator) * 100.0)
+
+
+def rmse(prediction: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error."""
+    prediction = np.asarray(prediction, dtype=np.float64).reshape(-1)
+    target = np.asarray(target, dtype=np.float64).reshape(-1)
+    return float(np.sqrt(np.mean((prediction - target) ** 2)))
+
+
+__all__ = ["mse_loss", "mae_loss", "huber_loss", "mape", "rmse"]

@@ -1,0 +1,209 @@
+"""Message-passing (graph convolution) layers.
+
+Numpy implementations of the five propagation layers evaluated by the paper:
+GCN [11], GAT [12], GraphSAGE [13], TransformerConv [14] and PNA [15].  All
+layers share the PyTorch-Geometric calling convention
+``layer(x, edge_index)`` where ``edge_index`` is a ``(2, E)`` integer array of
+``(source, target)`` pairs, and messages flow from source to target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import (
+    Tensor,
+    concat,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
+from repro.nn.layers import Linear, Module
+
+
+def add_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Append one self-loop edge per node."""
+    loops = np.arange(num_nodes, dtype=np.int64)
+    loops = np.stack([loops, loops])
+    if edge_index.size == 0:
+        return loops
+    return np.concatenate([edge_index, loops], axis=1)
+
+
+class MessagePassingLayer(Module):
+    """Common base: subclasses implement :meth:`forward(x, edge_index)`."""
+
+    def __init__(self, in_features: int, out_features: int):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+
+
+class GCNConv(MessagePassingLayer):
+    """Graph convolution with symmetric degree normalization (Kipf & Welling)."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__(in_features, out_features)
+        self.linear = Linear(in_features, out_features, rng=rng)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+        num_nodes = x.shape[0]
+        edges = add_self_loops(edge_index, num_nodes)
+        src, dst = edges[0], edges[1]
+        transformed = self.linear(x)
+        degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+        degree = np.maximum(degree, 1.0)
+        norm = 1.0 / np.sqrt(degree[src] * degree[dst])
+        messages = transformed.gather_rows(src) * Tensor(norm[:, None])
+        return segment_sum(messages, dst, num_nodes)
+
+
+class SAGEConv(MessagePassingLayer):
+    """GraphSAGE with mean aggregation: ``W_self x || W_neigh mean(x_N)``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__(in_features, out_features)
+        self.linear_self = Linear(in_features, out_features, rng=rng)
+        self.linear_neighbor = Linear(in_features, out_features, rng=rng)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+        num_nodes = x.shape[0]
+        if edge_index.size == 0:
+            return self.linear_self(x)
+        src, dst = edge_index[0], edge_index[1]
+        neighbor_mean = segment_mean(x.gather_rows(src), dst, num_nodes)
+        return self.linear_self(x) + self.linear_neighbor(neighbor_mean)
+
+
+class GATConv(MessagePassingLayer):
+    """Graph attention (single- or multi-head, concatenated heads)."""
+
+    def __init__(self, in_features: int, out_features: int, heads: int = 2,
+                 negative_slope: float = 0.2,
+                 rng: np.random.Generator | None = None):
+        if out_features % heads != 0:
+            raise ValueError("out_features must be divisible by heads")
+        super().__init__(in_features, out_features)
+        self.heads = heads
+        self.head_dim = out_features // heads
+        self.negative_slope = negative_slope
+        self.projections = [
+            Linear(in_features, self.head_dim, rng=rng) for _ in range(heads)
+        ]
+        self.att_src = [
+            Linear(self.head_dim, 1, bias=False, rng=rng) for _ in range(heads)
+        ]
+        self.att_dst = [
+            Linear(self.head_dim, 1, bias=False, rng=rng) for _ in range(heads)
+        ]
+
+    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+        num_nodes = x.shape[0]
+        edges = add_self_loops(edge_index, num_nodes)
+        src, dst = edges[0], edges[1]
+        head_outputs = []
+        for head in range(self.heads):
+            projected = self.projections[head](x)
+            alpha_src = self.att_src[head](projected)
+            alpha_dst = self.att_dst[head](projected)
+            scores = (
+                alpha_src.gather_rows(src) + alpha_dst.gather_rows(dst)
+            ).leaky_relu(self.negative_slope)
+            attention = segment_softmax(scores, dst, num_nodes)
+            messages = projected.gather_rows(src) * attention
+            head_outputs.append(segment_sum(messages, dst, num_nodes))
+        if len(head_outputs) == 1:
+            return head_outputs[0]
+        return concat(head_outputs, axis=1)
+
+
+class TransformerConv(MessagePassingLayer):
+    """UniMP-style transformer convolution with scaled dot-product attention."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__(in_features, out_features)
+        self.query = Linear(in_features, out_features, rng=rng)
+        self.key = Linear(in_features, out_features, rng=rng)
+        self.value = Linear(in_features, out_features, rng=rng)
+        self.skip = Linear(in_features, out_features, rng=rng)
+
+    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+        num_nodes = x.shape[0]
+        edges = add_self_loops(edge_index, num_nodes)
+        src, dst = edges[0], edges[1]
+        queries = self.query(x).gather_rows(dst)
+        keys = self.key(x).gather_rows(src)
+        values = self.value(x).gather_rows(src)
+        scale = 1.0 / np.sqrt(self.out_features)
+        scores = (queries * keys).sum(axis=1, keepdims=True) * scale
+        attention = segment_softmax(scores, dst, num_nodes)
+        aggregated = segment_sum(values * attention, dst, num_nodes)
+        return aggregated + self.skip(x)
+
+
+class PNAConv(MessagePassingLayer):
+    """Principal Neighbourhood Aggregation (mean/max/sum aggregators with
+    degree scalers), simplified to a single tower."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 average_degree: float = 4.0,
+                 rng: np.random.Generator | None = None):
+        super().__init__(in_features, out_features)
+        self.pre = Linear(in_features, out_features, rng=rng)
+        # 3 aggregators x 3 scalers + self features
+        self.post = Linear(out_features * 9 + in_features, out_features, rng=rng)
+        self.log_average_degree = float(np.log(average_degree + 1.0))
+
+    def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
+        num_nodes = x.shape[0]
+        edges = add_self_loops(edge_index, num_nodes)
+        src, dst = edges[0], edges[1]
+        transformed = self.pre(x)
+        messages = transformed.gather_rows(src)
+        aggregated = [
+            segment_mean(messages, dst, num_nodes),
+            segment_max(messages, dst, num_nodes),
+            segment_sum(messages, dst, num_nodes),
+        ]
+        degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+        degree = np.maximum(degree, 1.0)
+        amplification = np.log(degree + 1.0) / self.log_average_degree
+        attenuation = self.log_average_degree / np.log(degree + 1.0)
+        scaled = []
+        for aggregate in aggregated:
+            scaled.append(aggregate)
+            scaled.append(aggregate * Tensor(amplification[:, None]))
+            scaled.append(aggregate * Tensor(attenuation[:, None]))
+        return self.post(concat(scaled + [x], axis=1))
+
+
+#: registry keyed by the names used in Table III
+CONV_REGISTRY: dict[str, type[MessagePassingLayer]] = {
+    "gcn": GCNConv,
+    "gat": GATConv,
+    "graphsage": SAGEConv,
+    "sage": SAGEConv,
+    "transformer": TransformerConv,
+    "pna": PNAConv,
+}
+
+
+def make_conv(name: str, in_features: int, out_features: int,
+              rng: np.random.Generator | None = None) -> MessagePassingLayer:
+    """Instantiate a propagation layer by its Table III name."""
+    key = name.lower()
+    if key not in CONV_REGISTRY:
+        raise KeyError(
+            f"unknown GNN type {name!r}; available: {sorted(set(CONV_REGISTRY))}"
+        )
+    return CONV_REGISTRY[key](in_features, out_features, rng=rng)
+
+
+__all__ = [
+    "add_self_loops", "MessagePassingLayer", "GCNConv", "SAGEConv", "GATConv",
+    "TransformerConv", "PNAConv", "CONV_REGISTRY", "make_conv",
+]

@@ -1,0 +1,37 @@
+"""Graph-level pooling (readout) layers.
+
+The paper concatenates sum pooling and max pooling of node embeddings to form
+the graph-level representation fed to the MLP heads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.autograd import Tensor, concat, segment_max, segment_mean, segment_sum
+
+
+def global_sum_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Sum node embeddings per graph."""
+    return segment_sum(x, batch, num_graphs)
+
+
+def global_mean_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Average node embeddings per graph."""
+    return segment_mean(x, batch, num_graphs)
+
+
+def global_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """Per-graph maximum over node embeddings."""
+    return segment_max(x, batch, num_graphs)
+
+
+def sum_max_pool(x: Tensor, batch: np.ndarray, num_graphs: int) -> Tensor:
+    """The readout used by the paper: ``[sum-pool || max-pool]``."""
+    return concat(
+        [global_sum_pool(x, batch, num_graphs), global_max_pool(x, batch, num_graphs)],
+        axis=1,
+    )
+
+
+__all__ = ["global_sum_pool", "global_mean_pool", "global_max_pool", "sum_max_pool"]

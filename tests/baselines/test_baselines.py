@@ -1,0 +1,134 @@
+"""Tests for the comparison baselines (flat GNNs, GNN-DSE style, GBM)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FlatGNNBaseline,
+    GBMBaseline,
+    GNNDSEBaseline,
+    GradientBoostingRegressor,
+    RegressionTree,
+    extract_features,
+    feature_names,
+    post_hls_targets,
+)
+from repro.core.trainer import TrainingConfig
+from repro.frontend import LoopDirective, PragmaConfig
+from repro.kernels import load_kernel
+
+FAST_TRAINING = TrainingConfig(epochs=8, batch_size=16, patience=8)
+
+
+class TestFlatGNNBaseline:
+    def test_pragma_blind_samples_identical_graphs(self, tiny_training_instances):
+        baseline = FlatGNNBaseline(pragma_aware=False, training=FAST_TRAINING)
+        samples = baseline.build_samples(tiny_training_instances)
+        fir_sizes = {
+            s.num_nodes for s, inst in zip(samples, tiny_training_instances)
+            if inst.kernel == "fir"
+        }
+        assert len(fir_sizes) == 1  # every config maps to the same graph
+
+    def test_pragma_aware_samples_differ(self, tiny_training_instances):
+        baseline = FlatGNNBaseline(pragma_aware=True, training=FAST_TRAINING)
+        samples = baseline.build_samples(tiny_training_instances)
+        fir_sizes = {
+            s.num_nodes for s, inst in zip(samples, tiny_training_instances)
+            if inst.kernel == "fir"
+        }
+        assert len(fir_sizes) > 1
+
+    def test_post_hls_label_stage(self, tiny_training_instances):
+        baseline = FlatGNNBaseline(label_stage="post_hls", training=FAST_TRAINING)
+        samples = baseline.build_samples(tiny_training_instances)
+        instance = tiny_training_instances[0]
+        assert samples[0].targets == post_hls_targets(instance)
+        assert samples[0].targets["lut"] != float(instance.qor.lut)
+
+    def test_invalid_label_stage_rejected(self):
+        with pytest.raises(ValueError):
+            FlatGNNBaseline(label_stage="post_synthesis")
+
+    def test_fit_predict_evaluate(self, tiny_training_instances):
+        baseline = FlatGNNBaseline(pragma_aware=False, training=FAST_TRAINING)
+        baseline.fit(tiny_training_instances, rng=np.random.default_rng(0))
+        prediction = baseline.predict(load_kernel("fir"), PragmaConfig())
+        assert set(prediction) == {"lut", "dsp", "ff", "latency"}
+        scores = baseline.evaluate_post_route(tiny_training_instances[:6])
+        assert all(np.isfinite(v) for v in scores.values())
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            FlatGNNBaseline().predict(load_kernel("fir"), PragmaConfig())
+
+    def test_gnn_dse_variant_configuration(self):
+        baseline = GNNDSEBaseline(training=FAST_TRAINING)
+        assert baseline.pragma_aware
+        assert baseline.label_stage == "post_hls"
+
+
+class TestFeatureExtraction:
+    def test_feature_vector_matches_names(self, gemm_function):
+        vector = extract_features(gemm_function, PragmaConfig())
+        assert vector.shape == (len(feature_names()),)
+
+    def test_pragmas_change_features(self, gemm_function):
+        baseline = extract_features(gemm_function, PragmaConfig())
+        config = PragmaConfig.from_dicts(
+            loops={"L0_0": LoopDirective(pipeline=True, unroll_factor=4)}
+        )
+        assert not np.allclose(baseline, extract_features(gemm_function, config))
+
+    def test_features_are_finite(self, gemm_function):
+        assert np.isfinite(extract_features(gemm_function, PragmaConfig())).all()
+
+
+class TestGradientBoosting:
+    def test_regression_tree_fits_step_function(self):
+        X = np.linspace(0, 1, 64).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float) * 10
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        prediction = tree.predict(X)
+        assert abs(prediction[:32].mean() - 0.0) < 1.0
+        assert abs(prediction[32:].mean() - 10.0) < 1.0
+
+    def test_boosting_beats_single_tree(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(size=(200, 3))
+        y = 5 * X[:, 0] + np.sin(6 * X[:, 1]) + 0.5 * X[:, 2]
+        tree = RegressionTree(max_depth=3).fit(X, y)
+        boosted = GradientBoostingRegressor(n_estimators=60, learning_rate=0.1).fit(X, y)
+        tree_error = np.mean((tree.predict(X) - y) ** 2)
+        boosted_error = np.mean((boosted.predict(X) - y) ** 2)
+        assert boosted_error < tree_error
+
+    def test_boosting_handles_constant_targets(self):
+        X = np.random.default_rng(1).uniform(size=(30, 2))
+        y = np.full(30, 7.0)
+        model = GradientBoostingRegressor(n_estimators=5).fit(X, y)
+        assert np.allclose(model.predict(X), 7.0, atol=1e-6)
+
+
+class TestGBMBaseline:
+    def test_fit_and_predict(self, tiny_training_instances):
+        baseline = GBMBaseline(n_estimators=30).fit(tiny_training_instances)
+        prediction = baseline.predict(load_kernel("fir"), PragmaConfig())
+        assert set(prediction) == {"lut", "dsp", "ff", "latency"}
+        assert all(v >= 0 for v in prediction.values())
+
+    def test_evaluation_on_training_set_is_reasonable(self, tiny_training_instances):
+        baseline = GBMBaseline(n_estimators=60).fit(tiny_training_instances)
+        scores = baseline.evaluate(tiny_training_instances)
+        # boosted trees should fit their own (post-HLS) training labels well
+        assert scores["lut"] < 50.0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GBMBaseline().predict(load_kernel("fir"), PragmaConfig())
+
+    def test_post_route_label_stage(self, tiny_training_instances):
+        baseline = GBMBaseline(n_estimators=20, label_stage="post_route")
+        baseline.fit(tiny_training_instances)
+        scores = baseline.evaluate(tiny_training_instances)
+        assert all(np.isfinite(v) for v in scores.values())

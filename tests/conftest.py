@@ -1,0 +1,108 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend import (
+    ArrayDirective,
+    LoopDirective,
+    PartitionType,
+    PragmaConfig,
+)
+from repro.ir import lower_source
+
+GEMM_SOURCE = """
+void gemm(int A[16][16], int B[16][16], int C[16][16], int alpha) {
+  int i, j, k;
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 16; j++) {
+      int acc = 0;
+      for (k = 0; k < 16; k++) {
+        acc += A[i][k] * B[k][j];
+      }
+      C[i][j] = alpha * acc;
+    }
+  }
+}
+"""
+
+PREFIX_SUM_SOURCE = """
+void prefix(int a[64]) {
+  int j;
+  for (j = 1; j < 64; j++) {
+    a[j] += a[j-1];
+  }
+}
+"""
+
+VECTOR_ADD_SOURCE = """
+void vadd(int a[32], int b[32], int c[32]) {
+  int i;
+  for (i = 0; i < 32; i++) {
+    c[i] = a[i] + b[i];
+  }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def gemm_function():
+    return lower_source(GEMM_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def prefix_function():
+    return lower_source(PREFIX_SUM_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def vadd_function():
+    return lower_source(VECTOR_ADD_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def gemm_pipelined_config():
+    """Pipeline the j loop, unroll the k loop partially, partition A and B."""
+    return PragmaConfig.from_dicts(
+        loops={
+            "L0_0": LoopDirective(pipeline=True),
+            "L0": LoopDirective(unroll_factor=2),
+        },
+        arrays={
+            "A": ArrayDirective(PartitionType.CYCLIC, factor=4, dim=2),
+            "B": ArrayDirective(PartitionType.CYCLIC, factor=4, dim=1),
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def vadd_pipeline_config():
+    return PragmaConfig.from_dicts(
+        loops={"L0": LoopDirective(pipeline=True)},
+        arrays={
+            "a": ArrayDirective(PartitionType.CYCLIC, factor=2, dim=1),
+            "b": ArrayDirective(PartitionType.CYCLIC, factor=2, dim=1),
+            "c": ArrayDirective(PartitionType.CYCLIC, factor=2, dim=1),
+        },
+    )
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_training_instances():
+    """A small but real set of design instances (two kernels, few configs)."""
+    from repro.core import build_design_instances, default_configurations
+    from repro.kernels import load_kernels
+
+    kernels = load_kernels(("fir", "gsm_autocorr"))
+    configs = {
+        name: default_configurations(fn, limit=10, rng=np.random.default_rng(3))
+        for name, fn in kernels.items()
+    }
+    return build_design_instances(kernels, configs)

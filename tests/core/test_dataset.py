@@ -1,0 +1,113 @@
+"""Tests for dataset generation (design instances, inner-loop samples)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    application_targets,
+    build_design_instances,
+    default_configurations,
+    flat_sample,
+    graph_to_sample,
+    inner_unit_samples,
+)
+from repro.frontend import LoopDirective, PragmaConfig
+from repro.graph import build_flat_graph
+from repro.kernels import load_kernel
+
+
+@pytest.fixture(scope="module")
+def fir_instances():
+    fir = load_kernel("fir")
+    configs = default_configurations(fir, limit=8, rng=np.random.default_rng(0))
+    return build_design_instances({"fir": fir}, {"fir": configs})
+
+
+class TestDesignInstances:
+    def test_one_instance_per_config(self, fir_instances):
+        assert len(fir_instances) >= 8
+        keys = {instance.config_key for instance in fir_instances}
+        assert len(keys) == len(fir_instances)
+
+    def test_ground_truth_attached(self, fir_instances):
+        for instance in fir_instances:
+            assert instance.qor.latency > 0
+            assert instance.qor.hls_report is not None
+            assert instance.qor.impl_report is not None
+
+    def test_application_targets_keys(self, fir_instances):
+        targets = application_targets(fir_instances[0])
+        assert set(targets) == {"latency", "lut", "dsp", "ff"}
+
+    def test_different_configs_have_different_labels(self, fir_instances):
+        latencies = {instance.qor.latency for instance in fir_instances}
+        assert len(latencies) > 1
+
+    def test_default_configurations_include_baseline(self):
+        fir = load_kernel("fir")
+        configs = default_configurations(fir, limit=5)
+        assert any(config.describe() == "baseline" for config in configs)
+
+
+class TestGraphToSample:
+    def test_sample_fields(self, gemm_function):
+        graph = build_flat_graph(gemm_function)
+        sample = graph_to_sample(graph, {"lut": 10.0}, {"kernel": "gemm"})
+        assert sample.num_nodes == graph.num_nodes
+        assert sample.num_edges == graph.num_edges
+        assert sample.targets["lut"] == 10.0
+        assert sample.metadata["kernel"] == "gemm"
+        assert sample.features.shape[0] == graph.num_nodes
+
+    def test_flat_sample_pragma_blind_ignores_config(self, fir_instances):
+        aware = flat_sample(fir_instances[-1], pragma_aware=True)
+        blind = flat_sample(fir_instances[-1], pragma_aware=False)
+        baseline_blind = flat_sample(fir_instances[0], pragma_aware=False)
+        assert blind.num_nodes == baseline_blind.num_nodes
+        # but the labels still differ across configs, which is why the
+        # pragma-blind baseline cannot fit the with-pragma dataset
+        assert aware.targets == blind.targets
+
+
+class TestInnerUnitSamples:
+    def test_split_by_pipelining(self, fir_instances):
+        pipelined, non_pipelined = inner_unit_samples(fir_instances)
+        assert pipelined or non_pipelined
+        for sample in pipelined:
+            assert sample.loop_features[2] == 1.0  # pipelined flag
+        for sample in non_pipelined:
+            assert sample.loop_features[2] == 0.0
+
+    def test_targets_present_and_positive(self, fir_instances):
+        pipelined, non_pipelined = inner_unit_samples(fir_instances)
+        for sample in pipelined + non_pipelined:
+            assert sample.targets["latency"] > 0
+            assert sample.targets["lut"] > 0
+            assert sample.targets["iteration_latency"] >= 1
+
+    def test_deduplication_reduces_count(self, fir_instances):
+        deduped = inner_unit_samples(fir_instances, deduplicate=True)
+        full = inner_unit_samples(fir_instances, deduplicate=False)
+        assert len(full[0]) + len(full[1]) >= len(deduped[0]) + len(deduped[1])
+
+    def test_metadata_records_loop_and_category(self, fir_instances):
+        pipelined, non_pipelined = inner_unit_samples(fir_instances)
+        sample = (pipelined + non_pipelined)[0]
+        assert "loop" in sample.metadata
+        assert "category" in sample.metadata
+
+
+class TestConfigurationVariety:
+    def test_pipeline_config_changes_inner_units(self):
+        gemm = load_kernel("gemm")
+        baseline_units = inner_unit_samples(
+            build_design_instances({"gemm": gemm}, {"gemm": [PragmaConfig()]})
+        )
+        pipelined_config = PragmaConfig.from_dicts(
+            loops={"L0_0": LoopDirective(pipeline=True)}
+        )
+        pipelined_units = inner_unit_samples(
+            build_design_instances({"gemm": gemm}, {"gemm": [pipelined_config]})
+        )
+        assert len(baseline_units[0]) == 0 and len(baseline_units[1]) == 1
+        assert len(pipelined_units[0]) == 1 and len(pipelined_units[1]) == 0

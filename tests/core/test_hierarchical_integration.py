@@ -1,0 +1,132 @@
+"""Integration tests for the hierarchical model and source-level predictor.
+
+These use a deliberately small corpus and few epochs: they verify that the
+whole pipeline (dataset -> GNNp/GNNnp -> super nodes -> GNNg -> prediction)
+is wired correctly, not that it reaches paper-level accuracy (that is the
+benchmarks' job).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    QoRPredictor,
+    TrainingConfig,
+)
+from repro.frontend import LoopDirective, PragmaConfig
+from repro.graph import decompose
+from repro.kernels import load_kernel
+
+
+@pytest.fixture(scope="module")
+def trained_model(tiny_training_instances):
+    config = HierarchicalModelConfig(
+        conv_type="graphsage", hidden=16,
+        training=TrainingConfig(epochs=12, batch_size=16, patience=12),
+    )
+    model = HierarchicalQoRModel(config)
+    report = model.fit(tiny_training_instances, rng=np.random.default_rng(0))
+    return model, report
+
+
+class TestHierarchicalTraining:
+    def test_all_three_models_trained(self, trained_model, tiny_training_instances):
+        model, report = trained_model
+        assert model.trainer_g is not None
+        assert model.trainer_p is not None or model.trainer_np is not None
+        assert report.dataset_sizes["GNNg"] == len(tiny_training_instances)
+
+    def test_report_contains_mape_tables(self, trained_model):
+        _, report = trained_model
+        tables = report.test_mape()
+        assert "GNNg" in tables
+        for scores in tables.values():
+            for value in scores.values():
+                assert np.isfinite(value)
+
+    def test_prediction_outputs_all_metrics(self, trained_model):
+        model, _ = trained_model
+        fir = load_kernel("fir")
+        prediction = model.predict(fir, PragmaConfig())
+        assert set(prediction) == {"lut", "dsp", "ff", "latency"}
+        assert all(np.isfinite(v) for v in prediction.values())
+        assert prediction["latency"] > 0
+
+    def test_prediction_changes_with_configuration(self, trained_model):
+        model, _ = trained_model
+        fir = load_kernel("fir")
+        baseline = model.predict(fir, PragmaConfig())
+        optimized = model.predict(
+            fir,
+            PragmaConfig.from_dicts(loops={"L0_0": LoopDirective(pipeline=True)}),
+        )
+        assert baseline != optimized
+
+    def test_inner_unit_prediction(self, trained_model, tiny_training_instances):
+        model, _ = trained_model
+        instance = tiny_training_instances[0]
+        decomposition = decompose(instance.function, instance.config)
+        prediction = model.predict_inner_unit(decomposition.inner_units[0])
+        assert prediction["latency"] > 0
+
+    def test_evaluate_returns_per_metric_mape(self, trained_model, tiny_training_instances):
+        model, _ = trained_model
+        scores = model.evaluate(tiny_training_instances[:5])
+        assert set(scores) == {"lut", "dsp", "ff", "latency"}
+        assert all(np.isfinite(v) and v >= 0 for v in scores.values())
+
+    def test_unseen_kernel_prediction_is_finite(self, trained_model):
+        """Generalisation smoke test: a kernel never seen in training."""
+        model, _ = trained_model
+        mvt = load_kernel("mvt")
+        prediction = model.predict(
+            mvt, PragmaConfig.from_dicts(loops={"L0_0": LoopDirective(pipeline=True)})
+        )
+        assert all(np.isfinite(v) for v in prediction.values())
+
+    def test_predict_before_fit_raises(self):
+        model = HierarchicalQoRModel()
+        with pytest.raises(RuntimeError):
+            model.predict(load_kernel("fir"), PragmaConfig())
+
+
+class TestSourceLevelPredictor:
+    def test_fit_and_predict_from_source(self):
+        source = """
+        void scale(int a[32], int b[32], int alpha) {
+          int i;
+          for (i = 0; i < 32; i++) {
+            b[i] = alpha * a[i];
+          }
+        }
+        """
+        from repro.core import build_design_instances, default_configurations
+        from repro.ir import lower_source
+
+        function = lower_source(source)
+        configs = default_configurations(function, limit=8, rng=np.random.default_rng(1))
+        predictor = QoRPredictor(
+            HierarchicalModelConfig(
+                hidden=16, training=TrainingConfig(epochs=8, batch_size=8)
+            )
+        )
+        predictor.fit_sources({"scale": source}, {"scale": configs})
+        prediction = predictor.predict_source(
+            source,
+            PragmaConfig.from_dicts(loops={"L0": LoopDirective(pipeline=True)}),
+        )
+        assert set(prediction) == {"lut", "dsp", "ff", "latency"}
+        assert prediction["latency"] > 0
+
+    def test_fit_instances_entry_point(self, tiny_training_instances):
+        predictor = QoRPredictor(
+            HierarchicalModelConfig(
+                hidden=16, training=TrainingConfig(epochs=5, batch_size=16)
+            )
+        )
+        report = predictor.fit_instances(tiny_training_instances)
+        assert report.dataset_sizes["GNNg"] == len(tiny_training_instances)
+        fir = load_kernel("fir")
+        assert predictor.predict(fir)["lut"] > 0

@@ -1,0 +1,46 @@
+"""Tests for QoR metric helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    qor_mape_table,
+    relative_error,
+    summarize_errors,
+)
+
+
+class TestQoRMapeTable:
+    def test_per_metric_errors(self):
+        predictions = {"lut": np.array([110.0, 90.0]), "latency": np.array([200.0])}
+        truths = {"lut": np.array([100.0, 100.0]), "latency": np.array([100.0])}
+        table = qor_mape_table(predictions, truths)
+        assert table["lut"] == pytest.approx(10.0)
+        assert table["latency"] == pytest.approx(100.0)
+
+    def test_missing_truth_metric_ignored(self):
+        table = qor_mape_table({"lut": np.array([1.0])}, {})
+        assert table == {}
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_zero_truth_uses_epsilon(self):
+        assert relative_error(1.0, 0.0) == pytest.approx(1e9)
+
+    def test_symmetric_in_sign(self):
+        assert relative_error(90.0, 100.0) == pytest.approx(0.1)
+
+
+class TestSummarizeErrors:
+    def test_summary_fields(self):
+        summary = summarize_errors([0.1, 0.2, 0.3, 0.4])
+        assert summary["mean"] == pytest.approx(25.0)
+        assert summary["median"] == pytest.approx(25.0)
+        assert summary["max"] == pytest.approx(40.0)
+        assert summary["p90"] <= 40.0
+
+    def test_empty_list(self):
+        assert summarize_errors([]) == {"mean": 0.0, "median": 0.0, "p90": 0.0, "max": 0.0}

@@ -1,0 +1,54 @@
+"""Tests for saving and loading trained hierarchical models."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    TrainingConfig,
+    load_model,
+    save_model,
+)
+from repro.frontend import LoopDirective, PragmaConfig
+from repro.kernels import load_kernel
+
+
+@pytest.fixture(scope="module")
+def small_trained_model(tiny_training_instances):
+    config = HierarchicalModelConfig(
+        conv_type="gcn", hidden=16,
+        training=TrainingConfig(epochs=6, batch_size=16),
+    )
+    model = HierarchicalQoRModel(config)
+    model.fit(tiny_training_instances, rng=np.random.default_rng(0))
+    return model
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_preserves_predictions(self, small_trained_model, tmp_path):
+        path = save_model(small_trained_model, tmp_path / "model.npz")
+        assert path.exists()
+        restored = load_model(path)
+        fir = load_kernel("fir")
+        config = PragmaConfig.from_dicts(loops={"L0_0": LoopDirective(pipeline=True)})
+        original = small_trained_model.predict(fir, config)
+        recovered = restored.predict(fir, config)
+        for metric in original:
+            assert recovered[metric] == pytest.approx(original[metric], rel=1e-9)
+
+    def test_round_trip_preserves_architecture(self, small_trained_model, tmp_path):
+        path = save_model(small_trained_model, tmp_path / "model.npz")
+        restored = load_model(path)
+        assert restored.config.conv_type == "gcn"
+        assert restored.config.hidden == 16
+        assert (restored.trainer_p is None) == (small_trained_model.trainer_p is None)
+        assert (restored.trainer_np is None) == (small_trained_model.trainer_np is None)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "does_not_exist.npz")
+
+    def test_save_creates_parent_directories(self, small_trained_model, tmp_path):
+        path = save_model(small_trained_model, tmp_path / "nested" / "dir" / "m.npz")
+        assert path.exists()

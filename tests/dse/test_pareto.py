@@ -1,0 +1,145 @@
+"""Unit and property-based tests for Pareto analysis and ADRS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.pareto import (
+    DesignPoint,
+    adrs,
+    dominates,
+    hypervolume_2d,
+    normalize_objectives,
+    pareto_front,
+)
+
+
+def points_from(tuples):
+    return [DesignPoint(key=str(i), objectives=t) for i, t in enumerate(tuples)]
+
+
+class TestDominance:
+    def test_strict_domination(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_tradeoff_points_do_not_dominate(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_partial_tie_dominates(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = points_from([(1, 10), (2, 5), (3, 1), (3, 10), (2, 6)])
+        front = pareto_front(points)
+        objectives = sorted(p.objectives for p in front)
+        assert objectives == [(1, 10), (2, 5), (3, 1)]
+
+    def test_single_point(self):
+        points = points_from([(1, 1)])
+        assert len(pareto_front(points)) == 1
+
+    def test_duplicates_collapse(self):
+        points = points_from([(1, 1), (1, 1), (2, 2)])
+        assert len(pareto_front(points)) == 1
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    @given(st.lists(
+        st.tuples(st.floats(1, 100), st.floats(1, 100)), min_size=1, max_size=30,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_front_members_are_not_dominated(self, tuples):
+        points = points_from(tuples)
+        front = pareto_front(points)
+        assert front, "front of a non-empty set is non-empty"
+        for member in front:
+            assert not any(
+                dominates(p.objectives, member.objectives) for p in points
+            )
+
+    @given(st.lists(
+        st.tuples(st.floats(1, 100), st.floats(1, 100)), min_size=1, max_size=30,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_every_point_dominated_by_or_on_front(self, tuples):
+        points = points_from(tuples)
+        front = pareto_front(points)
+        for point in points:
+            on_front = any(point.objectives == member.objectives for member in front)
+            dominated = any(
+                dominates(member.objectives, point.objectives) for member in front
+            )
+            assert on_front or dominated
+
+
+class TestADRS:
+    def test_identical_fronts_give_zero(self):
+        exact = points_from([(1, 10), (5, 2)])
+        assert adrs(exact, exact) == 0.0
+
+    def test_worse_front_gives_positive(self):
+        exact = points_from([(1, 10), (5, 2)])
+        approx = points_from([(2, 12), (6, 3)])
+        assert adrs(exact, approx) > 0.0
+
+    def test_superset_containing_exact_gives_zero(self):
+        exact = points_from([(1, 10), (5, 2)])
+        approx = exact + points_from([(10, 10)])
+        assert adrs(exact, approx) == 0.0
+
+    def test_empty_approximation_is_infinite(self):
+        exact = points_from([(1, 1)])
+        assert adrs(exact, []) == float("inf")
+
+    def test_empty_exact_front_is_zero(self):
+        assert adrs([], points_from([(1, 1)])) == 0.0
+
+    def test_known_value(self):
+        exact = points_from([(100.0, 100.0)])
+        approx = points_from([(120.0, 100.0)])
+        assert adrs(exact, approx) == pytest.approx(0.2)
+
+    @given(st.lists(
+        st.tuples(st.floats(1, 50), st.floats(1, 50)), min_size=2, max_size=20,
+    ))
+    @settings(max_examples=30, deadline=None)
+    def test_adrs_nonnegative_and_zero_for_self(self, tuples):
+        points = points_from(tuples)
+        front = pareto_front(points)
+        assert adrs(front, points) == pytest.approx(0.0)
+        subset = front[: max(1, len(front) // 2)]
+        assert adrs(front, subset) >= 0.0
+
+
+class TestHypervolumeAndNormalization:
+    def test_hypervolume_simple(self):
+        front = points_from([(1.0, 1.0)])
+        assert hypervolume_2d(front, (2.0, 2.0)) == pytest.approx(1.0)
+
+    def test_hypervolume_additional_point_increases(self):
+        front_one = points_from([(1.0, 3.0)])
+        front_two = points_from([(1.0, 3.0), (3.0, 1.0)])
+        ref = (4.0, 4.0)
+        assert hypervolume_2d(front_two, ref) > hypervolume_2d(front_one, ref)
+
+    def test_hypervolume_ignores_points_beyond_reference(self):
+        front = points_from([(10.0, 10.0)])
+        assert hypervolume_2d(front, (2.0, 2.0)) == 0.0
+
+    def test_normalize_objectives_range(self):
+        points = points_from([(10, 100), (20, 300), (30, 200)])
+        normalized = normalize_objectives(points)
+        matrix = np.array([p.objectives for p in normalized])
+        assert matrix.min() == pytest.approx(0.0)
+        assert matrix.max() == pytest.approx(1.0)
+
+    def test_normalize_empty(self):
+        assert normalize_objectives([]) == []

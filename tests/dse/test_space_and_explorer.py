@@ -1,0 +1,156 @@
+"""Tests for design-space enumeration and the DSE explorers."""
+
+import numpy as np
+import pytest
+
+from repro.dse.explorer import (
+    ModelGuidedExplorer,
+    exhaustive_ground_truth,
+    oracle_dse,
+    qor_objectives,
+    resource_cost,
+)
+from repro.dse.space import (
+    UNROLL_FACTORS,
+    enumerate_design_space,
+    loop_chains,
+    sample_design_space,
+)
+from repro.frontend import PragmaConfig
+from repro.hls import run_full_flow
+from repro.kernels import load_kernel
+
+
+class TestLoopChains:
+    def test_gemm_single_chain(self, gemm_function):
+        chains = loop_chains(gemm_function)
+        assert len(chains) == 1
+        assert chains[0].labels == ("L0", "L0_0", "L0_0_0")
+        assert chains[0].tripcounts == (16, 16, 16)
+
+    def test_multiple_top_level_nests(self):
+        mvt = load_kernel("mvt")
+        chains = loop_chains(mvt)
+        assert len(chains) == 2
+
+    def test_perfect_flag(self, vadd_function, gemm_function):
+        assert loop_chains(vadd_function)[0].perfect
+        assert not loop_chains(gemm_function)[0].perfect
+
+
+class TestEnumeration:
+    def test_space_contains_baseline(self, gemm_function):
+        configs = enumerate_design_space(gemm_function)
+        assert any(c.describe() == "baseline" for c in configs)
+
+    def test_space_is_deduplicated(self, gemm_function):
+        configs = enumerate_design_space(gemm_function)
+        keys = [c.key() for c in configs]
+        assert len(keys) == len(set(keys))
+
+    def test_space_size_in_expected_range(self, gemm_function):
+        configs = enumerate_design_space(gemm_function)
+        # a 3-level nest with factors {1,2,4,8,16} gives hundreds of points
+        assert 100 < len(configs) <= 4096
+
+    def test_unroll_factors_respected(self, gemm_function):
+        configs = enumerate_design_space(gemm_function)
+        factors = {
+            directive.unroll_factor
+            for config in configs
+            for _, directive in config.loops
+        }
+        assert factors <= set(UNROLL_FACTORS)
+
+    def test_partition_follows_unroll(self, gemm_function):
+        configs = enumerate_design_space(gemm_function)
+        for config in configs:
+            max_unroll = max(
+                [d.unroll_factor for _, d in config.loops] or [1]
+            )
+            for _, directive in config.arrays:
+                assert directive.factor <= max(max_unroll, 2)
+
+    def test_max_configs_cap(self, gemm_function):
+        configs = enumerate_design_space(gemm_function, max_configs=50)
+        assert len(configs) <= 50
+
+    def test_sample_design_space_size(self, gemm_function):
+        configs = sample_design_space(gemm_function, 10, rng=np.random.default_rng(0))
+        assert len(configs) == 10
+
+    def test_dse_kernel_space_sizes_are_thousands(self):
+        """Paper Table V reports ~2000-2800 configurations per DSE kernel."""
+        bicg = load_kernel("bicg")
+        configs = enumerate_design_space(bicg)
+        assert len(configs) > 500
+
+
+class TestObjectives:
+    def test_resource_cost_weights_dsp_heavily(self):
+        assert resource_cost({"lut": 0, "ff": 0, "dsp": 10}) > resource_cost(
+            {"lut": 500, "ff": 0, "dsp": 0}
+        )
+
+    def test_qor_objectives_tuple(self):
+        objectives = qor_objectives({"latency": 100, "lut": 10, "ff": 2, "dsp": 1})
+        assert objectives[0] == 100.0
+        assert objectives[1] == pytest.approx(10 + 1 + 100)
+
+
+class TestExplorers:
+    @pytest.fixture(scope="class")
+    def vadd_space(self, vadd_function):
+        configs = sample_design_space(vadd_function, 24, rng=np.random.default_rng(1))
+        return exhaustive_ground_truth(vadd_function, configs)
+
+    def test_ground_truth_space_complete(self, vadd_space):
+        assert vadd_space.num_configs == len(vadd_space.results)
+        assert vadd_space.simulated_tool_seconds > 0
+
+    def test_exact_front_is_nonempty_subset(self, vadd_space):
+        front = vadd_space.exact_front()
+        assert 0 < len(front) <= vadd_space.num_configs
+
+    def test_oracle_has_zero_adrs(self, vadd_space):
+        result = oracle_dse(vadd_space)
+        assert result.adrs == 0.0
+        assert result.exact_front == result.approx_front
+
+    def test_perfect_predictor_gets_zero_adrs(self, vadd_function, vadd_space):
+        def perfect(function, config):
+            return vadd_space.results[config.key()].as_dict()
+
+        explorer = ModelGuidedExplorer(perfect, name="perfect")
+        result = explorer.explore(vadd_function, vadd_space)
+        assert result.adrs == pytest.approx(0.0)
+        assert result.num_configs == vadd_space.num_configs
+
+    def test_constant_predictor_has_positive_adrs(self, vadd_function, vadd_space):
+        def constant(function, config):
+            return {"latency": 1.0, "lut": 1.0, "ff": 1.0, "dsp": 1.0}
+
+        result = ModelGuidedExplorer(constant).explore(vadd_function, vadd_space)
+        # a constant predictor selects a single arbitrary design point
+        assert len(result.approx_front) <= 2
+        assert result.adrs >= 0.0
+
+    def test_speedup_reported(self, vadd_function, vadd_space):
+        def cheap(function, config):
+            return {"latency": 10.0, "lut": 5.0, "ff": 1.0, "dsp": 0.0}
+
+        result = ModelGuidedExplorer(cheap).explore(vadd_function, vadd_space)
+        assert result.simulated_tool_seconds == vadd_space.simulated_tool_seconds
+        assert result.speedup > 1.0
+
+    def test_noisy_predictor_adrs_bounded_by_quality(self, vadd_function, vadd_space):
+        """A mildly noisy predictor should produce a small ADRS, far smaller
+        than a constant predictor."""
+        rng = np.random.default_rng(3)
+
+        def noisy(function, config):
+            truth = vadd_space.results[config.key()].as_dict()
+            return {k: v * float(rng.uniform(0.95, 1.05)) for k, v in truth.items()}
+
+        noisy_result = ModelGuidedExplorer(noisy).explore(vadd_function, vadd_space)
+        assert noisy_result.adrs < 0.5

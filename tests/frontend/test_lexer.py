@@ -1,0 +1,109 @@
+"""Unit tests for the HLS-C lexer."""
+
+import pytest
+
+from repro.frontend.errors import LexerError
+from repro.frontend.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def texts(source):
+    return [token.text for token in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier_and_keyword_distinction(self):
+        tokens = tokenize("int foo")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[1].kind is TokenKind.IDENT
+        assert tokens[1].text == "foo"
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INT_LITERAL
+        assert tokens[0].text == "42"
+
+    def test_float_literal_with_decimal_point(self):
+        tokens = tokenize("3.25")
+        assert tokens[0].kind is TokenKind.FLOAT_LITERAL
+
+    def test_float_literal_with_suffix(self):
+        tokens = tokenize("1.5f")
+        assert tokens[0].kind is TokenKind.FLOAT_LITERAL
+        assert tokens[0].text == "1.5"
+
+    def test_all_keywords_recognised(self):
+        for keyword in ("void", "int", "float", "for", "if", "else", "return"):
+            assert tokenize(keyword)[0].kind is TokenKind.KEYWORD
+
+    def test_punctuation(self):
+        assert kinds("(){}[];,")[:-1] == [
+            TokenKind.LPAREN, TokenKind.RPAREN, TokenKind.LBRACE,
+            TokenKind.RBRACE, TokenKind.LBRACKET, TokenKind.RBRACKET,
+            TokenKind.SEMICOLON, TokenKind.COMMA,
+        ]
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("+", TokenKind.PLUS), ("-", TokenKind.MINUS), ("*", TokenKind.STAR),
+            ("/", TokenKind.SLASH), ("%", TokenKind.PERCENT),
+            ("=", TokenKind.ASSIGN), ("+=", TokenKind.PLUS_ASSIGN),
+            ("-=", TokenKind.MINUS_ASSIGN), ("*=", TokenKind.STAR_ASSIGN),
+            ("++", TokenKind.PLUS_PLUS), ("--", TokenKind.MINUS_MINUS),
+            ("<", TokenKind.LT), ("<=", TokenKind.LE), (">", TokenKind.GT),
+            (">=", TokenKind.GE), ("==", TokenKind.EQ), ("!=", TokenKind.NE),
+            ("&&", TokenKind.AND), ("||", TokenKind.OR),
+        ],
+    )
+    def test_operator_kinds(self, text, kind):
+        assert tokenize(text)[0].kind is kind
+
+    def test_compound_expression(self):
+        assert texts("a[i] += b * 2;") == ["a", "[", "i", "]", "+=", "b", "*", "2", ";"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment here\n b") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* multi\nline */ b") == ["a", "b"]
+
+    def test_whitespace_between_tokens(self):
+        assert texts("  a \t\n b ") == ["a", "b"]
+
+
+class TestPragmas:
+    def test_pragma_is_one_token(self):
+        tokens = tokenize("#pragma HLS pipeline II=2\nint x;")
+        assert tokens[0].kind is TokenKind.PRAGMA
+        assert tokens[0].text == "#pragma HLS pipeline II=2"
+        assert tokens[1].kind is TokenKind.KEYWORD
+
+    def test_pragma_line_tracking(self):
+        tokens = tokenize("int a;\n#pragma HLS unroll factor=4\n")
+        pragma = [t for t in tokens if t.kind is TokenKind.PRAGMA][0]
+        assert pragma.line == 2
+
+
+class TestErrorsAndPositions:
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexerError):
+            tokenize("int a = `b`;")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("int a;\nint b;")
+        b_token = [t for t in tokens if t.text == "b"][0]
+        assert b_token.line == 2
+        assert b_token.column == 5

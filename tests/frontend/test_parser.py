@@ -1,0 +1,206 @@
+"""Unit tests for the HLS-C parser."""
+
+import pytest
+
+from repro.frontend import ast_nodes as ast
+from repro.frontend.errors import ParserError
+from repro.frontend.parser import parse_function, parse_source
+
+
+class TestFunctionParsing:
+    def test_simple_function(self):
+        func = parse_function("void foo(int a, int b) { }")
+        assert func.name == "foo"
+        assert func.return_type == "void"
+        assert [p.name for p in func.params] == ["a", "b"]
+
+    def test_array_parameter_dimensions(self):
+        func = parse_function("void foo(int A[4][8]) { }")
+        assert func.params[0].dims == [4, 8]
+        assert func.params[0].is_array
+
+    def test_scalar_parameter_is_not_array(self):
+        func = parse_function("void foo(int n) { }")
+        assert not func.params[0].is_array
+
+    def test_float_parameter_type(self):
+        func = parse_function("void foo(float x[8]) { }")
+        assert func.params[0].type_name == "float"
+
+    def test_multiple_functions_top_is_last(self):
+        unit = parse_source("void a() { } void b() { }")
+        assert [f.name for f in unit.functions] == ["a", "b"]
+        assert unit.top.name == "b"
+
+    def test_function_lookup_by_name(self):
+        unit = parse_source("void a() { } void b() { }")
+        assert unit.function("a").name == "a"
+        with pytest.raises(KeyError):
+            unit.function("missing")
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        func = parse_function("void f() { int x = 3; }")
+        decl = func.body.statements[0]
+        assert isinstance(decl, ast.Declaration)
+        assert decl.name == "x"
+        assert isinstance(decl.init, ast.IntLiteral)
+
+    def test_multi_declarator_statement(self):
+        func = parse_function("void f() { int x, y, z; }")
+        block = func.body.statements[0]
+        assert isinstance(block, ast.Block)
+        assert len(block.statements) == 3
+
+    def test_local_array_declaration(self):
+        func = parse_function("void f() { int buf[16]; }")
+        decl = func.body.statements[0]
+        assert decl.dims == [16]
+
+    def test_assignment_operators(self):
+        func = parse_function("void f(int a[4]) { a[0] = 1; a[1] += 2; a[2] *= 3; }")
+        ops = [s.op for s in func.body.statements]
+        assert ops == ["=", "+=", "*="]
+
+    def test_increment_statement_becomes_plus_equals(self):
+        func = parse_function("void f() { int x = 0; x++; }")
+        assign = func.body.statements[1]
+        assert assign.op == "+="
+        assert isinstance(assign.value, ast.IntLiteral)
+
+    def test_if_else_statement(self):
+        func = parse_function(
+            "void f(int a[4], int n) { if (n > 0) { a[0] = 1; } else { a[0] = 2; } }"
+        )
+        stmt = func.body.statements[0]
+        assert isinstance(stmt, ast.IfStmt)
+        assert stmt.else_body is not None
+
+    def test_return_statement(self):
+        func = parse_function("int f(int x) { return x + 1; }")
+        assert isinstance(func.body.statements[0], ast.ReturnStmt)
+
+
+class TestForLoops:
+    def test_basic_loop_fields(self):
+        func = parse_function("void f(int a[8]) { int i; for (i = 0; i < 8; i++) { a[i] = i; } }")
+        loop = func.body.statements[1]
+        assert isinstance(loop, ast.ForLoop)
+        assert loop.var == "i"
+        assert loop.step == 1
+        assert loop.cmp_op == "<"
+
+    def test_inline_induction_declaration(self):
+        func = parse_function("void f(int a[8]) { for (int i = 0; i < 8; i++) { a[i] = i; } }")
+        assert isinstance(func.body.statements[0], ast.ForLoop)
+
+    def test_decreasing_loop(self):
+        func = parse_function("void f(int a[8]) { int i; for (i = 7; i > 0; i--) { a[i] = a[i-1]; } }")
+        loop = func.body.statements[1]
+        assert loop.step == -1
+
+    def test_step_by_two(self):
+        func = parse_function("void f(int a[8]) { int i; for (i = 0; i < 8; i += 2) { a[i] = 0; } }")
+        loop = func.body.statements[1]
+        assert loop.step == 2
+
+    def test_loop_labels_are_hierarchical(self):
+        source = """
+        void f(int a[4][4]) {
+          int i, j;
+          for (i = 0; i < 4; i++) {
+            for (j = 0; j < 4; j++) { a[i][j] = 0; }
+          }
+          for (i = 0; i < 4; i++) { a[i][0] = 1; }
+        }
+        """
+        func = parse_function(source)
+        loops = [s for s in func.body.statements if isinstance(s, ast.ForLoop)]
+        assert loops[0].label == "L0"
+        assert loops[0].body.statements[0].label == "L0_0"
+        assert loops[1].label == "L1"
+
+    def test_mismatched_condition_variable_rejected(self):
+        with pytest.raises(ParserError):
+            parse_function("void f() { int i, j; for (i = 0; j < 8; i++) { } }")
+
+
+class TestExpressions:
+    def test_precedence_multiplication_before_addition(self):
+        func = parse_function("void f(int a[4]) { a[0] = 1 + 2 * 3; }")
+        value = func.body.statements[0].value
+        assert isinstance(value, ast.BinaryOp)
+        assert value.op == "+"
+        assert isinstance(value.right, ast.BinaryOp)
+        assert value.right.op == "*"
+
+    def test_parentheses_override_precedence(self):
+        func = parse_function("void f(int a[4]) { a[0] = (1 + 2) * 3; }")
+        value = func.body.statements[0].value
+        assert value.op == "*"
+
+    def test_multi_dimensional_array_reference(self):
+        func = parse_function("void f(int A[4][4]) { A[1][2] = 0; }")
+        target = func.body.statements[0].target
+        assert isinstance(target, ast.ArrayRef)
+        assert len(target.indices) == 2
+
+    def test_unary_minus(self):
+        func = parse_function("void f(int a[4]) { a[0] = -5; }")
+        value = func.body.statements[0].value
+        assert isinstance(value, ast.UnaryOp)
+
+    def test_ternary_expression(self):
+        func = parse_function("void f(int a[4], int n) { a[0] = n > 0 ? 1 : 2; }")
+        value = func.body.statements[0].value
+        assert isinstance(value, ast.TernaryOp)
+
+    def test_intrinsic_call(self):
+        func = parse_function("void f(float a[4], float x) { a[0] = sqrtf(x); }")
+        value = func.body.statements[0].value
+        assert isinstance(value, ast.CallExpr)
+        assert value.name == "sqrtf"
+
+    def test_cast_expression(self):
+        func = parse_function("void f(float a[4], int x) { a[0] = (float) x; }")
+        assert isinstance(func.body.statements[0], ast.Assignment)
+
+    def test_unexpected_token_raises(self):
+        with pytest.raises(ParserError):
+            parse_function("void f() { int x = ; }")
+
+
+class TestPragmaAttachment:
+    def test_pragma_attached_to_following_loop(self):
+        source = """
+        void f(int a[8]) {
+          int i;
+          #pragma HLS pipeline
+          for (i = 0; i < 8; i++) { a[i] = 0; }
+        }
+        """
+        func = parse_function(source)
+        loop = [s for s in func.body.statements if isinstance(s, ast.ForLoop)][0]
+        assert len(loop.pragmas) == 1
+
+    def test_non_hls_pragma_ignored(self):
+        func = parse_function("void f() { \n#pragma once\n int x = 0; }")
+        assert all(not s.pragmas for s in func.body.statements)
+
+    def test_function_level_and_loop_level_pragmas(self):
+        source = """
+        void f(int a[8]) {
+          #pragma HLS array_partition variable=a type=cyclic factor=2 dim=1
+          int i;
+          for (i = 0; i < 8; i++) {
+            #pragma HLS unroll factor=2
+            a[i] = 0;
+          }
+        }
+        """
+        func = parse_function(source)
+        assert len(func.pragmas) >= 1  # the array_partition at function scope
+        loop = [s for s in func.body.statements if isinstance(s, ast.ForLoop)][0]
+        inner_pragmas = loop.body.statements[0].pragmas
+        assert any(p.kind.value == "unroll" for p in inner_pragmas)

@@ -1,0 +1,77 @@
+"""Unit tests for the resource-binding stage."""
+
+from repro.frontend import ArrayDirective, PartitionType, PragmaConfig
+from repro.hls.binding import (
+    bind_operations,
+    loop_control,
+    memory_interface,
+    staging_registers,
+)
+from repro.hls.scheduling import build_schedulables, list_schedule
+
+
+def _inner_schedule(gemm_function):
+    loop = gemm_function.loop_by_label("L0_0_0")
+    instrs = list(loop.body.instructions())
+    items = build_schedulables(instrs)
+    return instrs, list_schedule(items)
+
+
+class TestBindOperations:
+    def test_pipelined_units_scale_inverse_with_ii(self, gemm_function):
+        instrs, schedule = _inner_schedule(gemm_function)
+        replicated = instrs * 8
+        wide = bind_operations(replicated, schedule, pipelined=True, ii=1)
+        narrow = bind_operations(replicated, schedule, pipelined=True, ii=8)
+        assert wide.dsp > narrow.dsp
+        assert wide.lut > narrow.lut
+
+    def test_non_pipelined_uses_schedule_pressure(self, gemm_function):
+        instrs, schedule = _inner_schedule(gemm_function)
+        usage = bind_operations(instrs, schedule, pipelined=False)
+        assert usage.lut > 0
+        assert usage.dsp >= 3  # at least one shared multiplier
+
+    def test_control_instructions_excluded(self, gemm_function):
+        loop = gemm_function.loop_by_label("L0")
+        control_only = loop.header_instrs + loop.latch_instrs
+        schedule = list_schedule(build_schedulables(control_only))
+        usage = bind_operations(
+            [i for i in control_only if i.opcode.value in ("phi", "br")],
+            schedule, pipelined=False,
+        )
+        assert usage.dsp == 0
+
+
+class TestOverheads:
+    def test_staging_registers_positive_for_multicycle_ops(self, gemm_function):
+        instrs, schedule = _inner_schedule(gemm_function)
+        usage = staging_registers(instrs, schedule, pipelined=False)
+        assert usage.ff > 0
+
+    def test_pipelined_staging_exceeds_sequential(self, gemm_function):
+        instrs, schedule = _inner_schedule(gemm_function)
+        sequential = staging_registers(instrs, schedule, pipelined=False)
+        pipelined = staging_registers(instrs, schedule, pipelined=True)
+        assert pipelined.ff > sequential.ff
+
+    def test_loop_control_scales_with_levels(self):
+        assert loop_control(3).lut > loop_control(1).lut
+        assert loop_control(1, pipelined=True).ff > loop_control(1).ff
+
+    def test_memory_interface_counts_banks_and_bram(self, gemm_function):
+        baseline = memory_interface(gemm_function.arrays, PragmaConfig(), {"A"})
+        partitioned = memory_interface(
+            gemm_function.arrays,
+            PragmaConfig.from_dicts(
+                arrays={"A": ArrayDirective(PartitionType.CYCLIC, factor=4, dim=2)}
+            ),
+            {"A"},
+        )
+        assert baseline.bram >= 1
+        assert partitioned.lut > baseline.lut
+        assert partitioned.bram >= baseline.bram
+
+    def test_memory_interface_ignores_untouched_arrays(self, gemm_function):
+        usage = memory_interface(gemm_function.arrays, PragmaConfig(), set())
+        assert usage.lut == 0 and usage.bram == 0

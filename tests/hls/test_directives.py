@@ -1,0 +1,110 @@
+"""Unit tests for pragma/directive resolution (Vitis HLS semantics)."""
+
+from repro.frontend import ArrayDirective, LoopDirective, PartitionType, PragmaConfig
+from repro.hls.directives import (
+    PORTS_PER_BANK,
+    all_array_ports,
+    array_ports,
+    effective_unroll_factors,
+    partition_banks,
+    resolve_loop_roles,
+)
+from repro.ir import lower_source
+from repro.ir.structure import ArrayInfo
+
+
+class TestEffectiveUnrollFactors:
+    def test_defaults_to_one(self, gemm_function):
+        factors = effective_unroll_factors(gemm_function, PragmaConfig())
+        assert all(factor == 1 for factor in factors.values())
+
+    def test_explicit_factor(self, gemm_function):
+        config = PragmaConfig.from_dicts(loops={"L0_0_0": LoopDirective(unroll_factor=4)})
+        assert effective_unroll_factors(gemm_function, config)["L0_0_0"] == 4
+
+    def test_factor_clamped_to_tripcount(self, gemm_function):
+        config = PragmaConfig.from_dicts(loops={"L0_0_0": LoopDirective(unroll_factor=64)})
+        assert effective_unroll_factors(gemm_function, config)["L0_0_0"] == 16
+
+    def test_factor_zero_means_full_unroll(self, gemm_function):
+        config = PragmaConfig.from_dicts(loops={"L0_0_0": LoopDirective(unroll_factor=0)})
+        assert effective_unroll_factors(gemm_function, config)["L0_0_0"] == 16
+
+    def test_pipeline_forces_full_unroll_below(self, gemm_function):
+        config = PragmaConfig.from_dicts(loops={"L0_0": LoopDirective(pipeline=True)})
+        factors = effective_unroll_factors(gemm_function, config)
+        assert factors["L0_0_0"] == 16
+        assert factors["L0_0"] == 1
+
+    def test_pipeline_at_top_unrolls_everything_below(self, gemm_function):
+        config = PragmaConfig.from_dicts(loops={"L0": LoopDirective(pipeline=True)})
+        factors = effective_unroll_factors(gemm_function, config)
+        assert factors["L0_0"] == 16 and factors["L0_0_0"] == 16
+
+
+class TestPartitioning:
+    def test_cyclic_banks_equal_factor(self):
+        info = ArrayInfo("A", dims=(16, 16))
+        directive = ArrayDirective(PartitionType.CYCLIC, factor=4, dim=2)
+        assert partition_banks(info, directive) == 4
+
+    def test_complete_banks_equal_dimension_size(self):
+        info = ArrayInfo("A", dims=(16, 8))
+        directive = ArrayDirective(PartitionType.COMPLETE, factor=0, dim=2)
+        assert partition_banks(info, directive) == 8
+
+    def test_default_single_bank(self):
+        info = ArrayInfo("A", dims=(16,))
+        assert partition_banks(info, ArrayDirective()) == 1
+
+    def test_ports_per_bank_multiplier(self):
+        info = ArrayInfo("A", dims=(16,))
+        directive = ArrayDirective(PartitionType.CYCLIC, factor=2, dim=1)
+        assert array_ports(info, directive) == 2 * PORTS_PER_BANK
+
+    def test_all_array_ports(self, gemm_function):
+        config = PragmaConfig.from_dicts(
+            arrays={"A": ArrayDirective(PartitionType.CYCLIC, factor=4, dim=2)}
+        )
+        ports = all_array_ports(gemm_function, config)
+        assert ports["A"] == 4 * PORTS_PER_BANK
+        assert ports["B"] == PORTS_PER_BANK
+
+
+class TestLoopRoles:
+    def test_pipelined_loop_role(self, gemm_function):
+        config = PragmaConfig.from_dicts(loops={"L0_0": LoopDirective(pipeline=True)})
+        roles = resolve_loop_roles(gemm_function, config)
+        assert roles["L0_0"].pipelined
+        assert roles["L0_0_0"].fully_unrolled
+        assert not roles["L0_0_0"].pipelined
+
+    def test_no_directives_no_roles(self, gemm_function):
+        roles = resolve_loop_roles(gemm_function, PragmaConfig())
+        assert not any(role.pipelined for role in roles.values())
+        assert not any(role.fully_unrolled for role in roles.values())
+
+    def test_flatten_into_pipelined_innermost(self):
+        fn = lower_source(
+            "void f(int A[8][8]) { int i, j;"
+            " for (i = 0; i < 8; i++) { for (j = 0; j < 8; j++) { A[i][j] = i + j; } } }"
+        )
+        config = PragmaConfig.from_dicts(
+            loops={
+                "L0": LoopDirective(flatten=True),
+                "L0_0": LoopDirective(pipeline=True),
+            }
+        )
+        roles = resolve_loop_roles(fn, config)
+        assert roles["L0"].flattened_into == "L0_0"
+        assert roles["L0_0"].pipelined
+
+    def test_imperfect_nest_does_not_flatten(self, gemm_function):
+        config = PragmaConfig.from_dicts(
+            loops={
+                "L0_0": LoopDirective(flatten=True),
+                "L0_0_0": LoopDirective(pipeline=True),
+            }
+        )
+        roles = resolve_loop_roles(gemm_function, config)
+        assert roles["L0_0"].flattened_into == ""

@@ -1,0 +1,162 @@
+"""Unit and behaviour tests for the HLS + implementation flow simulator."""
+
+import pytest
+
+from repro.frontend import ArrayDirective, LoopDirective, PartitionType, PragmaConfig
+from repro.hls import run_full_flow, run_hls
+from repro.hls.implementation import run_implementation
+from repro.kernels import load_kernel
+
+
+class TestBaselineFlow:
+    def test_report_fields(self, gemm_function):
+        report = run_hls(gemm_function)
+        assert report.kernel == "gemm"
+        assert report.latency > 0
+        assert report.resources.lut > 0
+        assert set(report.loops) == {"L0", "L0_0", "L0_0_0"}
+
+    def test_baseline_latency_scales_with_tripcounts(self, gemm_function, vadd_function):
+        gemm_latency = run_hls(gemm_function).latency
+        vadd_latency = run_hls(vadd_function).latency
+        assert gemm_latency > vadd_latency * 10
+
+    def test_loop_reports_nested_latency_monotone(self, gemm_function):
+        report = run_hls(gemm_function)
+        assert report.loop("L0").latency > report.loop("L0_0").latency
+        assert report.loop("L0_0").latency > report.loop("L0_0_0").latency
+
+    def test_flow_is_deterministic(self, gemm_function, gemm_pipelined_config):
+        first = run_full_flow(gemm_function, gemm_pipelined_config)
+        second = run_full_flow(gemm_function, gemm_pipelined_config)
+        assert first.as_dict() == second.as_dict()
+
+
+class TestPragmaEffects:
+    def test_pipelining_reduces_latency(self, gemm_function):
+        baseline = run_full_flow(gemm_function)
+        config = PragmaConfig.from_dicts(loops={"L0_0_0": LoopDirective(pipeline=True)})
+        pipelined = run_full_flow(gemm_function, config)
+        assert pipelined.latency < baseline.latency
+
+    def test_pipelining_outer_loop_reduces_latency_further(self, gemm_function):
+        inner = run_full_flow(
+            gemm_function,
+            PragmaConfig.from_dicts(loops={"L0_0_0": LoopDirective(pipeline=True)}),
+        )
+        outer = run_full_flow(
+            gemm_function,
+            PragmaConfig.from_dicts(loops={"L0_0": LoopDirective(pipeline=True)}),
+        )
+        assert outer.latency < inner.latency
+
+    def test_pipelining_costs_registers(self, gemm_function):
+        baseline = run_full_flow(gemm_function)
+        config = PragmaConfig.from_dicts(loops={"L0_0": LoopDirective(pipeline=True)})
+        pipelined = run_full_flow(gemm_function, config)
+        assert pipelined.ff > baseline.ff
+
+    def test_unrolling_increases_resources(self, vadd_function):
+        baseline = run_full_flow(vadd_function)
+        config = PragmaConfig.from_dicts(loops={"L0": LoopDirective(unroll_factor=8)})
+        unrolled = run_full_flow(vadd_function, config)
+        assert unrolled.lut > baseline.lut
+
+    def test_partitioning_improves_memory_bound_pipeline(self, gemm_function):
+        pipeline_only = PragmaConfig.from_dicts(
+            loops={"L0_0": LoopDirective(pipeline=True)}
+        )
+        with_partition = PragmaConfig.from_dicts(
+            loops={"L0_0": LoopDirective(pipeline=True)},
+            arrays={
+                "A": ArrayDirective(PartitionType.CYCLIC, factor=4, dim=2),
+                "B": ArrayDirective(PartitionType.CYCLIC, factor=4, dim=1),
+            },
+        )
+        without = run_full_flow(gemm_function, pipeline_only)
+        with_part = run_full_flow(gemm_function, with_partition)
+        assert with_part.latency < without.latency
+        assert with_part.resources.bram >= without.resources.bram
+
+    def test_partitioning_lowers_achieved_ii(self, gemm_function):
+        pipeline_only = PragmaConfig.from_dicts(
+            loops={"L0_0": LoopDirective(pipeline=True)}
+        )
+        with_partition = PragmaConfig.from_dicts(
+            loops={"L0_0": LoopDirective(pipeline=True)},
+            arrays={
+                "A": ArrayDirective(PartitionType.CYCLIC, factor=8, dim=2),
+                "B": ArrayDirective(PartitionType.CYCLIC, factor=8, dim=1),
+            },
+        )
+        ii_without = run_hls(gemm_function, pipeline_only).loop("L0_0").ii
+        ii_with = run_hls(gemm_function, with_partition).loop("L0_0").ii
+        assert ii_with < ii_without
+
+    def test_recurrence_limits_pipelined_ii(self, prefix_function):
+        config = PragmaConfig.from_dicts(loops={"L0": LoopDirective(pipeline=True)})
+        report = run_hls(prefix_function, config)
+        # a[j] += a[j-1] carries a load->add->store cycle, so II > 1 even with
+        # unlimited memory ports
+        assert report.loop("L0").ii > 1
+
+    def test_target_ii_respected(self, vadd_function):
+        config = PragmaConfig.from_dicts(
+            loops={"L0": LoopDirective(pipeline=True, ii=4)}
+        )
+        report = run_hls(vadd_function, config)
+        assert report.loop("L0").ii >= 4
+
+    def test_flatten_behaves_like_deeper_pipeline(self):
+        fn = load_kernel("stencil2d")
+        pipelined_inner = PragmaConfig.from_dicts(
+            loops={"L0_0_0_0": LoopDirective(pipeline=True)}
+        )
+        report = run_hls(fn, pipelined_inner)
+        assert report.latency > 0
+
+
+class TestImplementationModel:
+    def test_post_route_differs_from_post_hls(self, gemm_function, gemm_pipelined_config):
+        qor = run_full_flow(gemm_function, gemm_pipelined_config)
+        post_hls = qor.hls_report.resources
+        post_route = qor.resources
+        assert post_route.lut != post_hls.lut
+        assert post_route.ff != post_hls.ff
+
+    def test_post_route_gap_varies_across_designs(self, gemm_function):
+        """The post-HLS -> post-route ratio is design-dependent (that is what
+        makes direct post-route prediction worthwhile)."""
+        ratios = set()
+        for config in (
+            PragmaConfig(),
+            PragmaConfig.from_dicts(loops={"L0_0_0": LoopDirective(pipeline=True)}),
+            PragmaConfig.from_dicts(loops={"L0_0": LoopDirective(pipeline=True)}),
+        ):
+            qor = run_full_flow(gemm_function, config)
+            ratios.add(round(qor.lut / max(qor.hls_report.resources.lut, 1), 3))
+        assert len(ratios) > 1
+
+    def test_implementation_is_deterministic(self, gemm_function):
+        report = run_hls(gemm_function)
+        first = run_implementation(report, memory_banks=2, pipeline_depth=4, replication=2)
+        second = run_implementation(report, memory_banks=2, pipeline_depth=4, replication=2)
+        assert first.resources.lut == second.resources.lut
+
+    def test_runtime_model_positive(self, gemm_function):
+        qor = run_full_flow(gemm_function)
+        assert qor.hls_report.runtime_seconds > 0
+        assert qor.impl_report.runtime_seconds > 0
+        assert qor.total_flow_runtime > 300  # minutes-scale, like real tools
+
+
+class TestQoRResult:
+    def test_as_dict_keys(self, gemm_function):
+        qor = run_full_flow(gemm_function)
+        assert set(qor.as_dict()) == {"latency", "lut", "ff", "dsp"}
+
+    def test_properties_match_resources(self, gemm_function):
+        qor = run_full_flow(gemm_function)
+        assert qor.lut == qor.resources.lut
+        assert qor.ff == qor.resources.ff
+        assert qor.dsp == qor.resources.dsp

@@ -1,0 +1,80 @@
+"""Unit tests for the operator characterization library."""
+
+from repro.hls.op_library import (
+    CLOCK_PERIOD_NS,
+    DEFAULT_LIBRARY,
+    MEMORY_PORT,
+    OpCharacterization,
+    OperatorLibrary,
+)
+from repro.ir.instructions import Opcode
+
+
+class TestLookups:
+    def test_integer_add_is_combinational(self):
+        char = DEFAULT_LIBRARY.lookup(Opcode.ADD)
+        assert char.cycles == 0
+        assert char.lut > 0
+        assert char.dsp == 0
+
+    def test_multiplier_uses_dsp(self):
+        assert DEFAULT_LIBRARY.lookup(Opcode.MUL).dsp > 0
+        assert DEFAULT_LIBRARY.lookup(Opcode.FMUL).dsp > 0
+
+    def test_division_is_expensive(self):
+        div = DEFAULT_LIBRARY.lookup(Opcode.DIV)
+        add = DEFAULT_LIBRARY.lookup(Opcode.ADD)
+        assert div.cycles > 10
+        assert div.lut > add.lut
+
+    def test_memory_ops_have_latency(self):
+        assert DEFAULT_LIBRARY.lookup(Opcode.LOAD).cycles >= 1
+        assert DEFAULT_LIBRARY.lookup(Opcode.STORE).cycles >= 1
+
+    def test_control_ops_are_free_of_resources(self):
+        for opcode in (Opcode.BR, Opcode.PHI, Opcode.RET):
+            char = DEFAULT_LIBRARY.lookup(opcode)
+            assert char.lut == 0
+            assert char.dsp == 0
+
+    def test_float_ops_cost_more_than_int(self):
+        assert DEFAULT_LIBRARY.lookup(Opcode.FADD).lut > DEFAULT_LIBRARY.lookup(Opcode.ADD).lut
+
+    def test_intrinsic_lookup_by_callee(self):
+        sqrt = DEFAULT_LIBRARY.lookup(Opcode.CALL, callee="sqrtf")
+        assert sqrt.cycles > 4
+        unknown = DEFAULT_LIBRARY.lookup(Opcode.CALL, callee="mystery_fn")
+        assert unknown.lut > 0  # falls back to the default characterization
+
+    def test_lookup_instr_uses_instruction_fields(self, gemm_function):
+        instr = [i for i in gemm_function.all_instructions() if i.opcode is Opcode.MUL][0]
+        assert DEFAULT_LIBRARY.lookup_instr(instr).dsp > 0
+
+    def test_delay_below_clock_period_for_simple_ops(self):
+        for opcode in (Opcode.ADD, Opcode.ICMP, Opcode.SELECT):
+            assert DEFAULT_LIBRARY.lookup(opcode).delay_ns < CLOCK_PERIOD_NS
+
+
+class TestLibraryConfiguration:
+    def test_overrides_replace_entries(self):
+        custom = OperatorLibrary(
+            overrides={Opcode.ADD: OpCharacterization(cycles=2, lut=100)}
+        )
+        assert custom.lookup(Opcode.ADD).cycles == 2
+        assert custom.lookup(Opcode.MUL).cycles == DEFAULT_LIBRARY.lookup(Opcode.MUL).cycles
+
+    def test_known_opcodes_sorted(self):
+        opcodes = DEFAULT_LIBRARY.known_opcodes()
+        assert Opcode.ADD in opcodes
+        assert opcodes == sorted(opcodes, key=lambda op: op.value)
+
+    def test_feature_tuple_order(self):
+        char = OpCharacterization(cycles=1, delay_ns=2.0, lut=3, ff=4, dsp=5)
+        assert char.as_feature_tuple() == (1.0, 2.0, 3.0, 5.0, 4.0)
+
+    def test_memory_port_characterization(self):
+        assert MEMORY_PORT.lut > 0
+
+    def test_cycles_and_delay_helpers(self):
+        assert DEFAULT_LIBRARY.cycles(Opcode.MUL) == DEFAULT_LIBRARY.lookup(Opcode.MUL).cycles
+        assert DEFAULT_LIBRARY.delay(Opcode.ADD) == DEFAULT_LIBRARY.lookup(Opcode.ADD).delay_ns

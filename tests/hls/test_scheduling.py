@@ -1,0 +1,142 @@
+"""Unit tests for list scheduling and initiation-interval analysis."""
+
+import pytest
+
+from repro.hls.op_library import DEFAULT_LIBRARY
+from repro.hls.scheduling import (
+    Schedulable,
+    build_schedulables,
+    initiation_interval,
+    list_schedule,
+    recurrence_ii,
+    resource_ii,
+)
+from repro.ir import Opcode, lower_source
+from repro.ir.structure import Recurrence
+
+
+def _gemm_inner_instrs(gemm_function):
+    loop = gemm_function.loop_by_label("L0_0_0")
+    return list(loop.body.instructions())
+
+
+class TestBuildSchedulables:
+    def test_one_item_per_instruction(self, gemm_function):
+        instrs = _gemm_inner_instrs(gemm_function)
+        items = build_schedulables(instrs)
+        assert len(items) == len(instrs)
+
+    def test_data_dependencies_recorded(self, gemm_function):
+        instrs = _gemm_inner_instrs(gemm_function)
+        items = build_schedulables(instrs)
+        # at least the multiply depends on its two loads
+        mul_items = [i for i in items if i.instr.opcode is Opcode.MUL]
+        assert mul_items and len(mul_items[0].depends_on) >= 2
+
+    def test_memory_ordering_store_after_load(self, prefix_function):
+        instrs = list(prefix_function.all_loops()[0].body.instructions())
+        items = build_schedulables(instrs)
+        store_item = [i for i in items if i.is_store][0]
+        load_uids = [i.uid for i in items if i.is_memory and not i.is_store]
+        assert any(uid in store_item.depends_on for uid in load_uids)
+
+
+class TestListSchedule:
+    def test_dependencies_respected(self, gemm_function):
+        items = build_schedulables(_gemm_inner_instrs(gemm_function))
+        schedule = list_schedule(items)
+        placement = {p.item.uid: p for p in schedule.items}
+        for item in items:
+            for dep in item.depends_on:
+                assert placement[dep].start_cycle <= placement[item.uid].start_cycle
+
+    def test_multicycle_ops_extend_schedule(self, gemm_function):
+        items = build_schedulables(_gemm_inner_instrs(gemm_function))
+        schedule = list_schedule(items)
+        # loads (2 cycles) + mul (3 cycles) + add chain must exceed 4 cycles
+        assert schedule.length_cycles >= 5
+
+    def test_port_limit_serializes_accesses(self):
+        fn = lower_source(
+            "void f(int a[16], int out[4]) { int i;"
+            " for (i = 0; i < 4; i++) { out[i] = a[4*i] + a[4*i+1] + a[4*i+2] + a[4*i+3]; } }"
+        )
+        instrs = list(fn.all_loops()[0].body.instructions())
+        items_wide = build_schedulables(instrs)
+        wide = list_schedule(items_wide, port_limits={"a": 4})
+        items_narrow = build_schedulables(instrs)
+        narrow = list_schedule(items_narrow, port_limits={"a": 1})
+        assert narrow.length_cycles > wide.length_cycles
+
+    def test_chaining_respects_clock_period(self):
+        # two dependent combinational adds with delays that cannot chain
+        items = [
+            Schedulable(uid=0, instr=_fake_instr(0, Opcode.ADD),
+                        latency_cycles=0, delay_ns=2.0),
+            Schedulable(uid=1, instr=_fake_instr(1, Opcode.ADD),
+                        latency_cycles=0, delay_ns=2.0, depends_on=[0]),
+        ]
+        schedule = list_schedule(items, clock_period_ns=3.0)
+        assert schedule.items[1].start_cycle > schedule.items[0].start_cycle
+
+    def test_chaining_allows_short_ops_same_cycle(self):
+        items = [
+            Schedulable(uid=0, instr=_fake_instr(0, Opcode.ADD),
+                        latency_cycles=0, delay_ns=1.0),
+            Schedulable(uid=1, instr=_fake_instr(1, Opcode.ADD),
+                        latency_cycles=0, delay_ns=1.0, depends_on=[0]),
+        ]
+        schedule = list_schedule(items, clock_period_ns=3.3)
+        assert schedule.items[1].start_cycle == schedule.items[0].start_cycle
+
+    def test_pressure_by_optype(self, gemm_function):
+        items = build_schedulables(_gemm_inner_instrs(gemm_function))
+        schedule = list_schedule(items)
+        pressure = schedule.pressure_by_optype()
+        assert pressure.get("load", 0) >= 1
+
+    def test_empty_schedule(self):
+        schedule = list_schedule([])
+        assert schedule.length_cycles == 1
+        assert schedule.items == []
+
+
+class TestInitiationInterval:
+    def test_recurrence_ii_from_chain_latency(self, gemm_function):
+        instr_by_id = {i.instr_id: i for i in gemm_function.all_instructions()}
+        recurrences = [r for r in gemm_function.recurrences if r.kind == "scalar"]
+        # a single integer add recurrence has II_rec of 1
+        assert recurrence_ii(recurrences, instr_by_id) == 1
+
+    def test_recurrence_ii_scales_with_distance(self):
+        rec_short = Recurrence("L0", distance=1, chain=(0, 1))
+        rec_long = Recurrence("L0", distance=2, chain=(0, 1))
+        fake = {
+            0: _fake_instr(0, Opcode.LOAD),
+            1: _fake_instr(1, Opcode.FADD),
+        }
+        assert recurrence_ii([rec_short], fake) > recurrence_ii([rec_long], fake)
+
+    def test_resource_ii(self):
+        assert resource_ii({"a": 8}, {"a": 2}) == 4
+        assert resource_ii({"a": 2}, {"a": 4}) == 1
+        assert resource_ii({}, {}) == 1
+
+    def test_initiation_interval_takes_maximum(self):
+        fake = {0: _fake_instr(0, Opcode.FADD)}
+        recurrences = [Recurrence("L0", distance=1, chain=(0,))]
+        ii = initiation_interval(recurrences, fake, {"a": 10}, {"a": 2})
+        assert ii == max(4, 5)
+
+    def test_target_ii_raises_floor(self):
+        ii = initiation_interval([], {}, {}, {}, target_ii=7)
+        assert ii == 7
+
+    def test_ii_at_least_one(self):
+        assert initiation_interval([], {}, {}, {}) == 1
+
+
+def _fake_instr(instr_id, opcode):
+    from repro.ir.instructions import Instruction
+
+    return Instruction(instr_id=instr_id, opcode=opcode)

@@ -1,0 +1,180 @@
+"""Unit tests for AST -> IR lowering."""
+
+import pytest
+
+from repro.ir import Opcode, lower_source
+from repro.ir.builder import LoweringError
+
+
+class TestBasicLowering:
+    def test_gemm_structure(self, gemm_function):
+        assert gemm_function.name == "gemm"
+        assert set(gemm_function.arrays) == {"A", "B", "C"}
+        assert ("alpha", "i32") in gemm_function.scalar_params
+        assert len(gemm_function.all_loops()) == 3
+
+    def test_loop_labels_and_tripcounts(self, gemm_function):
+        labels = {loop.label: loop.tripcount for loop in gemm_function.all_loops()}
+        assert labels == {"L0": 16, "L0_0": 16, "L0_0_0": 16}
+
+    def test_innermost_flag(self, gemm_function):
+        innermost = [l for l in gemm_function.all_loops() if l.is_innermost]
+        assert [l.label for l in innermost] == ["L0_0_0"]
+
+    def test_instruction_opcodes_present(self, gemm_function):
+        opcodes = {instr.opcode for instr in gemm_function.all_instructions()}
+        assert Opcode.LOAD in opcodes
+        assert Opcode.STORE in opcodes
+        assert Opcode.MUL in opcodes
+        assert Opcode.ADD in opcodes
+        assert Opcode.PHI in opcodes
+        assert Opcode.ICMP in opcodes
+
+    def test_loop_header_instructions(self, gemm_function):
+        loop = gemm_function.loop_by_label("L0")
+        header_opcodes = [instr.opcode for instr in loop.header_instrs]
+        assert header_opcodes == [Opcode.PHI, Opcode.ICMP, Opcode.BR]
+        assert [instr.opcode for instr in loop.latch_instrs] == [Opcode.ADD]
+
+    def test_float_types_propagate(self):
+        fn = lower_source(
+            "void f(float a[8], float b[8]) { int i;"
+            " for (i = 0; i < 8; i++) { a[i] = a[i] * b[i] + 1.5; } }"
+        )
+        opcodes = {instr.opcode for instr in fn.all_instructions()}
+        assert Opcode.FMUL in opcodes
+        assert Opcode.FADD in opcodes
+
+    def test_local_array_registered(self):
+        fn = lower_source(
+            "void f(int a[8]) { int buf[8]; int i;"
+            " for (i = 0; i < 8; i++) { buf[i] = a[i]; } }"
+        )
+        assert "buf" in fn.arrays
+        assert not fn.arrays["buf"].is_argument
+
+
+class TestAffineAccessAnalysis:
+    def test_affine_access_coefficients(self, gemm_function):
+        loads = [
+            instr for instr in gemm_function.all_instructions()
+            if instr.opcode is Opcode.LOAD and instr.array == "A"
+        ]
+        access = loads[0].access
+        assert access.is_affine
+        assert access.dim_map(0) == {"i": 1}
+        assert access.dim_map(1) == {"k": 1}
+
+    def test_constant_offset_access(self, prefix_function):
+        loads = [
+            instr for instr in prefix_function.all_instructions()
+            if instr.opcode is Opcode.LOAD
+        ]
+        consts = sorted(load.access.dim_const(0) for load in loads)
+        assert consts == [-1, 0]
+
+    def test_dynamic_index_marked_non_affine(self):
+        fn = lower_source(
+            "void f(int idx[8], int a[64], int out[8]) { int i;"
+            " for (i = 0; i < 8; i++) { out[i] = a[idx[i]]; } }"
+        )
+        dynamic_loads = [
+            instr for instr in fn.all_instructions()
+            if instr.opcode is Opcode.LOAD and instr.array == "a"
+        ]
+        assert len(dynamic_loads) == 1
+        assert not dynamic_loads[0].access.is_affine
+
+    def test_scaled_index_coefficient(self):
+        fn = lower_source(
+            "void f(int a[64]) { int i; for (i = 0; i < 16; i++) { a[2*i+1] = 0; } }"
+        )
+        store = [i for i in fn.all_instructions() if i.opcode is Opcode.STORE][0]
+        assert store.access.dim_map(0) == {"i": 2}
+        assert store.access.dim_const(0) == 1
+
+
+class TestRecurrenceDetection:
+    def test_scalar_accumulation_recurrence(self, gemm_function):
+        scalar_recs = [r for r in gemm_function.recurrences if r.kind == "scalar"]
+        assert len(scalar_recs) == 1
+        assert scalar_recs[0].loop_label == "L0_0_0"
+        assert scalar_recs[0].distance == 1
+
+    def test_array_recurrence_distance_one(self, prefix_function):
+        array_recs = [r for r in prefix_function.recurrences if r.kind == "array"]
+        assert len(array_recs) == 1
+        assert array_recs[0].distance == 1
+        assert array_recs[0].array == "a"
+
+    def test_array_recurrence_longer_distance(self):
+        fn = lower_source(
+            "void f(int a[64]) { int i; for (i = 4; i < 64; i++) { a[i] += a[i-4]; } }"
+        )
+        array_recs = [r for r in fn.recurrences if r.kind == "array"]
+        assert array_recs and array_recs[0].distance == 4
+
+    def test_same_element_rmw_is_not_loop_carried(self, vadd_function):
+        assert not [r for r in vadd_function.recurrences if r.kind == "array"]
+
+    def test_fixed_cell_accumulation_is_loop_carried(self):
+        fn = lower_source(
+            "void f(int a[4], int x[16]) { int i;"
+            " for (i = 0; i < 16; i++) { a[0] += x[i]; } }"
+        )
+        assert any(r.kind == "array" and r.distance == 1 for r in fn.recurrences)
+
+
+class TestControlFlowLowering:
+    def test_if_produces_select(self):
+        fn = lower_source(
+            "void f(int a[8], int n) { int i;"
+            " for (i = 0; i < 8; i++) { int v = 0; if (i < n) { v = 1; } a[i] = v; } }"
+        )
+        opcodes = [instr.opcode for instr in fn.all_instructions()]
+        assert Opcode.SELECT in opcodes
+
+    def test_ternary_produces_select(self):
+        fn = lower_source(
+            "void f(int a[8], int n) { int i;"
+            " for (i = 0; i < 8; i++) { a[i] = i < n ? 1 : 2; } }"
+        )
+        assert any(i.opcode is Opcode.SELECT for i in fn.all_instructions())
+
+    def test_decreasing_loop_tripcount(self):
+        fn = lower_source(
+            "void f(int a[8]) { int i; for (i = 7; i > 0; i--) { a[i] = a[i-1]; } }"
+        )
+        assert fn.all_loops()[0].tripcount == 7
+
+    def test_call_lowered_with_callee(self):
+        fn = lower_source(
+            "void f(float a[8], float x) { int i;"
+            " for (i = 0; i < 8; i++) { a[i] = sqrtf(x); } }"
+        )
+        calls = [i for i in fn.all_instructions() if i.opcode is Opcode.CALL]
+        assert calls and calls[0].callee == "sqrtf"
+
+
+class TestLoweringErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(LoweringError):
+            lower_source("void f(int a[4]) { a[0] = bogus; }")
+
+    def test_undeclared_array(self):
+        with pytest.raises(LoweringError):
+            lower_source("void f() { missing[0] = 1; }")
+
+    def test_non_constant_loop_bound(self):
+        with pytest.raises(LoweringError):
+            lower_source("void f(int n, int a[8]) { int i; for (i = 0; i < n; i++) { a[i] = 0; } }")
+
+
+class TestConstantFolding:
+    def test_constant_expressions_folded(self):
+        fn = lower_source("void f(int a[8]) { a[0] = 2 * 3 + 1; }")
+        arithmetic = [
+            i for i in fn.all_instructions()
+            if i.opcode in (Opcode.ADD, Opcode.MUL)
+        ]
+        assert not arithmetic

@@ -1,0 +1,62 @@
+"""Unit tests for standalone loop-kernel extraction."""
+
+from repro.hls import run_full_flow
+from repro.ir import lower_source
+from repro.ir.extract import extract_loop_kernel, loop_scalar_inputs
+
+
+class TestExtractLoopKernel:
+    def test_extracted_kernel_contains_only_the_loop(self, gemm_function):
+        inner = gemm_function.loop_by_label("L0_0_0")
+        kernel = extract_loop_kernel(gemm_function, inner)
+        assert [l.label for l in kernel.all_loops()] == ["L0_0_0"]
+        assert kernel.name == "gemm__L0_0_0"
+
+    def test_touched_arrays_become_arguments(self, gemm_function):
+        inner = gemm_function.loop_by_label("L0_0_0")
+        kernel = extract_loop_kernel(gemm_function, inner)
+        assert set(kernel.arrays) == {"A", "B"}
+
+    def test_external_values_become_scalar_params(self, gemm_function):
+        inner = gemm_function.loop_by_label("L0_0_0")
+        kernel = extract_loop_kernel(gemm_function, inner)
+        extra = [name for name, _ in kernel.scalar_params if name.startswith("ext_")]
+        # the inner loop consumes the outer induction variables i and j
+        assert len(extra) >= 2
+
+    def test_recurrences_filtered_to_loop(self, gemm_function):
+        inner = gemm_function.loop_by_label("L0_0_0")
+        kernel = extract_loop_kernel(gemm_function, inner)
+        assert all(r.loop_label == "L0_0_0" for r in kernel.recurrences)
+        assert kernel.recurrences
+
+    def test_extracted_kernel_runs_through_the_flow(self, gemm_function):
+        inner = gemm_function.loop_by_label("L0_0_0")
+        kernel = extract_loop_kernel(gemm_function, inner)
+        qor = run_full_flow(kernel)
+        assert qor.latency > 16
+        assert qor.lut > 0
+
+    def test_extracting_outer_loop_keeps_nest(self, gemm_function):
+        outer = gemm_function.loop_by_label("L0_0")
+        kernel = extract_loop_kernel(gemm_function, outer)
+        assert {l.label for l in kernel.all_loops()} == {"L0_0", "L0_0_0"}
+        assert "C" in kernel.arrays
+
+    def test_custom_name(self, gemm_function):
+        inner = gemm_function.loop_by_label("L0_0_0")
+        kernel = extract_loop_kernel(gemm_function, inner, name="custom")
+        assert kernel.name == "custom"
+
+
+class TestLoopScalarInputs:
+    def test_inner_loop_has_external_inputs(self, gemm_function):
+        inner = gemm_function.loop_by_label("L0_0_0")
+        assert len(loop_scalar_inputs(gemm_function, inner)) >= 2
+
+    def test_self_contained_loop_has_none(self):
+        fn = lower_source(
+            "void f(int a[8]) { int i; for (i = 0; i < 8; i++) { a[i] = i; } }"
+        )
+        loop = fn.all_loops()[0]
+        assert loop_scalar_inputs(fn, loop) == []

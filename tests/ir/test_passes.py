@@ -1,0 +1,106 @@
+"""Unit tests for IR analysis passes."""
+
+from repro.ir import (
+    arithmetic_intensity,
+    enclosing_loops,
+    innermost_loops,
+    invocation_counts,
+    loop_nest_analysis,
+    loop_recurrences,
+    lower_source,
+    memory_access_analysis,
+    operation_histogram,
+)
+
+
+class TestLoopNestAnalysis:
+    def test_depths_and_parents(self, gemm_function):
+        nests = loop_nest_analysis(gemm_function)
+        assert nests["L0"].parent_label is None
+        assert nests["L0_0"].parent_label == "L0"
+        assert nests["L0_0_0"].parent_label == "L0_0"
+        assert nests["L0"].depth == 0
+        assert nests["L0_0_0"].depth == 2
+
+    def test_enclosing_tripcount(self, gemm_function):
+        nests = loop_nest_analysis(gemm_function)
+        assert nests["L0"].enclosing_tripcount == 1
+        assert nests["L0_0_0"].enclosing_tripcount == 256
+
+    def test_total_iterations(self, gemm_function):
+        nests = loop_nest_analysis(gemm_function)
+        assert nests["L0_0_0"].total_iterations == 4096
+
+    def test_sibling_loops_have_same_parent(self):
+        fn = lower_source(
+            "void f(int a[8]) { int i, j;"
+            " for (i = 0; i < 8; i++) { "
+            "   for (j = 0; j < 4; j++) { a[j] = 0; } "
+            "   for (j = 0; j < 2; j++) { a[j] = 1; } } }"
+        )
+        nests = loop_nest_analysis(fn)
+        assert nests["L0_0"].parent_label == "L0"
+        assert nests["L0_1"].parent_label == "L0"
+
+
+class TestEnclosingLoopsAndInvocations:
+    def test_innermost_body_instruction_enclosed_by_three_loops(self, gemm_function):
+        enclosing = enclosing_loops(gemm_function)
+        inner = gemm_function.loop_by_label("L0_0_0")
+        body_instr = next(inner.body.instructions())
+        assert enclosing[body_instr.instr_id] == ("L0", "L0_0", "L0_0_0")
+
+    def test_header_instruction_belongs_to_its_loop(self, gemm_function):
+        enclosing = enclosing_loops(gemm_function)
+        loop = gemm_function.loop_by_label("L0")
+        assert enclosing[loop.header_instrs[0].instr_id] == ("L0",)
+
+    def test_invocation_counts_scale_with_nesting(self, gemm_function):
+        counts = invocation_counts(gemm_function)
+        inner = gemm_function.loop_by_label("L0_0_0")
+        body_instr = next(inner.body.instructions())
+        assert counts[body_instr.instr_id] == 4096
+
+    def test_top_level_instruction_invoked_once(self, vadd_function):
+        counts = invocation_counts(vadd_function)
+        loop_body = next(vadd_function.all_loops()[0].body.instructions())
+        assert counts[loop_body.instr_id] == 32
+
+
+class TestMemoryAccessAnalysis:
+    def test_per_array_grouping(self, gemm_function):
+        accesses = memory_access_analysis(gemm_function)
+        assert set(accesses) == {"A", "B", "C"}
+        assert accesses["A"].load_count == 1
+        assert accesses["A"].store_count == 0
+        assert accesses["C"].store_count == 1
+
+    def test_accesses_in_loop_filter(self, gemm_function):
+        accesses = memory_access_analysis(gemm_function)
+        inner = accesses["A"].accesses_in_loop("L0_0_0")
+        assert len(inner) == 1
+        assert not accesses["C"].accesses_in_loop("L0_0_0")
+
+    def test_read_modify_write_counted_twice(self, prefix_function):
+        accesses = memory_access_analysis(prefix_function)
+        assert accesses["a"].load_count == 2
+        assert accesses["a"].store_count == 1
+
+
+class TestStatistics:
+    def test_operation_histogram_keys(self, gemm_function):
+        histogram = operation_histogram(gemm_function)
+        assert histogram["load"] == 2
+        assert histogram["store"] == 1
+        assert histogram["mul"] >= 2
+
+    def test_arithmetic_intensity_positive(self, gemm_function):
+        assert arithmetic_intensity(gemm_function) > 0
+
+    def test_innermost_loops(self, gemm_function, vadd_function):
+        assert [l.label for l in innermost_loops(gemm_function)] == ["L0_0_0"]
+        assert [l.label for l in innermost_loops(vadd_function)] == ["L0"]
+
+    def test_loop_recurrences_filter(self, gemm_function):
+        assert loop_recurrences(gemm_function, "L0_0_0")
+        assert not loop_recurrences(gemm_function, "L0")

@@ -1,0 +1,111 @@
+"""Unit tests for the structured IR containers."""
+
+from repro.ir import lower_source
+from repro.ir.instructions import ConstOperand, Instruction, Opcode, ValueRef
+from repro.ir.structure import Loop, Region
+
+
+class TestLoopProperties:
+    def test_tripcount_exclusive_bound(self):
+        loop = Loop(label="L0", var="i", start=0, bound=10, step=1, cmp_op="<")
+        assert loop.tripcount == 10
+
+    def test_tripcount_inclusive_bound(self):
+        loop = Loop(label="L0", var="i", start=0, bound=10, step=1, cmp_op="<=")
+        assert loop.tripcount == 11
+
+    def test_tripcount_with_step(self):
+        loop = Loop(label="L0", var="i", start=0, bound=16, step=4, cmp_op="<")
+        assert loop.tripcount == 4
+
+    def test_tripcount_decreasing(self):
+        loop = Loop(label="L0", var="i", start=7, bound=0, step=-1, cmp_op=">")
+        assert loop.tripcount == 7
+
+    def test_tripcount_zero_step_is_zero(self):
+        loop = Loop(label="L0", var="i", start=0, bound=4, step=0)
+        assert loop.tripcount == 0
+
+    def test_tripcount_empty_range(self):
+        loop = Loop(label="L0", var="i", start=8, bound=4, step=1, cmp_op="<")
+        assert loop.tripcount == 0
+
+    def test_depth_below_and_innermost(self, gemm_function):
+        outer = gemm_function.loop_by_label("L0")
+        inner = gemm_function.loop_by_label("L0_0_0")
+        assert outer.depth_below == 2
+        assert inner.depth_below == 0
+        assert inner.is_innermost
+        assert not outer.is_innermost
+
+    def test_sub_loops_one_level(self, gemm_function):
+        outer = gemm_function.loop_by_label("L0")
+        assert [l.label for l in outer.sub_loops()] == ["L0_0"]
+        assert [l.label for l in outer.all_sub_loops()] == ["L0_0", "L0_0_0"]
+
+    def test_perfect_nest_detection(self, gemm_function, vadd_function):
+        # gemm's outer loops contain extra statements (acc init / C store)
+        assert not gemm_function.loop_by_label("L0").is_perfect_nest()
+        assert vadd_function.all_loops()[0].is_perfect_nest()
+
+    def test_perfect_nest_true_case(self):
+        fn = lower_source(
+            "void f(int A[4][4]) { int i, j;"
+            " for (i = 0; i < 4; i++) { for (j = 0; j < 4; j++) { A[i][j] = 0; } } }"
+        )
+        assert fn.loop_by_label("L0").is_perfect_nest()
+
+
+class TestRegionTraversal:
+    def test_walk_instructions_includes_header_and_latch(self, gemm_function):
+        all_ids = {i.instr_id for i in gemm_function.all_instructions()}
+        loop = gemm_function.loop_by_label("L0_0_0")
+        for instr in loop.header_instrs + loop.latch_instrs:
+            assert instr.instr_id in all_ids
+
+    def test_walk_loops_preorder(self, gemm_function):
+        labels = [loop.label for loop in gemm_function.body.walk_loops()]
+        assert labels == ["L0", "L0_0", "L0_0_0"]
+
+    def test_direct_instructions_excludes_nested(self, gemm_function):
+        loop = gemm_function.loop_by_label("L0_0")
+        direct = list(loop.body.instructions())
+        recursive = list(loop.body.walk_instructions())
+        assert len(direct) < len(recursive)
+
+    def test_instruction_count(self, gemm_function):
+        assert gemm_function.instruction_count == len(gemm_function.all_instructions())
+
+
+class TestFunctionQueries:
+    def test_loop_by_label_missing_raises(self, gemm_function):
+        import pytest
+
+        with pytest.raises(KeyError):
+            gemm_function.loop_by_label("L9")
+
+    def test_instruction_by_id(self, gemm_function):
+        instr = gemm_function.all_instructions()[0]
+        assert gemm_function.instruction_by_id(instr.instr_id) is instr
+
+    def test_array_info_total_size(self, gemm_function):
+        assert gemm_function.arrays["A"].total_size == 256
+
+    def test_top_level_loops(self, gemm_function):
+        assert [l.label for l in gemm_function.top_level_loops()] == ["L0"]
+
+
+class TestInstructionHelpers:
+    def test_value_operands_filtering(self):
+        instr = Instruction(
+            instr_id=5, opcode=Opcode.ADD,
+            operands=[ValueRef(1), ConstOperand(3), ValueRef(2)],
+        )
+        assert [op.instr_id for op in instr.value_operands] == [1, 2]
+
+    def test_opcode_category_flags(self):
+        assert Opcode.LOAD.is_memory
+        assert Opcode.FADD.is_float
+        assert Opcode.MUL.is_arithmetic
+        assert Opcode.BR.is_control
+        assert not Opcode.ADD.is_memory

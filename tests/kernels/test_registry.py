@@ -1,0 +1,71 @@
+"""Tests for the benchmark-kernel registry."""
+
+import pytest
+
+from repro.graph import build_flat_graph, decompose
+from repro.hls import run_full_flow
+from repro.kernels import (
+    DSE_KERNELS,
+    KERNEL_SOURCES,
+    TRAIN_KERNELS,
+    all_kernels,
+    dse_kernels,
+    kernel_source,
+    load_kernel,
+    training_kernels,
+)
+
+
+class TestRegistryContents:
+    def test_sixteen_primary_applications(self):
+        assert len(TRAIN_KERNELS) == 12
+        assert len(DSE_KERNELS) == 4
+        assert len(set(TRAIN_KERNELS) & set(DSE_KERNELS)) == 0
+
+    def test_dse_kernels_match_paper(self):
+        assert set(DSE_KERNELS) == {"bicg", "symm", "mvt", "syrk"}
+
+    def test_all_sources_registered(self):
+        assert len(KERNEL_SOURCES) >= 16
+        for name in TRAIN_KERNELS + DSE_KERNELS:
+            assert name in KERNEL_SOURCES
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError):
+            kernel_source("not_a_kernel")
+
+    def test_load_kernel_is_cached(self):
+        assert load_kernel("gemm") is load_kernel("gemm")
+
+    def test_helper_loaders(self):
+        assert set(training_kernels()) == set(TRAIN_KERNELS)
+        assert set(dse_kernels()) == set(DSE_KERNELS)
+
+
+class TestEveryKernelIsUsable:
+    @pytest.mark.parametrize("name", sorted(KERNEL_SOURCES))
+    def test_kernel_lowers_with_loops_and_arrays(self, name):
+        function = load_kernel(name)
+        assert function.all_loops(), f"{name} has no loops"
+        assert function.arrays, f"{name} has no arrays"
+        assert function.instruction_count > 5
+
+    @pytest.mark.parametrize("name", sorted(KERNEL_SOURCES))
+    def test_kernel_runs_through_flow_and_graph(self, name):
+        function = load_kernel(name)
+        qor = run_full_flow(function)
+        assert qor.latency > 0 and qor.lut > 0
+        graph = build_flat_graph(function)
+        assert graph.num_nodes > 5
+        assert decompose(function).inner_units
+
+    def test_all_kernels_have_distinct_structure(self):
+        signatures = set()
+        for name, function in all_kernels().items():
+            signature = (
+                function.instruction_count,
+                len(function.all_loops()),
+                tuple(sorted(function.arrays)),
+            )
+            signatures.add(signature)
+        assert len(signatures) == len(all_kernels())

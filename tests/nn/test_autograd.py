@@ -1,0 +1,214 @@
+"""Unit and property-based tests for the numpy autograd engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.autograd import (
+    Tensor,
+    concat,
+    segment_max,
+    segment_mean,
+    segment_softmax,
+    segment_sum,
+)
+
+
+def numerical_gradient(func, value, epsilon=1e-6):
+    """Central-difference gradient of a scalar function of one array."""
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = func(value)
+        flat[index] = original - epsilon
+        lower = func(value)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * epsilon)
+    return grad
+
+
+def check_gradient(build_loss, shape, seed=0, tolerance=1e-4):
+    rng = np.random.default_rng(seed)
+    value = rng.normal(size=shape)
+    tensor = Tensor(value.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    analytic = tensor.grad
+    numeric = numerical_gradient(lambda v: build_loss(Tensor(v)).item(), value.copy())
+    assert np.allclose(analytic, numeric, atol=tolerance), (analytic, numeric)
+
+
+class TestElementwiseGradients:
+    def test_add_and_mul(self):
+        check_gradient(lambda t: ((t * 3.0 + 1.0) * t).sum(), (4, 3))
+
+    def test_sub_and_div(self):
+        check_gradient(lambda t: ((t - 0.5) / (t * t + 2.0)).sum(), (3, 2))
+
+    def test_matmul(self):
+        weight = np.random.default_rng(1).normal(size=(3, 5))
+        check_gradient(lambda t: t.matmul(Tensor(weight)).sum(), (4, 3))
+
+    def test_relu(self):
+        check_gradient(lambda t: (t.relu() * t).sum(), (5, 4), seed=3)
+
+    def test_leaky_relu(self):
+        check_gradient(lambda t: t.leaky_relu(0.1).sum(), (5, 4))
+
+    def test_sigmoid_tanh_exp_log(self):
+        check_gradient(lambda t: (t.sigmoid() + t.tanh()).sum(), (3, 3))
+        check_gradient(lambda t: (t.exp() + (t * t + 1.0).log()).sum(), (3, 3))
+
+    def test_abs_and_pow(self):
+        check_gradient(lambda t: (t.abs() + (t * t) ** 1.5).sum(), (4,), seed=5)
+
+    def test_mean_and_sum_axis(self):
+        check_gradient(lambda t: t.mean(axis=0).sum() + t.sum(axis=1).sum(), (4, 3))
+
+    def test_broadcast_add(self):
+        bias = Tensor(np.ones(3), requires_grad=True)
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 3)))
+        loss = (x + bias).sum()
+        loss.backward()
+        assert np.allclose(bias.grad, np.full(3, 5.0))
+
+    def test_slice_cols(self):
+        check_gradient(lambda t: t.slice_cols(1, 3).sum(), (4, 5))
+
+    def test_reshape_and_transpose(self):
+        check_gradient(lambda t: t.reshape(6, 2).transpose().sum(), (4, 3))
+
+
+class TestSegmentOperations:
+    def test_segment_sum_forward(self):
+        values = Tensor(np.array([[1.0], [2.0], [3.0], [4.0]]))
+        out = segment_sum(values, np.array([0, 0, 1, 1]), 2)
+        assert np.allclose(out.numpy(), [[3.0], [7.0]])
+
+    def test_segment_sum_gradient(self):
+        ids = np.array([0, 1, 0, 2, 1])
+        check_gradient(
+            lambda t: (segment_sum(t, ids, 3) ** 2.0).sum(), (5, 2)
+        )
+
+    def test_segment_mean_forward(self):
+        values = Tensor(np.array([[2.0], [4.0], [6.0]]))
+        out = segment_mean(values, np.array([0, 0, 1]), 2)
+        assert np.allclose(out.numpy(), [[3.0], [6.0]])
+
+    def test_segment_mean_empty_segment_is_zero(self):
+        values = Tensor(np.array([[2.0], [4.0]]))
+        out = segment_mean(values, np.array([0, 0]), 3)
+        assert np.allclose(out.numpy()[1:], 0.0)
+
+    def test_segment_max_forward(self):
+        values = Tensor(np.array([[1.0, 5.0], [3.0, 2.0], [0.0, 0.0]]))
+        out = segment_max(values, np.array([0, 0, 1]), 2)
+        assert np.allclose(out.numpy(), [[3.0, 5.0], [0.0, 0.0]])
+
+    def test_segment_max_gradient_routes_to_argmax(self):
+        values = Tensor(np.array([[1.0], [3.0], [2.0]]), requires_grad=True)
+        out = segment_max(values, np.array([0, 0, 0]), 1)
+        out.sum().backward()
+        assert np.allclose(values.grad, [[0.0], [1.0], [0.0]])
+
+    def test_segment_softmax_sums_to_one(self):
+        scores = Tensor(np.random.default_rng(0).normal(size=(6, 1)))
+        ids = np.array([0, 0, 0, 1, 1, 2])
+        out = segment_softmax(scores, ids, 3).numpy().reshape(-1)
+        assert np.isclose(out[:3].sum(), 1.0)
+        assert np.isclose(out[3:5].sum(), 1.0)
+        assert np.isclose(out[5], 1.0)
+
+    def test_segment_softmax_gradient(self):
+        ids = np.array([0, 0, 1, 1])
+        check_gradient(
+            lambda t: (segment_softmax(t, ids, 2) * Tensor(np.array(
+                [[1.0], [2.0], [3.0], [4.0]]))).sum(),
+            (4, 1),
+        )
+
+    def test_gather_rows_gradient(self):
+        index = np.array([0, 2, 2, 1])
+        check_gradient(lambda t: (t.gather_rows(index) ** 2.0).sum(), (3, 2))
+
+    def test_concat_gradient(self):
+        other = np.random.default_rng(2).normal(size=(4, 2))
+        check_gradient(
+            lambda t: concat([t, Tensor(other)], axis=1).sum() + concat(
+                [t * 2.0, t], axis=1).sum(),
+            (4, 3),
+        )
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_scalar(self):
+        tensor = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (tensor * 2.0).backward()
+
+    def test_gradient_accumulates_over_reuse(self):
+        tensor = Tensor(np.array([2.0]), requires_grad=True)
+        loss = (tensor * 3.0 + tensor * 4.0).sum()
+        loss.backward()
+        assert np.allclose(tensor.grad, [7.0])
+
+    def test_zero_grad(self):
+        tensor = Tensor(np.array([1.0]), requires_grad=True)
+        (tensor * 2.0).sum().backward()
+        tensor.zero_grad()
+        assert tensor.grad is None
+
+    def test_detach_breaks_graph(self):
+        tensor = Tensor(np.array([1.0]), requires_grad=True)
+        detached = tensor.detach()
+        (detached * 2.0).sum().backward()
+        assert tensor.grad is None
+
+    def test_constants_do_not_accumulate(self):
+        constant = Tensor(np.array([1.0]))
+        variable = Tensor(np.array([2.0]), requires_grad=True)
+        (constant * variable).sum().backward()
+        assert constant.grad is None or np.allclose(constant.grad, 1.0)
+        assert np.allclose(variable.grad, [1.0])
+
+
+class TestPropertyBased:
+    @given(
+        arrays(np.float64, (4, 3), elements=st.floats(-5, 5)),
+        arrays(np.float64, (4, 3), elements=st.floats(-5, 5)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_addition_matches_numpy(self, a, b):
+        result = (Tensor(a) + Tensor(b)).numpy()
+        assert np.allclose(result, a + b)
+
+    @given(arrays(np.float64, (5, 2), elements=st.floats(-10, 10)))
+    @settings(max_examples=25, deadline=None)
+    def test_relu_is_nonnegative_and_idempotent(self, a):
+        once = Tensor(a).relu()
+        twice = once.relu()
+        assert (once.numpy() >= 0).all()
+        assert np.allclose(once.numpy(), twice.numpy())
+
+    @given(
+        arrays(np.float64, (6, 2), elements=st.floats(-3, 3)),
+        st.lists(st.integers(0, 2), min_size=6, max_size=6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_segment_sum_conserves_total(self, values, ids):
+        ids = np.array(ids)
+        out = segment_sum(Tensor(values), ids, 3).numpy()
+        assert np.allclose(out.sum(axis=0), values.sum(axis=0))
+
+    @given(arrays(np.float64, (4, 4), elements=st.floats(-2, 2)))
+    @settings(max_examples=25, deadline=None)
+    def test_sum_gradient_is_ones(self, a):
+        tensor = Tensor(a, requires_grad=True)
+        tensor.sum().backward()
+        assert np.allclose(tensor.grad, np.ones_like(a))

@@ -1,0 +1,148 @@
+"""Tests for dense layers, modules, optimizers and losses."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import MLP, Dropout, Linear, Module, Parameter
+from repro.nn.losses import huber_loss, mae_loss, mape, mse_loss, rmse
+from repro.nn.optim import SGD, Adam
+
+
+class TestLinearAndMLP:
+    def test_linear_output_shape(self, rng):
+        layer = Linear(4, 8, rng=rng)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 8)
+
+    def test_linear_without_bias(self, rng):
+        layer = Linear(4, 2, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_mlp_requires_two_dims(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_mlp_forward_shape(self, rng):
+        mlp = MLP([4, 16, 16, 2], rng=rng)
+        assert mlp(Tensor(np.zeros((3, 4)))).shape == (3, 2)
+
+    def test_parameter_discovery_recurses(self, rng):
+        mlp = MLP([4, 8, 2], rng=rng)
+        assert len(mlp.parameters()) == 4  # two layers x (weight + bias)
+        assert mlp.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_state_dict_round_trip(self, rng):
+        mlp = MLP([4, 8, 2], rng=rng)
+        state = mlp.state_dict()
+        other = MLP([4, 8, 2], rng=np.random.default_rng(99))
+        other.load_state_dict(state)
+        x = Tensor(np.ones((2, 4)))
+        assert np.allclose(mlp(x).numpy(), other(x).numpy())
+
+    def test_state_dict_shape_mismatch_raises(self, rng):
+        mlp = MLP([4, 8, 2], rng=rng)
+        other = MLP([4, 4, 2], rng=rng)
+        with pytest.raises(ValueError):
+            other.load_state_dict(mlp.state_dict())
+
+    def test_train_eval_propagates(self, rng):
+        mlp = MLP([4, 8, 2], dropout=0.5, rng=rng)
+        mlp.eval()
+        assert not mlp.dropout.training
+        mlp.train()
+        assert mlp.dropout.training
+
+
+class TestDropout:
+    def test_identity_in_eval_mode(self, rng):
+        dropout = Dropout(0.9, rng=rng)
+        dropout.eval()
+        x = np.ones((10, 10))
+        assert np.allclose(dropout(Tensor(x)).numpy(), x)
+
+    def test_scales_in_train_mode(self, rng):
+        dropout = Dropout(0.5, rng=np.random.default_rng(0))
+        out = dropout(Tensor(np.ones((1000, 1)))).numpy()
+        # inverted dropout keeps the expectation approximately unchanged
+        assert abs(out.mean() - 1.0) < 0.15
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0])
+        parameter = Parameter(np.zeros(2))
+
+        def loss_fn():
+            difference = parameter - Tensor(target)
+            return (difference * difference).sum()
+
+        return parameter, target, loss_fn
+
+    def test_sgd_converges(self):
+        parameter, target, loss_fn = self._quadratic_problem()
+        optimizer = SGD([parameter], lr=0.1, momentum=0.5)
+        for _ in range(100):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        parameter, target, loss_fn = self._quadratic_problem()
+        optimizer = Adam([parameter], lr=0.2)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss_fn().backward()
+            optimizer.step()
+        assert np.allclose(parameter.data, target, atol=1e-2)
+
+    def test_gradient_clipping_scales_norm(self):
+        parameter = Parameter(np.zeros(4))
+        parameter.grad = np.full(4, 10.0)
+        optimizer = SGD([parameter], lr=1.0)
+        norm = optimizer.clip_gradients(max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        parameter = Parameter(np.array([10.0]))
+        optimizer = Adam([parameter], lr=0.1, weight_decay=0.5)
+        parameter.grad = np.array([0.0])
+        optimizer.step()
+        assert abs(parameter.data[0]) < 10.0
+
+    def test_step_skips_parameters_without_grad(self):
+        parameter = Parameter(np.array([1.0]))
+        Adam([parameter], lr=0.1).step()
+        assert parameter.data[0] == 1.0
+
+
+class TestLosses:
+    def test_mse_zero_for_perfect_prediction(self):
+        prediction = Tensor(np.array([[1.0], [2.0]]))
+        assert mse_loss(prediction, np.array([[1.0], [2.0]])).item() == 0.0
+
+    def test_mae_and_huber_values(self):
+        prediction = Tensor(np.array([[0.0], [4.0]]))
+        target = np.array([[1.0], [2.0]])
+        assert mae_loss(prediction, target).item() == pytest.approx(1.5)
+        assert huber_loss(prediction, target, delta=1.0).item() > 0
+
+    def test_mape_basic(self):
+        assert mape(np.array([110.0]), np.array([100.0])) == pytest.approx(10.0)
+
+    def test_mape_zero_target_bounded(self):
+        assert mape(np.array([3.0]), np.array([0.0])) == pytest.approx(300.0)
+
+    def test_rmse(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_losses_backpropagate(self):
+        parameter = Parameter(np.array([[0.5]]))
+        loss = mse_loss(parameter, np.array([[1.0]]))
+        loss.backward()
+        assert parameter.grad is not None

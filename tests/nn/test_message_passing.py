@@ -1,0 +1,138 @@
+"""Tests for the five message-passing layers and pooling."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Linear
+from repro.nn.losses import mse_loss
+from repro.nn.message_passing import (
+    CONV_REGISTRY,
+    GATConv,
+    GCNConv,
+    PNAConv,
+    SAGEConv,
+    TransformerConv,
+    add_self_loops,
+    make_conv,
+)
+from repro.nn.optim import Adam
+from repro.nn.pooling import (
+    global_max_pool,
+    global_mean_pool,
+    global_sum_pool,
+    sum_max_pool,
+)
+
+ALL_CONV_NAMES = ["gcn", "gat", "graphsage", "transformer", "pna"]
+
+
+@pytest.fixture
+def chain_graph(rng):
+    """A 10-node chain graph with random features."""
+    x = Tensor(rng.normal(size=(10, 6)))
+    src = np.arange(9)
+    dst = np.arange(1, 10)
+    edge_index = np.stack([src, dst])
+    batch = np.array([0] * 5 + [1] * 5)
+    return x, edge_index, batch
+
+
+class TestSelfLoops:
+    def test_adds_one_loop_per_node(self):
+        edge_index = np.array([[0, 1], [1, 2]])
+        with_loops = add_self_loops(edge_index, 4)
+        assert with_loops.shape == (2, 6)
+        assert (with_loops[:, -4:] == np.stack([np.arange(4), np.arange(4)])).all()
+
+    def test_empty_edge_index(self):
+        with_loops = add_self_loops(np.zeros((2, 0), dtype=np.int64), 3)
+        assert with_loops.shape == (2, 3)
+
+
+class TestConvLayers:
+    @pytest.mark.parametrize("name", ALL_CONV_NAMES)
+    def test_output_shape(self, name, chain_graph, rng):
+        x, edge_index, _ = chain_graph
+        conv = make_conv(name, 6, 8, rng=rng)
+        assert conv(x, edge_index).shape == (10, 8)
+
+    @pytest.mark.parametrize("name", ALL_CONV_NAMES)
+    def test_gradients_flow_to_all_parameters(self, name, chain_graph, rng):
+        x, edge_index, batch = chain_graph
+        conv = make_conv(name, 6, 8, rng=rng)
+        head = Linear(16, 1, rng=rng)
+        pooled = sum_max_pool(conv(x, edge_index).relu(), batch, 2)
+        loss = mse_loss(head(pooled), np.array([[1.0], [0.0]]))
+        loss.backward()
+        for parameter in conv.parameters():
+            assert parameter.grad is not None
+            assert np.isfinite(parameter.grad).all()
+
+    @pytest.mark.parametrize("name", ALL_CONV_NAMES)
+    def test_handles_graph_without_edges(self, name, rng):
+        conv = make_conv(name, 4, 8, rng=rng)
+        x = Tensor(rng.normal(size=(5, 4)))
+        out = conv(x, np.zeros((2, 0), dtype=np.int64))
+        assert out.shape == (5, 8)
+        assert np.isfinite(out.numpy()).all()
+
+    def test_registry_contains_all_five(self):
+        assert set(ALL_CONV_NAMES) <= set(CONV_REGISTRY)
+
+    def test_make_conv_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_conv("gin", 4, 4)
+
+    def test_gat_requires_divisible_heads(self, rng):
+        with pytest.raises(ValueError):
+            GATConv(4, 7, heads=2, rng=rng)
+
+    def test_message_passing_propagates_information(self, rng):
+        """After one GCN layer, a node's output depends on its neighbour."""
+        conv = GCNConv(2, 4, rng=rng)
+        edge_index = np.array([[0], [1]])
+        base = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        changed = Tensor(np.array([[5.0, 0.0], [0.0, 1.0]]))
+        out_base = conv(base, edge_index).numpy()[1]
+        out_changed = conv(changed, edge_index).numpy()[1]
+        assert not np.allclose(out_base, out_changed)
+
+    def test_conv_layer_can_overfit_tiny_task(self, rng):
+        """A single layer + head can fit a 2-graph regression task."""
+        conv = SAGEConv(3, 8, rng=rng)
+        head = Linear(16, 1, rng=rng)
+        x = Tensor(rng.normal(size=(8, 3)))
+        edge_index = np.stack([np.arange(7), np.arange(1, 8)])
+        batch = np.array([0] * 4 + [1] * 4)
+        target = np.array([[1.0], [-1.0]])
+        optimizer = Adam(conv.parameters() + head.parameters(), lr=0.02)
+        for _ in range(150):
+            optimizer.zero_grad()
+            pooled = sum_max_pool(conv(x, edge_index).relu(), batch, 2)
+            loss = mse_loss(head(pooled), target)
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.05
+
+
+class TestPooling:
+    def test_sum_pool(self):
+        x = Tensor(np.array([[1.0], [2.0], [3.0]]))
+        batch = np.array([0, 0, 1])
+        assert np.allclose(global_sum_pool(x, batch, 2).numpy(), [[3.0], [3.0]])
+
+    def test_mean_pool(self):
+        x = Tensor(np.array([[2.0], [4.0], [6.0]]))
+        batch = np.array([0, 0, 1])
+        assert np.allclose(global_mean_pool(x, batch, 2).numpy(), [[3.0], [6.0]])
+
+    def test_max_pool(self):
+        x = Tensor(np.array([[2.0], [4.0], [6.0]]))
+        batch = np.array([0, 0, 1])
+        assert np.allclose(global_max_pool(x, batch, 2).numpy(), [[4.0], [6.0]])
+
+    def test_sum_max_pool_concatenates(self):
+        x = Tensor(np.ones((4, 3)))
+        batch = np.array([0, 0, 1, 1])
+        assert sum_max_pool(x, batch, 2).shape == (2, 6)

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main, parse_config
+from repro.frontend import PartitionType
+
+
+class TestConfigParsing:
+    def test_pipeline_and_unroll(self):
+        config = parse_config(["L0=pipeline+unroll:4"], [])
+        directive = config.loop("L0")
+        assert directive.pipeline
+        assert directive.unroll_factor == 4
+
+    def test_pipeline_with_target_ii(self):
+        config = parse_config(["L0=pipeline:3"], [])
+        assert config.loop("L0").ii == 3
+
+    def test_flatten(self):
+        assert parse_config(["L0=flatten"], []).loop("L0").flatten
+
+    def test_array_partition_spec(self):
+        config = parse_config([], ["A=cyclic:4:2"])
+        directive = config.array("A")
+        assert directive.partition_type is PartitionType.CYCLIC
+        assert directive.factor == 4
+        assert directive.dim == 2
+
+    def test_array_defaults(self):
+        directive = parse_config([], ["A=block"]).array("A")
+        assert directive.partition_type is PartitionType.BLOCK
+        assert directive.factor == 2
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(SystemExit):
+            parse_config(["L0=dataflow"], [])
+
+    def test_empty_specs_give_baseline(self):
+        assert parse_config([], []).describe() == "baseline"
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.gnn == "graphsage"
+        assert args.configs == 24
+
+    def test_predict_options(self):
+        args = build_parser().parse_args(
+            ["predict", "--kernel", "gemm", "--flow", "--loop", "L0=pipeline"]
+        )
+        assert args.flow and args.loop == ["L0=pipeline"]
+
+
+class TestCommands:
+    def test_predict_with_flow(self, capsys):
+        exit_code = main([
+            "predict", "--kernel", "gemm", "--flow",
+            "--loop", "L0_0=pipeline",
+            "--array", "A=cyclic:4:2",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        payload = json.loads(output[output.index("{"):])
+        assert payload["latency"] > 0
+        assert payload["lut"] > 0
+
+    def test_predict_unknown_kernel_exits(self):
+        with pytest.raises(SystemExit):
+            main(["predict", "--kernel", "nonexistent", "--flow"])
+
+    def test_predict_from_source_file(self, tmp_path, capsys):
+        source = tmp_path / "kernel.c"
+        source.write_text(
+            "void scale(int a[16], int b[16]) { int i;"
+            " for (i = 0; i < 16; i++) { b[i] = 2 * a[i]; } }"
+        )
+        exit_code = main(["predict", "--source", str(source), "--flow"])
+        assert exit_code == 0
+        assert "scale" in capsys.readouterr().out
+
+    def test_dse_exhaustive_front(self, capsys):
+        exit_code = main(["dse", "--kernel", "fir", "--configs", "12"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Pareto front" in output
