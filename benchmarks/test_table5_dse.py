@@ -52,7 +52,10 @@ def test_table5_dse_on_unseen_kernels(benchmark, training_corpus, hierarchical_m
             for label, predictor in (
                 ("wu", wu), ("gnn_dse", gnn_dse), ("ours", ours)
             ):
-                explorer = ModelGuidedExplorer(predictor.predict, name=label)
+                explorer = ModelGuidedExplorer(
+                    predictor.predict, name=label,
+                    predict_batch_fn=getattr(predictor, "predict_batch", None),
+                )
                 results[label] = explorer.explore(function, space)
                 adrs_summary[label].append(results[label].adrs_percent)
             ours_result = results["ours"]

@@ -68,10 +68,15 @@ def main() -> None:
           f"{space.simulated_tool_seconds / 86400:.2f} days")
 
     for name, predictor in (("ours", ours), ("pragma-blind GNN [8]", wu_baseline)):
-        explorer = ModelGuidedExplorer(predictor.predict, name=name)
+        explorer = ModelGuidedExplorer(
+            predictor.predict, name=name,
+            predict_batch_fn=getattr(predictor, "predict_batch", None),
+        )
         result = explorer.explore(bicg, space)
+        mode = "batched" if result.batched else "sequential"
         print(f"{name:22s} ADRS = {result.adrs_percent:5.2f}%  "
-              f"DSE time = {result.model_seconds:6.1f} s  "
+              f"DSE time = {result.model_seconds:6.1f} s ({mode}, "
+              f"{result.configs_per_second:,.0f} configs/s)  "
               f"speedup vs exhaustive = {result.speedup:,.0f}x  "
               f"designs selected = {len(result.selected_keys)}")
 

@@ -150,10 +150,16 @@ def cmd_dse(args: argparse.Namespace) -> int:
     print(f"exhaustive (simulated) flow time: {space.simulated_tool_seconds/3600:.1f} h")
     if args.model:
         model = load_model(args.model)
-        explorer = ModelGuidedExplorer(model.predict, name="hierarchical")
+        explorer = ModelGuidedExplorer(
+            model.predict, name="hierarchical",
+            predict_batch_fn=None if args.sequential else model.predict_batch,
+        )
         result = explorer.explore(function, space)
+        mode = "batched" if result.batched else "sequential"
         print(f"model-guided ADRS: {result.adrs_percent:.2f}%  "
-              f"wall time {result.model_seconds:.1f}s  speedup {result.speedup:,.0f}x")
+              f"model time {result.model_seconds:.2f}s ({mode}, "
+              f"{result.configs_per_second:,.0f} configs/s)  "
+              f"speedup {result.speedup:,.0f}x")
         front = result.approx_front
     else:
         front = space.exact_front()
@@ -205,6 +211,9 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--model", help="saved model to guide the exploration")
     dse.add_argument("--configs", type=int, default=100)
     dse.add_argument("--seed", type=int, default=0)
+    dse.add_argument("--sequential", action="store_true",
+                     help="score configurations one by one instead of using "
+                          "the batched cross-config inference engine")
     dse.set_defaults(func=cmd_dse)
     return parser
 

@@ -28,8 +28,14 @@ from repro.core.dataset import (
 from repro.core.models import GlobalGNN, InnerLoopGNN
 from repro.core.trainer import GraphRegressorTrainer, TrainingConfig, TrainingResult
 from repro.frontend.pragmas import PragmaConfig
+from repro.graph.cache import GraphConstructionCache
 from repro.graph.features import annotate_super_node
-from repro.graph.hierarchy import HierarchicalDecomposition, InnerLoopUnit, decompose
+from repro.graph.hierarchy import (
+    HierarchicalDecomposition,
+    InnerLoopUnit,
+    decompose,
+    decomposition_signature,
+)
 from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
 from repro.ir.structure import IRFunction
 from repro.nn.data import GraphSample, train_validation_test_split
@@ -73,6 +79,9 @@ class HierarchicalQoRModel:
     INNER_TARGETS = ("lut", "dsp", "ff", "iteration_latency", "latency")
     GLOBAL_TARGETS = ("lut", "dsp", "ff", "latency")
 
+    #: node budget of one disjoint-union forward pass in :meth:`predict_batch`
+    MAX_BATCH_NODES = 200_000
+
     def __init__(
         self,
         config: HierarchicalModelConfig | None = None,
@@ -84,6 +93,26 @@ class HierarchicalQoRModel:
         self.trainer_p: GraphRegressorTrainer | None = None
         self.trainer_np: GraphRegressorTrainer | None = None
         self.trainer_g: GraphRegressorTrainer | None = None
+        # batched-inference caches: pragma-delta-keyed graphs, the
+        # GraphSample conversions of shared inner-unit subgraphs, and the
+        # QoR predictions of already-seen design deltas
+        self._graph_cache = GraphConstructionCache()
+        self._unit_sample_cache: dict[tuple[int, str], GraphSample] = {}
+        self._prediction_cache: dict[tuple, dict[str, float]] = {}
+
+    def clear_inference_caches(self) -> None:
+        """Drop cached graphs/samples/predictions (weights are unaffected).
+
+        Also clears the trainers' encoded-feature caches, which pin every
+        sample ever predicted — without this, long-lived services would
+        retain the encoded matrix of each distinct design forever.
+        """
+        self._graph_cache.clear()
+        self._unit_sample_cache.clear()
+        self._prediction_cache.clear()
+        for trainer in (self.trainer_p, self.trainer_np, self.trainer_g):
+            if trainer is not None:
+                trainer.clear_caches()
 
     # ------------------------------------------------------------------ #
     # training
@@ -96,6 +125,9 @@ class HierarchicalQoRModel:
     ) -> HierarchicalTrainingReport:
         """Train GNNp, GNNnp and GNNg from design instances."""
         rng = rng or np.random.default_rng(self.config.seed)
+        # retraining invalidates memoized predictions (graph caches would
+        # survive, but a full reset keeps the invariants trivial)
+        self.clear_inference_caches()
         report = HierarchicalTrainingReport()
 
         pipelined, non_pipelined = inner_unit_samples(instances, library=self.library)
@@ -212,18 +244,154 @@ class HierarchicalQoRModel:
         predictions = self.trainer_g.predict([sample])
         return {name: float(values[0]) for name, values in predictions.items()}
 
+    # ------------------------------------------------------------------ #
+    # batched inference (the DSE hot path)
+    # ------------------------------------------------------------------ #
+    def _inner_trainer_for(self, pipelined: bool) -> GraphRegressorTrainer:
+        trainer = self.trainer_p if pipelined else self.trainer_np
+        if trainer is None:
+            trainer = self.trainer_np if pipelined else self.trainer_p
+        if trainer is None:
+            raise RuntimeError("inner models have not been trained")
+        return trainer
+
+    @staticmethod
+    def _unit_key(function: IRFunction, unit: InnerLoopUnit) -> tuple[int, str]:
+        """Identity of an inner unit's pragma delta (decompose-with-cache
+        always assigns a non-empty ``cache_key``)."""
+        return (id(function), unit.cache_key)
+
+    def _unit_sample(self, function: IRFunction, unit: InnerLoopUnit) -> GraphSample:
+        """GraphSample of one inner unit, memoized by its pragma-delta key."""
+        key = self._unit_key(function, unit)
+        sample = self._unit_sample_cache.get(key)
+        if sample is None:
+            sample = graph_to_sample(unit.subgraph)
+            self._unit_sample_cache[key] = sample
+        return sample
+
+    def predict_batch(
+        self, function: IRFunction, configs: list[PragmaConfig | None]
+    ) -> list[dict[str, float]]:
+        """Predict post-route QoR for a whole design space at once.
+
+        Numerically equivalent to calling :meth:`predict` per configuration
+        but orders of magnitude cheaper: graphs are constructed once per
+        pragma delta (see :class:`~repro.graph.cache.GraphConstructionCache`),
+        every inner-loop unit of every configuration runs through one
+        disjoint-union forward pass per inner model (GNNp / GNNnp), the
+        predictions are scattered onto the super nodes of the condensed
+        outer graphs, and one batched GNNg pass scores all distinct outer
+        graphs.
+        """
+        if self.trainer_g is None:
+            raise RuntimeError("the hierarchical model has not been trained")
+        resolved = [config or PragmaConfig() for config in configs]
+        if not resolved:
+            return []
+
+        # 0) pragma-delta signature per configuration (no graphs built yet):
+        #    configurations with equal signatures are the same design, so one
+        #    representative is decomposed/predicted and memoized results are
+        #    served without any construction at all.
+        signatures = [
+            (
+                id(function),
+                decomposition_signature(
+                    function, config, self._graph_cache, library=self.library
+                ),
+            )
+            for config in resolved
+        ]
+        seen: set[tuple] = set()
+        pending: list[tuple[tuple, PragmaConfig]] = []
+        for signature, config in zip(signatures, resolved):
+            if signature in self._prediction_cache or signature in seen:
+                continue
+            seen.add(signature)
+            pending.append((signature, config))
+        if not pending:
+            return [dict(self._prediction_cache[s]) for s in signatures]
+
+        decompositions = [
+            decompose(function, config, library=self.library, cache=self._graph_cache)
+            for _, config in pending
+        ]
+
+        # 1) unique inner-loop units across the pending designs, grouped by
+        #    the trainer that scores them (GNNp / GNNnp with cross-fallback)
+        unit_by_key: dict[tuple[int, str], tuple[InnerLoopUnit, GraphSample]] = {}
+        for decomposition in decompositions:
+            for unit in decomposition.inner_units:
+                key = self._unit_key(function, unit)
+                if key not in unit_by_key:
+                    unit_by_key[key] = (unit, self._unit_sample(function, unit))
+        groups: dict[int, tuple[GraphRegressorTrainer, list, list]] = {}
+        for key, (unit, sample) in unit_by_key.items():
+            trainer = self._inner_trainer_for(unit.pipelined)
+            _, keys, samples = groups.setdefault(id(trainer), (trainer, [], []))
+            keys.append(key)
+            samples.append(sample)
+
+        # 2) one batched forward per inner model
+        inner_predictions: dict[tuple[int, str], dict[str, float]] = {}
+        for trainer, keys, samples in groups.values():
+            outputs = trainer.predict(samples, max_batch_nodes=self.MAX_BATCH_NODES)
+            for index, key in enumerate(keys):
+                inner_predictions[key] = {
+                    name: float(values[index]) for name, values in outputs.items()
+                }
+
+        # 3) scatter inner predictions onto the super nodes of each pending
+        #    outer graph and convert to samples
+        outer_samples: list[GraphSample] = []
+        for decomposition in decompositions:
+            for unit in decomposition.inner_units:
+                prediction = inner_predictions[self._unit_key(function, unit)]
+                for node_id in decomposition.super_node_ids(unit.label):
+                    annotate_super_node(
+                        decomposition.outer_graph, node_id,
+                        latency=prediction.get("latency", 0.0),
+                        lut=prediction.get("lut", 0.0),
+                        ff=prediction.get("ff", 0.0),
+                        dsp=prediction.get("dsp", 0.0),
+                        iteration_latency=prediction.get("iteration_latency", 0.0),
+                    )
+            outer_samples.append(graph_to_sample(decomposition.outer_graph))
+
+        # 4) one batched GNNg pass over the condensed graphs; memoize per
+        #    design delta and scatter back onto the configuration order
+        outputs = self.trainer_g.predict(
+            outer_samples, max_batch_nodes=self.MAX_BATCH_NODES
+        )
+        for index, (signature, _) in enumerate(pending):
+            self._prediction_cache[signature] = {
+                name: float(values[index]) for name, values in outputs.items()
+            }
+        # hand out copies: callers may mutate their result dicts freely
+        # without corrupting the memo
+        return [dict(self._prediction_cache[s]) for s in signatures]
+
     def evaluate(self, instances: list[DesignInstance]) -> dict[str, float]:
         """Whole-design MAPE of the hierarchical predictor over instances."""
         from repro.nn.losses import mape
 
         predictions: dict[str, list[float]] = {name: [] for name in self.GLOBAL_TARGETS}
         truths: dict[str, list[float]] = {name: [] for name in self.GLOBAL_TARGETS}
+        # batch per kernel: instances of the same function share one
+        # disjoint-union pass (and the construction cache)
+        by_function: dict[int, list[DesignInstance]] = {}
         for instance in instances:
-            predicted = self.predict(instance.function, instance.config)
-            truth = application_targets(instance)
-            for name in self.GLOBAL_TARGETS:
-                predictions[name].append(predicted[name])
-                truths[name].append(truth[name])
+            by_function.setdefault(id(instance.function), []).append(instance)
+        for group in by_function.values():
+            predicted_list = self.predict_batch(
+                group[0].function, [instance.config for instance in group]
+            )
+            for instance, predicted in zip(group, predicted_list):
+                truth = application_targets(instance)
+                for name in self.GLOBAL_TARGETS:
+                    predictions[name].append(predicted[name])
+                    truths[name].append(truth[name])
         return {
             name: mape(np.array(predictions[name]), np.array(truths[name]))
             for name in self.GLOBAL_TARGETS

@@ -32,6 +32,10 @@ class QoRPredictor:
         self.library = library
         self.model = HierarchicalQoRModel(config, library=library)
         self._functions: dict[str, IRFunction] = {}
+        # lowering memo: the model's inference caches key by function
+        # *object*, so repeated predictions from identical source text must
+        # resolve to the same IRFunction to get any cache reuse
+        self._lowered_sources: dict[str, IRFunction] = {}
 
     # ------------------------------------------------------------------ #
     # training
@@ -58,18 +62,41 @@ class QoRPredictor:
     # ------------------------------------------------------------------ #
     # inference
     # ------------------------------------------------------------------ #
+    def clear_inference_caches(self) -> None:
+        """Drop the lowering memo and the model's inference caches."""
+        self._lowered_sources.clear()
+        self.model.clear_inference_caches()
+
+    def _lowered(self, source: str) -> IRFunction:
+        function = self._lowered_sources.get(source)
+        if function is None:
+            function = lower_source(source)
+            self._lowered_sources[source] = function
+        return function
+
     def predict_source(
         self, source: str, config: PragmaConfig | None = None
     ) -> dict[str, float]:
         """Predict QoR for source text under a pragma configuration."""
-        function = lower_source(source)
-        return self.model.predict(function, config)
+        return self.model.predict(self._lowered(source), config)
 
     def predict(
         self, function: IRFunction, config: PragmaConfig | None = None
     ) -> dict[str, float]:
         """Predict QoR for an already-lowered kernel."""
         return self.model.predict(function, config)
+
+    def predict_batch(
+        self, function: IRFunction, configs: list[PragmaConfig | None]
+    ) -> list[dict[str, float]]:
+        """Predict QoR for a whole design space in batched forward passes."""
+        return self.model.predict_batch(function, configs)
+
+    def predict_source_batch(
+        self, source: str, configs: list[PragmaConfig | None]
+    ) -> list[dict[str, float]]:
+        """Batched prediction straight from HLS-C source text."""
+        return self.model.predict_batch(self._lowered(source), configs)
 
 
 __all__ = ["QoRPredictor"]

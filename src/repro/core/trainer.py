@@ -18,6 +18,7 @@ from repro.nn.data import (
     GraphSample,
     OptypeEncoder,
     TargetScaler,
+    chunk_by_node_budget,
     iterate_minibatches,
     make_batch,
 )
@@ -69,6 +70,10 @@ class GraphRegressorTrainer:
     # ------------------------------------------------------------------ #
     # data preparation
     # ------------------------------------------------------------------ #
+    def clear_caches(self) -> None:
+        """Drop the encoded-feature cache (samples pinned per ``id``)."""
+        self._encoded_cache.clear()
+
     def fit_preprocessing(self, samples: list[GraphSample]) -> None:
         """Fit the optype vocabulary, feature scaler and target scalers."""
         self._encoded_cache.clear()
@@ -170,15 +175,37 @@ class GraphRegressorTrainer:
     # ------------------------------------------------------------------ #
     # inference / evaluation
     # ------------------------------------------------------------------ #
-    def predict(self, samples: list[GraphSample]) -> dict[str, np.ndarray]:
-        """Predictions in original (unscaled) units for each target."""
+    def predict(
+        self,
+        samples: list[GraphSample],
+        *,
+        max_batch_nodes: int | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Predictions in original (unscaled) units for each target.
+
+        All samples run through one disjoint-union forward pass;
+        ``max_batch_nodes`` bounds the union size (samples are split into
+        successive forward passes once the budget is exceeded), keeping
+        whole-design-space batches memory-safe.
+        """
         if not samples:
             return {name: np.zeros(0) for name in self.target_names}
         self.model.eval()
-        batch = self.prepare_batch(samples)
-        outputs = self.model(batch)
+        if max_batch_nodes is None:
+            chunks = [samples]
+        else:
+            chunks = chunk_by_node_budget(samples, max_batch_nodes)
+        collected: list[dict[str, np.ndarray]] = []
+        for chunk in chunks:
+            batch = self.prepare_batch(chunk)
+            outputs = self.model(batch)
+            collected.append(
+                {name: outputs[name].numpy().reshape(-1) for name in self.target_names}
+            )
         return {
-            name: self.target_scalers[name].inverse(outputs[name].numpy().reshape(-1))
+            name: self.target_scalers[name].inverse(
+                np.concatenate([part[name] for part in collected])
+            )
             for name in self.target_names
         }
 

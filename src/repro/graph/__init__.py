@@ -1,6 +1,12 @@
 """Pragma-aware CDFG construction, feature annotation and loop-hierarchy
 decomposition."""
 
+from repro.graph.cache import (
+    FunctionSkeleton,
+    GraphConstructionCache,
+    outer_cache_key,
+    unit_cache_key,
+)
 from repro.graph.cdfg import (
     CDFG,
     CDFGEdge,
@@ -34,6 +40,8 @@ from repro.graph.hierarchy import (
 )
 
 __all__ = [
+    "FunctionSkeleton", "GraphConstructionCache", "outer_cache_key",
+    "unit_cache_key",
     "CDFG", "CDFGEdge", "CDFGNode", "EdgeKind", "LoopLevelFeatures",
     "NODE_FEATURE_NAMES", "NodeKind",
     "GraphBuilder", "IOPORT_OPTYPE", "SUPER_NONPIPELINED_OPTYPE",

@@ -1,0 +1,314 @@
+"""Pragma-aware graph-construction caching for cross-config inference.
+
+Design-space exploration evaluates the *same kernel* under many pragma
+configurations.  Building the CDFG from scratch for every configuration
+re-derives two kinds of work:
+
+* **pragma-independent analysis** of the IR (loop nests, per-loop instruction
+  lists, touched arrays, super-node boundary values, operator
+  characterizations) — captured once per kernel in a
+  :class:`FunctionSkeleton`;
+* **pragma-dependent graphs** that coincide between configurations — two
+  configurations that apply identical directives to a loop nest (and to the
+  arrays it touches) produce byte-identical inner-loop subgraphs, and
+  configurations that agree on unroll factors, array partitioning and the
+  condense map produce identical outer graphs.  :class:`GraphConstructionCache`
+  keys built graphs by exactly the directive slice they depend on, so only
+  the unroll/partition *deltas* of a new configuration trigger construction.
+
+Cached inner subgraphs are shared read-only between configurations; cached
+outer graphs are stored as pristine templates and handed out as copies
+because hierarchical inference annotates super nodes in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontend.pragmas import PragmaConfig
+from repro.graph.cdfg import CDFG
+from repro.ir.instructions import Instruction, Opcode
+from repro.ir.structure import IRFunction, Loop
+
+
+class FunctionSkeleton:
+    """Pragma-independent analysis of one kernel, computed once.
+
+    The :class:`~repro.graph.construction.GraphBuilder` consults the skeleton
+    instead of re-walking the IR for every configuration: induction-variable
+    ownership, per-loop instruction lists, touched arrays, the instruction-id
+    sets that delimit a condensed loop and the externally-consumed values of
+    each loop are all functions of the IR alone.
+    """
+
+    def __init__(self, function: IRFunction):
+        self.function = function
+        self.all_loops: list[Loop] = function.all_loops()
+        self.loop_by_label: dict[str, Loop] = {
+            loop.label: loop for loop in self.all_loops
+        }
+        # first loop wins for duplicated induction-variable names (sibling
+        # nests reusing ``i``/``j``), matching the pre-existing linear scan
+        self.var_to_loop: dict[str, str] = {}
+        for loop in self.all_loops:
+            self.var_to_loop.setdefault(loop.var, loop.label)
+        self._body_instrs: dict[str, list[Instruction]] = {}
+        self._memory_instrs: dict[str, list[Instruction]] = {}
+        self._touched_arrays: dict[str, list[str]] = {}
+        self._inner_ids: dict[str, set[int]] = {}
+        self._external_uses: dict[str, list[int]] = {}
+        self._nest_labels: dict[str, list[str]] = {}
+        for loop in self.all_loops:
+            body = list(loop.body.walk_instructions())
+            self._body_instrs[loop.label] = body
+            self._memory_instrs[loop.label] = [
+                instr for instr in body
+                if instr.opcode in (Opcode.LOAD, Opcode.STORE)
+            ]
+            self._touched_arrays[loop.label] = sorted(
+                {instr.array for instr in body if instr.array}
+            )
+            inner = {instr.instr_id for instr in body}
+            inner |= {instr.instr_id for instr in loop.header_instrs}
+            inner |= {instr.instr_id for instr in loop.latch_instrs}
+            self._inner_ids[loop.label] = inner
+            external: set[int] = set()
+            for instr in body:
+                for operand in instr.value_operands:
+                    if operand.instr_id not in inner:
+                        external.add(operand.instr_id)
+            self._external_uses[loop.label] = sorted(external)
+            self._nest_labels[loop.label] = [loop.label] + [
+                sub.label for sub in loop.all_sub_loops()
+            ]
+        #: operator characterizations keyed by ``(instr_id, id(library))``;
+        #: the libraries are pinned so a recycled ``id`` cannot alias
+        self._char_cache: dict[tuple[int, int], object] = {}
+        self._char_libraries: dict[int, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # per-loop lookups
+    # ------------------------------------------------------------------ #
+    def body_instructions(self, label: str) -> list[Instruction]:
+        return self._body_instrs[label]
+
+    def memory_instructions(self, label: str) -> list[Instruction]:
+        return self._memory_instrs[label]
+
+    def touched_arrays(self, label: str) -> list[str]:
+        return self._touched_arrays[label]
+
+    def inner_instr_ids(self, label: str) -> set[int]:
+        return self._inner_ids[label]
+
+    def external_uses(self, label: str) -> list[int]:
+        return self._external_uses[label]
+
+    def nest_labels(self, label: str) -> list[str]:
+        return self._nest_labels[label]
+
+    def characterize(self, instr: Instruction, library) -> object:
+        key = (instr.instr_id, id(library))
+        char = self._char_cache.get(key)
+        if char is None:
+            char = library.lookup_instr(instr)
+            self._char_cache[key] = char
+            self._char_libraries[id(library)] = library
+        return char
+
+
+# --------------------------------------------------------------------------- #
+# cache keys
+# --------------------------------------------------------------------------- #
+def _loop_directive_key(config: PragmaConfig, label: str) -> str:
+    d = config.loop(label)
+    return f"{label}=P{int(d.pipeline)}:I{d.ii}:U{d.unroll_factor}:F{int(d.flatten)}"
+
+
+def _array_directive_key(config: PragmaConfig, name: str) -> str:
+    d = config.array(name)
+    return f"{name}={d.partition_type.value}:f{d.factor}:d{d.dim}"
+
+
+def unit_cache_key(
+    skeleton: FunctionSkeleton,
+    config: PragmaConfig,
+    loop: Loop,
+    pipelined: bool,
+    flattened_levels: int,
+    library_token: str = "",
+    unroll_factors: dict[str, int] | None = None,
+) -> str:
+    """Directive slice an inner-loop subgraph (and its loop features) depend on.
+
+    The subgraph of a maximal inner-hierarchy unit is fully determined by the
+    directives applied to the loops of its own nest and to the arrays its body
+    touches: units are maximal, so no ancestor is pipelined, and unroll
+    factors never propagate downward from outside the nest.  Node features
+    also depend on the operator library, identified by ``library_token``
+    (see :meth:`GraphConstructionCache.library_token`).
+
+    One subtlety: bank-connection analysis resolves induction-variable
+    *names*, and sibling nests may reuse a name (``i``/``j``).  When a nest
+    variable resolves to a loop outside the nest, that loop's effective
+    unroll factor leaks into the subgraph's memory edges, so it is folded
+    into the key.
+    """
+    nest = skeleton.nest_labels(loop.label)
+    nest_set = set(nest)
+    parts = [library_token, loop.label, "p" if pipelined else "np",
+             str(flattened_levels)]
+    for label in nest:
+        parts.append(_loop_directive_key(config, label))
+        var = skeleton.loop_by_label[label].var
+        resolved = skeleton.var_to_loop.get(var, "")
+        if resolved and resolved not in nest_set:
+            factor = (unroll_factors or {}).get(resolved, 1)
+            parts.append(f"x:{var}:{resolved}:{factor}")
+    for name in skeleton.touched_arrays(loop.label):
+        parts.append(_array_directive_key(config, name))
+    return "|".join(parts)
+
+
+def outer_cache_key(
+    skeleton: FunctionSkeleton,
+    config: PragmaConfig,
+    condense: dict[str, bool],
+    unroll_factors: dict[str, int],
+    library_token: str = "",
+) -> str:
+    """Directive slice the condensed outer graph depends on.
+
+    The outer graph is a function of the condense map (which loops collapse
+    to super nodes and whether they are pipelined), the *effective* unroll
+    factor of every non-condensed loop (replication and residual trip
+    counts), and the partition directives of every function array
+    (memory-port banks and bank-connection analysis).  Loops inside condensed
+    nests never expand into the outer graph — their unroll factors only shape
+    the inner subgraph — so they are deliberately excluded: that is what lets
+    configurations differing only in inner-loop deltas share one outer
+    template.
+    """
+    condensed_away: set[str] = set()
+    for label in condense:
+        condensed_away.update(skeleton.nest_labels(label))
+    parts = [library_token]
+    parts += [f"c:{label}:{int(flag)}" for label, flag in sorted(condense.items())]
+    for label in sorted(skeleton.loop_by_label):
+        if label in condensed_away:
+            continue
+        parts.append(f"u:{label}:{unroll_factors.get(label, 1)}")
+        # symmetric to the unit-key collision handling: bank-connection
+        # analysis resolves this loop's induction-variable *name* first-wins,
+        # which may land on a condensed-away loop whose factor the key would
+        # otherwise exclude
+        var = skeleton.loop_by_label[label].var
+        resolved = skeleton.var_to_loop.get(var, "")
+        if resolved and resolved in condensed_away:
+            parts.append(f"x:{var}:{resolved}:{unroll_factors.get(resolved, 1)}")
+    parts += [
+        _array_directive_key(config, name)
+        for name in sorted(skeleton.function.arrays)
+    ]
+    return "|".join(parts)
+
+
+# --------------------------------------------------------------------------- #
+# the cache
+# --------------------------------------------------------------------------- #
+@dataclass
+class CachedUnit:
+    """A cached inner-loop subgraph plus caller-stashed derived artifacts."""
+
+    subgraph: CDFG
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class CacheStats:
+    unit_hits: int = 0
+    unit_misses: int = 0
+    outer_hits: int = 0
+    outer_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "unit_hits": self.unit_hits, "unit_misses": self.unit_misses,
+            "outer_hits": self.outer_hits, "outer_misses": self.outer_misses,
+        }
+
+
+class GraphConstructionCache:
+    """Caches skeletons and pragma-delta-keyed CDFGs across configurations.
+
+    Entries are keyed per function *object*; the stored strong reference
+    guarantees an ``id()`` can never be recycled while its entry is alive
+    (same pattern as ``make_batch``'s encoded cache).
+    """
+
+    def __init__(self):
+        self._skeletons: dict[int, tuple[IRFunction, FunctionSkeleton]] = {}
+        self._units: dict[tuple[int, str], CachedUnit] = {}
+        self._outer: dict[tuple[int, str], CDFG] = {}
+        self._libraries: dict[int, object] = {}
+        #: per-(function, config key) classification / unroll-factor memo,
+        #: shared between decomposition_signature and decompose
+        self.analysis: dict[tuple[int, str], tuple] = {}
+        self.stats = CacheStats()
+
+    def library_token(self, library) -> str:
+        """A key fragment identifying ``library``; the object is pinned so a
+        recycled ``id`` can never alias entries built with another library."""
+        self._libraries[id(library)] = library
+        return f"L{id(library)}"
+
+    # ------------------------------------------------------------------ #
+    def skeleton(self, function: IRFunction) -> FunctionSkeleton:
+        entry = self._skeletons.get(id(function))
+        if entry is not None and entry[0] is function:
+            return entry[1]
+        skeleton = FunctionSkeleton(function)
+        self._skeletons[id(function)] = (function, skeleton)
+        return skeleton
+
+    # ------------------------------------------------------------------ #
+    def get_unit(self, function: IRFunction, key: str) -> CachedUnit | None:
+        unit = self._units.get((id(function), key))
+        if unit is not None:
+            self.stats.unit_hits += 1
+        return unit
+
+    def put_unit(self, function: IRFunction, key: str, subgraph: CDFG) -> CachedUnit:
+        self.stats.unit_misses += 1
+        unit = CachedUnit(subgraph=subgraph)
+        self._units[(id(function), key)] = unit
+        return unit
+
+    # ------------------------------------------------------------------ #
+    def get_outer(self, function: IRFunction, key: str) -> CDFG | None:
+        """A fresh copy of the cached outer-graph template, if present."""
+        template = self._outer.get((id(function), key))
+        if template is None:
+            return None
+        self.stats.outer_hits += 1
+        return template.copy()
+
+    def put_outer(self, function: IRFunction, key: str, graph: CDFG) -> None:
+        """Store a pristine template copy (callers annotate graphs in place)."""
+        self.stats.outer_misses += 1
+        self._outer[(id(function), key)] = graph.copy()
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        self._skeletons.clear()
+        self._units.clear()
+        self._outer.clear()
+        self._libraries.clear()
+        self.analysis.clear()
+        self.stats = CacheStats()
+
+
+__all__ = [
+    "FunctionSkeleton", "CachedUnit", "CacheStats", "GraphConstructionCache",
+    "unit_cache_key", "outer_cache_key",
+]

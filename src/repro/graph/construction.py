@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.frontend.pragmas import ArrayDirective, PartitionType, PragmaConfig
+from repro.graph.cache import FunctionSkeleton
 from repro.graph.cdfg import CDFG, EdgeKind, NodeKind
 from repro.hls.directives import effective_unroll_factors, partition_banks
 from repro.hls.op_library import DEFAULT_LIBRARY, MEMORY_PORT, OperatorLibrary
@@ -89,6 +90,8 @@ class GraphBuilder:
         condense_loops: dict[str, bool] | None = None,
         max_replication: int = 64,
         max_nodes: int = 4096,
+        skeleton: FunctionSkeleton | None = None,
+        unroll_factors: dict[str, int] | None = None,
     ):
         """
         Parameters
@@ -111,6 +114,16 @@ class GraphBuilder:
             Soft budget on the total graph size: once exceeded, further
             unroll replicas are not materialized (the already-annotated
             ``invocations`` features still carry the iteration counts).
+        skeleton:
+            Optional pre-computed pragma-independent analysis of ``function``
+            (see :class:`~repro.graph.cache.FunctionSkeleton`); when given,
+            IR walks and operator characterizations are looked up instead of
+            recomputed.
+        unroll_factors:
+            Optional pre-computed ``effective_unroll_factors(function,
+            config)`` result, so callers that already resolved the factors
+            (e.g. cached decomposition) avoid re-walking the loop tree.
+            Ignored when ``pragma_aware`` is False.
         """
         self.function = function
         self.config = config or PragmaConfig()
@@ -119,10 +132,16 @@ class GraphBuilder:
         self.condense_loops = dict(condense_loops or {})
         self.max_replication = max_replication
         self.max_nodes = max_nodes
-        self.unroll = (
-            effective_unroll_factors(function, self.config)
-            if pragma_aware else {loop.label: 1 for loop in function.all_loops()}
+        self.skeleton = skeleton
+        self._var_to_loop: dict[str, str] | None = (
+            skeleton.var_to_loop if skeleton is not None else None
         )
+        if not pragma_aware:
+            self.unroll = {loop.label: 1 for loop in function.all_loops()}
+        elif unroll_factors is not None:
+            self.unroll = unroll_factors
+        else:
+            self.unroll = effective_unroll_factors(function, self.config)
         self.cdfg = CDFG(name=function.name)
         self._port_nodes: dict[str, list[int]] = {}
 
@@ -221,12 +240,22 @@ class GraphBuilder:
         return [min(banks - 1, const // block)]
 
     def _loop_of_var(self, var: str) -> str:
-        for loop in self.function.all_loops():
-            if loop.var == var:
-                return loop.label
-        return ""
+        if self._var_to_loop is None:
+            # first loop wins for duplicated induction-variable names,
+            # matching the original linear scan
+            self._var_to_loop = {}
+            for loop in self.function.all_loops():
+                self._var_to_loop.setdefault(loop.var, loop.label)
+        return self._var_to_loop.get(var, "")
+
+    def _characterize(self, instr: Instruction):
+        if self.skeleton is not None:
+            return self.skeleton.characterize(instr, self.library)
+        return self.library.lookup_instr(instr)
 
     def _arrays_touched(self, loop: Loop) -> set[str]:
+        if self.skeleton is not None:
+            return set(self.skeleton.touched_arrays(loop.label))
         touched = set()
         for instr in loop.body.walk_instructions():
             if instr.array:
@@ -256,7 +285,7 @@ class GraphBuilder:
             array=instr.array, instr_id=instr.instr_id, replica=replica,
         )
         node.features["invocations"] = float(self._invocations(state))
-        char = self.library.lookup_instr(instr)
+        char = self._characterize(instr)
         node.features.update(
             cycles=float(char.cycles), delay=char.delay_ns, lut=float(char.lut),
             dsp=float(char.dsp), ff=float(char.ff),
@@ -311,7 +340,7 @@ class GraphBuilder:
                 node.features["invocations"] = float(
                     self._invocations(state) * residual
                 )
-                char = self.library.lookup_instr(instr)
+                char = self._characterize(instr)
                 node.features.update(
                     cycles=float(char.cycles), delay=char.delay_ns,
                     lut=float(char.lut), dsp=float(char.dsp), ff=float(char.ff),
@@ -358,22 +387,30 @@ class GraphBuilder:
         )
         node.features["invocations"] = float(self._invocations(state))
         # data edges from outer values consumed inside the condensed loop
-        inner_ids = {instr.instr_id for instr in loop.body.walk_instructions()}
-        inner_ids |= {instr.instr_id for instr in loop.header_instrs}
-        inner_ids |= {instr.instr_id for instr in loop.latch_instrs}
-        external_uses: set[int] = set()
-        for instr in loop.body.walk_instructions():
-            for operand in instr.value_operands:
-                if operand.instr_id not in inner_ids:
-                    external_uses.add(operand.instr_id)
-        for instr_id in sorted(external_uses):
+        if self.skeleton is not None:
+            inner_ids = self.skeleton.inner_instr_ids(loop.label)
+            external_uses_sorted = self.skeleton.external_uses(loop.label)
+            memory_instrs = self.skeleton.memory_instructions(loop.label)
+        else:
+            inner_ids = {instr.instr_id for instr in loop.body.walk_instructions()}
+            inner_ids |= {instr.instr_id for instr in loop.header_instrs}
+            inner_ids |= {instr.instr_id for instr in loop.latch_instrs}
+            external_uses: set[int] = set()
+            for instr in loop.body.walk_instructions():
+                for operand in instr.value_operands:
+                    if operand.instr_id not in inner_ids:
+                        external_uses.add(operand.instr_id)
+            external_uses_sorted = sorted(external_uses)
+            memory_instrs = [
+                instr for instr in loop.body.walk_instructions()
+                if instr.opcode in (Opcode.LOAD, Opcode.STORE)
+            ]
+        for instr_id in external_uses_sorted:
             src = state.scope.lookup(instr_id)
             if src is not None:
                 self.cdfg.add_edge(src, node.node_id, EdgeKind.DATA)
         # memory edges between the super node and the banks of arrays it uses
-        for instr in loop.body.walk_instructions():
-            if instr.opcode not in (Opcode.LOAD, Opcode.STORE):
-                continue
+        for instr in memory_instrs:
             if instr.array not in self._port_nodes:
                 continue
             for bank in self._connected_banks(instr, state.offsets):

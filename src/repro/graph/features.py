@@ -50,9 +50,13 @@ def analytical_ii(
     config: PragmaConfig,
     *,
     library: OperatorLibrary = DEFAULT_LIBRARY,
+    unroll_factors: dict[str, int] | None = None,
 ) -> int:
     """The II lower bound ``max(II_rec, II_res)`` used as a loop-level feature."""
-    unroll = effective_unroll_factors(function, config)
+    unroll = (
+        unroll_factors if unroll_factors is not None
+        else effective_unroll_factors(function, config)
+    )
     factor = unroll.get(loop.label, 1)
     ports = all_array_ports(function, config)
     access_counts = replicated_access_counts(loop, factor)
@@ -83,9 +87,13 @@ def loop_level_features(
     pipelined: bool,
     flattened_levels: int = 1,
     library: OperatorLibrary = DEFAULT_LIBRARY,
+    unroll_factors: dict[str, int] | None = None,
 ) -> LoopLevelFeatures:
     """Loop-level feature vector for one inner-hierarchy loop."""
-    unroll = effective_unroll_factors(function, config)
+    unroll = (
+        unroll_factors if unroll_factors is not None
+        else effective_unroll_factors(function, config)
+    )
     factor = unroll.get(loop.label, 1)
     tripcount = max(1, loop.tripcount)
     residual_iterations = max(1, math.ceil(tripcount / max(1, factor)))
@@ -98,7 +106,12 @@ def loop_level_features(
                 break
             current = subs[0]
             residual_iterations *= max(1, current.tripcount)
-    ii = analytical_ii(function, loop, config, library=library) if pipelined else 1
+    ii = (
+        analytical_ii(
+            function, loop, config, library=library, unroll_factors=unroll
+        )
+        if pipelined else 1
+    )
     return LoopLevelFeatures(
         ii=float(ii),
         tripcount=float(residual_iterations),

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 
 from repro.frontend.pragmas import PragmaConfig
+from repro.graph.cache import GraphConstructionCache, outer_cache_key, unit_cache_key
 from repro.graph.cdfg import CDFG, NodeKind
 from repro.graph.construction import GraphBuilder
 from repro.graph.features import loop_level_features
@@ -43,6 +44,8 @@ class InnerLoopUnit:
     pipelined: bool
     subgraph: CDFG
     flattened_levels: int = 1
+    #: pragma-delta cache key (set when decomposing through a cache)
+    cache_key: str = ""
 
     @property
     def label(self) -> str:
@@ -57,6 +60,8 @@ class HierarchicalDecomposition:
     config: PragmaConfig
     inner_units: list[InnerLoopUnit] = field(default_factory=list)
     outer_graph: CDFG = field(default_factory=CDFG)
+    #: pragma-delta cache key of the outer graph (set when using a cache)
+    cache_key: str = ""
 
     def unit(self, label: str) -> InnerLoopUnit:
         for unit in self.inner_units:
@@ -125,43 +130,142 @@ def classify_inner_units(
     return units
 
 
+def _loop_analysis(
+    function: IRFunction,
+    config: PragmaConfig,
+    cache: GraphConstructionCache | None,
+) -> tuple[list, dict[str, int]]:
+    """(classified inner units, effective unroll factors), memoized per
+    ``(function, config)`` in the cache so signature computation and
+    decomposition share one classification pass."""
+    if cache is None:
+        return (
+            classify_inner_units(function, config),
+            effective_unroll_factors(function, config),
+        )
+    key = (id(function), config.key())
+    entry = cache.analysis.get(key)
+    if entry is None:
+        entry = (
+            classify_inner_units(function, config),
+            effective_unroll_factors(function, config),
+        )
+        cache.analysis[key] = entry
+    return entry
+
+
+def decomposition_signature(
+    function: IRFunction,
+    config: PragmaConfig | None,
+    cache: GraphConstructionCache,
+    *,
+    library: OperatorLibrary = DEFAULT_LIBRARY,
+) -> tuple[str, tuple[tuple[str, str], ...]]:
+    """The pragma-delta identity of a decomposition, without building graphs.
+
+    Two configurations with equal signatures yield outer graphs and inner
+    subgraphs that are feature-identical, hence identical QoR predictions.
+    Computing the signature costs only classification plus key strings, which
+    lets batched inference skip construction for already-seen design deltas.
+    """
+    config = config or PragmaConfig()
+    skeleton = cache.skeleton(function)
+    token = cache.library_token(library)
+    classified, unroll = _loop_analysis(function, config, cache)
+    condense = {loop.label: pipelined for loop, _, pipelined, _ in classified}
+    outer = outer_cache_key(skeleton, config, condense, unroll, token)
+    units = tuple(sorted(
+        (loop.label,
+         unit_cache_key(skeleton, config, loop, pipelined, levels, token, unroll))
+        for loop, _, pipelined, levels in classified
+    ))
+    return outer, units
+
+
 def decompose(
     function: IRFunction,
     config: PragmaConfig | None = None,
     *,
     library: OperatorLibrary = DEFAULT_LIBRARY,
+    cache: GraphConstructionCache | None = None,
 ) -> HierarchicalDecomposition:
-    """Decompose a kernel into inner units and the condensed outer graph."""
+    """Decompose a kernel into inner units and the condensed outer graph.
+
+    With ``cache``, the pragma-independent IR skeleton is built once per
+    kernel and built graphs are reused between configurations that apply
+    identical directives to the relevant loops/arrays: inner subgraphs are
+    shared read-only, the outer graph is copied from a pristine template
+    (callers annotate super nodes in place).
+    """
     config = config or PragmaConfig()
-    classified = classify_inner_units(function, config)
+    classified, unroll = _loop_analysis(function, config, cache)
+    skeleton = cache.skeleton(function) if cache is not None else None
+    library_token = cache.library_token(library) if cache is not None else ""
     inner_units: list[InnerLoopUnit] = []
     condense: dict[str, bool] = {}
     for loop, category, pipelined, flattened_levels in classified:
-        builder = GraphBuilder(function, config, library)
-        subgraph = builder.build_loop_graph(loop)
-        subgraph.loop_features = loop_level_features(
-            function, loop, config, pipelined=pipelined,
-            flattened_levels=flattened_levels, library=library,
-        )
-        subgraph.metadata["loop"] = loop.label
+        key = ""
+        subgraph = None
+        if cache is not None:
+            key = unit_cache_key(
+                skeleton, config, loop, pipelined, flattened_levels,
+                library_token, unroll,
+            )
+            entry = cache.get_unit(function, key)
+            if entry is not None:
+                subgraph = entry.subgraph
+        if subgraph is None:
+            builder = GraphBuilder(
+                function, config, library, skeleton=skeleton,
+                unroll_factors=unroll,
+            )
+            subgraph = builder.build_loop_graph(loop)
+            subgraph.loop_features = loop_level_features(
+                function, loop, config, pipelined=pipelined,
+                flattened_levels=flattened_levels, library=library,
+                unroll_factors=unroll,
+            )
+            subgraph.metadata["loop"] = loop.label
+            if cache is not None:
+                # the subgraph is shared read-only between every config with
+                # this pragma delta, so the builder's full-config description
+                # would be stale provenance
+                subgraph.metadata["config"] = key
+                cache.put_unit(function, key, subgraph)
         inner_units.append(
             InnerLoopUnit(
                 loop=loop, category=category, pipelined=pipelined,
                 subgraph=subgraph, flattened_levels=flattened_levels,
+                cache_key=key,
             )
         )
         condense[loop.label] = pipelined
-    outer_builder = GraphBuilder(
-        function, config, library, condense_loops=condense
-    )
-    outer_graph = outer_builder.build_function_graph()
+    outer_key = ""
+    outer_graph = None
+    if cache is not None:
+        outer_key = outer_cache_key(
+            skeleton, config, condense, unroll, library_token
+        )
+        outer_graph = cache.get_outer(function, outer_key)
+        if outer_graph is not None:
+            # each config gets its own copy; restamp its true provenance
+            outer_graph.metadata["config"] = config.describe()
+    if outer_graph is None:
+        outer_builder = GraphBuilder(
+            function, config, library, condense_loops=condense,
+            skeleton=skeleton, unroll_factors=unroll,
+        )
+        outer_graph = outer_builder.build_function_graph()
+        if cache is not None:
+            cache.put_outer(function, outer_key, outer_graph)
     return HierarchicalDecomposition(
         function=function, config=config,
         inner_units=inner_units, outer_graph=outer_graph,
+        cache_key=outer_key,
     )
 
 
 __all__ = [
     "InnerUnitCategory", "InnerLoopUnit", "HierarchicalDecomposition",
-    "classify_inner_units", "decompose",
+    "classify_inner_units", "decompose", "decomposition_signature",
 ]

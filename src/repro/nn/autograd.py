@@ -34,15 +34,25 @@ def _as_array(value) -> Array:
 
 
 def _scatter_add(ids: Array, values: Array, num_segments: int) -> Array:
-    """Column-wise ``bincount`` scatter-add (much faster than ``np.add.at``)."""
+    """Scatter-add rows of ``values`` into ``num_segments`` buckets.
+
+    Implemented as one flat-index ``bincount`` over ``ids * num_cols + col``
+    (much faster than ``np.add.at`` and than a per-column Python loop): the
+    whole (rows, features) block collapses into a single C-level pass.  Shared
+    by :meth:`Tensor.gather_rows`'s backward and every ``segment_*`` op.
+    """
     if values.ndim == 1:
         return np.bincount(ids, weights=values, minlength=num_segments)
-    out = np.empty((num_segments,) + values.shape[1:], dtype=np.float64)
-    for column in range(values.shape[1]):
-        out[:, column] = np.bincount(
-            ids, weights=values[:, column], minlength=num_segments
-        )
-    return out
+    num_cols = int(np.prod(values.shape[1:]))
+    if num_cols == 0 or ids.size == 0:
+        return np.zeros((num_segments,) + values.shape[1:], dtype=np.float64)
+    flat_ids = (ids[:, None] * num_cols + np.arange(num_cols)[None, :]).ravel()
+    out = np.bincount(
+        flat_ids,
+        weights=values.reshape(ids.shape[0], num_cols).ravel(),
+        minlength=num_segments * num_cols,
+    )
+    return out.reshape((num_segments,) + values.shape[1:])
 
 
 def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:

@@ -223,6 +223,30 @@ def make_batch(
     )
 
 
+def chunk_by_node_budget(
+    samples: list[GraphSample], max_nodes: int
+) -> list[list[GraphSample]]:
+    """Split ``samples`` (order preserved) into chunks of <= ``max_nodes``.
+
+    Used to bound the memory of one disjoint-union forward pass when batching
+    a whole design space; a single sample larger than the budget still forms
+    its own chunk.
+    """
+    chunks: list[list[GraphSample]] = []
+    current: list[GraphSample] = []
+    current_nodes = 0
+    for sample in samples:
+        if current and current_nodes + sample.num_nodes > max_nodes:
+            chunks.append(current)
+            current = []
+            current_nodes = 0
+        current.append(sample)
+        current_nodes += sample.num_nodes
+    if current:
+        chunks.append(current)
+    return chunks
+
+
 def iterate_minibatches(
     samples: list[GraphSample],
     batch_size: int,
@@ -257,5 +281,6 @@ def train_validation_test_split(
 
 __all__ = [
     "GraphSample", "Batch", "OptypeEncoder", "FeatureScaler", "TargetScaler",
-    "make_batch", "iterate_minibatches", "train_validation_test_split",
+    "make_batch", "chunk_by_node_budget", "iterate_minibatches",
+    "train_validation_test_split",
 ]

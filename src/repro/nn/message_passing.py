@@ -9,6 +9,8 @@ layers share the PyTorch-Geometric calling convention
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from repro.nn.autograd import (
@@ -31,6 +33,81 @@ def add_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
     return np.concatenate([edge_index, loops], axis=1)
 
 
+class _EdgeComputationCache:
+    """Memoizes per-``(edge_index, num_nodes)`` graph quantities.
+
+    A model forward pass (and, during DSE, many forward passes over the same
+    batch) hands the *same* ``edge_index`` array to every propagation layer;
+    re-deriving self-loops, degrees and normalization columns in each layer
+    dominates the cost of small-graph inference.  Entries are keyed by
+    ``id(edge_index)`` and validated through a weak reference so a recycled
+    ``id`` can never alias a dead array.
+    """
+
+    def __init__(self, max_entries: int = 32):
+        self.max_entries = max_entries
+        self._entries: dict[int, tuple[weakref.ref, int, dict]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def payload(self, edge_index: np.ndarray, num_nodes: int) -> dict:
+        """The mutable memo dict for this ``(edge_index, num_nodes)`` pair."""
+        entry = self._entries.get(id(edge_index))
+        if entry is not None:
+            ref, cached_nodes, payload = entry
+            if ref() is edge_index and cached_nodes == num_nodes:
+                self.hits += 1
+                return payload
+        self.misses += 1
+        payload: dict = {}
+        try:
+            ref = weakref.ref(edge_index)
+        except TypeError:  # pragma: no cover - ndarrays are weakref-able
+            return payload
+        # purge entries whose array died on every insert so large self-loop
+        # and norm payloads never outlive their batch; flush live entries
+        # wholesale only if still full afterwards
+        self._entries = {
+            key: value for key, value in self._entries.items()
+            if value[0]() is not None
+        }
+        if len(self._entries) >= self.max_entries:
+            self._entries.clear()
+        self._entries[id(edge_index)] = (ref, num_nodes, payload)
+        return payload
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: process-wide cache shared by every propagation layer
+EDGE_CACHE = _EdgeComputationCache()
+
+
+def _cached_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
+    payload = EDGE_CACHE.payload(edge_index, num_nodes)
+    edges = payload.get("self_loops")
+    if edges is None:
+        edges = add_self_loops(edge_index, num_nodes)
+        payload["self_loops"] = edges
+    return edges
+
+
+def _cached_degree(
+    edge_index: np.ndarray, dst: np.ndarray, num_nodes: int
+) -> np.ndarray:
+    """In-degree (self-loop-augmented, clamped to >= 1) per node."""
+    payload = EDGE_CACHE.payload(edge_index, num_nodes)
+    degree = payload.get("degree")
+    if degree is None:
+        degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+        degree = np.maximum(degree, 1.0)
+        payload["degree"] = degree
+    return degree
+
+
 class MessagePassingLayer(Module):
     """Common base: subclasses implement :meth:`forward(x, edge_index)`."""
 
@@ -50,13 +127,16 @@ class GCNConv(MessagePassingLayer):
 
     def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
         num_nodes = x.shape[0]
-        edges = add_self_loops(edge_index, num_nodes)
+        edges = _cached_self_loops(edge_index, num_nodes)
         src, dst = edges[0], edges[1]
         transformed = self.linear(x)
-        degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
-        degree = np.maximum(degree, 1.0)
-        norm = 1.0 / np.sqrt(degree[src] * degree[dst])
-        messages = transformed.gather_rows(src) * Tensor(norm[:, None])
+        payload = EDGE_CACHE.payload(edge_index, num_nodes)
+        norm = payload.get("gcn_norm")
+        if norm is None:
+            degree = _cached_degree(edge_index, dst, num_nodes)
+            norm = (1.0 / np.sqrt(degree[src] * degree[dst]))[:, None]
+            payload["gcn_norm"] = norm
+        messages = transformed.gather_rows(src) * Tensor(norm)
         return segment_sum(messages, dst, num_nodes)
 
 
@@ -102,7 +182,7 @@ class GATConv(MessagePassingLayer):
 
     def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
         num_nodes = x.shape[0]
-        edges = add_self_loops(edge_index, num_nodes)
+        edges = _cached_self_loops(edge_index, num_nodes)
         src, dst = edges[0], edges[1]
         head_outputs = []
         for head in range(self.heads):
@@ -133,7 +213,7 @@ class TransformerConv(MessagePassingLayer):
 
     def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
         num_nodes = x.shape[0]
-        edges = add_self_loops(edge_index, num_nodes)
+        edges = _cached_self_loops(edge_index, num_nodes)
         src, dst = edges[0], edges[1]
         queries = self.query(x).gather_rows(dst)
         keys = self.key(x).gather_rows(src)
@@ -160,7 +240,7 @@ class PNAConv(MessagePassingLayer):
 
     def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
         num_nodes = x.shape[0]
-        edges = add_self_loops(edge_index, num_nodes)
+        edges = _cached_self_loops(edge_index, num_nodes)
         src, dst = edges[0], edges[1]
         transformed = self.pre(x)
         messages = transformed.gather_rows(src)
@@ -169,15 +249,22 @@ class PNAConv(MessagePassingLayer):
             segment_max(messages, dst, num_nodes),
             segment_sum(messages, dst, num_nodes),
         ]
-        degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
-        degree = np.maximum(degree, 1.0)
-        amplification = np.log(degree + 1.0) / self.log_average_degree
-        attenuation = self.log_average_degree / np.log(degree + 1.0)
+        payload = EDGE_CACHE.payload(edge_index, num_nodes)
+        scalers = payload.get(("pna_scalers", self.log_average_degree))
+        if scalers is None:
+            degree = _cached_degree(edge_index, dst, num_nodes)
+            log_degree = np.log(degree + 1.0)
+            scalers = (
+                (log_degree / self.log_average_degree)[:, None],
+                (self.log_average_degree / log_degree)[:, None],
+            )
+            payload[("pna_scalers", self.log_average_degree)] = scalers
+        amplification, attenuation = scalers
         scaled = []
         for aggregate in aggregated:
             scaled.append(aggregate)
-            scaled.append(aggregate * Tensor(amplification[:, None]))
-            scaled.append(aggregate * Tensor(attenuation[:, None]))
+            scaled.append(aggregate * Tensor(amplification))
+            scaled.append(aggregate * Tensor(attenuation))
         return self.post(concat(scaled + [x], axis=1))
 
 
@@ -204,6 +291,7 @@ def make_conv(name: str, in_features: int, out_features: int,
 
 
 __all__ = [
-    "add_self_loops", "MessagePassingLayer", "GCNConv", "SAGEConv", "GATConv",
-    "TransformerConv", "PNAConv", "CONV_REGISTRY", "make_conv",
+    "add_self_loops", "EDGE_CACHE", "MessagePassingLayer", "GCNConv",
+    "SAGEConv", "GATConv", "TransformerConv", "PNAConv", "CONV_REGISTRY",
+    "make_conv",
 ]

@@ -1,0 +1,145 @@
+"""Numerical equivalence of the batched cross-config inference engine.
+
+``predict_batch`` must agree with the sequential per-config ``predict`` to
+1e-9 for every propagation-layer type, including after cache warm-up, and the
+batched explorer must select the same designs as the sequential one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    QoRPredictor,
+    TrainingConfig,
+    build_design_instances,
+)
+from repro.dse import ModelGuidedExplorer, exhaustive_ground_truth
+from repro.dse.space import sample_design_space
+from repro.kernels import load_kernel
+
+TOLERANCE = 1e-9
+
+
+def tiny_training_config() -> TrainingConfig:
+    return TrainingConfig(epochs=2, batch_size=16, seed=0)
+
+
+@pytest.fixture(scope="module")
+def gemm_setup():
+    function = load_kernel("gemm")
+    train_configs = sample_design_space(function, 6, rng=np.random.default_rng(0))
+    instances = build_design_instances({"gemm": function}, {"gemm": train_configs})
+    space_configs = sample_design_space(function, 16, rng=np.random.default_rng(1))
+    return function, instances, space_configs
+
+
+def trained_model(instances, conv_type: str) -> HierarchicalQoRModel:
+    model = HierarchicalQoRModel(
+        HierarchicalModelConfig(
+            conv_type=conv_type, hidden=16, num_layers=2,
+            training=tiny_training_config(),
+        )
+    )
+    model.fit(instances)
+    return model
+
+
+def assert_predictions_close(sequential, batched):
+    assert len(sequential) == len(batched)
+    for seq, bat in zip(sequential, batched):
+        assert set(seq) == set(bat)
+        for name in seq:
+            assert bat[name] == pytest.approx(seq[name], rel=TOLERANCE, abs=TOLERANCE)
+
+
+@pytest.mark.parametrize("conv_type", ["gcn", "gat", "graphsage", "transformer", "pna"])
+def test_predict_batch_matches_sequential(gemm_setup, conv_type):
+    function, instances, configs = gemm_setup
+    model = trained_model(instances, conv_type)
+    sequential = [model.predict(function, config) for config in configs]
+    model.clear_inference_caches()
+    batched = model.predict_batch(function, configs)
+    assert_predictions_close(sequential, batched)
+    # a warm second sweep (memoized predictions) must stay equivalent
+    rebatched = model.predict_batch(function, configs)
+    assert_predictions_close(sequential, rebatched)
+
+
+def test_predict_batch_handles_duplicates_none_and_empty(gemm_setup):
+    function, instances, configs = gemm_setup
+    model = trained_model(instances, "graphsage")
+    assert model.predict_batch(function, []) == []
+    mixed = [None, configs[0], configs[0], None]
+    batched = model.predict_batch(function, mixed)
+    baseline = model.predict(function, None)
+    repeated = model.predict(function, configs[0])
+    assert_predictions_close([baseline, repeated, repeated, baseline], batched)
+
+
+def test_predict_batch_requires_training(gemm_setup):
+    function, _, configs = gemm_setup
+    model = HierarchicalQoRModel()
+    with pytest.raises(RuntimeError):
+        model.predict_batch(function, list(configs))
+
+
+def test_fit_clears_memoized_predictions(gemm_setup):
+    function, instances, configs = gemm_setup
+    model = trained_model(instances, "graphsage")
+    model.predict_batch(function, configs)
+    assert model._prediction_cache
+    model.fit(instances)
+    batched = model.predict_batch(function, configs)
+    sequential = [model.predict(function, config) for config in configs]
+    assert_predictions_close(sequential, batched)
+
+
+def test_qor_predictor_batch_api(gemm_setup):
+    function, instances, configs = gemm_setup
+    predictor = QoRPredictor(
+        HierarchicalModelConfig(
+            conv_type="graphsage", hidden=16, num_layers=2,
+            training=tiny_training_config(),
+        )
+    )
+    predictor.fit_instances(instances)
+    batched = predictor.predict_batch(function, list(configs))
+    sequential = [predictor.predict(function, config) for config in configs]
+    assert_predictions_close(sequential, batched)
+
+
+def test_batched_explorer_matches_sequential_selection(gemm_setup):
+    function, instances, configs = gemm_setup
+    model = trained_model(instances, "graphsage")
+    space = exhaustive_ground_truth(function, list(configs))
+
+    sequential = ModelGuidedExplorer(model.predict, name="seq").explore(function, space)
+    model.clear_inference_caches()
+    batched = ModelGuidedExplorer(
+        model.predict, name="bat", predict_batch_fn=model.predict_batch
+    ).explore(function, space)
+
+    assert sequential.batched is False
+    assert batched.batched is True
+    assert sorted(batched.selected_keys) == sorted(sequential.selected_keys)
+    assert batched.adrs == pytest.approx(sequential.adrs, rel=1e-9, abs=1e-12)
+    assert batched.configs_per_second > 0
+    assert batched.model_seconds > 0
+
+
+def test_explorer_requires_some_predictor():
+    with pytest.raises(ValueError):
+        ModelGuidedExplorer()
+
+
+def test_evaluate_uses_batched_path(gemm_setup):
+    function, instances, configs = gemm_setup
+    model = trained_model(instances, "graphsage")
+    scores = model.evaluate(instances)
+    assert set(scores) == set(model.GLOBAL_TARGETS)
+    for value in scores.values():
+        assert np.isfinite(value)

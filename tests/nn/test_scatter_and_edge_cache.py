@@ -1,0 +1,132 @@
+"""Vectorized scatter-add and the per-edge-index computation cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor, _scatter_add, segment_mean, segment_softmax, segment_sum
+from repro.nn.message_passing import EDGE_CACHE, add_self_loops, make_conv
+
+
+def reference_scatter(ids, values, num_segments):
+    out = np.zeros((num_segments,) + values.shape[1:], dtype=np.float64)
+    np.add.at(out, ids, values)
+    return out
+
+
+class TestVectorizedScatterAdd:
+    def test_matches_add_at_1d(self):
+        rng = np.random.default_rng(0)
+        ids = rng.integers(0, 7, size=50)
+        values = rng.normal(size=50)
+        np.testing.assert_allclose(
+            _scatter_add(ids, values, 7), reference_scatter(ids, values, 7),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_matches_add_at_2d(self):
+        rng = np.random.default_rng(1)
+        ids = rng.integers(0, 11, size=200)
+        values = rng.normal(size=(200, 16))
+        np.testing.assert_allclose(
+            _scatter_add(ids, values, 11), reference_scatter(ids, values, 11),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_matches_add_at_3d(self):
+        rng = np.random.default_rng(2)
+        ids = rng.integers(0, 5, size=40)
+        values = rng.normal(size=(40, 3, 4))
+        np.testing.assert_allclose(
+            _scatter_add(ids, values, 5), reference_scatter(ids, values, 5),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_empty_segments_are_zero(self):
+        ids = np.array([0, 0, 4])
+        values = np.ones((3, 2))
+        out = _scatter_add(ids, values, 6)
+        assert out.shape == (6, 2)
+        np.testing.assert_array_equal(out[1:4], 0.0)
+        np.testing.assert_array_equal(out[5], 0.0)
+
+    def test_empty_input(self):
+        out = _scatter_add(np.zeros(0, dtype=np.int64), np.zeros((0, 3)), 4)
+        np.testing.assert_array_equal(out, np.zeros((4, 3)))
+
+    def test_non_contiguous_values(self):
+        rng = np.random.default_rng(3)
+        ids = rng.integers(0, 6, size=30)
+        wide = rng.normal(size=(30, 20))
+        values = wide[:, ::2]  # strided view
+        np.testing.assert_allclose(
+            _scatter_add(ids, values, 6), reference_scatter(ids, values, 6),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_segment_ops_still_differentiable(self):
+        rng = np.random.default_rng(4)
+        values = Tensor(rng.normal(size=(12, 5)), requires_grad=True)
+        ids = rng.integers(0, 4, size=12)
+        out = segment_sum(values, ids, 4) + segment_mean(values, ids, 4)
+        out.sum().backward()
+        assert values.grad is not None and values.grad.shape == (12, 5)
+
+    def test_segment_softmax_gradient_scatters(self):
+        rng = np.random.default_rng(5)
+        scores = Tensor(rng.normal(size=(10, 1)), requires_grad=True)
+        ids = rng.integers(0, 3, size=10)
+        segment_softmax(scores, ids, 3).sum().backward()
+        assert scores.grad is not None and scores.grad.shape == (10, 1)
+
+
+class TestEdgeComputationCache:
+    def _graph(self, rng, num_nodes=20, num_edges=60):
+        edge_index = rng.integers(0, num_nodes, size=(2, num_edges)).astype(np.int64)
+        x = Tensor(rng.normal(size=(num_nodes, 8)))
+        return x, edge_index
+
+    @pytest.mark.parametrize("conv_type", ["gcn", "gat", "graphsage", "transformer", "pna"])
+    def test_cached_forward_matches_cold_forward(self, conv_type):
+        rng = np.random.default_rng(7)
+        x, edge_index = self._graph(rng)
+        conv = make_conv(conv_type, 8, 8, rng=np.random.default_rng(0))
+        EDGE_CACHE.clear()
+        cold = conv(x, edge_index).numpy().copy()
+        warm = conv(x, edge_index).numpy().copy()
+        if conv_type != "graphsage":  # SAGE neither adds self-loops nor caches
+            assert EDGE_CACHE.hits > 0
+        np.testing.assert_allclose(cold, warm, rtol=0, atol=0)
+
+    def test_repeated_layers_share_entries(self):
+        rng = np.random.default_rng(8)
+        x, edge_index = self._graph(rng)
+        convs = [make_conv("gcn", 8, 8, rng=np.random.default_rng(i)) for i in range(3)]
+        EDGE_CACHE.clear()
+        for conv in convs:
+            conv(x, edge_index)
+        # one payload miss for the shared edge_index, hits for later layers
+        assert EDGE_CACHE.misses == 1
+        assert EDGE_CACHE.hits >= 2
+
+    def test_distinct_edge_arrays_do_not_alias(self):
+        rng = np.random.default_rng(9)
+        x, edge_index = self._graph(rng)
+        other = edge_index.copy()
+        other[1] = (other[1] + 1) % x.shape[0]
+        conv = make_conv("gcn", 8, 8, rng=np.random.default_rng(0))
+        EDGE_CACHE.clear()
+        out_a = conv(x, edge_index).numpy().copy()
+        out_b = conv(x, other).numpy().copy()
+        assert not np.allclose(out_a, out_b)
+
+    def test_num_nodes_mismatch_invalidates(self):
+        rng = np.random.default_rng(10)
+        edge_index = rng.integers(0, 5, size=(2, 12)).astype(np.int64)
+        EDGE_CACHE.clear()
+        loops_a = add_self_loops(edge_index, 5)
+        payload_a = EDGE_CACHE.payload(edge_index, 5)
+        payload_a["self_loops"] = loops_a
+        payload_b = EDGE_CACHE.payload(edge_index, 9)
+        assert "self_loops" not in payload_b
