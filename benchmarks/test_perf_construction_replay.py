@@ -1,0 +1,225 @@
+"""Perf benchmark: replica-replay graph construction on first-contact sweeps.
+
+PR 1 made *steady-state* model-guided DSE run from caches; what remained
+slow was **first contact** — the first sweep over a design space the engine
+has never seen, where every distinct pragma delta pays graph construction.
+This benchmark times that regime on ``gemm`` and ``bicg`` in three views:
+
+* **construction stage** — wall time spent inside ``GraphBuilder`` during a
+  cold ``predict_batch`` sweep (the replica-replay target), measured for the
+  node-by-node reference path and the replay fast path.  The guard asserts
+  the replay path sustains >= 3x the naive construction configs/s on gemm;
+* **end-to-end cold sweep** — full ``predict_batch`` wall time per mode
+  (construction plus GNN forwards and sample conversion, reported so the
+  construction share stays visible);
+* **warm start** — the sweep is persisted with ``save_model``, the model is
+  reloaded as a fresh service, and the first post-restart sweep must serve
+  entirely from the memo: zero graph constructions.
+
+Numerical equivalence between the naive and replay sweeps is asserted at
+1e-9.  Results land in ``benchmarks/results/BENCH_construction_replay.json``.
+
+Environment knobs: ``REPRO_BENCH_REPLAY_SPACE`` (space size, default 64),
+``REPRO_BENCH_REPLAY_SWEEPS`` (cold repetitions, default 3),
+``REPRO_BENCH_PERF_EPOCHS`` (training epochs, default 10 — construction
+speed does not depend on model quality).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, env_int, format_table, write_result
+from repro.core import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    TrainingConfig,
+    build_design_instances,
+    load_model,
+    save_model,
+)
+from repro.dse.space import sample_design_space
+from repro.graph.construction import GraphBuilder, naive_emission
+from repro.ir import lower_source
+from repro.kernels import kernel_source, load_kernel
+
+pytestmark = pytest.mark.perf
+
+KERNELS = ("gemm", "bicg")
+GUARDED_KERNEL = "gemm"
+CONSTRUCTION_SPEEDUP_TARGET = 3.0
+EQUIVALENCE_TOLERANCE = 1e-9
+
+
+def _train_model() -> HierarchicalQoRModel:
+    function = load_kernel("gemm")
+    configs = sample_design_space(function, 12, rng=np.random.default_rng(7))
+    instances = build_design_instances({"gemm": function}, {"gemm": configs})
+    model = HierarchicalQoRModel(
+        HierarchicalModelConfig(
+            conv_type="graphsage", hidden=32,
+            training=TrainingConfig(
+                epochs=env_int("REPRO_BENCH_PERF_EPOCHS", 10), seed=0
+            ),
+        )
+    )
+    model.fit(instances)
+    return model
+
+
+def _cold_sweep(model, function, space, *, naive: bool):
+    """One first-contact sweep from empty caches; returns timing + outputs."""
+    model.clear_inference_caches()
+    builds_before = GraphBuilder.build_count
+    construction_before = GraphBuilder.build_seconds
+    start = time.perf_counter()
+    if naive:
+        with naive_emission():
+            outputs = model.predict_batch(function, space)
+    else:
+        outputs = model.predict_batch(function, space)
+    return {
+        "sweep_seconds": time.perf_counter() - start,
+        "construction_seconds": GraphBuilder.build_seconds - construction_before,
+        "graph_builds": GraphBuilder.build_count - builds_before,
+        "outputs": outputs,
+    }
+
+
+def _best_cold_sweep(model, function, space, *, naive: bool, sweeps: int):
+    best = None
+    for _ in range(sweeps):
+        run = _cold_sweep(model, function, space, naive=naive)
+        if best is None or run["construction_seconds"] < best["construction_seconds"]:
+            best = run
+    return best
+
+
+def _max_rel_error(expected, actual) -> float:
+    worst = 0.0
+    for want, got in zip(expected, actual):
+        for name in want:
+            denominator = max(abs(want[name]), 1.0)
+            worst = max(worst, abs(want[name] - got[name]) / denominator)
+    return worst
+
+
+def test_construction_replay_cold_sweeps(tmp_path):
+    model = _train_model()
+    space_size = env_int("REPRO_BENCH_REPLAY_SPACE", 64)
+    sweeps = max(1, env_int("REPRO_BENCH_REPLAY_SWEEPS", 3))
+
+    per_kernel: dict[str, dict] = {}
+    rows = []
+    for kernel in KERNELS:
+        function = load_kernel(kernel)
+        space = sample_design_space(
+            function, space_size, rng=np.random.default_rng(1)
+        )
+        naive = _best_cold_sweep(model, function, space, naive=True, sweeps=sweeps)
+        replay = _best_cold_sweep(model, function, space, naive=False, sweeps=sweeps)
+        equivalence = _max_rel_error(naive["outputs"], replay["outputs"])
+
+        def stage(run):
+            return {
+                "sweep_seconds": round(run["sweep_seconds"], 6),
+                "construction_seconds": round(run["construction_seconds"], 6),
+                "graph_builds": run["graph_builds"],
+                "construction_configs_per_second": round(
+                    len(space) / run["construction_seconds"], 2
+                ),
+                "sweep_configs_per_second": round(
+                    len(space) / run["sweep_seconds"], 2
+                ),
+            }
+
+        naive_stage, replay_stage = stage(naive), stage(replay)
+        construction_speedup = (
+            naive["construction_seconds"] / replay["construction_seconds"]
+        )
+        sweep_speedup = naive["sweep_seconds"] / replay["sweep_seconds"]
+
+        # warm start: persist the swept caches, reload as a fresh service
+        # and replay the same space against a re-lowered kernel object
+        path = tmp_path / f"{kernel}.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        relowered = lower_source(kernel_source(kernel))
+        builds_before = GraphBuilder.build_count
+        start = time.perf_counter()
+        warm_outputs = restored.predict_batch(relowered, space)
+        warm_seconds = time.perf_counter() - start
+        warm_builds = GraphBuilder.build_count - builds_before
+        warm_equivalence = _max_rel_error(replay["outputs"], warm_outputs)
+
+        per_kernel[kernel] = {
+            "num_configs": len(space),
+            "naive_cold": naive_stage,
+            "replay_cold": replay_stage,
+            "construction_speedup": round(construction_speedup, 2),
+            "cold_sweep_speedup": round(sweep_speedup, 2),
+            "equivalence_max_rel_error": equivalence,
+            "warm_start": {
+                "sweep_seconds": round(warm_seconds, 6),
+                "graph_builds": warm_builds,
+                "sweep_configs_per_second": round(len(space) / warm_seconds, 2),
+                "equivalence_max_rel_error": warm_equivalence,
+            },
+        }
+        rows.append([
+            kernel,
+            f"{naive_stage['construction_configs_per_second']:.0f}",
+            f"{replay_stage['construction_configs_per_second']:.0f}",
+            f"{construction_speedup:.1f}x",
+            f"{naive_stage['sweep_configs_per_second']:.0f}",
+            f"{replay_stage['sweep_configs_per_second']:.0f}",
+            f"{per_kernel[kernel]['warm_start']['sweep_configs_per_second']:.0f}",
+        ])
+
+        assert equivalence < EQUIVALENCE_TOLERANCE, (
+            f"{kernel}: replayed sweep diverged from naive by {equivalence}"
+        )
+        assert warm_builds == 0, (
+            f"{kernel}: warm-started service built {warm_builds} graphs"
+        )
+        assert warm_equivalence < EQUIVALENCE_TOLERANCE
+
+    payload = {
+        "benchmark": "construction_replay",
+        "space_size": space_size,
+        "measured_sweeps": sweeps,
+        "construction_speedup_target": CONSTRUCTION_SPEEDUP_TARGET,
+        "guarded_kernel": GUARDED_KERNEL,
+        "kernels": per_kernel,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_construction_replay.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    write_result(
+        "BENCH_construction_replay.txt",
+        format_table(
+            ["kernel", "naive c/s", "replay c/s", "constr speedup",
+             "naive sweep c/s", "replay sweep c/s", "warm sweep c/s"],
+            rows,
+            title=(
+                f"First-contact construction throughput — {space_size} "
+                f"configs, best of {sweeps} cold sweeps (c/s = configs per "
+                f"second; construction stage vs end-to-end sweep vs "
+                f"post-restart warm sweep)"
+            ),
+        ),
+    )
+
+    guarded = per_kernel[GUARDED_KERNEL]["construction_speedup"]
+    assert guarded >= CONSTRUCTION_SPEEDUP_TARGET, (
+        f"cold-sweep construction speedup {guarded:.1f}x on {GUARDED_KERNEL} "
+        f"is below the {CONSTRUCTION_SPEEDUP_TARGET}x replica-replay target"
+    )

@@ -33,6 +33,7 @@ import platform
 import time
 
 import numpy as np
+import pytest
 
 from conftest import RESULTS_DIR, env_int, format_table, write_result
 from repro.core import (
@@ -43,6 +44,8 @@ from repro.core import (
 )
 from repro.dse.space import sample_design_space
 from repro.kernels import load_kernel
+
+pytestmark = pytest.mark.perf
 
 KERNEL = "gemm"
 SPEEDUP_TARGET = 5.0

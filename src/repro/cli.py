@@ -142,6 +142,9 @@ def cmd_predict(args: argparse.Namespace) -> int:
 
 
 def cmd_dse(args: argparse.Namespace) -> int:
+    if args.warm_cache and not args.model:
+        raise SystemExit("--warm-cache requires --model (the caches are "
+                         "persisted inside the model file)")
     function = _load_function(args)
     rng = np.random.default_rng(args.seed)
     configs = sample_design_space(function, args.configs, rng=rng)
@@ -149,10 +152,17 @@ def cmd_dse(args: argparse.Namespace) -> int:
     space = exhaustive_ground_truth(function, configs)
     print(f"exhaustive (simulated) flow time: {space.simulated_tool_seconds/3600:.1f} h")
     if args.model:
-        model = load_model(args.model)
+        # --warm-cache: adopt the persisted construction cache / prediction
+        # memo saved alongside the model, and write the (now warmer) caches
+        # back after the sweep, so successive service runs start warm
+        if args.warm_cache and args.sequential:
+            print("note: --sequential scores configs through the stateless "
+                  "per-config path, which does not consult the warm caches")
+        model = load_model(args.model, warm_caches=args.warm_cache)
         explorer = ModelGuidedExplorer(
             model.predict, name="hierarchical",
             predict_batch_fn=None if args.sequential else model.predict_batch,
+            cache_stats_fn=model.cache_stats,
         )
         result = explorer.explore(function, space)
         mode = "batched" if result.batched else "sequential"
@@ -160,6 +170,12 @@ def cmd_dse(args: argparse.Namespace) -> int:
               f"model time {result.model_seconds:.2f}s ({mode}, "
               f"{result.configs_per_second:,.0f} configs/s)  "
               f"speedup {result.speedup:,.0f}x")
+        if args.warm_cache:
+            stats = result.cache_stats
+            print("cache stats:", json.dumps(stats, sort_keys=True))
+            save_model(model, args.model, warm_caches=True)
+            print(f"warm caches saved back to {args.model} "
+                  f"({stats.get('memoized_predictions', 0)} memoized designs)")
         front = result.approx_front
     else:
         front = space.exact_front()
@@ -214,6 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--sequential", action="store_true",
                      help="score configurations one by one instead of using "
                           "the batched cross-config inference engine")
+    dse.add_argument("--warm-cache", action="store_true",
+                     help="start from the construction cache / prediction "
+                          "memo persisted in the model file and save the "
+                          "warmed caches back after the sweep")
     dse.set_defaults(func=cmd_dse)
     return parser
 

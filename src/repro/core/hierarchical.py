@@ -97,7 +97,7 @@ class HierarchicalQoRModel:
         # GraphSample conversions of shared inner-unit subgraphs, and the
         # QoR predictions of already-seen design deltas
         self._graph_cache = GraphConstructionCache()
-        self._unit_sample_cache: dict[tuple[int, str], GraphSample] = {}
+        self._unit_sample_cache: dict[tuple[str, str], GraphSample] = {}
         self._prediction_cache: dict[tuple, dict[str, float]] = {}
 
     def clear_inference_caches(self) -> None:
@@ -113,6 +113,47 @@ class HierarchicalQoRModel:
         for trainer in (self.trainer_p, self.trainer_np, self.trainer_g):
             if trainer is not None:
                 trainer.clear_caches()
+
+    def cache_stats(self) -> dict[str, int]:
+        """Construction-cache counters plus the prediction-memo size."""
+        stats = dict(self._graph_cache.stats.as_dict())
+        stats["memoized_predictions"] = len(self._prediction_cache)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # warm-cache persistence (see core.serialization)
+    # ------------------------------------------------------------------ #
+    def export_warm_caches(self) -> dict:
+        """JSON-compatible snapshot of the construction cache and the
+        per-design prediction memo.
+
+        All keys are content fingerprints and directive-slice strings, so
+        the snapshot is portable across processes; ``save_model`` stores it
+        alongside the weights and ``load_model`` feeds it back through
+        :meth:`import_warm_caches`, letting a restarted service serve its
+        first sweep from the memo without building a single graph.
+        """
+        predictions = [
+            [fingerprint, outer_key, [list(unit) for unit in units], dict(metrics)]
+            for (fingerprint, (outer_key, units)), metrics
+            in self._prediction_cache.items()
+        ]
+        return {
+            "construction": self._graph_cache.export_warm_state(),
+            "predictions": predictions,
+        }
+
+    def import_warm_caches(self, payload: dict) -> None:
+        """Adopt a snapshot produced by :meth:`export_warm_caches`."""
+        self._graph_cache.import_warm_state(payload.get("construction", {}))
+        for fingerprint, outer_key, units, metrics in payload.get("predictions", ()):
+            signature = (
+                fingerprint,
+                (outer_key, tuple((label, key) for label, key in units)),
+            )
+            self._prediction_cache[signature] = {
+                name: float(value) for name, value in metrics.items()
+            }
 
     # ------------------------------------------------------------------ #
     # training
@@ -255,11 +296,11 @@ class HierarchicalQoRModel:
             raise RuntimeError("inner models have not been trained")
         return trainer
 
-    @staticmethod
-    def _unit_key(function: IRFunction, unit: InnerLoopUnit) -> tuple[int, str]:
+    def _unit_key(self, function: IRFunction, unit: InnerLoopUnit) -> tuple[str, str]:
         """Identity of an inner unit's pragma delta (decompose-with-cache
-        always assigns a non-empty ``cache_key``)."""
-        return (id(function), unit.cache_key)
+        always assigns a non-empty ``cache_key``).  Keyed by the function's
+        content fingerprint so memoized state is portable across processes."""
+        return (self._graph_cache.fingerprint(function), unit.cache_key)
 
     def _unit_sample(self, function: IRFunction, unit: InnerLoopUnit) -> GraphSample:
         """GraphSample of one inner unit, memoized by its pragma-delta key."""
@@ -293,10 +334,13 @@ class HierarchicalQoRModel:
         # 0) pragma-delta signature per configuration (no graphs built yet):
         #    configurations with equal signatures are the same design, so one
         #    representative is decomposed/predicted and memoized results are
-        #    served without any construction at all.
+        #    served without any construction at all.  The function enters the
+        #    key via its content fingerprint, which is what lets a persisted
+        #    memo (load_model with warm caches) serve post-restart sweeps.
+        fingerprint = self._graph_cache.fingerprint(function)
         signatures = [
             (
-                id(function),
+                fingerprint,
                 decomposition_signature(
                     function, config, self._graph_cache, library=self.library
                 ),
@@ -320,7 +364,7 @@ class HierarchicalQoRModel:
 
         # 1) unique inner-loop units across the pending designs, grouped by
         #    the trainer that scores them (GNNp / GNNnp with cross-fallback)
-        unit_by_key: dict[tuple[int, str], tuple[InnerLoopUnit, GraphSample]] = {}
+        unit_by_key: dict[tuple[str, str], tuple[InnerLoopUnit, GraphSample]] = {}
         for decomposition in decompositions:
             for unit in decomposition.inner_units:
                 key = self._unit_key(function, unit)
@@ -334,7 +378,7 @@ class HierarchicalQoRModel:
             samples.append(sample)
 
         # 2) one batched forward per inner model
-        inner_predictions: dict[tuple[int, str], dict[str, float]] = {}
+        inner_predictions: dict[tuple[str, str], dict[str, float]] = {}
         for trainer, keys, samples in groups.values():
             outputs = trainer.predict(samples, max_batch_nodes=self.MAX_BATCH_NODES)
             for index, key in enumerate(keys):

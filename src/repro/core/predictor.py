@@ -8,6 +8,8 @@ usage mode of the paper ("source-to-post-route prediction").
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro.core.dataset import DesignInstance, build_design_instances
 from repro.core.hierarchical import (
     HierarchicalModelConfig,
@@ -97,6 +99,40 @@ class QoRPredictor:
     ) -> list[dict[str, float]]:
         """Batched prediction straight from HLS-C source text."""
         return self.model.predict_batch(self._lowered(source), configs)
+
+    # ------------------------------------------------------------------ #
+    # persistence (warm-start workflow)
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path, *, warm_caches: bool = True) -> Path:
+        """Persist the model — and, by default, its warm inference caches.
+
+        Run the sweeps you expect to serve, then ``save``: a predictor
+        restored with :meth:`load` answers those sweeps straight from the
+        persisted prediction memo (no graph construction at all).
+        """
+        from repro.core.serialization import save_model
+
+        return save_model(self.model, path, warm_caches=warm_caches)
+
+    @classmethod
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        warm_caches: bool = True,
+        library: OperatorLibrary = DEFAULT_LIBRARY,
+    ) -> "QoRPredictor":
+        """Restore a predictor saved with :meth:`save` (warm by default)."""
+        from repro.core.serialization import load_model
+
+        predictor = cls(library=library)
+        predictor.model = load_model(path, warm_caches=warm_caches)
+        predictor.model.library = library
+        return predictor
+
+    def cache_stats(self) -> dict[str, int]:
+        """Construction-cache counters plus the prediction-memo size."""
+        return self.model.cache_stats()
 
 
 __all__ = ["QoRPredictor"]

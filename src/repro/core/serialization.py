@@ -5,11 +5,22 @@ the equivalent for the reproduction: a trained
 :class:`~repro.core.hierarchical.HierarchicalQoRModel` (three GNNs plus their
 pre-processing state) round-trips through a single ``.npz`` archive, so DSE
 runs and examples can reuse models without re-training.
+
+The archive also carries the model's **warm inference caches** — the
+pragma-delta graph-construction cache and the per-design prediction memo —
+so a reloaded prediction service starts warm: its first sweep over a design
+space it has seen before runs entirely from the memo, without constructing a
+single graph.  The cache blob is versioned and bound to a digest of the
+weight arrays it was produced with; a stale or mismatched blob is discarded
+on load (prediction caches are only valid for the exact weights that filled
+them).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -20,6 +31,31 @@ from repro.core.trainer import GraphRegressorTrainer, TrainingConfig
 from repro.nn.data import FeatureScaler, OptypeEncoder, TargetScaler
 
 _MODEL_KINDS = {"p": "inner", "np": "inner", "g": "global"}
+
+#: format version of the persisted warm-cache payload; bump on layout change
+WARM_CACHE_VERSION = 1
+
+_WARM_CACHE_KEY = "__warm_caches__"
+_MANIFEST_KEY = "__manifest__"
+
+
+def _weights_digest(blob: dict) -> str:
+    """Digest of every weight/preprocessing array in a model blob.
+
+    Computed over sorted keys so it is identical at save and load time; the
+    warm-cache payload embeds it, tying cached predictions to the exact
+    weights that produced them.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(blob):
+        if key.startswith("__"):
+            continue
+        array = np.asarray(blob[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()[:16]
 
 
 def _pack_trainer(prefix: str, trainer: GraphRegressorTrainer, blob: dict) -> dict:
@@ -79,8 +115,16 @@ def _unpack_trainer(
     return trainer
 
 
-def save_model(model: HierarchicalQoRModel, path: str | Path) -> Path:
-    """Save a trained hierarchical model to ``path`` (``.npz``)."""
+def save_model(
+    model: HierarchicalQoRModel, path: str | Path, *, warm_caches: bool = True
+) -> Path:
+    """Save a trained hierarchical model to ``path`` (``.npz``).
+
+    With ``warm_caches`` (the default) the archive also carries whatever the
+    model's inference caches currently hold — run a sweep before saving and
+    the reloaded service answers that sweep from the memo (see the module
+    docstring for the invalidation rules).
+    """
     path = Path(path)
     blob: dict[str, np.ndarray] = {}
     manifest: dict[str, dict] = {
@@ -95,21 +139,50 @@ def save_model(model: HierarchicalQoRModel, path: str | Path) -> Path:
     ):
         if trainer is not None:
             manifest[name] = _pack_trainer(name, trainer, blob)
-    blob["__manifest__"] = np.frombuffer(
+    blob[_MANIFEST_KEY] = np.frombuffer(
         json.dumps(manifest).encode("utf-8"), dtype=np.uint8
     )
+    if warm_caches:
+        payload = {
+            "version": WARM_CACHE_VERSION,
+            "weights_digest": _weights_digest(blob),
+            **model.export_warm_caches(),
+        }
+        blob[_WARM_CACHE_KEY] = np.frombuffer(
+            json.dumps(payload).encode("utf-8"), dtype=np.uint8
+        )
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez_compressed(path, **blob)
+    # write-then-rename: the warm-cache workflow rewrites the model file
+    # after every sweep, and an interrupted in-place write would destroy the
+    # only copy of the trained weights
+    staging = path.with_name(path.name + ".tmp.npz")  # savez appends .npz
+    try:
+        np.savez_compressed(staging, **blob)
+        os.replace(staging, path)
+    finally:
+        if staging.exists():
+            staging.unlink()
     return path
 
 
-def load_model(path: str | Path) -> HierarchicalQoRModel:
-    """Load a hierarchical model saved with :func:`save_model`."""
+def load_model(
+    path: str | Path, *, warm_caches: bool = True
+) -> HierarchicalQoRModel:
+    """Load a hierarchical model saved with :func:`save_model`.
+
+    With ``warm_caches`` (the default) any persisted construction cache and
+    prediction memo in the archive are re-attached to the model — unless the
+    blob's format version or weights digest does not match, in which case it
+    is silently discarded (a stale cache must never influence predictions).
+    """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"no saved model at {path}")
-    blob = np.load(path, allow_pickle=False)
-    manifest = json.loads(bytes(blob["__manifest__"]).decode("utf-8"))
+    with np.load(path, allow_pickle=False) as archive:
+        # materialize once: NpzFile decompresses on every access, and both
+        # the digest check and the trainer unpacking read every array
+        blob = {key: archive[key] for key in archive.files}
+    manifest = json.loads(bytes(blob[_MANIFEST_KEY]).decode("utf-8"))
     config = HierarchicalModelConfig(
         conv_type=manifest["config"]["conv_type"],
         hidden=int(manifest["config"]["hidden"]),
@@ -122,7 +195,14 @@ def load_model(path: str | Path) -> HierarchicalQoRModel:
         model.trainer_np = _unpack_trainer("np", manifest["np"], blob, "inner")
     if "g" in manifest:
         model.trainer_g = _unpack_trainer("g", manifest["g"], blob, "global")
+    if warm_caches and _WARM_CACHE_KEY in blob:
+        payload = json.loads(bytes(blob[_WARM_CACHE_KEY]).decode("utf-8"))
+        if (
+            payload.get("version") == WARM_CACHE_VERSION
+            and payload.get("weights_digest") == _weights_digest(blob)
+        ):
+            model.import_warm_caches(payload)
     return model
 
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "WARM_CACHE_VERSION"]

@@ -113,6 +113,10 @@ class DSEResult:
     #: total exploration wall time; 0 means "not measured" (falls back to
     #: ``model_seconds`` in :attr:`speedup`)
     explore_seconds: float = 0.0
+    #: inference-cache counters captured after the sweep (empty when the
+    #: explorer was not given a ``cache_stats_fn``) — lets callers see how
+    #: much of a sweep was served from warm state (e.g. ``--warm-cache``)
+    cache_stats: dict = field(default_factory=dict)
 
     @property
     def adrs_percent(self) -> float:
@@ -155,11 +159,13 @@ class ModelGuidedExplorer:
         predict_batch_fn: Callable[
             [IRFunction, list[PragmaConfig]], list[dict[str, float]]
         ] | None = None,
+        cache_stats_fn: Callable[[], dict] | None = None,
     ):
         if predict_fn is None and predict_batch_fn is None:
             raise ValueError("provide predict_fn and/or predict_batch_fn")
         self.predict_fn = predict_fn
         self.predict_batch_fn = predict_batch_fn
+        self.cache_stats_fn = cache_stats_fn
         self.name = name
 
     def explore(
@@ -211,6 +217,7 @@ class ModelGuidedExplorer:
             approx_front=approx_front,
             batched=batched,
             explore_seconds=explore_seconds,
+            cache_stats=dict(self.cache_stats_fn()) if self.cache_stats_fn else {},
         )
 
 

@@ -4,6 +4,7 @@ decomposition."""
 from repro.graph.cache import (
     FunctionSkeleton,
     GraphConstructionCache,
+    ir_fingerprint,
     outer_cache_key,
     unit_cache_key,
 )
@@ -23,6 +24,7 @@ from repro.graph.construction import (
     SUPER_PIPELINED_OPTYPE,
     build_flat_graph,
     build_loop_subgraph,
+    naive_emission,
 )
 from repro.graph.features import (
     analytical_ii,
@@ -40,12 +42,13 @@ from repro.graph.hierarchy import (
 )
 
 __all__ = [
-    "FunctionSkeleton", "GraphConstructionCache", "outer_cache_key",
-    "unit_cache_key",
+    "FunctionSkeleton", "GraphConstructionCache", "ir_fingerprint",
+    "outer_cache_key", "unit_cache_key",
     "CDFG", "CDFGEdge", "CDFGNode", "EdgeKind", "LoopLevelFeatures",
     "NODE_FEATURE_NAMES", "NodeKind",
     "GraphBuilder", "IOPORT_OPTYPE", "SUPER_NONPIPELINED_OPTYPE",
     "SUPER_PIPELINED_OPTYPE", "build_flat_graph", "build_loop_subgraph",
+    "naive_emission",
     "analytical_ii", "annotate_super_node", "loop_level_features",
     "replicated_access_counts", "scale_feature_matrix",
     "HierarchicalDecomposition", "InnerLoopUnit", "InnerUnitCategory",

@@ -23,12 +23,125 @@ because hierarchical inference annotates super nodes in place.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.frontend.pragmas import PragmaConfig
-from repro.graph.cdfg import CDFG
+from repro.graph.cdfg import CDFG, EdgeKind, LoopLevelFeatures, NodeKind
 from repro.ir.instructions import Instruction, Opcode
-from repro.ir.structure import IRFunction, Loop
+from repro.ir.structure import IfRegion, IRFunction, Loop, Region
+
+
+# --------------------------------------------------------------------------- #
+# stable identities (persisted caches survive process restarts)
+# --------------------------------------------------------------------------- #
+def _instr_token(instr: Instruction) -> str:
+    """Canonical text of one instruction (operands and access included —
+    the class repr is a debugging summary that omits both)."""
+    return (
+        f"%{instr.instr_id}={instr.opcode.value}:{instr.dtype}:{instr.array}:"
+        f"{instr.callee}:{instr.operands!r}:{instr.access!r}"
+    )
+
+
+def ir_fingerprint(function: IRFunction) -> str:
+    """Content digest of a lowered kernel, stable across processes.
+
+    Two lowerings of the same source text produce identical IR (the frontend
+    is deterministic), hence identical fingerprints — which is what lets
+    graph/prediction caches persisted by one process be adopted by another.
+    Any change to the kernel source changes the digest, cheaply invalidating
+    every cache entry keyed by it.
+    """
+    parts: list[str] = [function.name, repr(function.scalar_params)]
+    for name, info in function.arrays.items():
+        parts.append(f"A:{name}:{info.dims!r}:{info.dtype}:{int(info.is_argument)}")
+
+    def walk(region: Region) -> None:
+        for item in region.items:
+            if isinstance(item, Instruction):
+                parts.append(_instr_token(item))
+            elif isinstance(item, Loop):
+                parts.append(
+                    f"L:{item.label}:{item.var}:{item.start}:{item.bound}:"
+                    f"{item.step}:{item.cmp_op}"
+                )
+                for instr in item.header_instrs + item.latch_instrs:
+                    parts.append(_instr_token(instr))
+                walk(item.body)
+                parts.append(f"endL:{item.label}")
+            elif isinstance(item, IfRegion):
+                parts.append(f"I:{item.cond_instr_id}")
+                walk(item.then_region)
+                parts.append("else")
+                walk(item.else_region)
+                parts.append("endI")
+
+    walk(function.body)
+    for recurrence in function.recurrences:
+        parts.append(repr(recurrence))
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------- #
+# CDFG <-> JSON-compatible payloads (warm-cache persistence)
+# --------------------------------------------------------------------------- #
+_NODE_KINDS = tuple(NodeKind)
+_EDGE_KINDS = tuple(EdgeKind)
+_NODE_KIND_CODE = {kind: code for code, kind in enumerate(_NODE_KINDS)}
+_EDGE_KIND_CODE = {kind: code for code, kind in enumerate(_EDGE_KINDS)}
+
+
+def cdfg_to_payload(graph: CDFG) -> dict:
+    """JSON-compatible representation of a CDFG (exact float round-trip)."""
+    return {
+        "name": graph.name,
+        "nodes": [
+            [
+                node.optype, node.dtype, _NODE_KIND_CODE[node.kind],
+                node.loop_label, node.array, node.instr_id, node.replica,
+                node.features,
+            ]
+            for node in graph.nodes
+        ],
+        "edges": [
+            list(graph.edge_src),
+            list(graph.edge_dst),
+            [_EDGE_KIND_CODE[kind] for kind in graph.edge_kinds],
+        ],
+        "loop_features": [
+            graph.loop_features.ii, graph.loop_features.tripcount,
+            bool(graph.loop_features.pipelined),
+            graph.loop_features.unroll_factor, graph.loop_features.depth,
+        ],
+        "metadata": dict(graph.metadata),
+    }
+
+
+def cdfg_from_payload(payload: dict) -> CDFG:
+    """Rebuild a CDFG stored with :func:`cdfg_to_payload`."""
+    graph = CDFG(name=payload["name"])
+    for optype, dtype, kind, loop_label, array, instr_id, replica, features in (
+        payload["nodes"]
+    ):
+        node = graph.add_node(
+            optype, kind=_NODE_KINDS[kind], dtype=dtype, loop_label=loop_label,
+            array=array, instr_id=int(instr_id), replica=int(replica),
+        )
+        node.features.update(
+            (name, float(value)) for name, value in features.items()
+        )
+    src, dst, kinds = payload["edges"]
+    graph.edge_src = [int(value) for value in src]
+    graph.edge_dst = [int(value) for value in dst]
+    graph.edge_kinds = [_EDGE_KINDS[code] for code in kinds]
+    ii, tripcount, pipelined, unroll_factor, depth = payload["loop_features"]
+    graph.loop_features = LoopLevelFeatures(
+        ii=float(ii), tripcount=float(tripcount), pipelined=bool(pipelined),
+        unroll_factor=float(unroll_factor), depth=float(depth),
+    )
+    graph.metadata = dict(payload["metadata"])
+    return graph
 
 
 class FunctionSkeleton:
@@ -230,37 +343,61 @@ class CacheStats:
     unit_misses: int = 0
     outer_hits: int = 0
     outer_misses: int = 0
+    #: entries hydrated from a persisted warm-cache blob (subset of the hits)
+    persisted_unit_loads: int = 0
+    persisted_outer_loads: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
             "unit_hits": self.unit_hits, "unit_misses": self.unit_misses,
             "outer_hits": self.outer_hits, "outer_misses": self.outer_misses,
+            "persisted_unit_loads": self.persisted_unit_loads,
+            "persisted_outer_loads": self.persisted_outer_loads,
         }
 
 
 class GraphConstructionCache:
     """Caches skeletons and pragma-delta-keyed CDFGs across configurations.
 
-    Entries are keyed per function *object*; the stored strong reference
+    Graph entries are keyed by the *content fingerprint* of their function
+    (:func:`ir_fingerprint`) plus the directive-slice key, so they are
+    portable: two lowerings of the same source share entries within a
+    process, and entries exported with :meth:`export_warm_state` can be
+    re-imported by a different process (see ``core.serialization``).
+    Skeletons and the analysis memo hold object references into the IR, so
+    they stay keyed per function *object*; the stored strong reference
     guarantees an ``id()`` can never be recycled while its entry is alive
     (same pattern as ``make_batch``'s encoded cache).
     """
 
     def __init__(self):
         self._skeletons: dict[int, tuple[IRFunction, FunctionSkeleton]] = {}
-        self._units: dict[tuple[int, str], CachedUnit] = {}
-        self._outer: dict[tuple[int, str], CDFG] = {}
-        self._libraries: dict[int, object] = {}
+        self._fingerprints: dict[int, tuple[IRFunction, str]] = {}
+        self._units: dict[tuple[str, str], CachedUnit] = {}
+        self._outer: dict[tuple[str, str], CDFG] = {}
+        #: serialized graphs imported from a warm-cache blob, hydrated lazily
+        #: on first use (entries for changed kernels simply never hydrate)
+        self._persisted_units: dict[tuple[str, str], dict] = {}
+        self._persisted_outer: dict[tuple[str, str], dict] = {}
         #: per-(function, config key) classification / unroll-factor memo,
         #: shared between decomposition_signature and decompose
         self.analysis: dict[tuple[int, str], tuple] = {}
         self.stats = CacheStats()
 
     def library_token(self, library) -> str:
-        """A key fragment identifying ``library``; the object is pinned so a
-        recycled ``id`` can never alias entries built with another library."""
-        self._libraries[id(library)] = library
-        return f"L{id(library)}"
+        """A key fragment identifying ``library`` by content digest (stable
+        across processes; the digest itself is memoized on the library
+        object, so no pinning is needed)."""
+        return f"L{library.fingerprint()}"
+
+    def fingerprint(self, function: IRFunction) -> str:
+        """Content fingerprint of ``function``, memoized per object."""
+        entry = self._fingerprints.get(id(function))
+        if entry is not None and entry[0] is function:
+            return entry[1]
+        digest = ir_fingerprint(function)
+        self._fingerprints[id(function)] = (function, digest)
+        return digest
 
     # ------------------------------------------------------------------ #
     def skeleton(self, function: IRFunction) -> FunctionSkeleton:
@@ -273,7 +410,14 @@ class GraphConstructionCache:
 
     # ------------------------------------------------------------------ #
     def get_unit(self, function: IRFunction, key: str) -> CachedUnit | None:
-        unit = self._units.get((id(function), key))
+        cache_key = (self.fingerprint(function), key)
+        unit = self._units.get(cache_key)
+        if unit is None and self._persisted_units:
+            payload = self._persisted_units.pop(cache_key, None)
+            if payload is not None:
+                unit = CachedUnit(subgraph=cdfg_from_payload(payload))
+                self._units[cache_key] = unit
+                self.stats.persisted_unit_loads += 1
         if unit is not None:
             self.stats.unit_hits += 1
         return unit
@@ -281,13 +425,20 @@ class GraphConstructionCache:
     def put_unit(self, function: IRFunction, key: str, subgraph: CDFG) -> CachedUnit:
         self.stats.unit_misses += 1
         unit = CachedUnit(subgraph=subgraph)
-        self._units[(id(function), key)] = unit
+        self._units[(self.fingerprint(function), key)] = unit
         return unit
 
     # ------------------------------------------------------------------ #
     def get_outer(self, function: IRFunction, key: str) -> CDFG | None:
         """A fresh copy of the cached outer-graph template, if present."""
-        template = self._outer.get((id(function), key))
+        cache_key = (self.fingerprint(function), key)
+        template = self._outer.get(cache_key)
+        if template is None and self._persisted_outer:
+            payload = self._persisted_outer.pop(cache_key, None)
+            if payload is not None:
+                template = cdfg_from_payload(payload)
+                self._outer[cache_key] = template
+                self.stats.persisted_outer_loads += 1
         if template is None:
             return None
         self.stats.outer_hits += 1
@@ -296,19 +447,60 @@ class GraphConstructionCache:
     def put_outer(self, function: IRFunction, key: str, graph: CDFG) -> None:
         """Store a pristine template copy (callers annotate graphs in place)."""
         self.stats.outer_misses += 1
-        self._outer[(id(function), key)] = graph.copy()
+        self._outer[(self.fingerprint(function), key)] = graph.copy()
+
+    # ------------------------------------------------------------------ #
+    # warm-cache persistence
+    # ------------------------------------------------------------------ #
+    def export_warm_state(self) -> dict:
+        """JSON-compatible snapshot of every pragma-delta graph entry.
+
+        Still-unhydrated imported entries are passed through, so repeated
+        save/load cycles never lose cache contents.
+        """
+        units = [
+            [fingerprint, key, cdfg_to_payload(unit.subgraph)]
+            for (fingerprint, key), unit in self._units.items()
+        ]
+        units += [
+            [fingerprint, key, payload]
+            for (fingerprint, key), payload in self._persisted_units.items()
+        ]
+        outer = [
+            [fingerprint, key, cdfg_to_payload(template)]
+            for (fingerprint, key), template in self._outer.items()
+        ]
+        outer += [
+            [fingerprint, key, payload]
+            for (fingerprint, key), payload in self._persisted_outer.items()
+        ]
+        return {"units": units, "outer": outer}
+
+    def import_warm_state(self, state: dict) -> None:
+        """Adopt a snapshot produced by :meth:`export_warm_state`.
+
+        Graphs are kept serialized and hydrated on first use, so importing
+        is cheap regardless of how many kernels the blob covers.
+        """
+        for fingerprint, key, payload in state.get("units", ()):
+            self._persisted_units[(fingerprint, key)] = payload
+        for fingerprint, key, payload in state.get("outer", ()):
+            self._persisted_outer[(fingerprint, key)] = payload
 
     # ------------------------------------------------------------------ #
     def clear(self) -> None:
         self._skeletons.clear()
+        self._fingerprints.clear()
         self._units.clear()
         self._outer.clear()
-        self._libraries.clear()
+        self._persisted_units.clear()
+        self._persisted_outer.clear()
         self.analysis.clear()
         self.stats = CacheStats()
 
 
 __all__ = [
     "FunctionSkeleton", "CachedUnit", "CacheStats", "GraphConstructionCache",
-    "unit_cache_key", "outer_cache_key",
+    "unit_cache_key", "outer_cache_key", "ir_fingerprint",
+    "cdfg_to_payload", "cdfg_from_payload",
 ]

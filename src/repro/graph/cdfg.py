@@ -121,15 +121,39 @@ class LoopLevelFeatures:
 
 
 class CDFG:
-    """A control and data flow graph with typed nodes and edges."""
+    """A control and data flow graph with typed nodes and edges.
+
+    Edges are stored **columnar** (parallel ``edge_src``/``edge_dst``/
+    ``edge_kinds`` lists): the DSE hot path appends and remaps hundreds of
+    thousands of edges per sweep, and three flat lists turn replica replay,
+    ``edge_index`` and ``degree_arrays`` into C-speed bulk operations.  The
+    :attr:`edges` property materializes the familiar :class:`CDFGEdge` view
+    on demand for analysis code and tests.
+    """
 
     def __init__(self, name: str = "cdfg"):
         self.name = name
         self.nodes: list[CDFGNode] = []
-        self.edges: list[CDFGEdge] = []
+        self.edge_src: list[int] = []
+        self.edge_dst: list[int] = []
+        self.edge_kinds: list[EdgeKind] = []
+        self._edge_view: list[CDFGEdge] = []
         self.loop_features: LoopLevelFeatures = LoopLevelFeatures()
         #: free-form metadata (kernel name, config description, loop label...)
         self.metadata: dict[str, str] = {}
+
+    @property
+    def edges(self) -> list[CDFGEdge]:
+        """Edge-object view of the columnar store (rebuilt when stale)."""
+        view = self._edge_view
+        if len(view) != len(self.edge_src):
+            view = self._edge_view = [
+                CDFGEdge(src, dst, kind)
+                for src, dst, kind in zip(
+                    self.edge_src, self.edge_dst, self.edge_kinds
+                )
+            ]
+        return view
 
     # ------------------------------------------------------------------ #
     # construction
@@ -161,7 +185,9 @@ class CDFG:
                 f"edge ({src}, {dst}) references nodes outside the graph "
                 f"(size {len(self.nodes)})"
             )
-        self.edges.append(CDFGEdge(src=src, dst=dst, kind=kind))
+        self.edge_src.append(src)
+        self.edge_dst.append(dst)
+        self.edge_kinds.append(kind)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -172,21 +198,25 @@ class CDFG:
 
     @property
     def num_edges(self) -> int:
-        return len(self.edges)
+        return len(self.edge_src)
 
     def in_degree(self, node_id: int) -> int:
-        return sum(1 for edge in self.edges if edge.dst == node_id)
+        return self.edge_dst.count(node_id)
 
     def out_degree(self, node_id: int) -> int:
-        return sum(1 for edge in self.edges if edge.src == node_id)
+        return self.edge_src.count(node_id)
 
     def degree_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """(in_degree, out_degree) arrays for all nodes, computed in one pass."""
-        in_degree = np.zeros(self.num_nodes, dtype=np.int64)
-        out_degree = np.zeros(self.num_nodes, dtype=np.int64)
-        for edge in self.edges:
-            out_degree[edge.src] += 1
-            in_degree[edge.dst] += 1
+        if not self.edge_src:
+            zeros = np.zeros(self.num_nodes, dtype=np.int64)
+            return zeros, zeros.copy()
+        in_degree = np.bincount(
+            np.array(self.edge_dst, dtype=np.int64), minlength=self.num_nodes
+        )
+        out_degree = np.bincount(
+            np.array(self.edge_src, dtype=np.int64), minlength=self.num_nodes
+        )
         return in_degree, out_degree
 
     def nodes_of_kind(self, kind: NodeKind) -> list[CDFGNode]:
@@ -203,17 +233,14 @@ class CDFG:
 
     def edge_index(self) -> np.ndarray:
         """Edge list as a (2, E) integer array (PyG-style ``edge_index``)."""
-        if not self.edges:
+        if not self.edge_src:
             return np.zeros((2, 0), dtype=np.int64)
-        return np.array(
-            [[edge.src for edge in self.edges], [edge.dst for edge in self.edges]],
-            dtype=np.int64,
-        )
+        return np.array([self.edge_src, self.edge_dst], dtype=np.int64)
 
     def edge_kind_codes(self) -> np.ndarray:
         """Integer code per edge (0=data, 1=control, 2=memory)."""
         codes = {EdgeKind.DATA: 0, EdgeKind.CONTROL: 1, EdgeKind.MEMORY: 2}
-        return np.array([codes[edge.kind] for edge in self.edges], dtype=np.int64)
+        return np.array([codes[kind] for kind in self.edge_kinds], dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # conversions
@@ -226,8 +253,8 @@ class CDFG:
                 node.node_id, optype=node.optype, kind=node.kind.value,
                 loop=node.loop_label, array=node.array, **node.features,
             )
-        for edge in self.edges:
-            graph.add_edge(edge.src, edge.dst, kind=edge.kind.value)
+        for src, dst, kind in zip(self.edge_src, self.edge_dst, self.edge_kinds):
+            graph.add_edge(src, dst, kind=kind.value)
         return graph
 
     def subgraph(self, node_ids: list[int], name: str = "") -> "CDFG":
@@ -244,11 +271,11 @@ class CDFG:
                     replica=source.replica, features=dict(source.features),
                 )
             )
-        for edge in self.edges:
-            if edge.src in keep and edge.dst in keep:
-                sub.edges.append(
-                    CDFGEdge(src=keep[edge.src], dst=keep[edge.dst], kind=edge.kind)
-                )
+        for src, dst, kind in zip(self.edge_src, self.edge_dst, self.edge_kinds):
+            if src in keep and dst in keep:
+                sub.edge_src.append(keep[src])
+                sub.edge_dst.append(keep[dst])
+                sub.edge_kinds.append(kind)
         sub.loop_features = self.loop_features
         sub.metadata = dict(self.metadata)
         return sub
@@ -256,21 +283,22 @@ class CDFG:
     def copy(self) -> "CDFG":
         """An independent copy sharing no mutable state with the original.
 
-        Edges are immutable tuples so the edge list is rebuilt shallowly;
-        node feature dicts are duplicated because callers annotate them in
-        place (e.g. super-node QoR annotation).
+        The columnar edge store is copied shallowly (ints and enum members
+        are immutable); node feature dicts are duplicated because callers
+        annotate them in place (e.g. super-node QoR annotation).
         """
         clone = CDFG(name=self.name)
-        clone.nodes = [
-            CDFGNode(
-                node_id=node.node_id, kind=node.kind, optype=node.optype,
-                dtype=node.dtype, loop_label=node.loop_label, array=node.array,
-                instr_id=node.instr_id, replica=node.replica,
-                features=dict(node.features),
-            )
-            for node in self.nodes
-        ]
-        clone.edges = list(self.edges)
+        new_node = CDFGNode.__new__
+        nodes = clone.nodes
+        for node in self.nodes:
+            fields = dict(node.__dict__)
+            fields["features"] = dict(fields["features"])
+            duplicate = new_node(CDFGNode)
+            duplicate.__dict__ = fields
+            nodes.append(duplicate)
+        clone.edge_src = list(self.edge_src)
+        clone.edge_dst = list(self.edge_dst)
+        clone.edge_kinds = list(self.edge_kinds)
         clone.loop_features = self.loop_features
         clone.metadata = dict(self.metadata)
         return clone
@@ -298,9 +326,9 @@ class CDFG:
             "operation_nodes": len(self.nodes_of_kind(NodeKind.OPERATION)),
             "memory_ports": len(self.nodes_of_kind(NodeKind.MEMORY_PORT)),
             "super_nodes": len(self.nodes_of_kind(NodeKind.SUPER_NODE)),
-            "data_edges": sum(1 for e in self.edges if e.kind is EdgeKind.DATA),
-            "control_edges": sum(1 for e in self.edges if e.kind is EdgeKind.CONTROL),
-            "memory_edges": sum(1 for e in self.edges if e.kind is EdgeKind.MEMORY),
+            "data_edges": self.edge_kinds.count(EdgeKind.DATA),
+            "control_edges": self.edge_kinds.count(EdgeKind.CONTROL),
+            "memory_edges": self.edge_kinds.count(EdgeKind.MEMORY),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

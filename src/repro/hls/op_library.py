@@ -153,6 +153,29 @@ class OperatorLibrary:
     def known_opcodes(self) -> list[Opcode]:
         return sorted(self._table, key=lambda op: op.value)
 
+    def fingerprint(self) -> str:
+        """Stable content digest of the characterization tables.
+
+        Two libraries with identical clock targets and operator figures get
+        the same fingerprint in every process, which is what lets persisted
+        graph/prediction caches (keyed partly by library) survive a service
+        restart.  The digest is memoized — libraries are immutable once
+        built.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        import hashlib
+
+        parts = [repr(self.clock_period_ns)]
+        for opcode in sorted(self._table, key=lambda op: op.value):
+            parts.append(f"{opcode.value}={self._table[opcode].as_feature_tuple()!r}")
+        for name in sorted(self._intrinsics):
+            parts.append(f"{name}={self._intrinsics[name].as_feature_tuple()!r}")
+        digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()[:16]
+        self._fingerprint = digest
+        return digest
+
 
 #: shared default library (ZCU102-class device, 300 MHz)
 DEFAULT_LIBRARY = OperatorLibrary()

@@ -106,3 +106,45 @@ def tiny_training_instances():
         for name, fn in kernels.items()
     }
     return build_design_instances(kernels, configs)
+
+
+# --------------------------------------------------------------------------- #
+# shared trained models.  Session-scoped with explicit seeding: several test
+# modules exercise identical small models, and retraining one per module made
+# the suite take minutes for no extra coverage.  Tests that use these MUST
+# NOT retrain or otherwise mutate the model (train your own instead).
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="session")
+def trained_model(tiny_training_instances):
+    """(model, report) of a small GraphSAGE hierarchical model (seed 0)."""
+    from repro.core import (
+        HierarchicalModelConfig,
+        HierarchicalQoRModel,
+        TrainingConfig,
+    )
+
+    config = HierarchicalModelConfig(
+        conv_type="graphsage", hidden=16, seed=0,
+        training=TrainingConfig(epochs=12, batch_size=16, patience=12, seed=0),
+    )
+    model = HierarchicalQoRModel(config)
+    report = model.fit(tiny_training_instances, rng=np.random.default_rng(0))
+    return model, report
+
+
+@pytest.fixture(scope="session")
+def small_trained_model(tiny_training_instances):
+    """A small GCN hierarchical model (seed 0), used by persistence tests."""
+    from repro.core import (
+        HierarchicalModelConfig,
+        HierarchicalQoRModel,
+        TrainingConfig,
+    )
+
+    config = HierarchicalModelConfig(
+        conv_type="gcn", hidden=16, seed=0,
+        training=TrainingConfig(epochs=6, batch_size=16, seed=0),
+    )
+    model = HierarchicalQoRModel(config)
+    model.fit(tiny_training_instances, rng=np.random.default_rng(0))
+    return model

@@ -19,16 +19,9 @@ from repro.frontend import LoopDirective, PragmaConfig
 from repro.graph import decompose
 from repro.kernels import load_kernel
 
-
-@pytest.fixture(scope="module")
-def trained_model(tiny_training_instances):
-    config = HierarchicalModelConfig(
-        conv_type="graphsage", hidden=16,
-        training=TrainingConfig(epochs=12, batch_size=16, patience=12),
-    )
-    model = HierarchicalQoRModel(config)
-    report = model.fit(tiny_training_instances, rng=np.random.default_rng(0))
-    return model, report
+# the trained_model fixture lives in tests/conftest.py (session scope): the
+# same small GraphSAGE model is shared with the replay-equivalence harness
+# instead of being retrained per module
 
 
 class TestHierarchicalTraining:

@@ -145,6 +145,4 @@ class TestGraphConstructionCache:
         cache = GraphConstructionCache()
         decompose(function, configs[0], cache=cache)
         cache.clear()
-        assert cache.stats.as_dict() == {
-            "unit_hits": 0, "unit_misses": 0, "outer_hits": 0, "outer_misses": 0,
-        }
+        assert all(value == 0 for value in cache.stats.as_dict().values())
