@@ -1,0 +1,197 @@
+"""Perf benchmark: single-process vs sharded multi-worker cold DSE sweeps.
+
+Times the *cold path* (fresh predictor, empty caches — first contact with a
+design space) on a ``gemm`` space in three modes:
+
+* **single-process** — one :meth:`QoRPredictor.predict_batch` call over the
+  whole space (the PR-1 batched engine), model load included;
+* **sharded / pragma-locality** — :class:`repro.dse.sharding.ShardedExplorer`
+  with N worker processes, each bootstrapping its own predictor from the
+  saved model and scoring a locality-grouped shard;
+* **sharded / round-robin** — same fleet, delta-agnostic partitioning
+  (reported for comparison: the gap to pragma-locality is the value of
+  construction-cache-aware sharding).
+
+The differential guards run unconditionally:
+
+* per-configuration predictions within 1e-9 relative of single-process;
+* the merged front is **bit-identical** to one Pareto front fed every
+  streamed prediction (the deterministic-merge guarantee);
+* the merged front matches the single-process front in membership and
+  canonical order (:func:`repro.dse.sharding.fronts_match`).
+
+The >= 2x throughput guard is enforced only when the machine actually has
+at least as many usable cores as workers (CI perf runners do); on smaller
+boxes the numbers are still reported, with ``speedup_target_enforced:
+false`` in ``benchmarks/results/BENCH_dse_sharded.json``.
+
+Environment knobs: ``REPRO_BENCH_DSE_SHARD_SPACE`` (space size, default
+192), ``REPRO_BENCH_DSE_WORKERS`` (worker count, default 4),
+``REPRO_BENCH_PERF_EPOCHS`` (training epochs, default 10).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, env_int, format_table, write_result
+from repro.core import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    TrainingConfig,
+    build_design_instances,
+    save_model,
+)
+from repro.core.predictor import QoRPredictor
+from repro.dse import DesignSpace, ShardedExplorer, fronts_match, predicted_front
+from repro.dse.sharding import PREDICTION_TOLERANCE, max_prediction_error
+from repro.dse.space import sample_design_space
+from repro.kernels import load_kernel
+
+pytestmark = pytest.mark.perf
+
+KERNEL = "gemm"
+SPEEDUP_TARGET = 2.0
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _train_and_save(tmp_path) -> str:
+    function = load_kernel(KERNEL)
+    configs = sample_design_space(function, 12, rng=np.random.default_rng(7))
+    instances = build_design_instances({KERNEL: function}, {KERNEL: configs})
+    model = HierarchicalQoRModel(
+        HierarchicalModelConfig(
+            conv_type="graphsage", hidden=32,
+            training=TrainingConfig(
+                epochs=env_int("REPRO_BENCH_PERF_EPOCHS", 10), seed=0
+            ),
+        )
+    )
+    model.fit(instances)
+    path = tmp_path / "qor_model.npz"
+    save_model(model, path, warm_caches=False)
+    return str(path)
+
+
+def test_dse_sharded_throughput(tmp_path):
+    model_path = _train_and_save(tmp_path)
+    num_workers = max(2, env_int("REPRO_BENCH_DSE_WORKERS", 4))
+    space = DesignSpace.from_kernel(
+        KERNEL, env_int("REPRO_BENCH_DSE_SHARD_SPACE", 192), seed=1
+    )
+
+    # single-process cold sweep: fresh predictor, empty caches
+    start = time.perf_counter()
+    predictor = QoRPredictor.load(model_path, warm_caches=False)
+    single_predictions = predictor.predict_batch(
+        space.function(), list(space.configs)
+    )
+    single_seconds = time.perf_counter() - start
+    single_front = predicted_front(space, single_predictions).points()
+
+    sharded: dict[str, dict] = {}
+    results = {}
+    for strategy in ("pragma-locality", "round-robin"):
+        explorer = ShardedExplorer(
+            model_path, num_workers=num_workers, shard_strategy=strategy,
+            warm_caches=False, chunk_size=48,
+        )
+        result = explorer.explore(space)
+        results[strategy] = result
+        sharded[strategy] = {
+            "seconds": round(result.model_seconds, 6),
+            "configs_per_second": round(result.configs_per_second, 2),
+            "speedup_vs_single_process": round(
+                single_seconds / result.model_seconds, 2
+            ),
+            "workers": result.num_workers,
+            "recovered_configs": result.recovered_configs,
+            "fleet_cache_stats": result.cache_stats,
+        }
+
+    # differential guards (always enforced)
+    for strategy, result in results.items():
+        worst = max_prediction_error(single_predictions, result.predictions)
+        assert worst < PREDICTION_TOLERANCE, (
+            f"{strategy}: sharded predictions diverged from the "
+            f"single-process engine by {worst}"
+        )
+        stream_front = predicted_front(space, result.predictions).points()
+        assert [(p.key, p.objectives) for p in result.front] == [
+            (p.key, p.objectives) for p in stream_front
+        ], f"{strategy}: merged front is not bit-identical to the stream front"
+        assert fronts_match(single_front, result.front), (
+            f"{strategy}: merged front differs from the single-process front"
+        )
+        assert result.recovered_configs == 0
+
+    cores = _usable_cores()
+    enforce_speedup = cores >= num_workers
+    locality = sharded["pragma-locality"]
+
+    payload = {
+        "benchmark": "dse_sharded",
+        "kernel": KERNEL,
+        "num_configs": len(space),
+        "num_workers": num_workers,
+        "usable_cores": cores,
+        "single_process": {
+            "seconds": round(single_seconds, 6),
+            "configs_per_second": round(len(space) / single_seconds, 2),
+        },
+        "sharded": sharded,
+        "front_size": len(single_front),
+        "front_identical": True,
+        "prediction_max_rel_error": max(
+            max_prediction_error(single_predictions, r.predictions)
+            for r in results.values()
+        ),
+        "speedup_target": SPEEDUP_TARGET,
+        "speedup_target_enforced": enforce_speedup,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_dse_sharded.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows = [
+        ["single-process", f"{single_seconds:.3f}",
+         f"{len(space) / single_seconds:.1f}", "1.0x"],
+    ]
+    for strategy in ("pragma-locality", "round-robin"):
+        stats = sharded[strategy]
+        rows.append([
+            f"sharded ({strategy}, {num_workers}w)",
+            f"{stats['seconds']:.3f}", f"{stats['configs_per_second']:.1f}",
+            f"{stats['speedup_vs_single_process']:.1f}x",
+        ])
+    write_result(
+        "BENCH_dse_sharded.txt",
+        format_table(
+            ["mode", "sweep s", "configs/s", "speedup"], rows,
+            title=f"Sharded DSE cold sweep — {KERNEL}, {len(space)} configs, "
+                  f"{num_workers} workers, {cores} cores "
+                  f"(target {'enforced' if enforce_speedup else 'reported only'})",
+        ),
+    )
+
+    if enforce_speedup:
+        speedup = locality["speedup_vs_single_process"]
+        assert speedup >= SPEEDUP_TARGET, (
+            f"sharded speedup {speedup:.1f}x below the {SPEEDUP_TARGET}x "
+            f"target with {num_workers} workers on {cores} cores"
+        )

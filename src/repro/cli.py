@@ -14,7 +14,10 @@ Three subcommands cover the library's main workflows:
 
 ``repro-qor dse``
     Run model-guided design-space exploration on one kernel and report the
-    Pareto front and ADRS against the exhaustive flow.
+    Pareto front and ADRS against the exhaustive flow.  ``--workers N``
+    shards the space across worker processes (each bootstrapped from the
+    saved model) and merges the per-shard Pareto fronts deterministically;
+    ``--shard-strategy`` picks how configurations are grouped.
 
 Run ``python -m repro.cli --help`` for the full option list.
 """
@@ -36,6 +39,7 @@ from repro.core import (
     save_model,
 )
 from repro.dse import ModelGuidedExplorer, exhaustive_ground_truth
+from repro.dse.sharding import SHARD_STRATEGIES
 from repro.dse.space import sample_design_space
 from repro.frontend import ArrayDirective, LoopDirective, PartitionType, PragmaConfig
 from repro.hls import run_full_flow
@@ -43,16 +47,23 @@ from repro.ir import lower_source
 from repro.kernels import KERNEL_SOURCES, load_kernel
 
 
-def _load_function(args: argparse.Namespace):
-    """Resolve --kernel (registry name) or --source (path to HLS-C file)."""
+def _load_source_text(args: argparse.Namespace) -> str:
+    """Resolve the HLS-C text for --kernel (registry) or --source (file)."""
     if getattr(args, "source", None):
         with open(args.source) as handle:
-            return lower_source(handle.read())
+            return handle.read()
     if args.kernel not in KERNEL_SOURCES:
         raise SystemExit(
             f"unknown kernel {args.kernel!r}; available: {sorted(KERNEL_SOURCES)}"
         )
-    return load_kernel(args.kernel)
+    return KERNEL_SOURCES[args.kernel]
+
+
+def _load_function(args: argparse.Namespace):
+    """Resolve --kernel (registry name) or --source (path to HLS-C file)."""
+    if not getattr(args, "source", None) and args.kernel in KERNEL_SOURCES:
+        return load_kernel(args.kernel)  # lru-cached lowering
+    return lower_source(_load_source_text(args))
 
 
 def parse_config(loop_specs: list[str], array_specs: list[str]) -> PragmaConfig:
@@ -101,6 +112,7 @@ def parse_config(loop_specs: list[str], array_specs: list[str]) -> PragmaConfig:
 # subcommands
 # --------------------------------------------------------------------------- #
 def cmd_train(args: argparse.Namespace) -> int:
+    """``repro-qor train``: label a sampled space, train, save the model."""
     rng = np.random.default_rng(args.seed)
     kernels = {name: load_kernel(name) for name in args.kernels}
     configs = {
@@ -125,6 +137,7 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
+    """``repro-qor predict``: QoR of one design point (model or flow)."""
     function = _load_function(args)
     config = parse_config(args.loop, args.array)
     result: dict[str, float]
@@ -141,17 +154,73 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sharded_dse(args: argparse.Namespace, function, space) -> list:
+    """Run the multi-worker sharded exploration; returns the true-QoR front.
+
+    Mirrors the single-process model-guided branch of :func:`cmd_dse`: the
+    predicted-Pareto selections come from :class:`ShardedExplorer`, and the
+    reported front/ADRS use the ground-truth QoR of the selected designs.
+    """
+    from repro.dse import DesignSpace, ShardedExplorer
+    from repro.dse.pareto import adrs
+
+    design_space = DesignSpace.from_lowered(
+        function, _load_source_text(args), space.configs
+    )
+    explorer = ShardedExplorer(
+        args.model, num_workers=args.workers,
+        shard_strategy=args.shard_strategy, warm_caches=args.warm_cache,
+    )
+    result = explorer.explore(design_space)
+    approx = space.true_front_of([point.key for point in result.front])
+    exact = space.exact_front()
+    # unlike the single-process "model time" (prediction only), the sharded
+    # figure is end-to-end: spawn + per-worker model load + predict + merge
+    print(f"model-guided ADRS: {adrs(exact, approx) * 100:.2f}%  "
+          f"sharded over {result.num_workers} workers "
+          f"({result.shard_strategy}, {result.mp_context})  "
+          f"end-to-end {result.model_seconds:.2f}s "
+          f"({result.configs_per_second:,.0f} configs/s)")
+    for shard in result.shards:
+        status = "failed" if shard.failed else "ok"
+        recovered = (
+            f", {shard.recovered} recovered in-process" if shard.recovered else ""
+        )
+        print(f"  shard {shard.shard_id}: {shard.completed}/{shard.num_configs} "
+              f"configs ({status}{recovered})")
+    print("fleet cache stats:", json.dumps(result.cache_stats, sort_keys=True))
+    if args.warm_cache:
+        print("note: with --workers the persisted warm caches are read-only "
+              "(worker caches are not saved back to the model file)")
+    return approx
+
+
 def cmd_dse(args: argparse.Namespace) -> int:
+    """``repro-qor dse``: explore a kernel's space, report front + ADRS.
+
+    With ``--workers N`` (N > 1) the sweep runs on the sharded multi-worker
+    engine (:mod:`repro.dse.sharding`); otherwise the in-process batched
+    (or ``--sequential``) explorer is used.
+    """
     if args.warm_cache and not args.model:
         raise SystemExit("--warm-cache requires --model (the caches are "
                          "persisted inside the model file)")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.workers > 1 and not args.model:
+        raise SystemExit("--workers requires --model (worker processes "
+                         "bootstrap their predictors from the saved model)")
+    if args.workers > 1 and args.sequential:
+        raise SystemExit("--workers and --sequential are mutually exclusive")
     function = _load_function(args)
     rng = np.random.default_rng(args.seed)
     configs = sample_design_space(function, args.configs, rng=rng)
     print(f"evaluating {len(configs)} configurations with the ground-truth flow...")
     space = exhaustive_ground_truth(function, configs)
     print(f"exhaustive (simulated) flow time: {space.simulated_tool_seconds/3600:.1f} h")
-    if args.model:
+    if args.model and args.workers > 1:
+        front = _sharded_dse(args, function, space)
+    elif args.model:
         # --warm-cache: adopt the persisted construction cache / prediction
         # memo saved alongside the model, and write the (now warmer) caches
         # back after the sweep, so successive service runs start warm
@@ -189,6 +258,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
 # argument parsing
 # --------------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-qor`` argument parser (train / predict / dse)."""
     parser = argparse.ArgumentParser(
         prog="repro-qor",
         description="Hierarchical source-to-post-route QoR prediction for HLS",
@@ -233,7 +303,20 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--warm-cache", action="store_true",
                      help="start from the construction cache / prediction "
                           "memo persisted in the model file and save the "
-                          "warmed caches back after the sweep")
+                          "warmed caches back after the sweep (with "
+                          "--workers the caches are adopted read-only)")
+    dse.add_argument("--workers", type=int, default=1,
+                     help="worker processes for the sharded explorer; with "
+                          "N > 1 the space is partitioned, each shard is "
+                          "scored by its own process bootstrapped from "
+                          "--model, and the per-shard Pareto fronts are "
+                          "merged deterministically")
+    dse.add_argument("--shard-strategy", default="pragma-locality",
+                     choices=list(SHARD_STRATEGIES),
+                     help="how to partition the space across workers: "
+                          "pragma-locality groups configurations sharing "
+                          "graph-construction work, round-robin deals them "
+                          "out blindly")
     dse.set_defaults(func=cmd_dse)
     return parser
 

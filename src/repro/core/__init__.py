@@ -32,7 +32,7 @@ from repro.core.models import (
     RESOURCE_TARGETS,
 )
 from repro.core.predictor import QoRPredictor
-from repro.core.serialization import load_model, save_model
+from repro.core.serialization import load_model, peek_manifest, save_model
 from repro.core.trainer import GraphRegressorTrainer, TrainingConfig, TrainingResult
 
 __all__ = [
@@ -45,6 +45,6 @@ __all__ = [
     "GNNEncoder", "GlobalGNN", "InnerLoopGNN",
     "ITERATION_LATENCY_TARGET", "LATENCY_TARGET", "RESOURCE_TARGETS",
     "QoRPredictor",
-    "load_model", "save_model",
+    "load_model", "peek_manifest", "save_model",
     "GraphRegressorTrainer", "TrainingConfig", "TrainingResult",
 ]

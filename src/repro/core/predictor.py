@@ -131,8 +131,32 @@ class QoRPredictor:
         return predictor
 
     def cache_stats(self) -> dict[str, int]:
-        """Construction-cache counters plus the prediction-memo size."""
+        """Inference-cache counters of this predictor.
+
+        Returns the construction-cache hit/miss counters (``unit_hits``,
+        ``unit_misses``, ``outer_hits``, ``outer_misses``, plus the
+        ``persisted_*_loads`` hydrated from a warm-cache blob) and
+        ``memoized_predictions``, the prediction-memo size.  Counters reset
+        on :meth:`clear_inference_caches` and on retraining.
+        """
         return self.model.cache_stats()
+
+    @staticmethod
+    def aggregate_cache_stats(per_worker: list[dict]) -> dict[str, int]:
+        """Sum per-worker :meth:`cache_stats` dicts into one fleet view.
+
+        The sharded DSE coordinator collects one counter dict per worker
+        process (plus one for in-process recovery work); summing them gives
+        the fleet-wide construction/memoization picture — e.g. how much
+        graph construction the pragma-locality shard strategy avoided.
+        Missing keys count as zero, so reports from different cache versions
+        aggregate without error.
+        """
+        totals: dict[str, int] = {}
+        for stats in per_worker:
+            for name, value in stats.items():
+                totals[name] = totals.get(name, 0) + int(value)
+        return totals
 
 
 __all__ = ["QoRPredictor"]

@@ -87,6 +87,7 @@ def _pack_trainer(prefix: str, trainer: GraphRegressorTrainer, blob: dict) -> di
 def _unpack_trainer(
     prefix: str, metadata: dict, blob: np.lib.npyio.NpzFile, kind: str
 ) -> GraphRegressorTrainer:
+    """Rebuild one trainer (weights + preprocessing) from a model blob."""
     trainer = GraphRegressorTrainer(
         model=None, target_names=tuple(metadata["targets"]),
         config=TrainingConfig(),
@@ -165,6 +166,25 @@ def save_model(
     return path
 
 
+def peek_manifest(path: str | Path) -> dict:
+    """Read only the manifest of a saved model archive.
+
+    Decompresses a single (small) archive member, so it is cheap enough for
+    eager validation: the sharded DSE coordinator calls this before spawning
+    any worker, turning "model file missing / corrupt / untrained" into an
+    immediate error instead of one crash per worker.  Raises
+    :class:`FileNotFoundError` for a missing file and :class:`ValueError`
+    for an archive without a manifest.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no saved model at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if _MANIFEST_KEY not in archive.files:
+            raise ValueError(f"{path} is not a saved model (no manifest)")
+        return json.loads(bytes(archive[_MANIFEST_KEY]).decode("utf-8"))
+
+
 def load_model(
     path: str | Path, *, warm_caches: bool = True
 ) -> HierarchicalQoRModel:
@@ -205,4 +225,4 @@ def load_model(
     return model
 
 
-__all__ = ["save_model", "load_model", "WARM_CACHE_VERSION"]
+__all__ = ["save_model", "load_model", "peek_manifest", "WARM_CACHE_VERSION"]

@@ -11,14 +11,26 @@ from repro.dse.explorer import (
 )
 from repro.dse.pareto import (
     DesignPoint,
+    ParetoFront,
     adrs,
     dominates,
     hypervolume_2d,
+    merge_fronts,
     normalize_objectives,
     pareto_front,
 )
+from repro.dse.sharding import (
+    SHARD_STRATEGIES,
+    ShardedDSEResult,
+    ShardedExplorer,
+    ShardSpec,
+    fronts_match,
+    partition_space,
+    predicted_front,
+)
 from repro.dse.space import (
     UNROLL_FACTORS,
+    DesignSpace,
     LoopChain,
     enumerate_design_space,
     loop_chains,
@@ -28,8 +40,10 @@ from repro.dse.space import (
 __all__ = [
     "DSEResult", "GroundTruthSpace", "ModelGuidedExplorer",
     "exhaustive_ground_truth", "oracle_dse", "qor_objectives", "resource_cost",
-    "DesignPoint", "adrs", "dominates", "hypervolume_2d",
-    "normalize_objectives", "pareto_front",
-    "UNROLL_FACTORS", "LoopChain", "enumerate_design_space", "loop_chains",
-    "sample_design_space",
+    "DesignPoint", "ParetoFront", "adrs", "dominates", "hypervolume_2d",
+    "merge_fronts", "normalize_objectives", "pareto_front",
+    "SHARD_STRATEGIES", "ShardedDSEResult", "ShardedExplorer", "ShardSpec",
+    "fronts_match", "partition_space", "predicted_front",
+    "UNROLL_FACTORS", "DesignSpace", "LoopChain", "enumerate_design_space",
+    "loop_chains", "sample_design_space",
 ]

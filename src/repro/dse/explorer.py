@@ -54,9 +54,11 @@ class GroundTruthSpace:
 
     @property
     def num_configs(self) -> int:
+        """Number of evaluated configurations in the space."""
         return len(self.configs)
 
     def design_points(self) -> list[DesignPoint]:
+        """Every configuration as a :class:`DesignPoint` with true QoR."""
         return [
             DesignPoint(
                 key=config.key(),
@@ -67,7 +69,23 @@ class GroundTruthSpace:
         ]
 
     def exact_front(self) -> list[DesignPoint]:
+        """The reference Pareto front over the true (flow-simulated) QoR."""
         return pareto_front(self.design_points())
+
+    def true_front_of(self, selected_keys: list[str]) -> list[DesignPoint]:
+        """Pareto front of the *true* QoR of a selected subset of designs.
+
+        The evaluation step shared by every explorer: a model selects
+        configurations (by key), and its quality is judged on the front
+        their ground-truth QoR forms — which :func:`~repro.dse.pareto.adrs`
+        then compares against :meth:`exact_front`.
+        """
+        return pareto_front([
+            DesignPoint(
+                key=key, objectives=qor_objectives(self.results[key].as_dict())
+            )
+            for key in selected_keys
+        ])
 
 
 def exhaustive_ground_truth(
@@ -120,6 +138,7 @@ class DSEResult:
 
     @property
     def adrs_percent(self) -> float:
+        """ADRS as a percentage (the unit the paper reports)."""
         return self.adrs * 100.0
 
     @property
@@ -173,6 +192,15 @@ class ModelGuidedExplorer:
         function: IRFunction,
         space: GroundTruthSpace,
     ) -> DSEResult:
+        """Explore one kernel's design space guided by the model.
+
+        Scores every configuration of ``space`` (batched when a
+        ``predict_batch_fn`` is available), selects the predicted-Pareto
+        set, and evaluates it against the exact front: the returned
+        :class:`DSEResult` carries the ADRS of the selections (computed on
+        their *true* QoR), prediction-only and end-to-end timings, and the
+        speedup over the exhaustive flow.
+        """
         # time model prediction only; Pareto bookkeeping happens off the clock
         batched = self.predict_batch_fn is not None
         start = time.perf_counter()
@@ -198,13 +226,7 @@ class ModelGuidedExplorer:
         # (true-QoR lookups, exact front, ADRS) is evaluation bookkeeping
         explore_seconds = time.perf_counter() - start
         # the approximate reference set is the TRUE QoR of the selected designs
-        approx_points = [
-            DesignPoint(
-                key=key, objectives=qor_objectives(space.results[key].as_dict())
-            )
-            for key in selected_keys
-        ]
-        approx_front = pareto_front(approx_points)
+        approx_front = space.true_front_of(selected_keys)
         exact_front = space.exact_front()
         return DSEResult(
             kernel=space.kernel,

@@ -1,0 +1,582 @@
+"""Sharded multi-worker design-space exploration.
+
+The batched inference engine (:meth:`HierarchicalQoRModel.predict_batch`)
+scores a whole design space in one process; this module scales it across
+worker **processes**:
+
+1. :func:`partition_space` splits a :class:`~repro.dse.space.DesignSpace`
+   into balanced shards (``round-robin`` or ``pragma-locality``);
+2. each shard runs in a worker process (:func:`shard_worker`, a module-level
+   — hence spawn-safe — entrypoint) that bootstraps its *own*
+   :class:`~repro.core.predictor.QoRPredictor` from a saved model file,
+   re-lowers the kernel source, and scores its configurations with
+   ``predict_batch`` chunk by chunk, streaming ``(config_id, prediction)``
+   pairs back over a queue;
+3. the coordinator (:class:`ShardedExplorer`) folds each shard's stream into
+   a per-shard :class:`~repro.dse.pareto.ParetoFront` and merges the fronts
+   with :func:`~repro.dse.pareto.merge_fronts`.
+
+**Determinism guarantee.**  Two layers, guarded separately:
+
+* the *merge* is bit-exact: :class:`~repro.dse.pareto.ParetoFront` is a pure
+  function of the ``(objectives, config_id)`` multiset, so shard count,
+  shard strategy, chunk size and message arrival order cannot change the
+  merged front — it is identical, member for member and in the same
+  canonical order, to one front fed every prediction directly;
+* the *predictions* agree with the single-process batched engine to within
+  1e-9 relative (typically <= 1e-12).  Workers load the same weights and
+  run the same deterministic numpy arithmetic; the residual last-ulp
+  variation comes from BLAS choosing different (equally correct) kernels
+  for different disjoint-union sizes.  The degenerate single-row /
+  single-column dispatch — by far the largest such effect — is removed at
+  the source (see ``repro.nn.autograd._stable_matmul``).  Dominance gaps
+  between distinct designs are macroscopic, so this noise cannot flip front
+  membership; the differential harness asserts identical membership and
+  ordering against the single-process front.
+
+**Failure handling.**  A worker that dies mid-shard (crash, OOM-kill) simply
+stops streaming: the coordinator notices the process is gone without a
+completion message, drains whatever the worker did deliver, and re-scores
+the missing configurations in-process, so the sweep always completes with
+the exact same front.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.predictor import QoRPredictor
+from repro.dse.explorer import qor_objectives
+from repro.dse.pareto import DesignPoint, ParetoFront, merge_fronts
+from repro.dse.space import DesignSpace
+from repro.frontend.pragmas import PragmaConfig
+from repro.graph.cache import GraphConstructionCache
+from repro.graph.hierarchy import decomposition_signature
+from repro.ir.builder import lower_source
+
+#: the shard strategies understood by :func:`partition_space`
+SHARD_STRATEGIES: tuple[str, ...] = ("round-robin", "pragma-locality")
+
+#: configurations scored (and streamed) per worker chunk
+DEFAULT_CHUNK_SIZE = 32
+
+#: relative agreement guaranteed between worker-process and single-process
+#: predictions (see the determinism notes in the module docstring); the
+#: differential tests and the sharded benchmark guard exactly this bound
+PREDICTION_TOLERANCE = 1e-9
+
+
+def max_prediction_error(
+    a: list[dict[str, float]], b: list[dict[str, float]]
+) -> float:
+    """Worst per-metric relative deviation between two prediction lists.
+
+    The quantity the sharded-vs-single-process guards compare against
+    :data:`PREDICTION_TOLERANCE` (denominators are clamped at 1.0 so
+    near-zero metrics do not inflate the ratio).  Misaligned inputs are an
+    error — a truncating comparison could pass vacuously.
+    """
+    if len(a) != len(b):
+        raise ValueError(
+            f"prediction lists differ in length: {len(a)} vs {len(b)}"
+        )
+    worst = 0.0
+    for left, right in zip(a, b):
+        for name in left:
+            scale = max(abs(left[name]), 1.0)
+            worst = max(worst, abs(left[name] - right[name]) / scale)
+    return worst
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a design space: a stable id and the config ids it owns.
+
+    ``config_ids`` are ids into the canonical order of the
+    :class:`~repro.dse.space.DesignSpace` the shard was cut from, sorted
+    ascending; every id of the space belongs to exactly one shard.
+    """
+
+    shard_id: int
+    config_ids: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.config_ids)
+
+
+def _round_robin_blocks(count: int, num_shards: int) -> list[tuple[int, ...]]:
+    """Deal config ids ``0..count-1`` round-robin into ``num_shards`` piles."""
+    return [tuple(range(i, count, num_shards)) for i in range(num_shards)]
+
+
+def _pragma_locality_blocks(
+    space: DesignSpace, num_shards: int
+) -> list[tuple[int, ...]]:
+    """Contiguous balanced blocks over the pragma-delta locality order.
+
+    Configurations are ordered by their decomposition signature (the
+    inner-unit and outer-graph cache keys of
+    :func:`~repro.graph.hierarchy.decomposition_signature`), which places
+    configurations that share pragma deltas — and therefore graph
+    construction work — next to each other; cutting the order into
+    contiguous blocks maximizes each worker's construction-cache hit rate.
+    Signature computation builds no graphs, so sharding stays cheap.
+    """
+    cache = GraphConstructionCache()
+    function = space.function()
+    signatures = []
+    for config_id, config in space.items():
+        outer_key, unit_keys = decomposition_signature(function, config, cache)
+        signatures.append((unit_keys, outer_key, config_id))
+    order = [config_id for _, _, config_id in sorted(signatures)]
+    base, extra = divmod(len(order), num_shards)
+    blocks: list[tuple[int, ...]] = []
+    position = 0
+    for index in range(num_shards):
+        size = base + (1 if index < extra else 0)
+        blocks.append(tuple(sorted(order[position:position + size])))
+        position += size
+    return blocks
+
+
+def partition_space(
+    space: DesignSpace, num_shards: int, strategy: str = "round-robin"
+) -> list[ShardSpec]:
+    """Partition a design space into at most ``num_shards`` balanced shards.
+
+    Strategies (shard sizes always differ by at most one):
+
+    * ``round-robin`` — config id ``i`` goes to shard ``i % num_shards``;
+      cheap and delta-agnostic;
+    * ``pragma-locality`` — configurations sharing pragma deltas are grouped
+      onto the same shard so each worker's construction cache sees maximal
+      reuse (see :func:`_pragma_locality_blocks`).
+
+    Empty shards (more workers than configurations) are dropped.  The
+    partition is deterministic: same space, count and strategy — same shards.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if strategy not in SHARD_STRATEGIES:
+        raise ValueError(
+            f"unknown shard strategy {strategy!r}; available: {SHARD_STRATEGIES}"
+        )
+    if strategy == "pragma-locality":
+        blocks = _pragma_locality_blocks(space, num_shards)
+    else:
+        blocks = _round_robin_blocks(len(space), num_shards)
+    return [
+        ShardSpec(shard_id=index, config_ids=block)
+        for index, block in enumerate(blocks)
+        if block
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------------- #
+def shard_worker(
+    shard_id: int,
+    model_path: str,
+    source: str,
+    warm_caches: bool,
+    items: list[tuple[int, PragmaConfig]],
+    results: multiprocessing.Queue,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    fail_after: int | None = None,
+) -> None:
+    """Worker-process entrypoint: score one shard and stream results back.
+
+    Module-level (importable by name), with picklable arguments only, so it
+    runs under any multiprocessing start method including ``spawn``.  The
+    worker owns its whole pipeline: it loads a
+    :class:`~repro.core.predictor.QoRPredictor` once from ``model_path``
+    (optionally adopting the persisted warm caches), re-lowers ``source``
+    (deterministic, so cache fingerprints agree with every other process),
+    and scores its configurations in chunks of ``chunk_size`` through
+    ``predict_batch`` — the construction cache persists across chunks, so
+    chunking costs no repeated graph building.
+
+    Messages on ``results``: ``("results", shard_id, [(config_id, metrics),
+    ...])`` per chunk, then ``("done", shard_id, cache_stats)``; on an
+    internal error, ``("error", shard_id, traceback_text)`` and a non-zero
+    exit.  ``fail_after`` is a test hook: the worker hard-exits (no "done",
+    as a real crash would) once that many configurations are scored.
+    """
+    try:
+        predictor = QoRPredictor.load(model_path, warm_caches=warm_caches)
+        function = lower_source(source)
+        completed = 0
+        for start in range(0, len(items), max(1, chunk_size)):
+            if fail_after is not None and completed >= fail_after:
+                os._exit(3)  # simulate a hard crash: nothing is flushed
+            chunk = items[start:start + max(1, chunk_size)]
+            metrics_list = predictor.predict_batch(
+                function, [config for _, config in chunk]
+            )
+            results.put((
+                "results", shard_id,
+                [
+                    (config_id, metrics)
+                    for (config_id, _), metrics in zip(chunk, metrics_list)
+                ],
+            ))
+            completed += len(chunk)
+        results.put(("done", shard_id, predictor.cache_stats()))
+    except BaseException:
+        results.put(("error", shard_id, traceback.format_exc()))
+        raise
+
+
+# --------------------------------------------------------------------------- #
+# coordinator side
+# --------------------------------------------------------------------------- #
+@dataclass
+class ShardReport:
+    """What one worker contributed to a sharded sweep."""
+
+    shard_id: int
+    num_configs: int
+    #: configurations whose predictions the worker actually delivered
+    completed: int
+    #: configurations re-scored by the coordinator after a worker failure
+    recovered: int = 0
+    #: the worker's final cache counters (empty if it died before reporting)
+    cache_stats: dict = field(default_factory=dict)
+    #: True when the worker exited without a completion message
+    failed: bool = False
+    error: str = ""
+
+
+@dataclass
+class ShardedDSEResult:
+    """Outcome of one sharded exploration.
+
+    ``predictions`` is aligned with the canonical configuration order of the
+    explored space; ``front`` is the merged predicted-Pareto front in the
+    canonical ``(objectives, config_id)`` order — bit-identical to
+    :func:`predicted_front` over ``predictions``, and identical in
+    membership and order to the single-process engine's front (see the
+    module docstring for the exact guarantee).
+    """
+
+    kernel: str
+    num_configs: int
+    num_workers: int
+    shard_strategy: str
+    predictions: list[dict[str, float]]
+    front: list[DesignPoint]
+    model_seconds: float
+    shards: list[ShardReport] = field(default_factory=list)
+    #: configurations recovered in-process after worker failures
+    recovered_configs: int = 0
+    #: per-worker cache counters summed fleet-wide
+    cache_stats: dict = field(default_factory=dict)
+    #: multiprocessing start method the sweep actually used
+    mp_context: str = ""
+
+    @property
+    def configs_per_second(self) -> float:
+        """End-to-end sharded throughput (spawn + load + predict + merge)."""
+        if self.model_seconds <= 0:
+            return float("inf")
+        return self.num_configs / self.model_seconds
+
+
+def predicted_front(
+    space: DesignSpace, predictions: list[dict[str, float]]
+) -> ParetoFront:
+    """Single-process reference front over a space's predictions.
+
+    Feeds every ``(config_id, prediction)`` pair through one
+    :class:`~repro.dse.pareto.ParetoFront` — the differential harness
+    compares the sharded engine's merged front against exactly this.
+    """
+    front = ParetoFront()
+    for config_id, metrics in enumerate(predictions):
+        front.add(
+            DesignPoint(
+                key=space.key_of(config_id),
+                objectives=qor_objectives(metrics),
+                metadata={
+                    "config": space.config(config_id), "config_id": config_id
+                },
+            ),
+            config_id,
+        )
+    return front
+
+
+def fronts_match(
+    a: list[DesignPoint],
+    b: list[DesignPoint],
+    *,
+    rel_tolerance: float = PREDICTION_TOLERANCE,
+) -> bool:
+    """True when two fronts are the same set of designs in the same order.
+
+    Membership and ordering are compared exactly (by key); objective values
+    are compared within ``rel_tolerance`` relative, absorbing the last-ulp
+    BLAS kernel-dispatch variation described in the module docstring.  This
+    is the comparison the differential tests and the sharded benchmark
+    guard.
+    """
+    if len(a) != len(b):
+        return False
+    for point_a, point_b in zip(a, b):
+        if point_a.key != point_b.key:
+            return False
+        for value_a, value_b in zip(point_a.objectives, point_b.objectives):
+            scale = max(abs(value_a), abs(value_b), 1.0)
+            if abs(value_a - value_b) > rel_tolerance * scale:
+                return False
+    return True
+
+
+def _default_mp_context() -> str:
+    """``fork`` where available (cheap bootstrap), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+class ShardedExplorer:
+    """Coordinator for multi-worker DSE over a saved model.
+
+    Partitions a :class:`~repro.dse.space.DesignSpace` with
+    :func:`partition_space`, runs one worker process per shard
+    (:func:`shard_worker`), folds the streamed results into per-shard
+    Pareto fronts and merges them deterministically.  See the module
+    docstring for the equivalence and failure-handling guarantees.
+
+    Parameters:
+
+    * ``model_path`` — a model saved with :meth:`QoRPredictor.save` /
+      :func:`repro.core.serialization.save_model`; validated eagerly so a
+      missing or untrained model fails before any process is spawned;
+    * ``num_workers`` — worker processes (= maximum shard count);
+    * ``shard_strategy`` — ``"round-robin"`` or ``"pragma-locality"``;
+    * ``warm_caches`` — workers adopt the warm caches persisted in the model
+      file (read-only: worker caches are not written back);
+    * ``mp_context`` — multiprocessing start method; defaults to ``fork``
+      where available, ``spawn`` otherwise (the worker entrypoint is safe
+      under both);
+    * ``worker_timeout`` — a *stall* timeout: seconds without any message
+      from any worker before the remaining workers are deemed wedged,
+      terminated, and their outstanding work recovered in-process.  An
+      actively-streaming fleet never trips it, however long the sweep.
+    """
+
+    def __init__(
+        self,
+        model_path: str | Path,
+        *,
+        num_workers: int = 2,
+        shard_strategy: str = "pragma-locality",
+        warm_caches: bool = False,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        mp_context: str | None = None,
+        worker_timeout: float = 300.0,
+        _fault_injection: dict[int, int] | None = None,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if shard_strategy not in SHARD_STRATEGIES:
+            raise ValueError(
+                f"unknown shard strategy {shard_strategy!r}; "
+                f"available: {SHARD_STRATEGIES}"
+            )
+        self.model_path = Path(model_path)
+        self.num_workers = num_workers
+        self.shard_strategy = shard_strategy
+        self.warm_caches = warm_caches
+        self.chunk_size = max(1, chunk_size)
+        self.mp_context = mp_context or _default_mp_context()
+        self.worker_timeout = worker_timeout
+        #: test hook: shard_id -> configs to score before simulating a crash
+        self._fault_injection = dict(_fault_injection or {})
+        self._validate_model()
+
+    def _validate_model(self) -> None:
+        """Fail fast — before spawning anything — on a bad model file."""
+        from repro.core.serialization import peek_manifest
+
+        manifest = peek_manifest(self.model_path)
+        if "g" not in manifest:
+            raise ValueError(
+                f"model at {self.model_path} has no trained global model; "
+                "train and save it before sharded exploration"
+            )
+
+    # ------------------------------------------------------------------ #
+    def explore(self, space: DesignSpace) -> ShardedDSEResult:
+        """Score every configuration of ``space`` across the worker fleet.
+
+        Returns predictions aligned with the space's canonical order and the
+        merged Pareto front; never raises on worker death — missing work is
+        recovered in-process (see ``ShardedDSEResult.recovered_configs``).
+        """
+        start = time.perf_counter()
+        shards = partition_space(space, self.num_workers, self.shard_strategy)
+        context = multiprocessing.get_context(self.mp_context)
+        results_queue = context.Queue()
+        processes: dict[int, multiprocessing.Process] = {}
+        for shard in shards:
+            items = [(cid, space.config(cid)) for cid in shard.config_ids]
+            process = context.Process(
+                target=shard_worker,
+                args=(
+                    shard.shard_id, str(self.model_path), space.source,
+                    self.warm_caches, items, results_queue, self.chunk_size,
+                    self._fault_injection.get(shard.shard_id),
+                ),
+                daemon=True,
+            )
+            process.start()
+            processes[shard.shard_id] = process
+
+        predictions_by_id: dict[int, dict[str, float]] = {}
+        streamed: dict[int, list[tuple[int, dict[str, float]]]] = {
+            shard.shard_id: [] for shard in shards
+        }
+        worker_stats: dict[int, dict] = {}
+        errors: dict[int, str] = {}
+        pending = {shard.shard_id for shard in shards}
+        # stall deadline: pushed forward on every message, so it only fires
+        # after worker_timeout seconds of total silence from the fleet
+        deadline = time.perf_counter() + self.worker_timeout
+
+        def handle(message: tuple) -> None:
+            kind, shard_id = message[0], message[1]
+            if kind == "results":
+                for config_id, metrics in message[2]:
+                    predictions_by_id[config_id] = metrics
+                    streamed[shard_id].append((config_id, metrics))
+            elif kind == "done":
+                worker_stats[shard_id] = message[2]
+                pending.discard(shard_id)
+            elif kind == "error":
+                errors[shard_id] = message[2]
+                pending.discard(shard_id)
+
+        while pending and time.perf_counter() < deadline:
+            try:
+                handle(results_queue.get(timeout=0.05))
+                deadline = time.perf_counter() + self.worker_timeout
+                continue
+            except queue_module.Empty:
+                pass
+            # queue momentarily empty: retire shards whose worker died
+            # without a completion message (drain once more first — the
+            # worker may have flushed results right before exiting)
+            for shard_id in sorted(pending):
+                if processes[shard_id].is_alive():
+                    continue
+                processes[shard_id].join()
+                try:
+                    while True:
+                        handle(results_queue.get(timeout=0.1))
+                except queue_module.Empty:
+                    pass
+                if shard_id in pending:
+                    pending.discard(shard_id)
+                    errors.setdefault(
+                        shard_id, "worker process exited before completing"
+                    )
+        for shard_id in sorted(pending):  # fleet stalled: reclaim their work
+            errors.setdefault(
+                shard_id,
+                f"worker stalled (no progress for {self.worker_timeout:.0f}s)",
+            )
+        for process in processes.values():
+            if process.is_alive():
+                process.terminate()
+            process.join()
+        results_queue.close()
+
+        # recover configurations no worker delivered, in-process
+        coordinator_stats: dict | None = None
+        recovered_by_shard: dict[int, int] = {}
+        missing = [
+            (shard, config_id)
+            for shard in shards
+            for config_id in shard.config_ids
+            if config_id not in predictions_by_id
+        ]
+        if missing:
+            predictor = QoRPredictor.load(
+                self.model_path, warm_caches=self.warm_caches
+            )
+            metrics_list = predictor.predict_batch(
+                space.function(), [space.config(cid) for _, cid in missing]
+            )
+            for (shard, config_id), metrics in zip(missing, metrics_list):
+                predictions_by_id[config_id] = metrics
+                streamed[shard.shard_id].append((config_id, metrics))
+                recovered_by_shard[shard.shard_id] = (
+                    recovered_by_shard.get(shard.shard_id, 0) + 1
+                )
+            coordinator_stats = predictor.cache_stats()
+
+        # per-shard fronts, merged deterministically
+        fronts: list[ParetoFront] = []
+        for shard in shards:
+            front = ParetoFront()
+            for config_id, metrics in streamed[shard.shard_id]:
+                front.add(
+                    DesignPoint(
+                        key=space.key_of(config_id),
+                        objectives=qor_objectives(metrics),
+                        metadata={
+                            "config": space.config(config_id),
+                            "config_id": config_id,
+                        },
+                    ),
+                    config_id,
+                )
+            fronts.append(front)
+        merged = merge_fronts(fronts)
+        model_seconds = time.perf_counter() - start
+
+        reports = [
+            ShardReport(
+                shard_id=shard.shard_id,
+                num_configs=len(shard),
+                completed=len(streamed[shard.shard_id])
+                - recovered_by_shard.get(shard.shard_id, 0),
+                recovered=recovered_by_shard.get(shard.shard_id, 0),
+                cache_stats=worker_stats.get(shard.shard_id, {}),
+                failed=shard.shard_id in errors,
+                error=errors.get(shard.shard_id, ""),
+            )
+            for shard in shards
+        ]
+        all_stats = [stats for stats in worker_stats.values()]
+        if coordinator_stats is not None:
+            all_stats.append(coordinator_stats)
+        return ShardedDSEResult(
+            kernel=space.kernel,
+            num_configs=len(space),
+            num_workers=len(shards),
+            shard_strategy=self.shard_strategy,
+            predictions=[predictions_by_id[cid] for cid in range(len(space))],
+            front=merged.points(),
+            model_seconds=model_seconds,
+            shards=reports,
+            recovered_configs=sum(recovered_by_shard.values()),
+            cache_stats=QoRPredictor.aggregate_cache_stats(all_stats),
+            mp_context=self.mp_context,
+        )
+
+
+__all__ = [
+    "SHARD_STRATEGIES", "DEFAULT_CHUNK_SIZE", "PREDICTION_TOLERANCE",
+    "ShardSpec", "partition_space", "shard_worker", "ShardReport",
+    "ShardedDSEResult", "predicted_front", "fronts_match",
+    "max_prediction_error", "ShardedExplorer",
+]

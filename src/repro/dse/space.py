@@ -62,6 +62,7 @@ def loop_chains(function: IRFunction) -> list[LoopChain]:
 
 
 def _factors_for(tripcount: int) -> tuple[int, ...]:
+    """Unroll factors applicable to a loop of the given trip count."""
     return tuple(f for f in UNROLL_FACTORS if f <= tripcount)
 
 
@@ -200,7 +201,127 @@ def sample_design_space(
     return [configs[i] for i in sorted(indices)]
 
 
+@dataclass
+class DesignSpace:
+    """An enumerated design space with stable configuration ids.
+
+    Wraps the configuration list of one kernel together with everything a
+    worker process needs to re-create its half of the work from scratch:
+
+    * ``source`` — the kernel's HLS-C text.  Lowering is deterministic, so a
+      worker that re-lowers the source gets an IR whose content fingerprint
+      (and therefore every cache key) matches the coordinator's;
+    * ``configs`` — the enumeration order is the canonical order.  A
+      configuration's **id** is its index in this tuple; ids are what shards
+      carry, what workers stream back, and what the deterministic Pareto
+      tie-break (:class:`~repro.dse.pareto.ParetoFront`) breaks ties on.
+
+    Instances are cheap to pickle (the lazily-lowered IR is excluded), which
+    is what keeps spawn-based worker bootstrap viable.
+    """
+
+    kernel: str
+    source: str
+    configs: tuple[PragmaConfig, ...]
+
+    def __post_init__(self) -> None:
+        self.configs = tuple(self.configs)
+        self._function: IRFunction | None = None
+
+    @staticmethod
+    def from_kernel(
+        name: str, num_configs: int = 100, *, seed: int = 0
+    ) -> "DesignSpace":
+        """Build the space of a registry kernel (deterministic for a seed)."""
+        from repro.kernels import kernel_source, load_kernel
+
+        configs = sample_design_space(
+            load_kernel(name), num_configs, rng=np.random.default_rng(seed)
+        )
+        return DesignSpace(
+            kernel=name, source=kernel_source(name), configs=tuple(configs)
+        )
+
+    @staticmethod
+    def from_source(
+        source: str, num_configs: int = 100, *, seed: int = 0
+    ) -> "DesignSpace":
+        """Build the space of an arbitrary HLS-C kernel given as text."""
+        from repro.ir.builder import lower_source
+
+        function = lower_source(source)
+        configs = sample_design_space(
+            function, num_configs, rng=np.random.default_rng(seed)
+        )
+        return DesignSpace.from_lowered(function, source, configs)
+
+    @staticmethod
+    def from_lowered(
+        function: IRFunction, source: str, configs
+    ) -> "DesignSpace":
+        """Wrap an already-lowered kernel and its configuration list.
+
+        Seeds the lazy IR so this process skips the re-lowering; ``source``
+        must be the text ``function`` was lowered from (workers re-lower it
+        and rely on the fingerprints agreeing).
+        """
+        space = DesignSpace(
+            kernel=function.name, source=source, configs=tuple(configs)
+        )
+        space._function = function
+        return space
+
+    def function(self) -> IRFunction:
+        """The lowered kernel (lazy; memoized per space object)."""
+        if self._function is None:
+            from repro.ir.builder import lower_source
+
+            self._function = lower_source(self.source)
+        return self._function
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+    def __iter__(self):
+        return iter(self.configs)
+
+    def items(self) -> list[tuple[int, PragmaConfig]]:
+        """``(config_id, config)`` pairs in canonical (id) order."""
+        return list(enumerate(self.configs))
+
+    def config(self, config_id: int) -> PragmaConfig:
+        """The configuration with the given stable id."""
+        return self.configs[config_id]
+
+    def key_of(self, config_id: int) -> str:
+        """Canonical key string of one configuration (for reports)."""
+        return self.configs[config_id].key()
+
+    def shards(self, num_shards: int, strategy: str = "pragma-locality"):
+        """Partition the space into balanced shards (list of ``ShardSpec``).
+
+        Delegates to :func:`repro.dse.sharding.partition_space`; see there
+        for the available strategies and their balance guarantees.
+        """
+        from repro.dse.sharding import partition_space
+
+        return partition_space(self, num_shards, strategy)
+
+    def __getstate__(self) -> dict:
+        # the lowered IR holds cross-referencing objects that are expensive
+        # (and pointless) to pickle: workers re-lower from source instead
+        return {
+            "kernel": self.kernel, "source": self.source, "configs": self.configs
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.kernel = state["kernel"]
+        self.source = state["source"]
+        self.configs = tuple(state["configs"])
+        self._function = None
+
+
 __all__ = [
     "UNROLL_FACTORS", "LoopChain", "loop_chains", "enumerate_design_space",
-    "sample_design_space",
+    "sample_design_space", "DesignSpace",
 ]

@@ -55,6 +55,37 @@ def _scatter_add(ids: Array, values: Array, num_segments: int) -> Array:
     return out.reshape((num_segments,) + values.shape[1:])
 
 
+def _stable_matmul(a: Array, b: Array) -> Array:
+    """``a @ b`` with batch-size-invariant floating-point results.
+
+    BLAS dispatches degenerate products — a single left-hand row (M = 1) or
+    a single right-hand column (N = 1, e.g. the scalar regression heads) —
+    to GEMV-style kernels whose accumulation order differs from the GEMM
+    kernels used for M, N >= 2, so the *same* row can produce
+    last-ulp-different results depending on how many rows it is batched
+    with.  Batched inference relies on per-graph results being independent
+    of batch composition (a design predicted alone, in a worker's shard, or
+    in a full-space union must yield identical bits — see
+    :mod:`repro.dse.sharding`), so degenerate shapes are routed through the
+    general kernel by duplicating the lone row/column and discarding the
+    copy.  For M, N >= 2 each output element is already batch-invariant.
+    """
+    if a.ndim != 2 or b.ndim != 2:
+        return a @ b
+    pad_m = a.shape[0] == 1
+    pad_n = b.shape[1] == 1
+    if not pad_m and not pad_n:
+        return a @ b
+    left = np.concatenate([a, a], axis=0) if pad_m else a
+    right = np.concatenate([b, b], axis=1) if pad_n else b
+    out = left @ right
+    if pad_m:
+        out = out[:1]
+    if pad_n:
+        out = out[:, :1]
+    return out
+
+
 def _unbroadcast(grad: Array, shape: tuple[int, ...]) -> Array:
     """Sum ``grad`` over axes that were broadcast to reach ``grad.shape``."""
     if grad.shape == shape:
@@ -231,7 +262,7 @@ class Tensor:
         return Tensor(out_data, _parents=(self,), _backward=backward)
 
     def matmul(self, other: "Tensor") -> "Tensor":
-        out_data = self.data @ other.data
+        out_data = _stable_matmul(self.data, other.data)
 
         def backward(grad: Array) -> None:
             if self._needs_graph:

@@ -7,9 +7,11 @@ from hypothesis import strategies as st
 
 from repro.dse.pareto import (
     DesignPoint,
+    ParetoFront,
     adrs,
     dominates,
     hypervolume_2d,
+    merge_fronts,
     normalize_objectives,
     pareto_front,
 )
@@ -78,6 +80,104 @@ class TestParetoFront:
                 dominates(member.objectives, point.objectives) for member in front
             )
             assert on_front or dominated
+
+
+def _front_signature(front: ParetoFront) -> list[tuple]:
+    """(objectives, order, key) triples in canonical order — exact identity."""
+    return [
+        (point.objectives, order, point.key)
+        for point, order in zip(front.points(), front.orders())
+    ]
+
+
+class TestParetoFrontIncremental:
+    def test_dominated_points_rejected(self):
+        front = ParetoFront()
+        assert front.add(DesignPoint(key="a", objectives=(1.0, 2.0)), 0)
+        assert not front.add(DesignPoint(key="b", objectives=(2.0, 3.0)), 1)
+        assert [p.key for p in front.points()] == ["a"]
+
+    def test_new_point_evicts_dominated_members(self):
+        front = ParetoFront()
+        front.add(DesignPoint(key="a", objectives=(2.0, 3.0)), 0)
+        front.add(DesignPoint(key="b", objectives=(3.0, 1.0)), 1)
+        front.add(DesignPoint(key="c", objectives=(1.0, 1.0)), 2)
+        assert [p.key for p in front.points()] == ["c"]
+
+    def test_identical_objectives_keep_smallest_order(self):
+        for first, second in (((0, "a"), (5, "b")), ((5, "b"), (0, "a"))):
+            front = ParetoFront()
+            front.add(DesignPoint(key=first[1], objectives=(1.0, 1.0)), first[0])
+            front.add(DesignPoint(key=second[1], objectives=(1.0, 1.0)), second[0])
+            assert [p.key for p in front.points()] == ["a"]
+            assert front.orders() == [0]
+
+    def test_points_sorted_by_objectives_then_order(self):
+        front = ParetoFront()
+        front.add(DesignPoint(key="hi", objectives=(3.0, 1.0)), 7)
+        front.add(DesignPoint(key="lo", objectives=(1.0, 3.0)), 9)
+        assert [p.key for p in front.points()] == ["lo", "hi"]
+
+    def test_len_and_iter(self):
+        front = ParetoFront.from_points(
+            points_from([(1, 10), (2, 5), (3, 1), (3, 10)])
+        )
+        assert len(front) == 3
+        assert len(list(front)) == 3
+
+    def test_matches_pareto_front_function(self):
+        tuples = [(1, 10), (2, 5), (3, 1), (3, 10), (2, 6), (1, 10)]
+        points = points_from(tuples)
+        expected = sorted(p.objectives for p in pareto_front(points))
+        front = ParetoFront.from_points(points)
+        assert sorted(p.objectives for p in front.points()) == expected
+
+    def test_merge_empty_fronts(self):
+        assert merge_fronts([ParetoFront(), ParetoFront()]).points() == []
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 6), st.integers(1, 6)),
+            min_size=1, max_size=40,
+        ),
+        st.integers(1, 5),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_shard_partition_merges_to_the_single_front(
+        self, tuples, num_shards, random
+    ):
+        """The sharded-DSE determinism guarantee at the Pareto level.
+
+        For any point multiset (small integer grid => plenty of duplicates
+        and exact ties) and any random partition into shards, merging the
+        per-shard fronts reproduces the single front exactly: same members,
+        same tie-break winners, same canonical order.
+        """
+        points = points_from([(float(x), float(y)) for x, y in tuples])
+        single = ParetoFront()
+        for order, point in enumerate(points):
+            single.add(point, order)
+        shards = [ParetoFront() for _ in range(num_shards)]
+        for order, point in enumerate(points):
+            shards[random.randrange(num_shards)].add(point, order)
+        random.shuffle(shards)
+        merged = merge_fronts(shards)
+        assert _front_signature(merged) == _front_signature(single)
+
+    @given(st.lists(
+        st.tuples(st.floats(1, 100), st.floats(1, 100)), min_size=1, max_size=30,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_insertion_order_is_irrelevant(self, tuples):
+        points = points_from(tuples)
+        forward = ParetoFront()
+        for order, point in enumerate(points):
+            forward.add(point, order)
+        backward = ParetoFront()
+        for order, point in reversed(list(enumerate(points))):
+            backward.add(point, order)
+        assert _front_signature(forward) == _front_signature(backward)
 
 
 class TestADRS:

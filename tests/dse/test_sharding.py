@@ -1,0 +1,251 @@
+"""Tests for sharded multi-worker DSE (`repro.dse.sharding`).
+
+Covers the three layers of the subsystem's guarantee separately:
+
+* partitioning — balance, coverage and determinism of both shard strategies;
+* the worker/coordinator protocol — equivalence with the single-process
+  batched engine, crash recovery mid-shard, spawn-safety;
+* the deterministic Pareto merge — the merged front is bit-identical to a
+  single front fed every prediction (the pure-merge property tests live in
+  ``test_pareto.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HierarchicalQoRModel, save_model
+from repro.core.predictor import QoRPredictor
+from repro.dse import (
+    DesignSpace,
+    ShardedExplorer,
+    fronts_match,
+    partition_space,
+    predicted_front,
+)
+from repro.dse.sharding import (
+    PREDICTION_TOLERANCE,
+    SHARD_STRATEGIES,
+    ShardSpec,
+    max_prediction_error,
+)
+
+
+@pytest.fixture(scope="session")
+def sharded_model_path(small_trained_model, tmp_path_factory):
+    """The shared small trained model, saved once for worker bootstrap."""
+    path = tmp_path_factory.mktemp("sharded") / "model.npz"
+    save_model(small_trained_model, path, warm_caches=False)
+    return path
+
+
+@pytest.fixture(scope="session")
+def fir_space():
+    return DesignSpace.from_kernel("fir", 12, seed=5)
+
+
+@pytest.fixture(scope="session")
+def reference(sharded_model_path, fir_space):
+    """Single-process predictions and front for the differential checks."""
+    predictor = QoRPredictor.load(sharded_model_path, warm_caches=False)
+    predictions = predictor.predict_batch(
+        fir_space.function(), list(fir_space.configs)
+    )
+    return predictions, predicted_front(fir_space, predictions).points()
+
+
+class TestDesignSpace:
+    def test_stable_config_ids(self, fir_space):
+        assert [cid for cid, _ in fir_space.items()] == list(range(len(fir_space)))
+        assert fir_space.config(3) is fir_space.configs[3]
+        assert fir_space.key_of(3) == fir_space.configs[3].key()
+
+    def test_from_kernel_deterministic(self):
+        a = DesignSpace.from_kernel("fir", 12, seed=5)
+        b = DesignSpace.from_kernel("fir", 12, seed=5)
+        assert [c.key() for c in a] == [c.key() for c in b]
+
+    def test_pickle_roundtrip_drops_lowered_ir(self, fir_space):
+        import pickle
+
+        fir_space.function()  # populate the lazy IR
+        restored = pickle.loads(pickle.dumps(fir_space))
+        assert restored._function is None
+        assert [c.key() for c in restored] == [c.key() for c in fir_space]
+        assert restored.function().name == fir_space.function().name
+
+    def test_from_source(self):
+        space = DesignSpace.from_source(
+            "void scale(int a[16]) { int i;"
+            " for (i = 0; i < 16; i++) { a[i] = 2 * a[i]; } }",
+            8,
+        )
+        assert space.kernel == "scale"
+        assert len(space) >= 1
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    def test_covers_every_config_exactly_once(self, fir_space, strategy):
+        shards = partition_space(fir_space, 3, strategy)
+        all_ids = sorted(cid for shard in shards for cid in shard.config_ids)
+        assert all_ids == list(range(len(fir_space)))
+
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    def test_balanced_within_one(self, fir_space, strategy):
+        for num_shards in (2, 3, 5):
+            shards = partition_space(fir_space, num_shards, strategy)
+            sizes = [len(shard) for shard in shards]
+            assert max(sizes) - min(sizes) <= 1
+
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    def test_deterministic(self, fir_space, strategy):
+        first = partition_space(fir_space, 4, strategy)
+        second = partition_space(fir_space, 4, strategy)
+        assert first == second
+
+    def test_config_ids_sorted_within_shard(self, fir_space):
+        for shard in partition_space(fir_space, 3, "pragma-locality"):
+            assert list(shard.config_ids) == sorted(shard.config_ids)
+
+    def test_more_shards_than_configs_drops_empty(self, fir_space):
+        shards = partition_space(fir_space, len(fir_space) + 7, "round-robin")
+        assert len(shards) == len(fir_space)
+        assert all(len(shard) == 1 for shard in shards)
+
+    def test_round_robin_assignment(self, fir_space):
+        shards = partition_space(fir_space, 2, "round-robin")
+        assert shards[0] == ShardSpec(0, tuple(range(0, len(fir_space), 2)))
+        assert shards[1] == ShardSpec(1, tuple(range(1, len(fir_space), 2)))
+
+    def test_invalid_inputs_rejected(self, fir_space):
+        with pytest.raises(ValueError):
+            partition_space(fir_space, 0, "round-robin")
+        with pytest.raises(ValueError):
+            partition_space(fir_space, 2, "alphabetical")
+
+
+class TestShardedExplorer:
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    def test_matches_single_process_engine(
+        self, sharded_model_path, fir_space, reference, strategy
+    ):
+        explorer = ShardedExplorer(
+            sharded_model_path, num_workers=2, shard_strategy=strategy,
+            chunk_size=5,
+        )
+        result = explorer.explore(fir_space)
+        ref_predictions, ref_front = reference
+        assert result.num_configs == len(fir_space)
+        assert result.recovered_configs == 0
+        assert max_prediction_error(
+            ref_predictions, result.predictions
+        ) < PREDICTION_TOLERANCE
+        # the merge itself adds zero error: merged front == one front fed
+        # every streamed prediction, bitwise
+        stream_front = predicted_front(fir_space, result.predictions).points()
+        assert [(p.key, p.objectives) for p in result.front] == [
+            (p.key, p.objectives) for p in stream_front
+        ]
+        # and it is the same front the single-process engine selects
+        assert fronts_match(ref_front, result.front)
+
+    def test_single_worker_degenerates_gracefully(
+        self, sharded_model_path, fir_space, reference
+    ):
+        result = ShardedExplorer(sharded_model_path, num_workers=1).explore(fir_space)
+        assert result.num_workers == 1
+        assert fronts_match(reference[1], result.front)
+
+    def test_reports_and_cache_stats(self, sharded_model_path, fir_space):
+        result = ShardedExplorer(
+            sharded_model_path, num_workers=3, shard_strategy="pragma-locality"
+        ).explore(fir_space)
+        assert len(result.shards) == 3
+        assert sum(shard.completed for shard in result.shards) == len(fir_space)
+        assert not any(shard.failed for shard in result.shards)
+        # aggregated counters cover every worker's sweep
+        assert result.cache_stats["memoized_predictions"] == len(fir_space)
+        assert result.cache_stats["unit_misses"] > 0
+        assert result.configs_per_second > 0
+
+    def test_worker_crash_mid_shard_is_recovered(
+        self, sharded_model_path, fir_space, reference
+    ):
+        explorer = ShardedExplorer(
+            sharded_model_path, num_workers=2, shard_strategy="round-robin",
+            chunk_size=2, _fault_injection={0: 2},
+        )
+        result = explorer.explore(fir_space)
+        crashed = result.shards[0]
+        assert crashed.failed
+        assert crashed.recovered > 0
+        assert crashed.completed + crashed.recovered == crashed.num_configs
+        assert result.recovered_configs == crashed.recovered
+        # every configuration still got a prediction and the front is intact
+        assert len(result.predictions) == len(fir_space)
+        assert fronts_match(reference[1], result.front)
+
+    def test_worker_crash_before_any_result(
+        self, sharded_model_path, fir_space, reference
+    ):
+        explorer = ShardedExplorer(
+            sharded_model_path, num_workers=2, shard_strategy="round-robin",
+            _fault_injection={1: 0},
+        )
+        result = explorer.explore(fir_space)
+        crashed = result.shards[1]
+        assert crashed.failed and crashed.completed == 0
+        assert crashed.recovered == crashed.num_configs
+        assert fronts_match(reference[1], result.front)
+
+    def test_spawn_context_is_safe(
+        self, sharded_model_path, fir_space, reference
+    ):
+        explorer = ShardedExplorer(
+            sharded_model_path, num_workers=2, mp_context="spawn"
+        )
+        result = explorer.explore(fir_space)
+        assert result.mp_context == "spawn"
+        assert result.recovered_configs == 0
+        assert max_prediction_error(
+            reference[0], result.predictions
+        ) < PREDICTION_TOLERANCE
+        assert fronts_match(reference[1], result.front)
+
+    def test_missing_model_fails_before_spawning(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ShardedExplorer(tmp_path / "nope.npz", num_workers=2)
+
+    def test_untrained_model_rejected(self, tmp_path):
+        path = tmp_path / "untrained.npz"
+        save_model(HierarchicalQoRModel(), path, warm_caches=False)
+        with pytest.raises(ValueError, match="no trained global model"):
+            ShardedExplorer(path, num_workers=2)
+
+    def test_invalid_parameters_rejected(self, sharded_model_path):
+        with pytest.raises(ValueError):
+            ShardedExplorer(sharded_model_path, num_workers=0)
+        with pytest.raises(ValueError):
+            ShardedExplorer(sharded_model_path, shard_strategy="nope")
+
+    def test_warm_caches_serve_workers(
+        self, small_trained_model, fir_space, tmp_path
+    ):
+        # warm the caches with the full sweep, persist, then explore sharded:
+        # workers should answer from the memo without building graphs
+        model = small_trained_model
+        model.clear_inference_caches()
+        model.predict_batch(fir_space.function(), list(fir_space.configs))
+        path = tmp_path / "warm.npz"
+        save_model(model, path, warm_caches=True)
+        model.clear_inference_caches()
+        result = ShardedExplorer(
+            path, num_workers=2, warm_caches=True
+        ).explore(fir_space)
+        stats = result.cache_stats
+        # every worker adopts the full persisted memo, so the fleet-wide sum
+        # counts it once per worker; the load-bearing claim is zero builds
+        assert stats["memoized_predictions"] >= len(fir_space)
+        assert stats["unit_misses"] == 0 and stats["outer_misses"] == 0

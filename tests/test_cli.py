@@ -58,6 +58,22 @@ class TestParser:
         )
         assert args.flow and args.loop == ["L0=pipeline"]
 
+    def test_dse_sharding_defaults(self):
+        args = build_parser().parse_args(["dse"])
+        assert args.workers == 1
+        assert args.shard_strategy == "pragma-locality"
+
+    def test_dse_sharding_options(self):
+        args = build_parser().parse_args(
+            ["dse", "--workers", "4", "--shard-strategy", "round-robin"]
+        )
+        assert args.workers == 4
+        assert args.shard_strategy == "round-robin"
+
+    def test_dse_unknown_shard_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse", "--shard-strategy", "alphabetical"])
+
 
 class TestCommands:
     def test_predict_with_flow(self, capsys):
@@ -91,3 +107,12 @@ class TestCommands:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "Pareto front" in output
+
+    def test_dse_workers_require_model(self):
+        with pytest.raises(SystemExit, match="--workers requires --model"):
+            main(["dse", "--kernel", "fir", "--workers", "2"])
+
+    def test_dse_workers_exclude_sequential(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["dse", "--kernel", "fir", "--workers", "2",
+                  "--sequential", "--model", "whatever.npz"])
