@@ -1,0 +1,144 @@
+"""CI perf-trend gate: compare BENCH_*.json headline metrics to baselines.
+
+Every perf benchmark writes a ``BENCH_*.json`` into ``benchmarks/results/``;
+this script compares the *headline* metric of each one (declared in
+``benchmarks/results/BASELINE.json``) against its committed baseline value
+and exits non-zero when any metric regresses by more than the allowed
+fraction (default 20%).  The tracked metrics are deliberately machine-mostly
+speedup *ratios* (vectorized vs reference encoder, replay vs naive
+construction, cached vs first epoch), not absolute configs/s, so the same
+baselines hold on a laptop and on a CI runner; the ``max_regression`` margin
+absorbs the residual timing noise.
+
+Usage (from the repository root)::
+
+    python benchmarks/check_trend.py                 # gate (exit 1 on regression)
+    python benchmarks/check_trend.py --rebaseline    # intentional rebaseline
+
+Rebaselining after an intentional perf change is one line: re-run the perf
+benchmarks, then ``python benchmarks/check_trend.py --rebaseline`` and commit
+the updated ``BASELINE.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BASELINE.json"
+
+
+def metric_value(payload: dict, dotted_path: str):
+    """Navigate ``payload`` along a dotted key path (e.g. ``kernels.gemm.x``)."""
+    node = payload
+    for part in dotted_path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(
+                f"metric path {dotted_path!r} broke at {part!r} "
+                f"(available: {sorted(node) if isinstance(node, dict) else type(node).__name__})"
+            )
+        node = node[part]
+    return float(node)
+
+
+def check(baseline: dict, results_dir: Path) -> list[str]:
+    """All regression messages (empty when every headline metric holds up)."""
+    max_regression = float(baseline.get("max_regression", 0.20))
+    failures: list[str] = []
+    for bench_file, metrics in baseline.get("metrics", {}).items():
+        path = results_dir / bench_file
+        if not path.exists():
+            failures.append(f"{bench_file}: missing from {results_dir}")
+            continue
+        payload = json.loads(path.read_text())
+        for dotted_path, spec in metrics.items():
+            reference = float(spec["baseline"])
+            direction = spec.get("direction", "higher")
+            try:
+                current = metric_value(payload, dotted_path)
+            except KeyError as error:
+                failures.append(f"{bench_file}: {error}")
+                continue
+            if direction == "higher":
+                floor = reference * (1.0 - max_regression)
+                regressed = current < floor
+                bound = f">= {floor:.4g}"
+            else:
+                ceiling = reference * (1.0 + max_regression)
+                regressed = current > ceiling
+                bound = f"<= {ceiling:.4g}"
+            status = "REGRESSED" if regressed else "ok"
+            print(
+                f"{status:>9}  {bench_file}::{dotted_path} = {current:.4g} "
+                f"(baseline {reference:.4g}, allowed {bound})"
+            )
+            if regressed:
+                failures.append(
+                    f"{bench_file}::{dotted_path} regressed to {current:.4g} "
+                    f"({bound} required vs baseline {reference:.4g}); if this "
+                    f"change is intentional, re-run the perf benchmarks and "
+                    f"rebaseline with `python benchmarks/check_trend.py "
+                    f"--rebaseline`"
+                )
+    return failures
+
+
+def rebaseline(baseline: dict, results_dir: Path, baseline_path: Path) -> None:
+    """Overwrite every tracked baseline with the currently-measured value."""
+    for bench_file, metrics in baseline.get("metrics", {}).items():
+        path = results_dir / bench_file
+        if not path.exists():
+            print(f"skipping {bench_file}: not present in {results_dir}")
+            continue
+        payload = json.loads(path.read_text())
+        for dotted_path, spec in metrics.items():
+            previous = spec["baseline"]
+            spec["baseline"] = round(metric_value(payload, dotted_path), 4)
+            print(
+                f"rebaselined {bench_file}::{dotted_path}: "
+                f"{previous} -> {spec['baseline']}"
+            )
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir", type=Path, default=RESULTS_DIR,
+        help="directory holding the freshly-generated BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE_PATH,
+        help="committed baseline manifest (BASELINE.json)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=None,
+        help="override the manifest's allowed fractional regression",
+    )
+    parser.add_argument(
+        "--rebaseline", action="store_true",
+        help="rewrite the manifest's baselines from the current results",
+    )
+    args = parser.parse_args(argv)
+    baseline = json.loads(args.baseline.read_text())
+    if args.max_regression is not None:
+        baseline["max_regression"] = args.max_regression
+    if args.rebaseline:
+        rebaseline(baseline, args.results_dir, args.baseline)
+        return 0
+    failures = check(baseline, args.results_dir)
+    if failures:
+        print("\nperf-trend gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf-trend gate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

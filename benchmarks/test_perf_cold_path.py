@@ -1,0 +1,295 @@
+"""Perf benchmark: the vectorized cold-path encoder and epoch-cached unions.
+
+After the replica-replay work (PR 2) and sharding (PR 3), cold end-to-end
+sweeps were GNN-bound: forward passes plus *sample encoding* dominated the
+wall time of a first-contact ``predict_batch``.  This benchmark times the
+vectorized encoding pipeline — the single-pass union encoder in
+``repro.nn.data.make_batch``, the outer-graph sample templates in
+``repro.core.hierarchical``, and the memoized flat scatter indices in
+``repro.nn.autograd`` — against the retained reference implementation
+(:func:`repro.nn.data.make_batch_reference`, forced end to end with
+:func:`repro.nn.autograd.reference_encoding`), in three parts:
+
+* **cold sweep** — a first-contact ``predict_batch`` over a design space
+  from empty inference caches, reference vs vectorized.  The guard asserts
+  >= 2x configs/s on ``gemm``;
+* **equivalence** — for *every* registered kernel, a small sweep must agree
+  between the two pipelines to <= 1e-9 relative per metric;
+* **training epochs** — a ``GraphRegressorTrainer`` run on flat samples.
+  With stable minibatch membership the epoch-level
+  :class:`~repro.nn.data.BatchCache` replays every union from epoch 2
+  onwards; the guard asserts post-epoch-1 epochs run >= 1.5x faster than the
+  reference pipeline's post-epoch-1 epochs (whose own per-sample encoded
+  cache is already warm, so the comparison isolates batch assembly, edge
+  derivations and scatter-index reuse).
+
+Results land in ``benchmarks/results/BENCH_cold_path.json`` and feed the CI
+perf-trend gate (``benchmarks/check_trend.py``).
+
+Environment knobs: ``REPRO_BENCH_COLD_SPACE`` (timed space size, default
+64), ``REPRO_BENCH_COLD_SWEEPS`` (cold repetitions, default 3),
+``REPRO_BENCH_COLD_EQ_CONFIGS`` (equivalence configs per kernel, default 6),
+``REPRO_BENCH_COLD_TRAIN_CONFIGS`` (training samples, default 48) and
+``REPRO_BENCH_PERF_EPOCHS`` (training epochs, default 10).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, env_int, format_table, write_result
+from repro.core import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    TrainingConfig,
+    build_design_instances,
+)
+from repro.core.dataset import flat_sample
+from repro.core.models import GlobalGNN
+from repro.core.trainer import GraphRegressorTrainer
+from repro.dse.space import sample_design_space
+from repro.kernels import KERNEL_SOURCES, load_kernel
+from repro.nn.autograd import reference_encoding
+
+pytestmark = pytest.mark.perf
+
+TIMED_KERNELS = ("gemm", "bicg")
+GUARDED_KERNEL = "gemm"
+COLD_SWEEP_SPEEDUP_TARGET = 2.0
+EPOCH_SPEEDUP_TARGET = 1.5
+EQUIVALENCE_TOLERANCE = 1e-9
+
+
+def _train_model() -> HierarchicalQoRModel:
+    function = load_kernel("gemm")
+    configs = sample_design_space(function, 12, rng=np.random.default_rng(7))
+    instances = build_design_instances({"gemm": function}, {"gemm": configs})
+    model = HierarchicalQoRModel(
+        HierarchicalModelConfig(
+            conv_type="graphsage", hidden=32,
+            training=TrainingConfig(
+                epochs=env_int("REPRO_BENCH_PERF_EPOCHS", 10), seed=0
+            ),
+        )
+    )
+    model.fit(instances)
+    return model
+
+
+def _cold_sweep(model, function, space, *, reference: bool):
+    """One first-contact sweep from empty caches; returns seconds + outputs."""
+    model.clear_inference_caches()
+    start = time.perf_counter()
+    if reference:
+        with reference_encoding():
+            outputs = model.predict_batch(function, space)
+    else:
+        outputs = model.predict_batch(function, space)
+    return time.perf_counter() - start, outputs
+
+
+def _best_cold_sweep(model, function, space, *, reference: bool, sweeps: int):
+    best_seconds, outputs = None, None
+    for _ in range(sweeps):
+        seconds, outputs = _cold_sweep(model, function, space, reference=reference)
+        if best_seconds is None or seconds < best_seconds:
+            best_seconds = seconds
+    return best_seconds, outputs
+
+
+def _max_rel_error(expected, actual) -> float:
+    worst = 0.0
+    for want, got in zip(expected, actual):
+        for name in want:
+            denominator = max(abs(want[name]), 1.0)
+            worst = max(worst, abs(want[name] - got[name]) / denominator)
+    return worst
+
+
+def _train_flat(samples, *, epochs: int, reference: bool):
+    """One trainer run over flat samples; returns (result, trainer)."""
+    config = TrainingConfig(
+        epochs=epochs, batch_size=8, seed=0, patience=epochs,
+        regroup_each_epoch=reference,
+    )
+    trainer = GraphRegressorTrainer(None, ("lut", "latency"), config)
+    trainer.fit_preprocessing(samples)
+    trainer.model = GlobalGNN(
+        in_features=trainer.input_dim(samples), hidden=32, num_layers=3,
+        conv_type="graphsage", rng=np.random.default_rng(0),
+    )
+    if reference:
+        with reference_encoding():
+            result = trainer.train(samples)
+    else:
+        result = trainer.train(samples)
+    return result, trainer
+
+
+def test_cold_path_vectorized_encoding():
+    model = _train_model()
+    space_size = env_int("REPRO_BENCH_COLD_SPACE", 64)
+    sweeps = max(1, env_int("REPRO_BENCH_COLD_SWEEPS", 3))
+    eq_configs = max(2, env_int("REPRO_BENCH_COLD_EQ_CONFIGS", 6))
+
+    # ---------------------------------------------------------------- #
+    # 1) timed cold sweeps: reference vs vectorized pipeline
+    # ---------------------------------------------------------------- #
+    per_kernel: dict[str, dict] = {}
+    rows = []
+    for kernel in TIMED_KERNELS:
+        function = load_kernel(kernel)
+        space = sample_design_space(
+            function, space_size, rng=np.random.default_rng(1)
+        )
+        ref_seconds, ref_outputs = _best_cold_sweep(
+            model, function, space, reference=True, sweeps=sweeps
+        )
+        vec_seconds, vec_outputs = _best_cold_sweep(
+            model, function, space, reference=False, sweeps=sweeps
+        )
+        if kernel == GUARDED_KERNEL and ref_seconds / vec_seconds < COLD_SWEEP_SPEEDUP_TARGET:
+            # timing guard, not a correctness check: one noisy scheduler
+            # burst on a shared runner can depress either side, so the
+            # guarded kernel gets a single deeper re-measure before failing
+            ref_retry, ref_outputs = _best_cold_sweep(
+                model, function, space, reference=True, sweeps=sweeps + 2
+            )
+            vec_retry, vec_outputs = _best_cold_sweep(
+                model, function, space, reference=False, sweeps=sweeps + 2
+            )
+            ref_seconds = min(ref_seconds, ref_retry)
+            vec_seconds = min(vec_seconds, vec_retry)
+        equivalence = _max_rel_error(ref_outputs, vec_outputs)
+        speedup = ref_seconds / vec_seconds
+        per_kernel[kernel] = {
+            "num_configs": len(space),
+            "reference_cold": {
+                "sweep_seconds": round(ref_seconds, 6),
+                "configs_per_second": round(len(space) / ref_seconds, 2),
+            },
+            "vectorized_cold": {
+                "sweep_seconds": round(vec_seconds, 6),
+                "configs_per_second": round(len(space) / vec_seconds, 2),
+            },
+            "cold_sweep_speedup": round(speedup, 2),
+            "equivalence_max_rel_error": equivalence,
+        }
+        rows.append([
+            kernel,
+            f"{len(space) / ref_seconds:.0f}",
+            f"{len(space) / vec_seconds:.0f}",
+            f"{speedup:.2f}x",
+            f"{equivalence:.1e}",
+        ])
+        assert equivalence < EQUIVALENCE_TOLERANCE, (
+            f"{kernel}: vectorized sweep diverged from reference by {equivalence}"
+        )
+
+    # ---------------------------------------------------------------- #
+    # 2) prediction equivalence for every registered kernel
+    # ---------------------------------------------------------------- #
+    equivalence_by_kernel: dict[str, float] = {}
+    for kernel in sorted(KERNEL_SOURCES):
+        function = load_kernel(kernel)
+        space = sample_design_space(
+            function, eq_configs, rng=np.random.default_rng(2)
+        )
+        _, ref_outputs = _cold_sweep(model, function, space, reference=True)
+        _, vec_outputs = _cold_sweep(model, function, space, reference=False)
+        error = _max_rel_error(ref_outputs, vec_outputs)
+        equivalence_by_kernel[kernel] = error
+        assert error < EQUIVALENCE_TOLERANCE, (
+            f"{kernel}: vectorized encoder diverged from the reference "
+            f"encoder by {error}"
+        )
+
+    # ---------------------------------------------------------------- #
+    # 3) training: epoch-cached unions vs the reference pipeline
+    # ---------------------------------------------------------------- #
+    function = load_kernel(GUARDED_KERNEL)
+    train_space = sample_design_space(
+        function,
+        max(8, env_int("REPRO_BENCH_COLD_TRAIN_CONFIGS", 48)),
+        rng=np.random.default_rng(3),
+    )
+    instances = build_design_instances(
+        {GUARDED_KERNEL: function}, {GUARDED_KERNEL: train_space}
+    )
+    samples = [flat_sample(instance) for instance in instances]
+    epochs = max(4, env_int("REPRO_BENCH_PERF_EPOCHS", 10))
+    ref_result, _ = _train_flat(samples, epochs=epochs, reference=True)
+    vec_result, vec_trainer = _train_flat(samples, epochs=epochs, reference=False)
+    ref_post1 = float(np.mean(ref_result.epoch_seconds[1:]))
+    vec_post1 = float(np.mean(vec_result.epoch_seconds[1:]))
+    epoch_speedup = ref_post1 / vec_post1
+    warmup_ratio = float(vec_result.epoch_seconds[0]) / vec_post1
+    batch_cache_stats = vec_trainer._batch_cache.stats()
+    training = {
+        "num_samples": len(samples),
+        "epochs": epochs,
+        "batch_size": 8,
+        "reference_epoch_seconds": [round(s, 6) for s in ref_result.epoch_seconds],
+        "vectorized_epoch_seconds": [round(s, 6) for s in vec_result.epoch_seconds],
+        "reference_post_epoch1_mean_seconds": round(ref_post1, 6),
+        "vectorized_post_epoch1_mean_seconds": round(vec_post1, 6),
+        "epoch_speedup": round(epoch_speedup, 2),
+        "first_epoch_over_cached_epoch": round(warmup_ratio, 2),
+        "batch_cache": batch_cache_stats,
+    }
+
+    payload = {
+        "benchmark": "cold_path",
+        "space_size": space_size,
+        "measured_sweeps": sweeps,
+        "cold_sweep_speedup_target": COLD_SWEEP_SPEEDUP_TARGET,
+        "epoch_speedup_target": EPOCH_SPEEDUP_TARGET,
+        "guarded_kernel": GUARDED_KERNEL,
+        "kernels": per_kernel,
+        "equivalence_max_rel_error_by_kernel": {
+            kernel: error for kernel, error in sorted(equivalence_by_kernel.items())
+        },
+        "training": training,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_cold_path.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    write_result(
+        "BENCH_cold_path.txt",
+        format_table(
+            ["kernel", "reference c/s", "vectorized c/s", "speedup", "max err"],
+            rows,
+            title=(
+                f"Cold-path encoding throughput — {space_size} configs, best "
+                f"of {sweeps} cold sweeps (c/s = end-to-end predict_batch "
+                f"configs per second from empty caches); training epochs "
+                f"(n={len(samples)}, batch 8): reference "
+                f"{ref_post1:.3f}s/epoch vs cached {vec_post1:.3f}s/epoch "
+                f"= {epoch_speedup:.2f}x after epoch 1"
+            ),
+        ),
+    )
+
+    # ---------------------------------------------------------------- #
+    # guards
+    # ---------------------------------------------------------------- #
+    guarded = per_kernel[GUARDED_KERNEL]["cold_sweep_speedup"]
+    assert guarded >= COLD_SWEEP_SPEEDUP_TARGET, (
+        f"cold-sweep speedup {guarded:.2f}x on {GUARDED_KERNEL} is below the "
+        f"{COLD_SWEEP_SPEEDUP_TARGET}x vectorized-encoding target"
+    )
+    assert batch_cache_stats["batch_cache_hits"] > 0, (
+        "the epoch-level batch cache never replayed a union during training"
+    )
+    assert epoch_speedup >= EPOCH_SPEEDUP_TARGET, (
+        f"post-epoch-1 epoch speedup {epoch_speedup:.2f}x is below the "
+        f"{EPOCH_SPEEDUP_TARGET}x epoch-cache target"
+    )

@@ -29,6 +29,7 @@ from repro.core.models import GlobalGNN, InnerLoopGNN
 from repro.core.trainer import GraphRegressorTrainer, TrainingConfig, TrainingResult
 from repro.frontend.pragmas import PragmaConfig
 from repro.graph.cache import GraphConstructionCache
+from repro.graph.cdfg import CDFG, NODE_FEATURE_NAMES, NodeKind
 from repro.graph.features import annotate_super_node
 from repro.graph.hierarchy import (
     HierarchicalDecomposition,
@@ -38,7 +39,65 @@ from repro.graph.hierarchy import (
 )
 from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
 from repro.ir.structure import IRFunction
+from repro.flags import reference_encoding_active
 from repro.nn.data import GraphSample, train_validation_test_split
+
+#: column of each Table II feature in a sample's numerical feature matrix
+_FEATURE_COLUMN = {name: column for column, name in enumerate(NODE_FEATURE_NAMES)}
+
+
+@dataclass
+class _OuterSampleTemplate:
+    """Pre-extracted :class:`GraphSample` ingredients of one outer-graph delta.
+
+    ``predict_batch`` converts the condensed outer graph of every pending
+    configuration into a sample; for configurations sharing an outer pragma
+    delta only the super-node QoR annotations differ.  The template captures
+    the conversion once — optype list, edge index and pristine feature matrix
+    are shared read-only between samples (the encoder memoizes per shared
+    optype list), and each configuration gets a fresh matrix copy with its
+    inner predictions written straight into the annotated rows, skipping
+    graph copy, node iteration and re-extraction entirely.
+    """
+
+    optypes: list[str]
+    edge_index: np.ndarray
+    base_features: np.ndarray
+    loop_features: np.ndarray
+    metadata: dict[str, str]
+    #: super-node row ids per inner-unit loop label
+    super_rows: dict[str, np.ndarray]
+    #: per super-node row, the ``invocations`` factor of the ``work`` feature
+    #: (``features.get("invocations", 1.0)`` — note the 1.0 default, which
+    #: differs from the feature matrix's 0.0 fill for absent features)
+    work_invocations: dict[str, np.ndarray]
+
+
+def _build_outer_template(graph: CDFG) -> _OuterSampleTemplate:
+    """Capture the sample-conversion ingredients of a pristine outer graph."""
+    rows: dict[str, list[int]] = {}
+    for node in graph.nodes:
+        if node.kind is NodeKind.SUPER_NODE:
+            rows.setdefault(node.loop_label, []).append(node.node_id)
+    super_rows = {
+        label: np.asarray(ids, dtype=np.int64) for label, ids in rows.items()
+    }
+    work_invocations = {
+        label: np.array([
+            float(graph.nodes[node_id].features.get("invocations", 1.0))
+            for node_id in ids
+        ])
+        for label, ids in rows.items()
+    }
+    return _OuterSampleTemplate(
+        optypes=graph.optype_list(),
+        edge_index=graph.edge_index(),
+        base_features=graph.feature_matrix(),
+        loop_features=graph.loop_features.as_vector(),
+        metadata=dict(graph.metadata),
+        super_rows=super_rows,
+        work_invocations=work_invocations,
+    )
 
 
 @dataclass
@@ -94,10 +153,14 @@ class HierarchicalQoRModel:
         self.trainer_np: GraphRegressorTrainer | None = None
         self.trainer_g: GraphRegressorTrainer | None = None
         # batched-inference caches: pragma-delta-keyed graphs, the
-        # GraphSample conversions of shared inner-unit subgraphs, and the
+        # GraphSample conversions of shared inner-unit subgraphs (plus each
+        # unit's pipelined flag and the outer-graph sample templates, which
+        # together let repeat deltas skip decomposition entirely), and the
         # QoR predictions of already-seen design deltas
         self._graph_cache = GraphConstructionCache()
         self._unit_sample_cache: dict[tuple[str, str], GraphSample] = {}
+        self._unit_pipelined: dict[tuple[str, str], bool] = {}
+        self._outer_template_cache: dict[tuple[str, str], _OuterSampleTemplate] = {}
         self._prediction_cache: dict[tuple, dict[str, float]] = {}
 
     def clear_inference_caches(self) -> None:
@@ -109,6 +172,8 @@ class HierarchicalQoRModel:
         """
         self._graph_cache.clear()
         self._unit_sample_cache.clear()
+        self._unit_pipelined.clear()
+        self._outer_template_cache.clear()
         self._prediction_cache.clear()
         for trainer in (self.trainer_p, self.trainer_np, self.trainer_g):
             if trainer is not None:
@@ -118,6 +183,7 @@ class HierarchicalQoRModel:
         """Construction-cache counters plus the prediction-memo size."""
         stats = dict(self._graph_cache.stats.as_dict())
         stats["memoized_predictions"] = len(self._prediction_cache)
+        stats["outer_templates"] = len(self._outer_template_cache)
         return stats
 
     # ------------------------------------------------------------------ #
@@ -240,7 +306,7 @@ class HierarchicalQoRModel:
         if trainer is None:
             raise RuntimeError("inner models have not been trained")
         sample = graph_to_sample(unit.subgraph)
-        predictions = trainer.predict([sample])
+        predictions = trainer.predict([sample], cache=False)
         return {name: float(values[0]) for name, values in predictions.items()}
 
     def _annotated_outer_sample(
@@ -282,7 +348,7 @@ class HierarchicalQoRModel:
         config = config or PragmaConfig()
         decomposition = decompose(function, config, library=self.library)
         sample = self._annotated_outer_sample(decomposition)
-        predictions = self.trainer_g.predict([sample])
+        predictions = self.trainer_g.predict([sample], cache=False)
         return {name: float(values[0]) for name, values in predictions.items()}
 
     # ------------------------------------------------------------------ #
@@ -310,6 +376,49 @@ class HierarchicalQoRModel:
             sample = graph_to_sample(unit.subgraph)
             self._unit_sample_cache[key] = sample
         return sample
+
+    def _outer_sample_from_template(
+        self,
+        template: _OuterSampleTemplate,
+        unit_keys: tuple[tuple[str, str], ...],
+        fingerprint: str,
+        config: PragmaConfig,
+        inner_predictions: dict[tuple[str, str], dict[str, float]],
+    ) -> GraphSample:
+        """One configuration's outer sample, annotated from its template.
+
+        Writes each inner unit's predicted QoR into the super-node rows of a
+        fresh copy of the template's pristine feature matrix — value-for-value
+        identical to annotating the graph with
+        :func:`~repro.graph.features.annotate_super_node` and re-extracting,
+        without touching a single :class:`~repro.graph.cdfg.CDFGNode`.
+        """
+        matrix = template.base_features.copy()
+        for label, unit_key in unit_keys:
+            rows = template.super_rows.get(label)
+            if rows is None or not rows.size:
+                continue
+            prediction = inner_predictions[(fingerprint, unit_key)]
+            latency = float(prediction.get("latency", 0.0))
+            matrix[rows, _FEATURE_COLUMN["cycles"]] = latency
+            matrix[rows, _FEATURE_COLUMN["delay"]] = float(
+                prediction.get("iteration_latency", 0.0)
+            )
+            matrix[rows, _FEATURE_COLUMN["lut"]] = float(prediction.get("lut", 0.0))
+            matrix[rows, _FEATURE_COLUMN["dsp"]] = float(prediction.get("dsp", 0.0))
+            matrix[rows, _FEATURE_COLUMN["ff"]] = float(prediction.get("ff", 0.0))
+            matrix[rows, _FEATURE_COLUMN["work"]] = (
+                latency * template.work_invocations[label]
+            )
+        metadata = dict(template.metadata)
+        metadata["config"] = config.describe()
+        return GraphSample(
+            optypes=template.optypes,
+            features=matrix,
+            edge_index=template.edge_index,
+            loop_features=template.loop_features,
+            metadata=metadata,
+        )
 
     def predict_batch(
         self, function: IRFunction, configs: list[PragmaConfig | None]
@@ -357,27 +466,70 @@ class HierarchicalQoRModel:
         if not pending:
             return [dict(self._prediction_cache[s]) for s in signatures]
 
-        decompositions = [
-            decompose(function, config, library=self.library, cache=self._graph_cache)
-            for _, config in pending
-        ]
+        # 1) resolve every pending design to its inner-unit keys, an outer
+        #    sample template and (only when the delta has never been seen) a
+        #    fresh decomposition.  A design whose outer template and unit
+        #    samples are all cached is served without building or copying a
+        #    single graph; the retained reference pipeline (see
+        #    :func:`repro.nn.autograd.reference_encoding`) always decomposes
+        #    and annotates graphs node by node.
+        use_templates = not reference_encoding_active()
+        pending_units: list[tuple[tuple[str, str], ...]] = []
+        templates: list[_OuterSampleTemplate | None] = []
+        decompositions: list[HierarchicalDecomposition | None] = []
+        for signature, config in pending:
+            outer_key, signature_units = signature[1]
+            template_key = (fingerprint, outer_key)
+            template = (
+                self._outer_template_cache.get(template_key)
+                if use_templates else None
+            )
+            units_known = all(
+                (fingerprint, unit_key) in self._unit_sample_cache
+                and (fingerprint, unit_key) in self._unit_pipelined
+                for _, unit_key in signature_units
+            )
+            decomposition = None
+            if template is None or not units_known:
+                # the fast path never annotates the outer graph, so the
+                # pristine cached instance can be shared without a copy
+                decomposition = decompose(
+                    function, config, library=self.library,
+                    cache=self._graph_cache, outer_copy=not use_templates,
+                )
+                for unit in decomposition.inner_units:
+                    key = self._unit_key(function, unit)
+                    self._unit_pipelined[key] = unit.pipelined
+                    self._unit_sample(function, unit)
+                if use_templates and template is None:
+                    template = _build_outer_template(decomposition.outer_graph)
+                    self._outer_template_cache[template_key] = template
+            if decomposition is not None:
+                unit_keys = tuple(
+                    (unit.label, unit.cache_key)
+                    for unit in decomposition.inner_units
+                )
+            else:
+                unit_keys = tuple(signature_units)
+            pending_units.append(unit_keys)
+            templates.append(template)
+            decompositions.append(decomposition)
 
-        # 1) unique inner-loop units across the pending designs, grouped by
-        #    the trainer that scores them (GNNp / GNNnp with cross-fallback)
-        unit_by_key: dict[tuple[str, str], tuple[InnerLoopUnit, GraphSample]] = {}
-        for decomposition in decompositions:
-            for unit in decomposition.inner_units:
-                key = self._unit_key(function, unit)
-                if key not in unit_by_key:
-                    unit_by_key[key] = (unit, self._unit_sample(function, unit))
+        # 2) unique inner-loop units across the pending designs, grouped by
+        #    the trainer that scores them (GNNp / GNNnp with cross-fallback),
+        #    then one batched forward per inner model
         groups: dict[int, tuple[GraphRegressorTrainer, list, list]] = {}
-        for key, (unit, sample) in unit_by_key.items():
-            trainer = self._inner_trainer_for(unit.pipelined)
-            _, keys, samples = groups.setdefault(id(trainer), (trainer, [], []))
-            keys.append(key)
-            samples.append(sample)
-
-        # 2) one batched forward per inner model
+        grouped_keys: set[tuple[str, str]] = set()
+        for unit_keys in pending_units:
+            for _, unit_key in unit_keys:
+                key = (fingerprint, unit_key)
+                if key in grouped_keys:
+                    continue
+                grouped_keys.add(key)
+                trainer = self._inner_trainer_for(self._unit_pipelined[key])
+                _, keys, samples = groups.setdefault(id(trainer), (trainer, [], []))
+                keys.append(key)
+                samples.append(self._unit_sample_cache[key])
         inner_predictions: dict[tuple[str, str], dict[str, float]] = {}
         for trainer, keys, samples in groups.values():
             outputs = trainer.predict(samples, max_batch_nodes=self.MAX_BATCH_NODES)
@@ -386,10 +538,20 @@ class HierarchicalQoRModel:
                     name: float(values[index]) for name, values in outputs.items()
                 }
 
-        # 3) scatter inner predictions onto the super nodes of each pending
-        #    outer graph and convert to samples
+        # 3) write the inner predictions onto each design's super nodes —
+        #    straight into a copy of the template's feature matrix on the
+        #    fast path, or through per-node graph annotation on the
+        #    reference path — and collect the outer samples
         outer_samples: list[GraphSample] = []
-        for decomposition in decompositions:
+        for index, (signature, config) in enumerate(pending):
+            template = templates[index]
+            if template is not None:
+                outer_samples.append(self._outer_sample_from_template(
+                    template, pending_units[index], fingerprint, config,
+                    inner_predictions,
+                ))
+                continue
+            decomposition = decompositions[index]
             for unit in decomposition.inner_units:
                 prediction = inner_predictions[self._unit_key(function, unit)]
                 for node_id in decomposition.super_node_ids(unit.label):

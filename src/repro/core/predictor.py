@@ -135,9 +135,13 @@ class QoRPredictor:
 
         Returns the construction-cache hit/miss counters (``unit_hits``,
         ``unit_misses``, ``outer_hits``, ``outer_misses``, plus the
-        ``persisted_*_loads`` hydrated from a warm-cache blob) and
-        ``memoized_predictions``, the prediction-memo size.  Counters reset
-        on :meth:`clear_inference_caches` and on retraining.
+        ``persisted_*_loads`` hydrated from a warm-cache blob),
+        ``memoized_predictions``, the prediction-memo size, and
+        ``outer_templates``, the number of outer-graph sample templates the
+        vectorized encoding pipeline has captured (each one lets every
+        further configuration with that outer pragma delta skip graph
+        copying and re-extraction entirely).  Counters reset on
+        :meth:`clear_inference_caches` and on retraining.
         """
         return self.model.cache_stats()
 

@@ -201,7 +201,12 @@ def shard_worker(
     (deterministic, so cache fingerprints agree with every other process),
     and scores its configurations in chunks of ``chunk_size`` through
     ``predict_batch`` — the construction cache persists across chunks, so
-    chunking costs no repeated graph building.
+    chunking costs no repeated graph building.  The vectorized encoding
+    pipeline rides along for free: each worker shares the single
+    ``make_batch`` union encoder with cold sweeps and training, and its
+    outer-graph sample templates and unit samples likewise persist across
+    chunks (the ``outer_templates`` counter in the streamed cache stats
+    shows how many deltas each worker captured).
 
     Messages on ``results``: ``("results", shard_id, [(config_id, metrics),
     ...])`` per chunk, then ``("done", shard_id, cache_stats)``; on an

@@ -1,0 +1,44 @@
+"""Process-wide runtime toggles, dependency-free by design.
+
+Currently a single toggle: the *reference encoding* switch.  The vectorized
+cold-path pipeline (union encoder, batch/template caches, scatter-index and
+CSR memos, fused ops) retains its pre-vectorization implementation for
+differential testing and benchmarking; code at every layer — ``graph``,
+``nn`` and ``core`` — consults :func:`reference_encoding_active` to decide
+which path to take, so the flag lives here at the bottom of the dependency
+graph instead of inverting the ``graph -> nn`` layering.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+_REFERENCE_MODE = False
+
+
+def reference_encoding_active() -> bool:
+    """Whether the retained reference (pre-vectorization) pipeline is forced."""
+    return _REFERENCE_MODE
+
+
+@contextlib.contextmanager
+def reference_encoding():
+    """Force the reference encoding pipeline within the ``with`` block.
+
+    Used by differential tests and by ``benchmarks/test_perf_cold_path.py``
+    to time and verify the vectorized pipeline against the implementation it
+    replaced: inside the block, ``make_batch`` runs the per-sample reference
+    path, the trainers skip their batch caches, ``predict_batch`` skips its
+    outer-template fast path, and the scatter ops recompute their indices
+    (and skip their CSR operators) on every call.
+    """
+    global _REFERENCE_MODE
+    previous = _REFERENCE_MODE
+    _REFERENCE_MODE = True
+    try:
+        yield
+    finally:
+        _REFERENCE_MODE = previous
+
+
+__all__ = ["reference_encoding", "reference_encoding_active"]

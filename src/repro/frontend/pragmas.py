@@ -13,7 +13,7 @@ Two distinct concepts live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.frontend.errors import PragmaError

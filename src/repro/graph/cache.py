@@ -429,8 +429,15 @@ class GraphConstructionCache:
         return unit
 
     # ------------------------------------------------------------------ #
-    def get_outer(self, function: IRFunction, key: str) -> CDFG | None:
-        """A fresh copy of the cached outer-graph template, if present."""
+    def get_outer(
+        self, function: IRFunction, key: str, *, copy: bool = True
+    ) -> CDFG | None:
+        """A fresh copy of the cached outer-graph template, if present.
+
+        ``copy=False`` hands back the cached template itself for read-only
+        consumers (the batched-inference sample templates extract features
+        without ever annotating the graph), skipping the node-by-node copy.
+        """
         cache_key = (self.fingerprint(function), key)
         template = self._outer.get(cache_key)
         if template is None and self._persisted_outer:
@@ -442,12 +449,21 @@ class GraphConstructionCache:
         if template is None:
             return None
         self.stats.outer_hits += 1
-        return template.copy()
+        return template.copy() if copy else template
 
-    def put_outer(self, function: IRFunction, key: str, graph: CDFG) -> None:
-        """Store a pristine template copy (callers annotate graphs in place)."""
+    def put_outer(
+        self, function: IRFunction, key: str, graph: CDFG, *, copy: bool = True
+    ) -> None:
+        """Store a pristine outer-graph template.
+
+        ``copy=True`` (the default) stores an independent copy so the caller
+        may annotate the graph it built; read-only consumers pass
+        ``copy=False`` and share the instance with the cache.
+        """
         self.stats.outer_misses += 1
-        self._outer[(self.fingerprint(function), key)] = graph.copy()
+        self._outer[(self.fingerprint(function), key)] = (
+            graph.copy() if copy else graph
+        )
 
     # ------------------------------------------------------------------ #
     # warm-cache persistence

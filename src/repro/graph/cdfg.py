@@ -16,6 +16,8 @@ from typing import NamedTuple
 import networkx as nx
 import numpy as np
 
+from repro.flags import reference_encoding_active
+
 
 class NodeKind(Enum):
     """The three node categories used during hierarchical modeling."""
@@ -307,13 +309,23 @@ class CDFG:
         """(N, len(NODE_FEATURE_NAMES)) matrix of numerical node features."""
         if not self.nodes:
             return np.zeros((0, len(NODE_FEATURE_NAMES)))
-        # single flat pass instead of one np.array per node + stack
         names = NODE_FEATURE_NAMES
-        matrix = np.empty((len(self.nodes), len(names)), dtype=np.float64)
-        for row, node in enumerate(self.nodes):
-            get = node.features.get
-            matrix[row] = [get(name, 0.0) for name in names]
-        return matrix
+        if reference_encoding_active():
+            # retained reference path: one list + row assignment per node
+            matrix = np.empty((len(self.nodes), len(names)), dtype=np.float64)
+            for row, node in enumerate(self.nodes):
+                get = node.features.get
+                matrix[row] = [get(name, 0.0) for name in names]
+            return matrix
+        # one flat pass and a single list->array conversion for the whole
+        # graph: no per-node list objects or row-wise assignments
+        flat = [
+            node.features.get(name, 0.0)
+            for node in self.nodes for name in names
+        ]
+        return np.asarray(flat, dtype=np.float64).reshape(
+            len(self.nodes), len(names)
+        )
 
     def optype_list(self) -> list[str]:
         return [node.optype for node in self.nodes]

@@ -188,6 +188,7 @@ def decompose(
     *,
     library: OperatorLibrary = DEFAULT_LIBRARY,
     cache: GraphConstructionCache | None = None,
+    outer_copy: bool = True,
 ) -> HierarchicalDecomposition:
     """Decompose a kernel into inner units and the condensed outer graph.
 
@@ -195,7 +196,10 @@ def decompose(
     kernel and built graphs are reused between configurations that apply
     identical directives to the relevant loops/arrays: inner subgraphs are
     shared read-only, the outer graph is copied from a pristine template
-    (callers annotate super nodes in place).
+    (callers annotate super nodes in place).  ``outer_copy=False`` skips
+    that copy and returns the shared pristine outer graph for **read-only**
+    consumers (the vectorized batched-inference path, which annotates
+    feature-matrix copies instead of graphs).
     """
     config = config or PragmaConfig()
     classified, unroll = _loop_analysis(function, config, cache)
@@ -246,8 +250,8 @@ def decompose(
         outer_key = outer_cache_key(
             skeleton, config, condense, unroll, library_token
         )
-        outer_graph = cache.get_outer(function, outer_key)
-        if outer_graph is not None:
+        outer_graph = cache.get_outer(function, outer_key, copy=outer_copy)
+        if outer_graph is not None and outer_copy:
             # each config gets its own copy; restamp its true provenance
             outer_graph.metadata["config"] = config.describe()
     if outer_graph is None:
@@ -257,7 +261,7 @@ def decompose(
         )
         outer_graph = outer_builder.build_function_graph()
         if cache is not None:
-            cache.put_outer(function, outer_key, outer_graph)
+            cache.put_outer(function, outer_key, outer_graph, copy=outer_copy)
     return HierarchicalDecomposition(
         function=function, config=config,
         inner_units=inner_units, outer_graph=outer_graph,

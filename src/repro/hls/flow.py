@@ -40,7 +40,7 @@ from repro.hls.directives import (
 )
 from repro.hls.implementation import run_implementation
 from repro.hls.op_library import CLOCK_PERIOD_NS, DEFAULT_LIBRARY, OperatorLibrary
-from repro.hls.reports import HLSReport, ImplReport, LoopReport, QoRResult, ResourceUsage
+from repro.hls.reports import HLSReport, LoopReport, QoRResult, ResourceUsage
 from repro.hls.scheduling import (
     Schedulable,
     initiation_interval,

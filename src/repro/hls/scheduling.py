@@ -16,7 +16,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.hls.op_library import CLOCK_PERIOD_NS, DEFAULT_LIBRARY, OperatorLibrary
-from repro.ir.instructions import Instruction, Opcode, ValueRef
+from repro.ir.instructions import Instruction, Opcode
 from repro.ir.structure import Recurrence
 
 

@@ -8,7 +8,6 @@ This module produces that standalone kernel from a loop of a larger function.
 
 from __future__ import annotations
 
-from repro.ir.instructions import Opcode, ParamOperand, ValueRef
 from repro.ir.structure import IRFunction, Loop, Region
 
 

@@ -10,12 +10,16 @@ layers share the PyTorch-Geometric calling convention
 from __future__ import annotations
 
 import weakref
+from collections import OrderedDict
 
 import numpy as np
 
+from repro.flags import reference_encoding_active
 from repro.nn.autograd import (
+    SCATTER_INDEX_CACHE,
     Tensor,
     concat,
+    gather_scatter_sum,
     segment_max,
     segment_mean,
     segment_softmax,
@@ -39,14 +43,19 @@ class _EdgeComputationCache:
     A model forward pass (and, during DSE, many forward passes over the same
     batch) hands the *same* ``edge_index`` array to every propagation layer;
     re-deriving self-loops, degrees and normalization columns in each layer
-    dominates the cost of small-graph inference.  Entries are keyed by
-    ``id(edge_index)`` and validated through a weak reference so a recycled
-    ``id`` can never alias a dead array.
+    dominates the cost of small-graph inference.  Training-batch replay (see
+    :class:`repro.nn.data.BatchCache`) additionally reuses the same arrays
+    across epochs, so eviction is LRU — a long-lived working set of minibatch
+    edge indices stays resident instead of being flushed wholesale.  Entries
+    are keyed by ``id(edge_index)`` and validated through a weak reference so
+    a recycled ``id`` can never alias a dead array.
     """
 
-    def __init__(self, max_entries: int = 32):
+    def __init__(self, max_entries: int = 128):
         self.max_entries = max_entries
-        self._entries: dict[int, tuple[weakref.ref, int, dict]] = {}
+        self._entries: "OrderedDict[int, tuple[weakref.ref, int, dict]]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
 
@@ -57,6 +66,7 @@ class _EdgeComputationCache:
             ref, cached_nodes, payload = entry
             if ref() is edge_index and cached_nodes == num_nodes:
                 self.hits += 1
+                self._entries.move_to_end(id(edge_index))
                 return payload
         self.misses += 1
         payload: dict = {}
@@ -65,15 +75,14 @@ class _EdgeComputationCache:
         except TypeError:  # pragma: no cover - ndarrays are weakref-able
             return payload
         # purge entries whose array died on every insert so large self-loop
-        # and norm payloads never outlive their batch; flush live entries
-        # wholesale only if still full afterwards
-        self._entries = {
-            key: value for key, value in self._entries.items()
-            if value[0]() is not None
-        }
-        if len(self._entries) >= self.max_entries:
-            self._entries.clear()
-        self._entries[id(edge_index)] = (ref, num_nodes, payload)
+        # and norm payloads never outlive their batch, then evict the least
+        # recently used survivors once the table is full
+        entries = self._entries
+        for key in [k for k, value in entries.items() if value[0]() is None]:
+            del entries[key]
+        while len(entries) >= self.max_entries:
+            entries.popitem(last=False)
+        entries[id(edge_index)] = (ref, num_nodes, payload)
         return payload
 
     def clear(self) -> None:
@@ -93,6 +102,42 @@ def _cached_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
         edges = add_self_loops(edge_index, num_nodes)
         payload["self_loops"] = edges
     return edges
+
+
+def _cached_rows(
+    edge_index: np.ndarray, num_nodes: int, *, self_loops: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stable ``(src, dst)`` row views of the (possibly loop-augmented) edges.
+
+    Returning the *same* view objects on every call (instead of slicing
+    fresh ones) lets downstream per-array memos — most importantly the
+    scatter-index cache in :mod:`repro.nn.autograd` — key on the row arrays
+    across layers, forward passes and replayed epochs.  Outside the
+    reference pipeline the loop-augmented edges are re-sorted by destination
+    (stable, once per edge index), so scatters over them keep the sorted
+    fast path that :func:`repro.nn.data.make_batch` establishes for the raw
+    union edges.
+    """
+    payload = EDGE_CACHE.payload(edge_index, num_nodes)
+    if not self_loops:
+        key = "rows"
+    elif reference_encoding_active():
+        key = "loop_rows"
+    else:
+        key = "loop_rows_sorted"
+    rows = payload.get(key)
+    if rows is None:
+        edges = (
+            _cached_self_loops(edge_index, num_nodes) if self_loops
+            else edge_index
+        )
+        if key == "loop_rows_sorted":
+            destinations = edges[1]
+            if destinations.size > 1 and (np.diff(destinations) < 0).any():
+                edges = edges[:, np.argsort(destinations, kind="stable")]
+        rows = (edges[0], edges[1])
+        payload[key] = rows
+    return rows
 
 
 def _cached_degree(
@@ -127,15 +172,22 @@ class GCNConv(MessagePassingLayer):
 
     def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
         num_nodes = x.shape[0]
-        edges = _cached_self_loops(edge_index, num_nodes)
-        src, dst = edges[0], edges[1]
+        src, dst = _cached_rows(edge_index, num_nodes, self_loops=True)
         transformed = self.linear(x)
         payload = EDGE_CACHE.payload(edge_index, num_nodes)
-        norm = payload.get("gcn_norm")
+        # keyed by the row pair's identity: the reference and vectorized
+        # pipelines order the loop-augmented edges differently, so each row
+        # ordering owns its own (aligned) per-edge norm column
+        norm = payload.get(("gcn_norm", id(dst)))
         if norm is None:
             degree = _cached_degree(edge_index, dst, num_nodes)
             norm = (1.0 / np.sqrt(degree[src] * degree[dst]))[:, None]
-            payload["gcn_norm"] = norm
+            payload[("gcn_norm", id(dst))] = norm
+        fused = gather_scatter_sum(
+            transformed, src, dst, num_nodes, weights=norm
+        )
+        if fused is not None:
+            return fused
         messages = transformed.gather_rows(src) * Tensor(norm)
         return segment_sum(messages, dst, num_nodes)
 
@@ -153,8 +205,13 @@ class SAGEConv(MessagePassingLayer):
         num_nodes = x.shape[0]
         if edge_index.size == 0:
             return self.linear_self(x)
-        src, dst = edge_index[0], edge_index[1]
-        neighbor_mean = segment_mean(x.gather_rows(src), dst, num_nodes)
+        src, dst = _cached_rows(edge_index, num_nodes, self_loops=False)
+        fused = gather_scatter_sum(x, src, dst, num_nodes)
+        if fused is not None:
+            counts = SCATTER_INDEX_CACHE.segment_counts(dst, num_nodes)
+            neighbor_mean = fused * Tensor(1.0 / counts[:, None])
+        else:
+            neighbor_mean = segment_mean(x.gather_rows(src), dst, num_nodes)
         return self.linear_self(x) + self.linear_neighbor(neighbor_mean)
 
 
@@ -182,8 +239,7 @@ class GATConv(MessagePassingLayer):
 
     def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
         num_nodes = x.shape[0]
-        edges = _cached_self_loops(edge_index, num_nodes)
-        src, dst = edges[0], edges[1]
+        src, dst = _cached_rows(edge_index, num_nodes, self_loops=True)
         head_outputs = []
         for head in range(self.heads):
             projected = self.projections[head](x)
@@ -213,8 +269,7 @@ class TransformerConv(MessagePassingLayer):
 
     def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
         num_nodes = x.shape[0]
-        edges = _cached_self_loops(edge_index, num_nodes)
-        src, dst = edges[0], edges[1]
+        src, dst = _cached_rows(edge_index, num_nodes, self_loops=True)
         queries = self.query(x).gather_rows(dst)
         keys = self.key(x).gather_rows(src)
         values = self.value(x).gather_rows(src)
@@ -240,8 +295,7 @@ class PNAConv(MessagePassingLayer):
 
     def forward(self, x: Tensor, edge_index: np.ndarray) -> Tensor:
         num_nodes = x.shape[0]
-        edges = _cached_self_loops(edge_index, num_nodes)
-        src, dst = edges[0], edges[1]
+        src, dst = _cached_rows(edge_index, num_nodes, self_loops=True)
         transformed = self.pre(x)
         messages = transformed.gather_rows(src)
         aggregated = [

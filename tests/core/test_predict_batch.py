@@ -143,3 +143,47 @@ def test_evaluate_uses_batched_path(gemm_setup):
     assert set(scores) == set(model.GLOBAL_TARGETS)
     for value in scores.values():
         assert np.isfinite(value)
+
+
+def test_template_fast_path_matches_reference_pipeline(gemm_setup):
+    """The outer-template encoding path must agree with the retained
+    reference pipeline (per-config decomposition + per-node annotation) on a
+    cold sweep, and repeat sweeps must be served from templates without new
+    decompositions."""
+    from repro.nn.autograd import reference_encoding
+
+    function, instances, configs = gemm_setup
+    model = trained_model(instances, "graphsage")
+    model.clear_inference_caches()
+    with reference_encoding():
+        reference = model.predict_batch(function, configs)
+    model.clear_inference_caches()
+    batched = model.predict_batch(function, configs)
+    assert_predictions_close(reference, batched)
+    stats = model.cache_stats()
+    assert stats["outer_templates"] > 0
+    # a second cold-ish call over fresh but delta-identical configs is
+    # answered from the prediction memo / templates: no new outer builds
+    before = model._graph_cache.stats.as_dict()["outer_misses"]
+    again = model.predict_batch(function, list(configs))
+    assert_predictions_close(reference, again)
+    assert model._graph_cache.stats.as_dict()["outer_misses"] == before
+
+
+def test_template_fast_path_without_prediction_memo(gemm_setup):
+    """With the prediction memo emptied but templates retained, pending
+    designs are re-scored through the template path (no decomposition) and
+    still match the reference pipeline."""
+    function, instances, configs = gemm_setup
+    model = trained_model(instances, "graphsage")
+    sequential = [model.predict(function, config) for config in configs]
+    model.clear_inference_caches()
+    model.predict_batch(function, configs)          # populate templates
+    model._prediction_cache.clear()                  # force re-scoring
+    outer_builds_before = model._graph_cache.stats.as_dict()["outer_misses"]
+    rescored = model.predict_batch(function, configs)
+    assert_predictions_close(sequential, rescored)
+    assert (
+        model._graph_cache.stats.as_dict()["outer_misses"]
+        == outer_builds_before
+    )

@@ -12,7 +12,6 @@ Covers the three layers of the subsystem's guarantee separately:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import HierarchicalQoRModel, save_model

@@ -16,8 +16,6 @@ from repro.dse.space import (
     loop_chains,
     sample_design_space,
 )
-from repro.frontend import PragmaConfig
-from repro.hls import run_full_flow
 from repro.kernels import load_kernel
 
 

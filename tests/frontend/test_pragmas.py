@@ -7,7 +7,6 @@ from repro.frontend.pragmas import (
     ArrayDirective,
     LoopDirective,
     PartitionType,
-    Pragma,
     PragmaConfig,
     PragmaKind,
     config_from_pragmas,

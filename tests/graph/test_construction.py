@@ -1,6 +1,5 @@
 """Unit tests for pragma-aware CDFG construction (Fig. 2 of the paper)."""
 
-import pytest
 
 from repro.frontend import (
     ArrayDirective,
@@ -31,7 +30,7 @@ class TestBaselineGraph:
 
     def test_data_edges_follow_def_use(self, vadd_function):
         graph = build_flat_graph(vadd_function)
-        mul_or_add = graph.nodes_of_optype("add")
+        assert graph.nodes_of_optype("add")
         assert graph.num_edges > graph.num_nodes  # data + control + memory
 
     def test_load_connected_from_port(self, vadd_function):

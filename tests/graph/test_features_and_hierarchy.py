@@ -1,6 +1,5 @@
 """Tests for loop-level features, super-node annotation and decomposition."""
 
-import numpy as np
 import pytest
 
 from repro.frontend import ArrayDirective, LoopDirective, PartitionType, PragmaConfig

@@ -1,6 +1,5 @@
 """Unit and behaviour tests for the HLS + implementation flow simulator."""
 
-import pytest
 
 from repro.frontend import ArrayDirective, LoopDirective, PartitionType, PragmaConfig
 from repro.hls import run_full_flow, run_hls

@@ -1,8 +1,6 @@
 """Unit tests for list scheduling and initiation-interval analysis."""
 
-import pytest
 
-from repro.hls.op_library import DEFAULT_LIBRARY
 from repro.hls.scheduling import (
     Schedulable,
     build_schedulables,

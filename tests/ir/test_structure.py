@@ -2,7 +2,7 @@
 
 from repro.ir import lower_source
 from repro.ir.instructions import ConstOperand, Instruction, Opcode, ValueRef
-from repro.ir.structure import Loop, Region
+from repro.ir.structure import Loop
 
 
 class TestLoopProperties:

@@ -1,0 +1,351 @@
+"""Differential tests for the vectorized encoder and BatchCache unit tests.
+
+The vectorized union encoder (:func:`repro.nn.data.make_batch`) must produce
+**bit-identical** batches to the retained per-sample reference
+implementation (:func:`repro.nn.data.make_batch_reference`) for every
+registered kernel's graphs and for the degenerate shapes (empty graph,
+single node, unknown optypes, zero-width features).  The epoch-level
+:class:`~repro.nn.data.BatchCache` must replay identical groupings, miss
+cleanly on any regrouping or reordering, and stay within its bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend.pragmas import PragmaConfig
+from repro.core.dataset import graph_to_sample
+from repro.core.models import GlobalGNN
+from repro.core.trainer import GraphRegressorTrainer, TrainingConfig
+from repro.graph.construction import build_flat_graph
+from repro.kernels import KERNEL_SOURCES, load_kernel
+from repro.nn.autograd import SCATTER_INDEX_CACHE, _scatter_add, reference_encoding
+from repro.nn.data import (
+    BatchCache,
+    FeatureScaler,
+    GraphSample,
+    OptypeEncoder,
+    make_batch,
+    make_batch_reference,
+)
+
+
+def synthetic_sample(
+    num_nodes: int, seed: int, feature_width: int = 3
+) -> GraphSample:
+    rng = np.random.default_rng(seed)
+    optypes = [("add", "mul", "load", "store")[i % 4] for i in range(num_nodes)]
+    features = rng.uniform(-5.0, 60.0, (num_nodes, feature_width))
+    if num_nodes > 1:
+        edge_index = np.stack([
+            np.arange(num_nodes - 1, dtype=np.int64),
+            np.arange(1, num_nodes, dtype=np.int64),
+        ])
+    else:
+        edge_index = np.zeros((2, 0), dtype=np.int64)
+    return GraphSample(
+        optypes=optypes,
+        features=features,
+        edge_index=edge_index,
+        targets={"lut": float(rng.uniform(1.0, 100.0))},
+        loop_features=rng.uniform(0.0, 4.0, 5),
+    )
+
+
+def assert_batches_identical(reference, vectorized):
+    assert (reference.x == vectorized.x).all()
+    # the vectorized union orders edges by destination; same multiset of
+    # (src, dst) pairs, bit-identical values
+    def canonical(edge_index):
+        if edge_index.size == 0:
+            return edge_index
+        order = np.lexsort((edge_index[0], edge_index[1]))
+        return edge_index[:, order]
+
+    assert (
+        canonical(reference.edge_index) == canonical(vectorized.edge_index)
+    ).all()
+    assert reference.edge_index.dtype == vectorized.edge_index.dtype
+    assert reference.edge_index.shape == vectorized.edge_index.shape
+    assert (reference.batch == vectorized.batch).all()
+    assert (reference.loop_features == vectorized.loop_features).all()
+    assert (reference.feature_totals == vectorized.feature_totals).all()
+    assert reference.num_graphs == vectorized.num_graphs
+    assert set(reference.targets) == set(vectorized.targets)
+    for name in reference.targets:
+        assert (reference.targets[name] == vectorized.targets[name]).all()
+
+
+class TestVectorizedEncoderDifferential:
+    def fitted(self, samples):
+        encoder = OptypeEncoder().fit([s.optypes for s in samples])
+        scaler = FeatureScaler().fit(
+            [s.features for s in samples if s.features.size]
+        )
+        return encoder, scaler
+
+    def test_every_registered_kernel_encodes_identically(self):
+        samples = [
+            graph_to_sample(build_flat_graph(load_kernel(name), PragmaConfig()))
+            for name in sorted(KERNEL_SOURCES)
+        ]
+        encoder, scaler = self.fitted(samples)
+        reference = make_batch_reference(samples, encoder, scaler, ("lut",))
+        vectorized = make_batch(samples, encoder, scaler, ("lut",))
+        assert_batches_identical(reference, vectorized)
+
+    def test_empty_graph_and_single_node_edge_cases(self):
+        samples = [
+            GraphSample(
+                optypes=[], features=np.zeros((0, 3)),
+                edge_index=np.zeros((2, 0), dtype=np.int64),
+            ),
+            synthetic_sample(1, seed=1),
+            synthetic_sample(17, seed=2),
+            GraphSample(
+                optypes=["exotic_op"], features=np.zeros((1, 3)),
+                edge_index=np.zeros((2, 0), dtype=np.int64),
+            ),
+        ]
+        encoder, scaler = self.fitted(samples[1:3])  # exotic_op stays unknown
+        reference = make_batch_reference(samples, encoder, scaler)
+        vectorized = make_batch(samples, encoder, scaler)
+        assert_batches_identical(reference, vectorized)
+        unknown_column = encoder.dim - 1
+        assert vectorized.x[-1, unknown_column] == 1.0
+
+    def test_empty_batch_and_zero_width_features(self):
+        encoder = OptypeEncoder().fit([["add"]])
+        assert_batches_identical(
+            make_batch_reference([], encoder), make_batch([], encoder)
+        )
+        narrow = [
+            GraphSample(
+                optypes=["add", "mul"], features=np.zeros((2, 0)),
+                edge_index=np.array([[0], [1]], dtype=np.int64),
+            )
+        ]
+        assert_batches_identical(
+            make_batch_reference(narrow, encoder), make_batch(narrow, encoder)
+        )
+
+    def test_scaler_variants_match(self):
+        samples = [synthetic_sample(n, seed=n) for n in (3, 9, 5)]
+        encoder, _ = self.fitted(samples)
+        no_compress = FeatureScaler(log_compress=False).fit(
+            [s.features for s in samples]
+        )
+        for scaler in (None, no_compress):
+            assert_batches_identical(
+                make_batch_reference(samples, encoder, scaler),
+                make_batch(samples, encoder, scaler),
+            )
+
+    def test_mixed_encoded_cache_hits_match(self):
+        samples = [synthetic_sample(n, seed=10 + n) for n in (4, 8, 2, 6)]
+        encoder, scaler = self.fitted(samples)
+        reference_cache: dict = {}
+        vectorized_cache: dict = {}
+        make_batch_reference(samples[:2], encoder, scaler, (), reference_cache)
+        make_batch(samples[:2], encoder, scaler, (), vectorized_cache)
+        assert_batches_identical(
+            make_batch_reference(samples, encoder, scaler, (), reference_cache),
+            make_batch(samples, encoder, scaler, (), vectorized_cache),
+        )
+
+    def test_reference_mode_forces_reference_path(self):
+        samples = [synthetic_sample(5, seed=0)]
+        encoder, scaler = self.fitted(samples)
+        with reference_encoding():
+            forced = make_batch(samples, encoder, scaler)
+        assert_batches_identical(
+            make_batch_reference(samples, encoder, scaler), forced
+        )
+
+    def test_optype_code_memo_shared_lists(self):
+        shared = ["add", "mul", "add"]
+        a = GraphSample(
+            optypes=shared, features=np.ones((3, 2)),
+            edge_index=np.zeros((2, 0), dtype=np.int64),
+        )
+        b = GraphSample(
+            optypes=shared, features=2.0 * np.ones((3, 2)),
+            edge_index=np.zeros((2, 0), dtype=np.int64),
+        )
+        encoder = OptypeEncoder().fit([shared])
+        first = encoder.encode_indices(a.optypes)
+        second = encoder.encode_indices(b.optypes)
+        assert first is second  # memoized per shared list object
+        assert (first == np.array([0, 1, 0])).all()
+
+
+class TestReferenceModeIsolation:
+    def test_gcn_norm_is_not_shared_across_edge_orderings(self):
+        """Regression test: the per-edge GCN norm column must follow the row
+        ordering of the pipeline that computed it — crossing into reference
+        mode on the same edge_index array must not serve the dst-sorted
+        norm against unsorted rows."""
+        from repro.nn.autograd import Tensor
+        from repro.nn.message_passing import EDGE_CACHE, GCNConv
+
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((12, 6)))
+        edges = np.array(
+            [[0, 3, 5, 2, 7, 1, 9, 4], [4, 1, 0, 8, 2, 6, 3, 11]],
+            dtype=np.int64,
+        )
+        conv = GCNConv(6, 8, rng=np.random.default_rng(1))
+        fast = conv(x, edges).data.copy()
+        with reference_encoding():
+            crossed = conv(x, edges).data.copy()
+        EDGE_CACHE.clear()
+        with reference_encoding():
+            clean = conv(x, edges).data.copy()
+        assert np.abs(fast - clean).max() < 1e-12
+        assert np.abs(crossed - clean).max() < 1e-12
+
+
+class TestScatterIndexCache:
+    def test_flat_ids_memoized_per_array(self):
+        ids = np.array([0, 2, 1, 2], dtype=np.int64)
+        values = np.arange(12, dtype=np.float64).reshape(4, 3)
+        expected = np.zeros((3, 3))
+        np.add.at(expected, ids, values)
+        assert (_scatter_add(ids, values, 3) == expected).all()
+        first = SCATTER_INDEX_CACHE.flat_ids(ids, 3)
+        second = SCATTER_INDEX_CACHE.flat_ids(ids, 3)
+        assert first is second
+        assert (_scatter_add(ids, values, 3) == expected).all()
+
+    def test_reference_mode_skips_memo(self):
+        ids = np.array([1, 0], dtype=np.int64)
+        with reference_encoding():
+            first = SCATTER_INDEX_CACHE.flat_ids(ids, 2)
+            second = SCATTER_INDEX_CACHE.flat_ids(ids, 2)
+        assert first is not second
+        assert (first == second).all()
+
+
+class TestBatchCache:
+    def batches(self, groups, encoder, scaler):
+        return [make_batch(group, encoder, scaler) for group in groups]
+
+    def test_hit_miss_and_stats(self):
+        samples = [synthetic_sample(4, seed=i) for i in range(6)]
+        encoder = OptypeEncoder().fit([s.optypes for s in samples])
+        cache = BatchCache()
+        group = samples[:3]
+        assert cache.get(group) is None
+        batch = make_batch(group, encoder)
+        cache.put(group, batch)
+        assert cache.get(group) is batch
+        assert cache.get(list(group)) is batch  # list identity is irrelevant
+        stats = cache.stats()
+        assert stats["batch_cache_hits"] == 2
+        assert stats["batch_cache_misses"] == 1
+        assert stats["batch_cache_entries"] == 1
+
+    def test_regrouping_and_reordering_miss_cleanly(self):
+        samples = [synthetic_sample(4, seed=i) for i in range(4)]
+        encoder = OptypeEncoder().fit([s.optypes for s in samples])
+        cache = BatchCache()
+        cache.put(samples[:2], make_batch(samples[:2], encoder))
+        assert cache.get([samples[0], samples[2]]) is None  # regrouped
+        assert cache.get(samples[:2][::-1]) is None          # reordered
+        assert cache.get(samples[:3]) is None                # grown
+        assert cache.get(samples[:1]) is None                # shrunk
+        # the original grouping is still served
+        assert cache.get(samples[:2]) is not None
+
+    def test_entry_bound_evicts_lru(self):
+        samples = [synthetic_sample(3, seed=i) for i in range(6)]
+        encoder = OptypeEncoder().fit([s.optypes for s in samples])
+        cache = BatchCache(max_entries=2)
+        groups = [samples[0:2], samples[2:4], samples[4:6]]
+        for group in groups:
+            cache.put(group, make_batch(group, encoder))
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(groups[0]) is None       # oldest was evicted
+        assert cache.get(groups[2]) is not None
+
+    def test_node_bound_evicts(self):
+        samples = [synthetic_sample(10, seed=i) for i in range(4)]
+        encoder = OptypeEncoder().fit([s.optypes for s in samples])
+        cache = BatchCache(max_entries=10, max_cached_nodes=25)
+        for index in range(4):
+            group = [samples[index]]
+            cache.put(group, make_batch(group, encoder))
+        assert cache.stats()["batch_cache_nodes"] <= 25
+        assert cache.evictions >= 1
+
+    def test_clear_resets(self):
+        samples = [synthetic_sample(2, seed=0)]
+        encoder = OptypeEncoder().fit([s.optypes for s in samples])
+        cache = BatchCache()
+        cache.put(samples, make_batch(samples, encoder))
+        cache.get(samples)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["batch_cache_hits"] == 0
+        assert cache.get(samples) is None
+
+
+class TestTrainerEpochCaching:
+    def trained(self, samples, *, regroup: bool, epochs: int = 4):
+        config = TrainingConfig(
+            epochs=epochs, batch_size=4, seed=0, patience=epochs,
+            regroup_each_epoch=regroup,
+        )
+        trainer = GraphRegressorTrainer(None, ("lut",), config)
+        trainer.fit_preprocessing(samples)
+        trainer.model = GlobalGNN(
+            in_features=trainer.input_dim(samples), hidden=8, num_layers=2,
+            conv_type="graphsage", rng=np.random.default_rng(0),
+        )
+        result = trainer.train(samples)
+        return trainer, result
+
+    def test_static_groups_replay_unions(self):
+        samples = [synthetic_sample(5, seed=i) for i in range(12)]
+        trainer, result = self.trained(samples, regroup=False)
+        stats = trainer._batch_cache.stats()
+        # 3 minibatches + the monitoring union, replayed for epochs 2..4
+        assert stats["batch_cache_hits"] >= 9
+        assert len(result.epoch_seconds) == len(result.train_losses)
+
+    def test_regrouped_epochs_miss_cleanly(self):
+        """Regression test: under ``regroup_each_epoch`` every regrouped
+        minibatch must be assembled fresh — a stale union would carry the
+        wrong targets for its member samples."""
+        samples = [synthetic_sample(5, seed=i) for i in range(12)]
+        trainer, _ = self.trained(samples, regroup=True, epochs=3)
+        stats = trainer._batch_cache.stats()
+        # every regrouped epoch misses on its 3 minibatches; only the
+        # epoch-invariant monitoring union hits
+        assert stats["batch_cache_misses"] >= 9
+        # spot-check correctness of a freshly-regrouped union: targets must
+        # follow the new grouping, not any cached one
+        regrouped = [samples[7], samples[1], samples[4]]
+        batch = trainer.prepare_batch(regrouped)
+        expected = np.array([s.targets["lut"] for s in regrouped])
+        assert (batch.targets["lut"] == expected).all()
+
+    def test_prepare_batch_returns_correct_union_after_regroup(self):
+        samples = [synthetic_sample(4, seed=i) for i in range(4)]
+        trainer = GraphRegressorTrainer(
+            None, ("lut",), TrainingConfig(epochs=1, seed=0)
+        )
+        trainer.fit_preprocessing(samples)
+        first = trainer.prepare_batch([samples[0], samples[1]])
+        overlapping = trainer.prepare_batch([samples[0], samples[2]])
+        assert overlapping is not first
+        assert overlapping.targets["lut"][1] == pytest.approx(
+            samples[2].targets["lut"]
+        )
+        reordered = trainer.prepare_batch([samples[1], samples[0]])
+        assert (
+            reordered.targets["lut"]
+            == np.array([samples[1].targets["lut"], samples[0].targets["lut"]])
+        ).all()

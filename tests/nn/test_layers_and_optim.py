@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.nn.autograd import Tensor
-from repro.nn.layers import MLP, Dropout, Linear, Module, Parameter
+from repro.nn.layers import MLP, Dropout, Linear, Parameter
 from repro.nn.losses import huber_loss, mae_loss, mape, mse_loss, rmse
 from repro.nn.optim import SGD, Adam
 

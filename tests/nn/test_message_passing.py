@@ -10,9 +10,7 @@ from repro.nn.message_passing import (
     CONV_REGISTRY,
     GATConv,
     GCNConv,
-    PNAConv,
     SAGEConv,
-    TransformerConv,
     add_self_loops,
     make_conv,
 )
