@@ -10,6 +10,12 @@ construction, cached vs first epoch), not absolute configs/s, so the same
 baselines hold on a laptop and on a CI runner; the ``max_regression`` margin
 absorbs the residual timing noise.
 
+Memory is tracked alongside speed: each benchmark stamps its process's peak
+RSS into the JSON, and the manifest's ``memory`` section compares it to a
+committed baseline.  Growth beyond ``max_memory_growth`` (default 30%)
+prints a **warning only** — absolute RSS varies with allocator and Python
+version, so the memory trend informs rather than gates.
+
 Usage (from the repository root)::
 
     python benchmarks/check_trend.py                 # gate (exit 1 on regression)
@@ -42,6 +48,43 @@ def metric_value(payload: dict, dotted_path: str):
             )
         node = node[part]
     return float(node)
+
+
+def check_memory(baseline: dict, results_dir: Path) -> list[str]:
+    """Warning messages for peak-RSS growth past the allowed fraction.
+
+    Non-fatal by design: the returned messages are printed, not turned into
+    a gate failure (see the module docstring).
+    """
+    max_growth = float(baseline.get("max_memory_growth", 0.30))
+    warnings: list[str] = []
+    for bench_file, metrics in baseline.get("memory", {}).items():
+        path = results_dir / bench_file
+        if not path.exists():
+            continue
+        payload = json.loads(path.read_text())
+        for dotted_path, spec in metrics.items():
+            reference = float(spec["baseline"])
+            try:
+                current = metric_value(payload, dotted_path)
+            except KeyError as error:
+                warnings.append(f"{bench_file}: {error}")
+                continue
+            ceiling = reference * (1.0 + max_growth)
+            grown = current > ceiling
+            status = "MEM-GROWN" if grown else "ok"
+            print(
+                f"{status:>9}  {bench_file}::{dotted_path} = {current:.4g} MiB "
+                f"(baseline {reference:.4g}, warn above {ceiling:.4g})"
+            )
+            if grown:
+                warnings.append(
+                    f"{bench_file}::{dotted_path} grew to {current:.4g} MiB "
+                    f"(> {ceiling:.4g} allowed vs baseline {reference:.4g}); "
+                    f"if intentional, rebaseline with `python "
+                    f"benchmarks/check_trend.py --rebaseline`"
+                )
+    return warnings
 
 
 def check(baseline: dict, results_dir: Path) -> list[str]:
@@ -88,19 +131,20 @@ def check(baseline: dict, results_dir: Path) -> list[str]:
 
 def rebaseline(baseline: dict, results_dir: Path, baseline_path: Path) -> None:
     """Overwrite every tracked baseline with the currently-measured value."""
-    for bench_file, metrics in baseline.get("metrics", {}).items():
-        path = results_dir / bench_file
-        if not path.exists():
-            print(f"skipping {bench_file}: not present in {results_dir}")
-            continue
-        payload = json.loads(path.read_text())
-        for dotted_path, spec in metrics.items():
-            previous = spec["baseline"]
-            spec["baseline"] = round(metric_value(payload, dotted_path), 4)
-            print(
-                f"rebaselined {bench_file}::{dotted_path}: "
-                f"{previous} -> {spec['baseline']}"
-            )
+    for section in ("metrics", "memory"):
+        for bench_file, metrics in baseline.get(section, {}).items():
+            path = results_dir / bench_file
+            if not path.exists():
+                print(f"skipping {bench_file}: not present in {results_dir}")
+                continue
+            payload = json.loads(path.read_text())
+            for dotted_path, spec in metrics.items():
+                previous = spec["baseline"]
+                spec["baseline"] = round(metric_value(payload, dotted_path), 4)
+                print(
+                    f"rebaselined {bench_file}::{dotted_path}: "
+                    f"{previous} -> {spec['baseline']}"
+                )
     baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
 
 
@@ -131,6 +175,12 @@ def main(argv: list[str] | None = None) -> int:
         rebaseline(baseline, args.results_dir, args.baseline)
         return 0
     failures = check(baseline, args.results_dir)
+    memory_warnings = check_memory(baseline, args.results_dir)
+    if memory_warnings:
+        # informative, never fatal: see the module docstring
+        print("\nperf-trend memory WARNINGS:", file=sys.stderr)
+        for warning in memory_warnings:
+            print(f"  - {warning}", file=sys.stderr)
     if failures:
         print("\nperf-trend gate FAILED:", file=sys.stderr)
         for failure in failures:

@@ -60,6 +60,22 @@ def bench_training_config() -> TrainingConfig:
     )
 
 
+def peak_rss_mb() -> float:
+    """Peak resident-set size of this process so far, in MiB.
+
+    Each perf benchmark stamps this into its ``BENCH_*.json`` so the
+    perf-trend gate can warn on memory growth alongside speed regressions.
+    ``ru_maxrss`` is a process-lifetime high-water mark, so within one
+    pytest process later benchmarks inherit the peak of earlier ones — the
+    tracked quantity is "memory needed to run the perf suite up to and
+    including this benchmark", which is exactly what the CI runner must
+    provision.
+    """
+    import resource
+
+    return round(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1)
+
+
 def write_result(name: str, text: str) -> Path:
     """Persist a benchmark's table so EXPERIMENTS.md can quote it."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)

@@ -11,8 +11,11 @@ vectorized encoding pipeline — the single-pass union encoder in
 :func:`repro.nn.autograd.reference_encoding`), in three parts:
 
 * **cold sweep** — a first-contact ``predict_batch`` over a design space
-  from empty inference caches, reference vs vectorized.  The guard asserts
-  >= 2x configs/s on ``gemm``;
+  from empty inference caches, reference vs vectorized.  Since the columnar
+  cold path landed (PR 5: builder-native feature columns, zero-object
+  replica replay, embedding-gather encoding, zero-copy graph-to-tensor
+  handoff, fused SAGE/residual ops) the guard asserts >= 2.6x configs/s on
+  ``gemm`` and >= 2.2x on ``bicg``;
 * **equivalence** — for *every* registered kernel, a small sweep must agree
   between the two pipelines to <= 1e-9 relative per metric;
 * **training epochs** — a ``GraphRegressorTrainer`` run on flat samples.
@@ -42,7 +45,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import RESULTS_DIR, env_int, format_table, write_result
+from conftest import RESULTS_DIR, env_int, format_table, peak_rss_mb, write_result
 from repro.core import (
     HierarchicalModelConfig,
     HierarchicalQoRModel,
@@ -60,7 +63,10 @@ pytestmark = pytest.mark.perf
 
 TIMED_KERNELS = ("gemm", "bicg")
 GUARDED_KERNEL = "gemm"
-COLD_SWEEP_SPEEDUP_TARGET = 2.0
+#: vs the retained reference pipeline; raised from 2.0 when the columnar
+#: cold path landed (measured ~3.3-3.7x on gemm on the 1-core dev box)
+COLD_SWEEP_SPEEDUP_TARGET = 2.6
+SECONDARY_SPEEDUP_TARGETS = {"bicg": 2.2}
 EPOCH_SPEEDUP_TARGET = 1.5
 EQUIVALENCE_TOLERANCE = 1e-9
 
@@ -153,7 +159,11 @@ def test_cold_path_vectorized_encoding():
         vec_seconds, vec_outputs = _best_cold_sweep(
             model, function, space, reference=False, sweeps=sweeps
         )
-        if kernel == GUARDED_KERNEL and ref_seconds / vec_seconds < COLD_SWEEP_SPEEDUP_TARGET:
+        kernel_target = (
+            COLD_SWEEP_SPEEDUP_TARGET if kernel == GUARDED_KERNEL
+            else SECONDARY_SPEEDUP_TARGETS.get(kernel, 0.0)
+        )
+        if kernel_target and ref_seconds / vec_seconds < kernel_target:
             # timing guard, not a correctness check: one noisy scheduler
             # burst on a shared runner can depress either side, so the
             # guarded kernel gets a single deeper re-measure before failing
@@ -255,6 +265,7 @@ def test_cold_path_vectorized_encoding():
             kernel: error for kernel, error in sorted(equivalence_by_kernel.items())
         },
         "training": training,
+        "peak_rss_mb": peak_rss_mb(),
         "python": platform.python_version(),
         "machine": platform.machine(),
     }
@@ -284,8 +295,14 @@ def test_cold_path_vectorized_encoding():
     guarded = per_kernel[GUARDED_KERNEL]["cold_sweep_speedup"]
     assert guarded >= COLD_SWEEP_SPEEDUP_TARGET, (
         f"cold-sweep speedup {guarded:.2f}x on {GUARDED_KERNEL} is below the "
-        f"{COLD_SWEEP_SPEEDUP_TARGET}x vectorized-encoding target"
+        f"{COLD_SWEEP_SPEEDUP_TARGET}x columnar-cold-path target"
     )
+    for kernel, target in SECONDARY_SPEEDUP_TARGETS.items():
+        measured = per_kernel[kernel]["cold_sweep_speedup"]
+        assert measured >= target, (
+            f"cold-sweep speedup {measured:.2f}x on {kernel} is below the "
+            f"{target}x columnar-cold-path target"
+        )
     assert batch_cache_stats["batch_cache_hits"] > 0, (
         "the epoch-level batch cache never replayed a union during training"
     )

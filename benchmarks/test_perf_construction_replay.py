@@ -34,7 +34,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import RESULTS_DIR, env_int, format_table, write_result
+from conftest import RESULTS_DIR, env_int, format_table, peak_rss_mb, write_result
 from repro.core import (
     HierarchicalModelConfig,
     HierarchicalQoRModel,
@@ -196,6 +196,7 @@ def test_construction_replay_cold_sweeps(tmp_path):
         "construction_speedup_target": CONSTRUCTION_SPEEDUP_TARGET,
         "guarded_kernel": GUARDED_KERNEL,
         "kernels": per_kernel,
+        "peak_rss_mb": peak_rss_mb(),
         "python": platform.python_version(),
         "machine": platform.machine(),
     }

@@ -35,7 +35,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import RESULTS_DIR, env_int, format_table, write_result
+from conftest import RESULTS_DIR, env_int, format_table, peak_rss_mb, write_result
 from repro.core import (
     HierarchicalModelConfig,
     HierarchicalQoRModel,
@@ -138,6 +138,7 @@ def test_dse_batched_inference_throughput():
         "speedup_steady_state": round(speedup_steady, 2),
         "equivalence_max_rel_error": worst_rel,
         "graph_cache_stats": model._graph_cache.stats.as_dict(),
+        "peak_rss_mb": peak_rss_mb(),
         "python": platform.python_version(),
         "machine": platform.machine(),
     }

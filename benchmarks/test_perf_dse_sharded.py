@@ -10,7 +10,15 @@ design space) on a ``gemm`` space in three modes:
   saved model and scoring a locality-grouped shard;
 * **sharded / round-robin** — same fleet, delta-agnostic partitioning
   (reported for comparison: the gap to pragma-locality is the value of
-  construction-cache-aware sharding).
+  construction-cache-aware sharding);
+* **work-stealing** — the same pragma-locality shards split into chunks on
+  one shared queue (PR 5): workers pull the next chunk as they finish, so
+  the fleet load-balances itself;
+* **skewed shards** — a deliberately imbalanced partition (one shard owns
+  ~70% of the space) run with fixed assignments vs work stealing.  The
+  fixed fleet idles behind the straggler shard; stealing spreads its
+  chunks.  All correctness guards (1e-9 predictions, bit-identical merged
+  front) apply to every mode.
 
 The differential guards run unconditionally:
 
@@ -40,7 +48,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import RESULTS_DIR, env_int, format_table, write_result
+from conftest import RESULTS_DIR, env_int, format_table, peak_rss_mb, write_result
 from repro.core import (
     HierarchicalModelConfig,
     HierarchicalQoRModel,
@@ -49,7 +57,13 @@ from repro.core import (
     save_model,
 )
 from repro.core.predictor import QoRPredictor
-from repro.dse import DesignSpace, ShardedExplorer, fronts_match, predicted_front
+from repro.dse import (
+    DesignSpace,
+    ShardedExplorer,
+    fronts_equivalent,
+    fronts_match,
+    predicted_front,
+)
 from repro.dse.sharding import PREDICTION_TOLERANCE, max_prediction_error
 from repro.dse.space import sample_design_space
 from repro.kernels import load_kernel
@@ -101,25 +115,62 @@ def test_dse_sharded_throughput(tmp_path):
     single_seconds = time.perf_counter() - start
     single_front = predicted_front(space, single_predictions).points()
 
-    sharded: dict[str, dict] = {}
-    results = {}
-    for strategy in ("pragma-locality", "round-robin"):
-        explorer = ShardedExplorer(
-            model_path, num_workers=num_workers, shard_strategy=strategy,
-            warm_caches=False, chunk_size=48,
-        )
-        result = explorer.explore(space)
-        results[strategy] = result
-        sharded[strategy] = {
+    def record(name: str, result) -> None:
+        results[name] = result
+        sharded[name] = {
             "seconds": round(result.model_seconds, 6),
             "configs_per_second": round(result.configs_per_second, 2),
             "speedup_vs_single_process": round(
                 single_seconds / result.model_seconds, 2
             ),
             "workers": result.num_workers,
+            "work_stealing": result.work_stealing,
             "recovered_configs": result.recovered_configs,
             "fleet_cache_stats": result.cache_stats,
         }
+
+    sharded: dict[str, dict] = {}
+    results = {}
+    identical_fronts: list[str] = []
+    for strategy in ("pragma-locality", "round-robin"):
+        explorer = ShardedExplorer(
+            model_path, num_workers=num_workers, shard_strategy=strategy,
+            warm_caches=False, chunk_size=48,
+        )
+        record(strategy, explorer.explore(space))
+    # work stealing over the same locality shards, chunked on one queue
+    record("work-stealing", ShardedExplorer(
+        model_path, num_workers=num_workers, warm_caches=False,
+        chunk_size=24, work_stealing=True,
+    ).explore(space))
+
+    # skewed-shard case: one shard owns ~70% of the space; fixed
+    # assignments idle behind it, stealing redistributes its chunks
+    def skewed_partition(space_arg, num_shards):
+        from repro.dse.sharding import ShardSpec
+
+        count = len(space_arg)
+        head = max(1, int(count * 0.7))
+        blocks = [tuple(range(head))]
+        rest = list(range(head, count))
+        per = max(1, -(-len(rest) // max(1, num_shards - 1))) if rest else 0
+        for index in range(num_shards - 1):
+            block = tuple(rest[index * per:(index + 1) * per])
+            if block:
+                blocks.append(block)
+        return [
+            ShardSpec(shard_id=index, config_ids=block)
+            for index, block in enumerate(blocks)
+        ]
+
+    record("skewed-fixed", ShardedExplorer(
+        model_path, num_workers=num_workers, warm_caches=False,
+        chunk_size=24, partitioner=skewed_partition,
+    ).explore(space))
+    record("skewed-stealing", ShardedExplorer(
+        model_path, num_workers=num_workers, warm_caches=False,
+        chunk_size=24, work_stealing=True, partitioner=skewed_partition,
+    ).explore(space))
 
     # differential guards (always enforced)
     for strategy, result in results.items():
@@ -132,14 +183,25 @@ def test_dse_sharded_throughput(tmp_path):
         assert [(p.key, p.objectives) for p in result.front] == [
             (p.key, p.objectives) for p in stream_front
         ], f"{strategy}: merged front is not bit-identical to the stream front"
-        assert fronts_match(single_front, result.front), (
-            f"{strategy}: merged front differs from the single-process front"
+        # cross-process guarantee: the front is equivalent to the
+        # single-process one — same length, same objectives everywhere,
+        # with only duplicate designs (distinct configs lowering to
+        # identical graphs) allowed to swap on exact Pareto ties
+        assert fronts_equivalent(single_front, result.front), (
+            f"{strategy}: merged front is not equivalent to the "
+            f"single-process front"
         )
+        if fronts_match(single_front, result.front):
+            identical_fronts.append(strategy)
         assert result.recovered_configs == 0
 
     cores = _usable_cores()
     enforce_speedup = cores >= num_workers
     locality = sharded["pragma-locality"]
+    stealing_recovery = round(
+        sharded["skewed-fixed"]["seconds"]
+        / sharded["skewed-stealing"]["seconds"], 2
+    )
 
     payload = {
         "benchmark": "dse_sharded",
@@ -153,13 +215,17 @@ def test_dse_sharded_throughput(tmp_path):
         },
         "sharded": sharded,
         "front_size": len(single_front),
-        "front_identical": True,
+        "front_identical_modes": sorted(identical_fronts),
         "prediction_max_rel_error": max(
             max_prediction_error(single_predictions, r.predictions)
             for r in results.values()
         ),
         "speedup_target": SPEEDUP_TARGET,
         "speedup_target_enforced": enforce_speedup,
+        #: skewed-fixed seconds / skewed-stealing seconds — how much of the
+        #: straggler time work stealing claws back (> 1 means stealing wins)
+        "stealing_skew_recovery": stealing_recovery,
+        "peak_rss_mb": peak_rss_mb(),
         "python": platform.python_version(),
         "machine": platform.machine(),
     }
@@ -172,7 +238,10 @@ def test_dse_sharded_throughput(tmp_path):
         ["single-process", f"{single_seconds:.3f}",
          f"{len(space) / single_seconds:.1f}", "1.0x"],
     ]
-    for strategy in ("pragma-locality", "round-robin"):
+    for strategy in (
+        "pragma-locality", "round-robin", "work-stealing",
+        "skewed-fixed", "skewed-stealing",
+    ):
         stats = sharded[strategy]
         rows.append([
             f"sharded ({strategy}, {num_workers}w)",

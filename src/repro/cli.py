@@ -170,15 +170,17 @@ def _sharded_dse(args: argparse.Namespace, function, space) -> list:
     explorer = ShardedExplorer(
         args.model, num_workers=args.workers,
         shard_strategy=args.shard_strategy, warm_caches=args.warm_cache,
+        work_stealing=args.work_stealing,
     )
     result = explorer.explore(design_space)
     approx = space.true_front_of([point.key for point in result.front])
     exact = space.exact_front()
     # unlike the single-process "model time" (prediction only), the sharded
     # figure is end-to-end: spawn + per-worker model load + predict + merge
+    mode = "work-stealing" if result.work_stealing else "fixed shards"
     print(f"model-guided ADRS: {adrs(exact, approx) * 100:.2f}%  "
           f"sharded over {result.num_workers} workers "
-          f"({result.shard_strategy}, {result.mp_context})  "
+          f"({result.shard_strategy}, {mode}, {result.mp_context})  "
           f"end-to-end {result.model_seconds:.2f}s "
           f"({result.configs_per_second:,.0f} configs/s)")
     for shard in result.shards:
@@ -317,6 +319,12 @@ def build_parser() -> argparse.ArgumentParser:
                           "pragma-locality groups configurations sharing "
                           "graph-construction work, round-robin deals them "
                           "out blindly")
+    dse.add_argument("--work-stealing", action="store_true",
+                     help="pull shard chunks from one shared queue instead "
+                          "of fixing each worker's assignment, so early-"
+                          "finishing workers steal the remaining chunks "
+                          "(front is identical — the Pareto merge is "
+                          "partition-invariant)")
     dse.set_defaults(func=cmd_dse)
     return parser
 

@@ -100,7 +100,13 @@ def graph_to_sample(
     targets: dict[str, float] | None = None,
     metadata: dict[str, str] | None = None,
 ) -> GraphSample:
-    """Convert an annotated CDFG into a :class:`GraphSample`."""
+    """Convert an annotated CDFG into a :class:`GraphSample`.
+
+    On the columnar path this is a zero-copy handoff: the sample's feature
+    matrix and edge index are live views of the graph's columns, and the
+    interned optype codes ride along so encoders can skip per-node string
+    resolution entirely.
+    """
     return GraphSample(
         optypes=graph.optype_list(),
         features=graph.feature_matrix(),
@@ -108,6 +114,8 @@ def graph_to_sample(
         targets=dict(targets or {}),
         loop_features=graph.loop_features.as_vector(),
         metadata={**graph.metadata, **(metadata or {})},
+        graph_codes=graph.optype_code_array(),
+        graph_table=graph.optype_table,
     )
 
 

@@ -65,6 +65,9 @@ class _OuterSampleTemplate:
     base_features: np.ndarray
     loop_features: np.ndarray
     metadata: dict[str, str]
+    #: interned optype codes + table of the outer graph (encoder fast path)
+    graph_codes: np.ndarray
+    graph_table: list[str]
     #: super-node row ids per inner-unit loop label
     super_rows: dict[str, np.ndarray]
     #: per super-node row, the ``invocations`` factor of the ``work`` feature
@@ -74,27 +77,38 @@ class _OuterSampleTemplate:
 
 
 def _build_outer_template(graph: CDFG) -> _OuterSampleTemplate:
-    """Capture the sample-conversion ingredients of a pristine outer graph."""
+    """Capture the sample-conversion ingredients of a pristine outer graph.
+
+    Reads the graph's node columns directly — kinds, loop labels and the
+    columnar feature block — so building a template never materializes node
+    objects, and ``base_features`` is handed over as the zero-copy view of
+    the cached (pristine, never annotated) outer graph's feature block.
+    """
     rows: dict[str, list[int]] = {}
-    for node in graph.nodes:
-        if node.kind is NodeKind.SUPER_NODE:
-            rows.setdefault(node.loop_label, []).append(node.node_id)
+    labels = graph.node_loop_labels
+    for node_id, kind in enumerate(graph.node_kinds):
+        if kind is NodeKind.SUPER_NODE:
+            rows.setdefault(labels[node_id], []).append(node_id)
     super_rows = {
         label: np.asarray(ids, dtype=np.int64) for label, ids in rows.items()
     }
-    work_invocations = {
-        label: np.array([
-            float(graph.nodes[node_id].features.get("invocations", 1.0))
-            for node_id in ids
-        ])
-        for label, ids in rows.items()
-    }
+    base_features = graph.feature_matrix()
+    invocations_column = base_features[:, _FEATURE_COLUMN["invocations"]]
+    work_invocations = {}
+    for label, ids in super_rows.items():
+        invocations = invocations_column[ids].copy()
+        # mirror the dict path's ``get("invocations", 1.0)`` default for
+        # never-written rows (the columnar fill is 0.0)
+        invocations[invocations == 0.0] = 1.0
+        work_invocations[label] = invocations
     return _OuterSampleTemplate(
         optypes=graph.optype_list(),
         edge_index=graph.edge_index(),
-        base_features=graph.feature_matrix(),
+        base_features=base_features,
         loop_features=graph.loop_features.as_vector(),
         metadata=dict(graph.metadata),
+        graph_codes=graph.optype_code_array(),
+        graph_table=graph.optype_table,
         super_rows=super_rows,
         work_invocations=work_invocations,
     )
@@ -180,10 +194,35 @@ class HierarchicalQoRModel:
                 trainer.clear_caches()
 
     def cache_stats(self) -> dict[str, int]:
-        """Construction-cache counters plus the prediction-memo size."""
+        """Counters of every inference cache layer, in one flat dict.
+
+        Construction-cache hits/misses and the prediction-memo/template
+        sizes as before, plus the encoding- and message-passing-layer
+        caches the vectorized cold path rides on: the process-wide
+        ``SCATTER_INDEX_CACHE`` (flat scatter indices, CSR operators,
+        segment counts) and ``EDGE_CACHE`` (self-loops, degrees, norm
+        columns), and — summed across this model's trainers — the
+        epoch-level :class:`~repro.nn.data.BatchCache` counters and the
+        number of per-sample encoded rows pinned in the encoded caches.
+        """
+        from repro.nn.autograd import SCATTER_INDEX_CACHE
+        from repro.nn.message_passing import EDGE_CACHE
+
         stats = dict(self._graph_cache.stats.as_dict())
         stats["memoized_predictions"] = len(self._prediction_cache)
         stats["outer_templates"] = len(self._outer_template_cache)
+        stats.update(SCATTER_INDEX_CACHE.stats())
+        stats.update(EDGE_CACHE.stats())
+        batch_totals: dict[str, int] = {}
+        encoded_samples = 0
+        for trainer in (self.trainer_p, self.trainer_np, self.trainer_g):
+            if trainer is None:
+                continue
+            for name, value in trainer._batch_cache.stats().items():
+                batch_totals[name] = batch_totals.get(name, 0) + value
+            encoded_samples += len(trainer._encoded_cache)
+        stats.update(batch_totals)
+        stats["encoded_samples"] = encoded_samples
         return stats
 
     # ------------------------------------------------------------------ #
@@ -418,6 +457,8 @@ class HierarchicalQoRModel:
             edge_index=template.edge_index,
             loop_features=template.loop_features,
             metadata=metadata,
+            graph_codes=template.graph_codes,
+            graph_table=template.graph_table,
         )
 
     def predict_batch(

@@ -131,7 +131,7 @@ class QoRPredictor:
         return predictor
 
     def cache_stats(self) -> dict[str, int]:
-        """Inference-cache counters of this predictor.
+        """Inference-cache counters of this predictor, across every layer.
 
         Returns the construction-cache hit/miss counters (``unit_hits``,
         ``unit_misses``, ``outer_hits``, ``outer_misses``, plus the
@@ -140,8 +140,15 @@ class QoRPredictor:
         ``outer_templates``, the number of outer-graph sample templates the
         vectorized encoding pipeline has captured (each one lets every
         further configuration with that outer pragma delta skip graph
-        copying and re-extraction entirely).  Counters reset on
-        :meth:`clear_inference_caches` and on retraining.
+        copying and re-extraction entirely).  The encoding/message-passing
+        caches are surfaced too: ``scatter_index_*`` (process-wide flat
+        scatter indices, CSR operators and segment counts),
+        ``edge_cache_*`` (process-wide self-loop/degree/norm memos),
+        ``batch_cache_*`` (epoch-level assembled-union replay, summed over
+        the model's trainers) and ``encoded_samples`` (per-sample encoded
+        rows pinned by those trainers).  Model-level counters reset on
+        :meth:`clear_inference_caches` and on retraining; the process-wide
+        scatter/edge counters are cumulative for the process.
         """
         return self.model.cache_stats()
 

@@ -32,8 +32,11 @@ from repro.nn.data import FeatureScaler, OptypeEncoder, TargetScaler
 
 _MODEL_KINDS = {"p": "inner", "np": "inner", "g": "global"}
 
-#: format version of the persisted warm-cache payload; bump on layout change
-WARM_CACHE_VERSION = 1
+#: format version of the persisted warm-cache payload; bump on layout change.
+#: v2: columnar CDFG payloads — interned optype tables + one feature-row
+#: matrix per graph instead of per-node feature dicts (PR 5); v1 blobs are
+#: discarded on load and rebuilt by the next sweep.
+WARM_CACHE_VERSION = 2
 
 _WARM_CACHE_KEY = "__warm_caches__"
 _MANIFEST_KEY = "__manifest__"

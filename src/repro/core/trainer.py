@@ -86,7 +86,10 @@ class GraphRegressorTrainer:
         self.encoder: OptypeEncoder | None = None
         self.feature_scaler: FeatureScaler | None = None
         self.target_scalers: dict[str, TargetScaler] = {}
-        self._encoded_cache: dict[int, tuple[GraphSample, np.ndarray, np.ndarray]] = {}
+        #: per-sample encoded rows: (sample, rows, totals) triples on the
+        #: reference path, (sample, numeric rows, totals, codes) on the
+        #: vectorized path — each layout validates its own entries
+        self._encoded_cache: dict[int, tuple] = {}
         self._batch_cache = BatchCache()
 
     # ------------------------------------------------------------------ #

@@ -24,6 +24,7 @@ from repro.dse.sharding import (
     ShardedDSEResult,
     ShardedExplorer,
     ShardSpec,
+    fronts_equivalent,
     fronts_match,
     partition_space,
     predicted_front,
@@ -43,7 +44,7 @@ __all__ = [
     "DesignPoint", "ParetoFront", "adrs", "dominates", "hypervolume_2d",
     "merge_fronts", "normalize_objectives", "pareto_front",
     "SHARD_STRATEGIES", "ShardedDSEResult", "ShardedExplorer", "ShardSpec",
-    "fronts_match", "partition_space", "predicted_front",
+    "fronts_equivalent", "fronts_match", "partition_space", "predicted_front",
     "UNROLL_FACTORS", "DesignSpace", "LoopChain", "enumerate_design_space",
     "loop_chains", "sample_design_space",
 ]

@@ -16,6 +16,13 @@ worker **processes**:
    a per-shard :class:`~repro.dse.pareto.ParetoFront` and merges the fronts
    with :func:`~repro.dse.pareto.merge_fronts`.
 
+With ``work_stealing=True`` step 2 runs over a **shared chunk queue**
+instead of fixed assignments: every shard is cut into ``chunk_size`` chunks
+enqueued in shard order, and each worker (:func:`stealing_worker`) pulls the
+next chunk the moment it finishes one — early finishers steal the chunks a
+skewed partition would have stranded on a straggler, while the
+partition-invariant merge keeps the front bit-identical either way.
+
 **Determinism guarantee.**  Two layers, guarded separately:
 
 * the *merge* is bit-exact: :class:`~repro.dse.pareto.ParetoFront` is a pure
@@ -30,9 +37,18 @@ worker **processes**:
   for different disjoint-union sizes.  The degenerate single-row /
   single-column dispatch — by far the largest such effect — is removed at
   the source (see ``repro.nn.autograd._stable_matmul``).  Dominance gaps
-  between distinct designs are macroscopic, so this noise cannot flip front
-  membership; the differential harness asserts identical membership and
-  ordering against the single-process front.
+  between *distinct* designs are macroscopic, so this noise cannot flip
+  front membership between them.  The one place ulps can matter is
+  **duplicate designs**: distinct configurations that lower to identical
+  graphs (e.g. a pipeline directive on a fully-unrolled loop) predict
+  *exactly* equal objectives when scored by one process — the Pareto tie
+  then keeps the smallest config id — but last-ulp-different objectives
+  when scored by different processes, letting either duplicate survive the
+  tie.  The cross-process guarantee is therefore
+  :func:`fronts_equivalent`: same front, member for member, up to swaps
+  between such interchangeable duplicates (``pragma-locality`` additionally
+  keeps equal-*signature* runs on one worker so recognized duplicates tie
+  exactly; :func:`fronts_match` remains the strict in-process check).
 
 **Failure handling.**  A worker that dies mid-shard (crash, OOM-kill) simply
 stops streaming: the coordinator notices the process is gone without a
@@ -127,6 +143,14 @@ def _pragma_locality_blocks(
     construction work — next to each other; cutting the order into
     contiguous blocks maximizes each worker's construction-cache hit rate.
     Signature computation builds no graphs, so sharding stays cheap.
+
+    A block boundary never splits a run of **equal** signatures: such
+    configurations are the *same design* (identical graphs, identical
+    predictions), and keeping them on one worker means its per-signature
+    prediction memo serves them one bit-identical value — which is what
+    keeps Pareto ties between duplicate designs resolving exactly as in
+    the single-process engine.  Blocks therefore balance to within one
+    signature run rather than one configuration.
     """
     cache = GraphConstructionCache()
     function = space.function()
@@ -134,14 +158,23 @@ def _pragma_locality_blocks(
     for config_id, config in space.items():
         outer_key, unit_keys = decomposition_signature(function, config, cache)
         signatures.append((unit_keys, outer_key, config_id))
-    order = [config_id for _, _, config_id in sorted(signatures)]
+    signatures.sort()
+    keys = [(unit_keys, outer_key) for unit_keys, outer_key, _ in signatures]
+    order = [config_id for _, _, config_id in signatures]
     base, extra = divmod(len(order), num_shards)
     blocks: list[tuple[int, ...]] = []
     position = 0
     for index in range(num_shards):
-        size = base + (1 if index < extra else 0)
-        blocks.append(tuple(sorted(order[position:position + size])))
-        position += size
+        if position >= len(order):
+            break
+        end = min(position + base + (1 if index < extra else 0), len(order))
+        while 0 < end < len(order) and keys[end] == keys[end - 1]:
+            end += 1  # extend to the end of the equal-signature run
+        if end > position:
+            blocks.append(tuple(sorted(order[position:end])))
+        position = end
+    if position < len(order) and blocks:
+        blocks[-1] = tuple(sorted(blocks[-1] + tuple(order[position:])))
     return blocks
 
 
@@ -150,13 +183,15 @@ def partition_space(
 ) -> list[ShardSpec]:
     """Partition a design space into at most ``num_shards`` balanced shards.
 
-    Strategies (shard sizes always differ by at most one):
+    Strategies:
 
     * ``round-robin`` — config id ``i`` goes to shard ``i % num_shards``;
-      cheap and delta-agnostic;
+      cheap and delta-agnostic, sizes differ by at most one configuration;
     * ``pragma-locality`` — configurations sharing pragma deltas are grouped
       onto the same shard so each worker's construction cache sees maximal
-      reuse (see :func:`_pragma_locality_blocks`).
+      reuse; sizes balance to within one *signature run* because a block
+      boundary never splits equal-signature duplicates
+      (see :func:`_pragma_locality_blocks`).
 
     Empty shards (more workers than configurations) are dropped.  The
     partition is deterministic: same space, count and strategy — same shards.
@@ -239,12 +274,69 @@ def shard_worker(
         raise
 
 
+def stealing_worker(
+    worker_id: int,
+    model_path: str,
+    source: str,
+    warm_caches: bool,
+    tasks: multiprocessing.Queue,
+    results: multiprocessing.Queue,
+    fail_after: int | None = None,
+) -> None:
+    """Work-stealing worker: drain chunks from a shared queue until sentinel.
+
+    The counterpart of :func:`shard_worker` for the work-stealing mode: no
+    work is pre-assigned — every worker pulls the next chunk
+    (``[(config_id, config), ...]``) from ``tasks`` as soon as it finishes
+    the previous one, so an early-finishing worker keeps stealing chunks
+    that a fixed partition would have left on a straggler.  ``tasks``
+    carries exactly one ``None`` sentinel per worker after the chunks;
+    consuming one ends the worker with a ``("done", worker_id,
+    cache_stats)`` message.  Message protocol and crash semantics otherwise
+    match :func:`shard_worker` (``fail_after`` hard-exits mid-stream after
+    that many configurations, like a real crash).
+    """
+    try:
+        predictor = QoRPredictor.load(model_path, warm_caches=warm_caches)
+        function = lower_source(source)
+        completed = 0
+        while True:
+            chunk = tasks.get()
+            if chunk is None:
+                break
+            if fail_after is not None and completed >= fail_after:
+                os._exit(3)  # simulate a hard crash: nothing is flushed
+            metrics_list = predictor.predict_batch(
+                function, [config for _, config in chunk]
+            )
+            results.put((
+                "results", worker_id,
+                [
+                    (config_id, metrics)
+                    for (config_id, _), metrics in zip(chunk, metrics_list)
+                ],
+            ))
+            completed += len(chunk)
+        results.put(("done", worker_id, predictor.cache_stats()))
+    except BaseException:
+        results.put(("error", worker_id, traceback.format_exc()))
+        raise
+
+
 # --------------------------------------------------------------------------- #
 # coordinator side
 # --------------------------------------------------------------------------- #
 @dataclass
 class ShardReport:
-    """What one worker contributed to a sharded sweep."""
+    """What one worker contributed to a sharded sweep.
+
+    In the fixed-shard mode ``num_configs`` is the shard's assigned size;
+    in the work-stealing mode nothing is pre-assigned, so each worker's
+    report covers what it actually delivered (``num_configs ==
+    completed``) and in-process recovery appears as one trailing
+    coordinator entry (``completed == 0``, ``recovered`` = everything no
+    worker delivered).
+    """
 
     shard_id: int
     num_configs: int
@@ -285,6 +377,8 @@ class ShardedDSEResult:
     cache_stats: dict = field(default_factory=dict)
     #: multiprocessing start method the sweep actually used
     mp_context: str = ""
+    #: whether chunks were pulled from a shared work-stealing queue
+    work_stealing: bool = False
 
     @property
     def configs_per_second(self) -> float:
@@ -344,6 +438,36 @@ def fronts_match(
     return True
 
 
+def fronts_equivalent(
+    a: list[DesignPoint],
+    b: list[DesignPoint],
+    *,
+    rel_tolerance: float = PREDICTION_TOLERANCE,
+) -> bool:
+    """Like :func:`fronts_match`, but accepting duplicate-design swaps.
+
+    Design spaces can contain *duplicate designs* — distinct configurations
+    that lower to identical graphs (e.g. a pipeline directive on a loop
+    that is fully unrolled anyway) and therefore predict identical
+    objectives up to last-ulp batch-composition effects.  When such
+    duplicates are scored by different processes, which of them survives
+    the Pareto tie depends on those ulps.  Signature-blind distributions
+    (round-robin, work-stealing chunk queues) cannot co-locate duplicates,
+    so their cross-process front guarantee is this: same length, and at
+    every position either the same key (objectives within tolerance) or a
+    swap between points whose objectives agree within tolerance — i.e.
+    interchangeable representatives of the same design point.
+    """
+    if len(a) != len(b):
+        return False
+    for point_a, point_b in zip(a, b):
+        for value_a, value_b in zip(point_a.objectives, point_b.objectives):
+            scale = max(abs(value_a), abs(value_b), 1.0)
+            if abs(value_a - value_b) > rel_tolerance * scale:
+                return False
+    return True
+
+
 def _default_mp_context() -> str:
     """``fork`` where available (cheap bootstrap), else ``spawn``."""
     methods = multiprocessing.get_all_start_methods()
@@ -368,13 +492,27 @@ class ShardedExplorer:
     * ``shard_strategy`` — ``"round-robin"`` or ``"pragma-locality"``;
     * ``warm_caches`` — workers adopt the warm caches persisted in the model
       file (read-only: worker caches are not written back);
+    * ``work_stealing`` — instead of handing each worker one fixed shard,
+      split every shard into ``chunk_size`` chunks on one shared task
+      queue: each worker pulls the next chunk as soon as it finishes the
+      previous one, so a skewed partition (or a slow machine) cannot leave
+      the fleet idling behind one straggler.  Chunks are enqueued in shard
+      order, so the pragma-locality grouping still keeps construction-cache
+      reuse high.  The merged front is **unchanged**: the Pareto merge is
+      partition- and order-invariant, so which worker scored which chunk
+      cannot affect it;
     * ``mp_context`` — multiprocessing start method; defaults to ``fork``
-      where available, ``spawn`` otherwise (the worker entrypoint is safe
+      where available, ``spawn`` otherwise (the worker entrypoints are safe
       under both);
     * ``worker_timeout`` — a *stall* timeout: seconds without any message
       from any worker before the remaining workers are deemed wedged,
       terminated, and their outstanding work recovered in-process.  An
       actively-streaming fleet never trips it, however long the sweep.
+
+    The ``partitioner`` hook (benchmarks/tests) replaces
+    :func:`partition_space`: a callable ``(space, num_shards) ->
+    [ShardSpec]`` — e.g. a deliberately skewed split to measure what work
+    stealing buys.
     """
 
     def __init__(
@@ -385,8 +523,10 @@ class ShardedExplorer:
         shard_strategy: str = "pragma-locality",
         warm_caches: bool = False,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        work_stealing: bool = False,
         mp_context: str | None = None,
         worker_timeout: float = 300.0,
+        partitioner=None,
         _fault_injection: dict[int, int] | None = None,
     ):
         if num_workers < 1:
@@ -401,9 +541,11 @@ class ShardedExplorer:
         self.shard_strategy = shard_strategy
         self.warm_caches = warm_caches
         self.chunk_size = max(1, chunk_size)
+        self.work_stealing = work_stealing
         self.mp_context = mp_context or _default_mp_context()
         self.worker_timeout = worker_timeout
-        #: test hook: shard_id -> configs to score before simulating a crash
+        self.partitioner = partitioner
+        #: test hook: shard/worker id -> configs to score before a crash
         self._fault_injection = dict(_fault_injection or {})
         self._validate_model()
 
@@ -419,15 +561,138 @@ class ShardedExplorer:
             )
 
     # ------------------------------------------------------------------ #
+    def _partition(self, space: DesignSpace) -> list[ShardSpec]:
+        """The shard partition (``partitioner`` hook or :func:`partition_space`)."""
+        if self.partitioner is not None:
+            return list(self.partitioner(space, self.num_workers))
+        return partition_space(space, self.num_workers, self.shard_strategy)
+
+    def _run_fleet(
+        self,
+        processes: dict[int, multiprocessing.Process],
+        results_queue,
+    ) -> tuple[dict, dict, dict, dict]:
+        """Drain the fleet's result stream until every process retires.
+
+        Shared by the fixed-shard and work-stealing modes (messages are
+        keyed by shard id in the former, worker id in the latter).  Returns
+        ``(predictions_by_id, streamed, worker_stats, errors)``; handles
+        silent worker death (retired with an error after a final drain) and
+        the fleet-wide stall timeout.
+        """
+        predictions_by_id: dict[int, dict[str, float]] = {}
+        streamed: dict[int, list[tuple[int, dict[str, float]]]] = {
+            key: [] for key in processes
+        }
+        worker_stats: dict[int, dict] = {}
+        errors: dict[int, str] = {}
+        pending = set(processes)
+        # stall deadline: pushed forward on every message, so it only fires
+        # after worker_timeout seconds of total silence from the fleet
+        deadline = time.perf_counter() + self.worker_timeout
+
+        def handle(message: tuple) -> None:
+            kind, key = message[0], message[1]
+            if kind == "results":
+                for config_id, metrics in message[2]:
+                    predictions_by_id[config_id] = metrics
+                    streamed[key].append((config_id, metrics))
+            elif kind == "done":
+                worker_stats[key] = message[2]
+                pending.discard(key)
+            elif kind == "error":
+                errors[key] = message[2]
+                pending.discard(key)
+
+        while pending and time.perf_counter() < deadline:
+            try:
+                handle(results_queue.get(timeout=0.05))
+                deadline = time.perf_counter() + self.worker_timeout
+                continue
+            except queue_module.Empty:
+                pass
+            # queue momentarily empty: retire keys whose process died
+            # without a completion message (drain once more first — the
+            # worker may have flushed results right before exiting)
+            for key in sorted(pending):
+                if processes[key].is_alive():
+                    continue
+                processes[key].join()
+                try:
+                    while True:
+                        handle(results_queue.get(timeout=0.1))
+                except queue_module.Empty:
+                    pass
+                if key in pending:
+                    pending.discard(key)
+                    errors.setdefault(
+                        key, "worker process exited before completing"
+                    )
+        for key in sorted(pending):  # fleet stalled: reclaim their work
+            errors.setdefault(
+                key,
+                f"worker stalled (no progress for {self.worker_timeout:.0f}s)",
+            )
+        for process in processes.values():
+            if process.is_alive():
+                process.terminate()
+            process.join()
+        results_queue.close()
+        return predictions_by_id, streamed, worker_stats, errors
+
+    def _recover_missing(
+        self,
+        space: DesignSpace,
+        missing_ids: list[int],
+        predictions_by_id: dict[int, dict[str, float]],
+    ) -> tuple[list[tuple[int, dict[str, float]]], dict | None]:
+        """Score configurations no worker delivered, in-process."""
+        if not missing_ids:
+            return [], None
+        predictor = QoRPredictor.load(
+            self.model_path, warm_caches=self.warm_caches
+        )
+        metrics_list = predictor.predict_batch(
+            space.function(), [space.config(cid) for cid in missing_ids]
+        )
+        recovered = list(zip(missing_ids, metrics_list))
+        for config_id, metrics in recovered:
+            predictions_by_id[config_id] = metrics
+        return recovered, predictor.cache_stats()
+
+    @staticmethod
+    def _stream_front(
+        space: DesignSpace, stream: list[tuple[int, dict[str, float]]]
+    ) -> ParetoFront:
+        """Fold one worker/shard stream into a Pareto front."""
+        front = ParetoFront()
+        for config_id, metrics in stream:
+            front.add(
+                DesignPoint(
+                    key=space.key_of(config_id),
+                    objectives=qor_objectives(metrics),
+                    metadata={
+                        "config": space.config(config_id),
+                        "config_id": config_id,
+                    },
+                ),
+                config_id,
+            )
+        return front
+
     def explore(self, space: DesignSpace) -> ShardedDSEResult:
         """Score every configuration of ``space`` across the worker fleet.
 
         Returns predictions aligned with the space's canonical order and the
         merged Pareto front; never raises on worker death — missing work is
         recovered in-process (see ``ShardedDSEResult.recovered_configs``).
+        With ``work_stealing`` the same guarantees hold over the shared
+        chunk queue (see the class docstring).
         """
+        if self.work_stealing:
+            return self._explore_stealing(space)
         start = time.perf_counter()
-        shards = partition_space(space, self.num_workers, self.shard_strategy)
+        shards = self._partition(space)
         context = multiprocessing.get_context(self.mp_context)
         results_queue = context.Queue()
         processes: dict[int, multiprocessing.Process] = {}
@@ -445,67 +710,11 @@ class ShardedExplorer:
             process.start()
             processes[shard.shard_id] = process
 
-        predictions_by_id: dict[int, dict[str, float]] = {}
-        streamed: dict[int, list[tuple[int, dict[str, float]]]] = {
-            shard.shard_id: [] for shard in shards
-        }
-        worker_stats: dict[int, dict] = {}
-        errors: dict[int, str] = {}
-        pending = {shard.shard_id for shard in shards}
-        # stall deadline: pushed forward on every message, so it only fires
-        # after worker_timeout seconds of total silence from the fleet
-        deadline = time.perf_counter() + self.worker_timeout
-
-        def handle(message: tuple) -> None:
-            kind, shard_id = message[0], message[1]
-            if kind == "results":
-                for config_id, metrics in message[2]:
-                    predictions_by_id[config_id] = metrics
-                    streamed[shard_id].append((config_id, metrics))
-            elif kind == "done":
-                worker_stats[shard_id] = message[2]
-                pending.discard(shard_id)
-            elif kind == "error":
-                errors[shard_id] = message[2]
-                pending.discard(shard_id)
-
-        while pending and time.perf_counter() < deadline:
-            try:
-                handle(results_queue.get(timeout=0.05))
-                deadline = time.perf_counter() + self.worker_timeout
-                continue
-            except queue_module.Empty:
-                pass
-            # queue momentarily empty: retire shards whose worker died
-            # without a completion message (drain once more first — the
-            # worker may have flushed results right before exiting)
-            for shard_id in sorted(pending):
-                if processes[shard_id].is_alive():
-                    continue
-                processes[shard_id].join()
-                try:
-                    while True:
-                        handle(results_queue.get(timeout=0.1))
-                except queue_module.Empty:
-                    pass
-                if shard_id in pending:
-                    pending.discard(shard_id)
-                    errors.setdefault(
-                        shard_id, "worker process exited before completing"
-                    )
-        for shard_id in sorted(pending):  # fleet stalled: reclaim their work
-            errors.setdefault(
-                shard_id,
-                f"worker stalled (no progress for {self.worker_timeout:.0f}s)",
-            )
-        for process in processes.values():
-            if process.is_alive():
-                process.terminate()
-            process.join()
-        results_queue.close()
+        predictions_by_id, streamed, worker_stats, errors = self._run_fleet(
+            processes, results_queue
+        )
 
         # recover configurations no worker delivered, in-process
-        coordinator_stats: dict | None = None
         recovered_by_shard: dict[int, int] = {}
         missing = [
             (shard, config_id)
@@ -513,39 +722,20 @@ class ShardedExplorer:
             for config_id in shard.config_ids
             if config_id not in predictions_by_id
         ]
-        if missing:
-            predictor = QoRPredictor.load(
-                self.model_path, warm_caches=self.warm_caches
+        recovered, coordinator_stats = self._recover_missing(
+            space, [config_id for _, config_id in missing], predictions_by_id
+        )
+        for (shard, _), (config_id, metrics) in zip(missing, recovered):
+            streamed[shard.shard_id].append((config_id, metrics))
+            recovered_by_shard[shard.shard_id] = (
+                recovered_by_shard.get(shard.shard_id, 0) + 1
             )
-            metrics_list = predictor.predict_batch(
-                space.function(), [space.config(cid) for _, cid in missing]
-            )
-            for (shard, config_id), metrics in zip(missing, metrics_list):
-                predictions_by_id[config_id] = metrics
-                streamed[shard.shard_id].append((config_id, metrics))
-                recovered_by_shard[shard.shard_id] = (
-                    recovered_by_shard.get(shard.shard_id, 0) + 1
-                )
-            coordinator_stats = predictor.cache_stats()
 
         # per-shard fronts, merged deterministically
-        fronts: list[ParetoFront] = []
-        for shard in shards:
-            front = ParetoFront()
-            for config_id, metrics in streamed[shard.shard_id]:
-                front.add(
-                    DesignPoint(
-                        key=space.key_of(config_id),
-                        objectives=qor_objectives(metrics),
-                        metadata={
-                            "config": space.config(config_id),
-                            "config_id": config_id,
-                        },
-                    ),
-                    config_id,
-                )
-            fronts.append(front)
-        merged = merge_fronts(fronts)
+        merged = merge_fronts([
+            self._stream_front(space, streamed[shard.shard_id])
+            for shard in shards
+        ])
         model_seconds = time.perf_counter() - start
 
         reports = [
@@ -578,10 +768,111 @@ class ShardedExplorer:
             mp_context=self.mp_context,
         )
 
+    def _explore_stealing(self, space: DesignSpace) -> ShardedDSEResult:
+        """Work-stealing exploration over one shared chunk queue.
+
+        Shards are computed exactly as in the fixed mode (so pragma-locality
+        keeps related configurations adjacent), then split into
+        ``chunk_size`` chunks enqueued in shard order; each worker pulls the
+        next chunk as soon as it finishes one.  Crash/stall recovery and the
+        deterministic merge are identical — the merge is partition-
+        invariant, so the stolen distribution of chunks cannot change the
+        front.
+        """
+        start = time.perf_counter()
+        shards = self._partition(space)
+        chunks: list[list[tuple[int, PragmaConfig]]] = []
+        for shard in shards:
+            items = [(cid, space.config(cid)) for cid in shard.config_ids]
+            for offset in range(0, len(items), self.chunk_size):
+                chunks.append(items[offset:offset + self.chunk_size])
+        num_workers = max(1, min(self.num_workers, len(chunks)))
+        context = multiprocessing.get_context(self.mp_context)
+        results_queue = context.Queue()
+        tasks = context.Queue()
+        for chunk in chunks:
+            tasks.put(chunk)
+        for _ in range(num_workers):
+            tasks.put(None)  # one end-of-work sentinel per worker
+        processes: dict[int, multiprocessing.Process] = {}
+        for worker_id in range(num_workers):
+            process = context.Process(
+                target=stealing_worker,
+                args=(
+                    worker_id, str(self.model_path), space.source,
+                    self.warm_caches, tasks, results_queue,
+                    self._fault_injection.get(worker_id),
+                ),
+                daemon=True,
+            )
+            process.start()
+            processes[worker_id] = process
+
+        predictions_by_id, streamed, worker_stats, errors = self._run_fleet(
+            processes, results_queue
+        )
+        missing_ids = [
+            config_id for config_id in range(len(space))
+            if config_id not in predictions_by_id
+        ]
+        recovered, coordinator_stats = self._recover_missing(
+            space, missing_ids, predictions_by_id
+        )
+        fronts = [
+            self._stream_front(space, streamed[worker_id])
+            for worker_id in processes
+        ]
+        if recovered:
+            fronts.append(self._stream_front(space, recovered))
+        merged = merge_fronts(fronts)
+        model_seconds = time.perf_counter() - start
+
+        # stealing pre-assigns nothing, so a worker's report covers exactly
+        # what it delivered; configurations no worker delivered are
+        # attributed to a trailing coordinator entry (completed=0,
+        # recovered=all) so crashed fleets never read as fully completed
+        reports = [
+            ShardReport(
+                shard_id=worker_id,
+                num_configs=len(streamed[worker_id]),
+                completed=len(streamed[worker_id]),
+                cache_stats=worker_stats.get(worker_id, {}),
+                failed=worker_id in errors,
+                error=errors.get(worker_id, ""),
+            )
+            for worker_id in processes
+        ]
+        if recovered:
+            reports.append(
+                ShardReport(
+                    shard_id=num_workers,
+                    num_configs=len(recovered),
+                    completed=0,
+                    recovered=len(recovered),
+                )
+            )
+        all_stats = [stats for stats in worker_stats.values()]
+        if coordinator_stats is not None:
+            all_stats.append(coordinator_stats)
+        return ShardedDSEResult(
+            kernel=space.kernel,
+            num_configs=len(space),
+            num_workers=num_workers,
+            shard_strategy=self.shard_strategy,
+            predictions=[predictions_by_id[cid] for cid in range(len(space))],
+            front=merged.points(),
+            model_seconds=model_seconds,
+            shards=reports,
+            recovered_configs=len(recovered),
+            cache_stats=QoRPredictor.aggregate_cache_stats(all_stats),
+            mp_context=self.mp_context,
+            work_stealing=True,
+        )
+
 
 __all__ = [
     "SHARD_STRATEGIES", "DEFAULT_CHUNK_SIZE", "PREDICTION_TOLERANCE",
-    "ShardSpec", "partition_space", "shard_worker", "ShardReport",
-    "ShardedDSEResult", "predicted_front", "fronts_match",
-    "max_prediction_error", "ShardedExplorer",
+    "ShardSpec", "partition_space", "shard_worker", "stealing_worker",
+    "ShardReport", "ShardedDSEResult", "predicted_front", "fronts_match",
+    "fronts_equivalent", "max_prediction_error", "ShardedExplorer",
 ]

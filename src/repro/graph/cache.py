@@ -26,8 +26,16 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.frontend.pragmas import PragmaConfig
-from repro.graph.cdfg import CDFG, EdgeKind, LoopLevelFeatures, NodeKind
+from repro.graph.cdfg import (
+    CDFG,
+    NODE_FEATURE_NAMES,
+    EdgeKind,
+    LoopLevelFeatures,
+    NodeKind,
+)
 from repro.ir.instructions import Instruction, Opcode
 from repro.ir.structure import IfRegion, IRFunction, Loop, Region
 
@@ -93,20 +101,31 @@ _EDGE_KIND_CODE = {kind: code for code, kind in enumerate(_EDGE_KINDS)}
 
 
 def cdfg_to_payload(graph: CDFG) -> dict:
-    """JSON-compatible representation of a CDFG (exact float round-trip)."""
+    """JSON-compatible representation of a CDFG (exact float round-trip).
+
+    The payload is **columnar** (warm-cache blob format v2): node identity
+    attributes are stored as parallel per-node records with interned optype
+    codes, and the numerical features as one row-major matrix
+    (:data:`~repro.graph.cdfg.NODE_FEATURE_NAMES` order) — matching the
+    in-memory columnar feature block, so serialization needs no per-node
+    feature dicts and hydration bulk-loads the matrix in one assignment.
+    """
     return {
         "name": graph.name,
+        "optype_table": list(graph.optype_table),
         "nodes": [
-            [
-                node.optype, node.dtype, _NODE_KIND_CODE[node.kind],
-                node.loop_label, node.array, node.instr_id, node.replica,
-                node.features,
-            ]
-            for node in graph.nodes
+            [code, dtype, _NODE_KIND_CODE[kind], loop_label, array,
+             instr_id, replica]
+            for code, dtype, kind, loop_label, array, instr_id, replica in zip(
+                graph.optype_codes, graph.node_dtypes, graph.node_kinds,
+                graph.node_loop_labels, graph.node_arrays,
+                graph.node_instr_ids, graph.node_replicas,
+            )
         ],
+        "feature_rows": np.asarray(graph.feature_matrix()).tolist(),
         "edges": [
-            list(graph.edge_src),
-            list(graph.edge_dst),
+            graph.edge_src.tolist(),
+            graph.edge_dst.tolist(),
             [_EDGE_KIND_CODE[kind] for kind in graph.edge_kinds],
         ],
         "loop_features": [
@@ -119,21 +138,64 @@ def cdfg_to_payload(graph: CDFG) -> dict:
 
 
 def cdfg_from_payload(payload: dict) -> CDFG:
-    """Rebuild a CDFG stored with :func:`cdfg_to_payload`."""
+    """Rebuild a CDFG stored with :func:`cdfg_to_payload`.
+
+    Reads the columnar v2 layout (``optype_table`` + ``feature_rows``); the
+    pre-columnar per-node-dict layout is still accepted so payload dicts
+    produced by older code (e.g. fixtures) keep working — versioned warm
+    cache *blobs* from before the bump are discarded upstream regardless.
+    """
     graph = CDFG(name=payload["name"])
-    for optype, dtype, kind, loop_label, array, instr_id, replica, features in (
-        payload["nodes"]
-    ):
-        node = graph.add_node(
-            optype, kind=_NODE_KINDS[kind], dtype=dtype, loop_label=loop_label,
-            array=array, instr_id=int(instr_id), replica=int(replica),
-        )
-        node.features.update(
-            (name, float(value)) for name, value in features.items()
-        )
+    feature_rows = payload.get("feature_rows")
+    if feature_rows is None:
+        # legacy layout: per-node [.., features_dict] records
+        for optype, dtype, kind, loop_label, array, instr_id, replica, features in (
+            payload["nodes"]
+        ):
+            node = graph.add_node(
+                optype, kind=_NODE_KINDS[kind], dtype=dtype, loop_label=loop_label,
+                array=array, instr_id=int(instr_id), replica=int(replica),
+            )
+            node.features.update(
+                (name, float(value)) for name, value in features.items()
+            )
+    elif graph.feat is not None:
+        # columnar hydration: the payload maps 1:1 onto the node columns, so
+        # the whole graph loads as list comprehensions + one matrix build —
+        # no node objects, no per-node feature writes
+        table = [str(name) for name in payload["optype_table"]]
+        records = payload["nodes"]
+        graph.optype_table = table
+        graph._optype_index = {name: code for code, name in enumerate(table)}
+        graph.optype_codes = [int(record[0]) for record in records]
+        graph.node_dtypes = [record[1] for record in records]
+        graph.node_kinds = [_NODE_KINDS[record[2]] for record in records]
+        graph.node_loop_labels = [record[3] for record in records]
+        graph.node_arrays = [record[4] for record in records]
+        graph.node_instr_ids = [int(record[5]) for record in records]
+        graph.node_replicas = [int(record[6]) for record in records]
+        graph.feat.matrix = np.asarray(
+            feature_rows, dtype=np.float64
+        ).reshape(len(records), len(NODE_FEATURE_NAMES))
+        graph.feat.count = len(records)
+    else:  # hydrating while the reference pipeline is forced
+        table = payload["optype_table"]
+        matrix = np.asarray(feature_rows, dtype=np.float64)
+        for index, (code, dtype, kind, loop_label, array, instr_id, replica) in (
+            enumerate(payload["nodes"])
+        ):
+            node = graph.add_node(
+                table[code], kind=_NODE_KINDS[kind], dtype=dtype,
+                loop_label=loop_label, array=array, instr_id=int(instr_id),
+                replica=int(replica),
+            )
+            node.features.update(
+                zip(NODE_FEATURE_NAMES, matrix[index].tolist())
+            )
     src, dst, kinds = payload["edges"]
-    graph.edge_src = [int(value) for value in src]
-    graph.edge_dst = [int(value) for value in dst]
+    graph._edges.extend(
+        np.asarray(src, dtype=np.int64), np.asarray(dst, dtype=np.int64)
+    )
     graph.edge_kinds = [_EDGE_KINDS[code] for code in kinds]
     ii, tripcount, pipelined, unroll_factor, depth = payload["loop_features"]
     graph.loop_features = LoopLevelFeatures(

@@ -5,6 +5,21 @@ operations (plus the paper's two extensions: I/O *memory-port* nodes inserted
 for array arguments, and *super nodes* that stand for already-predicted inner
 loops during hierarchical modeling).  Edges carry a type: data flow, control
 flow, or memory (port-to-access) edges.
+
+Storage is **columnar end to end**: edges live in parallel ``edge_src`` /
+``edge_dst`` / ``edge_kinds`` lists, the Table II numerical node features
+live in one growable ``(N, 9)`` float64 block (:class:`_FeatureColumns`)
+whose rows are indexed by node id, and optypes are interned into a per-graph
+code column.  ``node.features`` stays a dict-like object — a
+:class:`_FeatureRow` view over the node's matrix row — so annotation code and
+tests keep their mapping idiom, while ``feature_matrix()`` is a zero-copy
+view, replica replay copies feature rows with one slice assignment, and
+``copy()``/``subgraph()`` move features as single array operations.  The
+pre-columnar representation (a real dict per node) is retained for the
+differential guards: graphs built under
+:func:`repro.flags.reference_encoding` or
+:func:`repro.graph.construction.naive_emission` store their features in
+per-node dicts exactly as before.
 """
 
 from __future__ import annotations
@@ -52,6 +67,226 @@ NODE_FEATURE_NAMES = (
     "work",
 )
 
+#: column index of each Table II feature inside the columnar block
+FEATURE_COLUMN = {name: column for column, name in enumerate(NODE_FEATURE_NAMES)}
+
+_NUM_FEATURES = len(NODE_FEATURE_NAMES)
+
+
+class _FeatureColumns:
+    """Growable ``(N, len(NODE_FEATURE_NAMES))`` float64 feature block.
+
+    Row ``i`` holds node ``i``'s numerical features; unset features are 0.0
+    (matching the dict path's ``get(name, 0.0)`` semantics).  Appends grow
+    the backing matrix geometrically, replica replay extends it with one
+    slice copy, and :meth:`view` hands out the live ``[:count]`` window
+    without copying.
+    """
+
+    __slots__ = ("matrix", "count")
+
+    def __init__(self, capacity: int = 64):
+        self.matrix = np.zeros((max(1, capacity), _NUM_FEATURES), dtype=np.float64)
+        self.count = 0
+
+    def _reserve(self, extra: int) -> None:
+        needed = self.count + extra
+        capacity = self.matrix.shape[0]
+        if needed <= capacity:
+            return
+        # copy()/hydration install exact-size (possibly empty) buffers, so
+        # growth must restart from a non-zero capacity
+        capacity = max(1, capacity)
+        while capacity < needed:
+            capacity *= 2
+        grown = np.zeros((capacity, _NUM_FEATURES), dtype=np.float64)
+        grown[: self.count] = self.matrix[: self.count]
+        self.matrix = grown
+
+    def append_row(self) -> int:
+        """Add one zeroed row; returns its index."""
+        self._reserve(1)
+        row = self.count
+        self.count = row + 1
+        return row
+
+    def append_block(self, start: int, stop: int) -> None:
+        """Bulk-append a copy of rows ``[start, stop)`` (replica replay)."""
+        span = stop - start
+        if span <= 0:
+            return
+        self._reserve(span)
+        count = self.count
+        self.matrix[count:count + span] = self.matrix[start:stop]
+        self.count = count + span
+
+    def view(self) -> np.ndarray:
+        """The live ``(count, 9)`` window of the block (zero-copy)."""
+        return self.matrix[: self.count]
+
+    def copy(self) -> "_FeatureColumns":
+        """An independent store holding a copy of the live rows."""
+        clone = _FeatureColumns.__new__(_FeatureColumns)
+        clone.matrix = self.matrix[: self.count].copy()
+        clone.count = self.count
+        return clone
+
+
+class _EdgeColumns:
+    """Growable int64 ``src``/``dst`` edge columns.
+
+    Keeping the endpoints as numpy arrays (rather than Python lists) makes
+    ``edge_index``, ``degree_arrays`` and the replica-replay edge copies
+    zero-conversion bulk operations; edge *kinds* stay a Python list of
+    :class:`EdgeKind` members (cheap to append, identity-comparable, and
+    iterated by analysis code).
+    """
+
+    __slots__ = ("src", "dst", "count")
+
+    def __init__(self, capacity: int = 64):
+        self.src = np.zeros(max(1, capacity), dtype=np.int64)
+        self.dst = np.zeros(max(1, capacity), dtype=np.int64)
+        self.count = 0
+
+    def _reserve(self, extra: int) -> None:
+        needed = self.count + extra
+        capacity = self.src.shape[0]
+        if needed <= capacity:
+            return
+        # copy()/hydration install exact-size (possibly empty) buffers, so
+        # growth must restart from a non-zero capacity
+        capacity = max(1, capacity)
+        while capacity < needed:
+            capacity *= 2
+        src = np.zeros(capacity, dtype=np.int64)
+        dst = np.zeros(capacity, dtype=np.int64)
+        src[: self.count] = self.src[: self.count]
+        dst[: self.count] = self.dst[: self.count]
+        self.src = src
+        self.dst = dst
+
+    def append(self, src: int, dst: int) -> None:
+        """Add one edge's endpoints."""
+        self._reserve(1)
+        count = self.count
+        self.src[count] = src
+        self.dst[count] = dst
+        self.count = count + 1
+
+    def extend(self, src, dst) -> None:
+        """Bulk-append endpoint arrays (or sequences) of equal length."""
+        src = np.asarray(src, dtype=np.int64)
+        length = src.shape[0]
+        if not length:
+            return
+        self._reserve(length)
+        count = self.count
+        self.src[count:count + length] = src
+        self.dst[count:count + length] = dst
+        self.count = count + length
+
+    def views(self) -> tuple[np.ndarray, np.ndarray]:
+        """Live zero-copy ``(src, dst)`` windows."""
+        return self.src[: self.count], self.dst[: self.count]
+
+    def copy(self) -> "_EdgeColumns":
+        """An independent store holding a copy of the live edges."""
+        clone = _EdgeColumns.__new__(_EdgeColumns)
+        clone.src = self.src[: self.count].copy()
+        clone.dst = self.dst[: self.count].copy()
+        clone.count = self.count
+        return clone
+
+
+class _FeatureRow:
+    """Dict-like view of one node's row in the columnar feature block.
+
+    Supports the mapping idiom annotation code uses (``[]``, ``get``,
+    ``update``, iteration, ``**`` unpacking); writes land directly in the
+    shared matrix.  Only :data:`NODE_FEATURE_NAMES` entries exist — missing
+    names read as their defaults and cannot be assigned.
+    """
+
+    __slots__ = ("_store", "_row")
+
+    def __init__(self, store: _FeatureColumns, row: int):
+        self._store = store
+        self._row = row
+
+    def __getitem__(self, name: str) -> float:
+        column = FEATURE_COLUMN.get(name)
+        if column is None:
+            raise KeyError(name)
+        return float(self._store.matrix[self._row, column])
+
+    def __setitem__(self, name: str, value: float) -> None:
+        column = FEATURE_COLUMN.get(name)
+        if column is None:
+            raise KeyError(
+                f"unknown node feature {name!r}; columnar CDFGs store exactly "
+                f"{NODE_FEATURE_NAMES}"
+            )
+        self._store.matrix[self._row, column] = value
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        column = FEATURE_COLUMN.get(name)
+        if column is None:
+            return default
+        return float(self._store.matrix[self._row, column])
+
+    def update(self, other=(), **values) -> None:
+        """Assign several features at once (mapping, pairs or kwargs)."""
+        row = self._store.matrix[self._row]
+        if other:
+            items = other.items() if hasattr(other, "items") else other
+            for name, value in items:
+                row[FEATURE_COLUMN[name]] = value
+        for name, value in values.items():
+            row[FEATURE_COLUMN[name]] = value
+
+    def keys(self):
+        """Feature names, in canonical column order."""
+        return NODE_FEATURE_NAMES
+
+    def values(self) -> list[float]:
+        """Feature values, aligned with :meth:`keys`."""
+        return self._store.matrix[self._row].tolist()
+
+    def items(self):
+        """``(name, value)`` pairs in canonical column order."""
+        return list(zip(NODE_FEATURE_NAMES, self._store.matrix[self._row].tolist()))
+
+    def as_dict(self) -> dict[str, float]:
+        """A plain-dict snapshot of the row."""
+        return dict(self.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in FEATURE_COLUMN
+
+    def __iter__(self):
+        return iter(NODE_FEATURE_NAMES)
+
+    def __len__(self) -> int:
+        return _NUM_FEATURES
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _FeatureRow):
+            return bool(
+                (self._store.matrix[self._row] == other._store.matrix[other._row])
+                .all()
+            )
+        if isinstance(other, dict):
+            return self.as_dict() == {
+                name: float(value) for name, value in other.items()
+            } | {
+                name: 0.0 for name in NODE_FEATURE_NAMES if name not in other
+            }
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"_FeatureRow({self.as_dict()!r})"
+
 
 @dataclass
 class CDFGNode:
@@ -59,7 +294,9 @@ class CDFGNode:
 
     ``optype`` is the string fed to the one-hot encoder (IR opcode value,
     ``"ioport"`` for memory ports, ``"super_p"``/``"super_np"`` for super
-    nodes).  ``features`` maps :data:`NODE_FEATURE_NAMES` entries to values.
+    nodes).  ``features`` maps :data:`NODE_FEATURE_NAMES` entries to values —
+    a plain dict on the retained reference path, a :class:`_FeatureRow` view
+    into the graph's columnar feature block otherwise.
     """
 
     node_id: int
@@ -70,12 +307,15 @@ class CDFGNode:
     array: str = ""
     instr_id: int = -1
     replica: int = 0
-    features: dict[str, float] = field(default_factory=dict)
+    features: "dict[str, float] | _FeatureRow" = field(default_factory=dict)
 
     def feature_vector(self) -> np.ndarray:
         """Numerical feature vector in :data:`NODE_FEATURE_NAMES` order."""
+        features = self.features
+        if type(features) is _FeatureRow:
+            return features._store.matrix[features._row].copy()
         return np.array(
-            [float(self.features.get(name, 0.0)) for name in NODE_FEATURE_NAMES],
+            [float(features.get(name, 0.0)) for name in NODE_FEATURE_NAMES],
             dtype=np.float64,
         )
 
@@ -125,34 +365,113 @@ class LoopLevelFeatures:
 class CDFG:
     """A control and data flow graph with typed nodes and edges.
 
-    Edges are stored **columnar** (parallel ``edge_src``/``edge_dst``/
-    ``edge_kinds`` lists): the DSE hot path appends and remaps hundreds of
-    thousands of edges per sweep, and three flat lists turn replica replay,
-    ``edge_index`` and ``degree_arrays`` into C-speed bulk operations.  The
-    :attr:`edges` property materializes the familiar :class:`CDFGEdge` view
-    on demand for analysis code and tests.
+    Storage is **columnar**: edges live in parallel ``edge_src`` /
+    ``edge_dst`` / ``edge_kinds`` lists, node identity attributes in
+    parallel per-attribute lists (``node_kinds``, ``node_dtypes``,
+    ``node_loop_labels``, ``node_arrays``, ``node_instr_ids``,
+    ``node_replicas`` plus interned ``optype_codes``), and numerical
+    features in the :class:`_FeatureColumns` block.  The DSE hot path
+    appends and remaps hundreds of thousands of nodes/edges per sweep, and
+    flat columns turn replica replay, ``edge_index``, ``feature_matrix``
+    and ``degree_arrays`` into C-speed bulk operations with no per-node
+    Python objects.
+
+    The familiar object views are materialized lazily: :attr:`nodes` builds
+    :class:`CDFGNode` instances (whose ``features`` are row views into the
+    feature block) on first access, :attr:`edges` the :class:`CDFGEdge`
+    list.  Treat materialized node identity attributes as read-only — the
+    columns are authoritative; ``features`` writes go straight to the
+    shared block either way.
     """
 
-    def __init__(self, name: str = "cdfg"):
+    def __init__(self, name: str = "cdfg", *, columnar: bool | None = None):
         self.name = name
-        self.nodes: list[CDFGNode] = []
-        self.edge_src: list[int] = []
-        self.edge_dst: list[int] = []
+        self._edges = _EdgeColumns()
         self.edge_kinds: list[EdgeKind] = []
         self._edge_view: list[CDFGEdge] = []
+        self._edge_index_cache: np.ndarray | None = None
         self.loop_features: LoopLevelFeatures = LoopLevelFeatures()
         #: free-form metadata (kernel name, config description, loop label...)
         self.metadata: dict[str, str] = {}
+        #: columnar node-feature block (None on the retained dict path)
+        if columnar is None:
+            columnar = not reference_encoding_active()
+        self.feat: _FeatureColumns | None = _FeatureColumns() if columnar else None
+        #: per-graph optype interning: code per node + the code -> string table
+        self.optype_codes: list[int] = []
+        self._optype_index: dict[str, int] = {}
+        self.optype_table: list[str] = []
+        self._optype_list_cache: list[str] | None = None
+        #: parallel node attribute columns (one entry per node)
+        self.node_kinds: list[NodeKind] = []
+        self.node_dtypes: list[str] = []
+        self.node_loop_labels: list[str] = []
+        self.node_arrays: list[str] = []
+        self.node_instr_ids: list[int] = []
+        self.node_replicas: list[int] = []
+        #: eagerly-created prefix of the node-object view (always complete
+        #: on the dict path; on the columnar path replica replay leaves a
+        #: tail that only materializes if someone asks for `nodes`)
+        self._materialized: list[CDFGNode] = []
+
+    @property
+    def columnar(self) -> bool:
+        """Whether node features live in the columnar block."""
+        return self.feat is not None
+
+    def intern_optype(self, optype: str) -> int:
+        """The per-graph integer code of ``optype`` (interned on first use)."""
+        code = self._optype_index.get(optype)
+        if code is None:
+            code = len(self.optype_table)
+            self._optype_index[optype] = code
+            self.optype_table.append(optype)
+        return code
+
+    @property
+    def nodes(self) -> list[CDFGNode]:
+        """Node-object view of the columns (tail materialized when stale)."""
+        nodes = self._materialized
+        total = len(self.node_kinds)
+        if len(nodes) != total:
+            store = self.feat
+            table = self.optype_table
+            codes = self.optype_codes
+            kinds = self.node_kinds
+            dtypes = self.node_dtypes
+            labels = self.node_loop_labels
+            arrays = self.node_arrays
+            instr_ids = self.node_instr_ids
+            replicas = self.node_replicas
+            for index in range(len(nodes), total):
+                nodes.append(CDFGNode(
+                    node_id=index, kind=kinds[index],
+                    optype=table[codes[index]], dtype=dtypes[index],
+                    loop_label=labels[index], array=arrays[index],
+                    instr_id=instr_ids[index], replica=replicas[index],
+                    features=_FeatureRow(store, index),
+                ))
+        return nodes
+
+    @property
+    def edge_src(self) -> np.ndarray:
+        """Live zero-copy int64 view of the edge source column."""
+        return self._edges.src[: self._edges.count]
+
+    @property
+    def edge_dst(self) -> np.ndarray:
+        """Live zero-copy int64 view of the edge destination column."""
+        return self._edges.dst[: self._edges.count]
 
     @property
     def edges(self) -> list[CDFGEdge]:
         """Edge-object view of the columnar store (rebuilt when stale)."""
         view = self._edge_view
-        if len(view) != len(self.edge_src):
+        if len(view) != self._edges.count:
             view = self._edge_view = [
-                CDFGEdge(src, dst, kind)
+                CDFGEdge(int(src), int(dst), kind)
                 for src, dst, kind in zip(
-                    self.edge_src, self.edge_dst, self.edge_kinds
+                    *self._edges.views(), self.edge_kinds
                 )
             ]
         return view
@@ -171,24 +490,91 @@ class CDFG:
         replica: int = 0,
         features: dict[str, float] | None = None,
     ) -> CDFGNode:
+        materialized = self._materialized
+        if len(materialized) != len(self.node_kinds):
+            materialized = self.nodes  # close a pending replica tail first
+        node_id = len(self.node_kinds)
+        self.optype_codes.append(self.intern_optype(optype))
+        self.node_kinds.append(kind)
+        self.node_dtypes.append(dtype)
+        self.node_loop_labels.append(loop_label)
+        self.node_arrays.append(array)
+        self.node_instr_ids.append(instr_id)
+        self.node_replicas.append(replica)
+        store = self.feat
+        if store is None:
+            node_features: dict[str, float] | _FeatureRow = dict(features or {})
+        else:
+            row = store.append_row()
+            node_features = _FeatureRow(store, row)
+            if features:
+                node_features.update(features)
         node = CDFGNode(
-            node_id=len(self.nodes), kind=kind, optype=optype, dtype=dtype,
+            node_id=node_id, kind=kind, optype=optype, dtype=dtype,
             loop_label=loop_label, array=array, instr_id=instr_id,
-            replica=replica, features=dict(features or {}),
+            replica=replica, features=node_features,
         )
-        self.nodes.append(node)
+        materialized.append(node)
         return node
+
+    def append_node(
+        self,
+        optype: str,
+        kind: NodeKind = NodeKind.OPERATION,
+        dtype: str = "i32",
+        loop_label: str = "",
+        array: str = "",
+        instr_id: int = -1,
+        replica: int = 0,
+    ) -> int:
+        """Columns-only node append: returns the node id, creates no object.
+
+        The emission hot path uses this instead of :meth:`add_node` — node
+        attributes go straight into the columns (and a zeroed feature row
+        into the block) and the object view stays unmaterialized until
+        someone asks for :attr:`nodes`.
+        """
+        node_id = len(self.node_kinds)
+        self.optype_codes.append(self.intern_optype(optype))
+        self.node_kinds.append(kind)
+        self.node_dtypes.append(dtype)
+        self.node_loop_labels.append(loop_label)
+        self.node_arrays.append(array)
+        self.node_instr_ids.append(instr_id)
+        self.node_replicas.append(replica)
+        if self.feat is not None:
+            self.feat.append_row()
+        return node_id
+
+    def extend_replica_span(self, start: int, stop: int) -> None:
+        """Bulk-append copies of nodes ``[start, stop)`` (replica replay).
+
+        Every node column — identity attributes, optype codes and, on the
+        columnar path, the feature rows — is extended with one C-level slice
+        copy; **no node objects are created** (the object view materializes
+        lazily if ever requested).  The caller rewrites the replica-
+        dependent pieces (``node_replicas`` entries) afterwards.
+        """
+        self.optype_codes.extend(self.optype_codes[start:stop])
+        self.node_kinds.extend(self.node_kinds[start:stop])
+        self.node_dtypes.extend(self.node_dtypes[start:stop])
+        self.node_loop_labels.extend(self.node_loop_labels[start:stop])
+        self.node_arrays.extend(self.node_arrays[start:stop])
+        self.node_instr_ids.extend(self.node_instr_ids[start:stop])
+        self.node_replicas.extend(self.node_replicas[start:stop])
+        if self.feat is not None:
+            self.feat.append_block(start, stop)
 
     def add_edge(self, src: int, dst: int, kind: EdgeKind = EdgeKind.DATA) -> None:
         if src == dst:
             return
-        if not (0 <= src < len(self.nodes)) or not (0 <= dst < len(self.nodes)):
+        num_nodes = len(self.node_kinds)
+        if not (0 <= src < num_nodes) or not (0 <= dst < num_nodes):
             raise ValueError(
                 f"edge ({src}, {dst}) references nodes outside the graph "
-                f"(size {len(self.nodes)})"
+                f"(size {num_nodes})"
             )
-        self.edge_src.append(src)
-        self.edge_dst.append(dst)
+        self._edges.append(src, dst)
         self.edge_kinds.append(kind)
 
     # ------------------------------------------------------------------ #
@@ -196,29 +582,26 @@ class CDFG:
     # ------------------------------------------------------------------ #
     @property
     def num_nodes(self) -> int:
-        return len(self.nodes)
+        return len(self.node_kinds)
 
     @property
     def num_edges(self) -> int:
-        return len(self.edge_src)
+        return self._edges.count
 
     def in_degree(self, node_id: int) -> int:
-        return self.edge_dst.count(node_id)
+        return int((self.edge_dst == node_id).sum())
 
     def out_degree(self, node_id: int) -> int:
-        return self.edge_src.count(node_id)
+        return int((self.edge_src == node_id).sum())
 
     def degree_arrays(self) -> tuple[np.ndarray, np.ndarray]:
         """(in_degree, out_degree) arrays for all nodes, computed in one pass."""
-        if not self.edge_src:
+        if not self._edges.count:
             zeros = np.zeros(self.num_nodes, dtype=np.int64)
             return zeros, zeros.copy()
-        in_degree = np.bincount(
-            np.array(self.edge_dst, dtype=np.int64), minlength=self.num_nodes
-        )
-        out_degree = np.bincount(
-            np.array(self.edge_src, dtype=np.int64), minlength=self.num_nodes
-        )
+        src, dst = self._edges.views()
+        in_degree = np.bincount(dst, minlength=self.num_nodes)
+        out_degree = np.bincount(src, minlength=self.num_nodes)
         return in_degree, out_degree
 
     def nodes_of_kind(self, kind: NodeKind) -> list[CDFGNode]:
@@ -234,10 +617,25 @@ class CDFG:
         return [node for node in ports if node.array == array]
 
     def edge_index(self) -> np.ndarray:
-        """Edge list as a (2, E) integer array (PyG-style ``edge_index``)."""
-        if not self.edge_src:
-            return np.zeros((2, 0), dtype=np.int64)
-        return np.array([self.edge_src, self.edge_dst], dtype=np.int64)
+        """Edge list as a (2, E) integer array (PyG-style ``edge_index``).
+
+        Memoized per edge count: repeated calls return the **same** array
+        object, which lets identity-keyed consumers (the message-passing
+        edge cache, sample templates) share downstream memos.  Treat it as
+        read-only.
+        """
+        cached = self._edge_index_cache
+        count = self._edges.count
+        if cached is not None and cached.shape[1] == count:
+            return cached
+        if not count:
+            cached = np.zeros((2, 0), dtype=np.int64)
+        else:
+            cached = np.empty((2, count), dtype=np.int64)
+            cached[0] = self._edges.src[:count]
+            cached[1] = self._edges.dst[:count]
+        self._edge_index_cache = cached
+        return cached
 
     def edge_kind_codes(self) -> np.ndarray:
         """Integer code per edge (0=data, 1=control, 2=memory)."""
@@ -262,51 +660,98 @@ class CDFG:
     def subgraph(self, node_ids: list[int], name: str = "") -> "CDFG":
         """Induced subgraph over ``node_ids`` (node ids are re-numbered)."""
         keep = {old: new for new, old in enumerate(node_ids)}
-        sub = CDFG(name=name or f"{self.name}.sub")
+        sub = CDFG(name=name or f"{self.name}.sub", columnar=self.columnar)
+        store = sub.feat
+        if store is not None and node_ids:
+            # one fancy-indexed copy instead of per-node feature transfers
+            store.matrix = self.feature_matrix()[
+                np.asarray(node_ids, dtype=np.int64)
+            ].copy()
+            store.count = len(node_ids)
+        table = self.optype_table
         for old_id in node_ids:
-            source = self.nodes[old_id]
-            sub.nodes.append(
-                CDFGNode(
-                    node_id=keep[old_id], kind=source.kind, optype=source.optype,
-                    dtype=source.dtype, loop_label=source.loop_label,
-                    array=source.array, instr_id=source.instr_id,
-                    replica=source.replica, features=dict(source.features),
-                )
+            sub.optype_codes.append(
+                sub.intern_optype(table[self.optype_codes[old_id]])
             )
+            sub.node_kinds.append(self.node_kinds[old_id])
+            sub.node_dtypes.append(self.node_dtypes[old_id])
+            sub.node_loop_labels.append(self.node_loop_labels[old_id])
+            sub.node_arrays.append(self.node_arrays[old_id])
+            sub.node_instr_ids.append(self.node_instr_ids[old_id])
+            sub.node_replicas.append(self.node_replicas[old_id])
+        if store is None:
+            # dict path: eagerly clone the node objects with their dicts
+            for old_id in node_ids:
+                source = self.nodes[old_id]
+                sub._materialized.append(
+                    CDFGNode(
+                        node_id=keep[old_id], kind=source.kind,
+                        optype=source.optype, dtype=source.dtype,
+                        loop_label=source.loop_label, array=source.array,
+                        instr_id=source.instr_id, replica=source.replica,
+                        features=dict(source.features),
+                    )
+                )
         for src, dst, kind in zip(self.edge_src, self.edge_dst, self.edge_kinds):
+            src = int(src)
+            dst = int(dst)
             if src in keep and dst in keep:
-                sub.edge_src.append(keep[src])
-                sub.edge_dst.append(keep[dst])
+                sub._edges.append(keep[src], keep[dst])
                 sub.edge_kinds.append(kind)
         sub.loop_features = self.loop_features
         sub.metadata = dict(self.metadata)
         return sub
 
+    def _copy_columns_into(self, clone: "CDFG") -> None:
+        """Copy every node/edge column of ``self`` into ``clone``."""
+        clone.optype_codes = list(self.optype_codes)
+        clone.optype_table = list(self.optype_table)
+        clone._optype_index = dict(self._optype_index)
+        clone.node_kinds = list(self.node_kinds)
+        clone.node_dtypes = list(self.node_dtypes)
+        clone.node_loop_labels = list(self.node_loop_labels)
+        clone.node_arrays = list(self.node_arrays)
+        clone.node_instr_ids = list(self.node_instr_ids)
+        clone.node_replicas = list(self.node_replicas)
+        clone._edges = self._edges.copy()
+        clone.edge_kinds = list(self.edge_kinds)
+
     def copy(self) -> "CDFG":
         """An independent copy sharing no mutable state with the original.
 
-        The columnar edge store is copied shallowly (ints and enum members
-        are immutable); node feature dicts are duplicated because callers
-        annotate them in place (e.g. super-node QoR annotation).
+        On the columnar path the whole copy is a handful of C-level list
+        copies plus one feature-matrix copy — **no node objects** (the
+        clone's object view materializes lazily).  On the retained
+        reference path node feature dicts are duplicated per node because
+        callers annotate them in place (e.g. super-node QoR annotation).
         """
-        clone = CDFG(name=self.name)
+        clone = CDFG(name=self.name, columnar=self.columnar)
+        self._copy_columns_into(clone)
+        clone.loop_features = self.loop_features
+        clone.metadata = dict(self.metadata)
+        if self.feat is not None:
+            clone.feat = self.feat.copy()
+            return clone
         new_node = CDFGNode.__new__
-        nodes = clone.nodes
+        nodes = clone._materialized
         for node in self.nodes:
             fields = dict(node.__dict__)
             fields["features"] = dict(fields["features"])
             duplicate = new_node(CDFGNode)
             duplicate.__dict__ = fields
             nodes.append(duplicate)
-        clone.edge_src = list(self.edge_src)
-        clone.edge_dst = list(self.edge_dst)
-        clone.edge_kinds = list(self.edge_kinds)
-        clone.loop_features = self.loop_features
-        clone.metadata = dict(self.metadata)
         return clone
 
     def feature_matrix(self) -> np.ndarray:
-        """(N, len(NODE_FEATURE_NAMES)) matrix of numerical node features."""
+        """(N, len(NODE_FEATURE_NAMES)) matrix of numerical node features.
+
+        On the columnar path this is a **zero-copy view** of the live rows of
+        the feature block — writes through the view (or through any node's
+        ``features``) are visible to every other view.  Consumers that need
+        an independent matrix copy it explicitly.
+        """
+        if self.feat is not None:
+            return self.feat.view()
         if not self.nodes:
             return np.zeros((0, len(NODE_FEATURE_NAMES)))
         names = NODE_FEATURE_NAMES
@@ -328,7 +773,29 @@ class CDFG:
         )
 
     def optype_list(self) -> list[str]:
-        return [node.optype for node in self.nodes]
+        """Per-node optype strings (memoized: callers get a stable list
+        object, so encoders can key per-list memos on its identity)."""
+        cached = self._optype_list_cache
+        if cached is None or len(cached) != len(self.optype_codes):
+            table = self.optype_table
+            cached = self._optype_list_cache = [
+                table[code] for code in self.optype_codes
+            ]
+        return cached
+
+    def optype_code_array(self) -> np.ndarray:
+        """Per-node optype codes as an int64 array (memoized, read-only).
+
+        Paired with :attr:`optype_table`, this is the columnar form of
+        :meth:`optype_list`: encoders translate the (tiny) table once and
+        fancy-index it with these codes instead of resolving one string per
+        node (see ``OptypeEncoder.encode_sample_indices``).
+        """
+        cached = getattr(self, "_optype_code_cache", None)
+        if cached is None or cached.shape[0] != len(self.optype_codes):
+            cached = np.asarray(self.optype_codes, dtype=np.int64)
+            self._optype_code_cache = cached
+        return cached
 
     def summary(self) -> dict[str, int]:
         """Node/edge counts by category (handy for tests and logging)."""
@@ -349,5 +816,5 @@ class CDFG:
 
 __all__ = [
     "CDFG", "CDFGNode", "CDFGEdge", "NodeKind", "EdgeKind",
-    "LoopLevelFeatures", "NODE_FEATURE_NAMES",
+    "LoopLevelFeatures", "NODE_FEATURE_NAMES", "FEATURE_COLUMN",
 ]

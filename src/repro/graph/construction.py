@@ -37,9 +37,10 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.flags import reference_encoding_active
 from repro.frontend.pragmas import ArrayDirective, PartitionType, PragmaConfig
 from repro.graph.cache import FunctionSkeleton
-from repro.graph.cdfg import CDFG, CDFGNode, EdgeKind, NodeKind
+from repro.graph.cdfg import CDFG, FEATURE_COLUMN, CDFGNode, EdgeKind, NodeKind
 from repro.hls.directives import effective_unroll_factors, partition_banks
 from repro.hls.op_library import DEFAULT_LIBRARY, MEMORY_PORT, OperatorLibrary
 from repro.ir.instructions import Instruction, Opcode
@@ -57,6 +58,11 @@ DEFAULT_REPLAY_UNROLL = True
 #: sentinels for the memoized bank-connection rules (compared by identity)
 _BANKS_FIXED = "fixed"
 _BANKS_CYCLIC = "cyclic"
+
+#: feature-column indices used by the columnar emission path
+_COL_INVOCATIONS = FEATURE_COLUMN["invocations"]
+_COL_IN_DEGREE = FEATURE_COLUMN["in_degree"]
+_COL_OUT_DEGREE = FEATURE_COLUMN["out_degree"]
 
 
 @contextmanager
@@ -250,6 +256,11 @@ class GraphBuilder:
         self.replay_unroll = (
             DEFAULT_REPLAY_UNROLL if replay_unroll is None else replay_unroll
         )
+        # columnar feature storage rides the same switch as replica replay:
+        # naive emission (and the reference encoding pipeline) builds graphs
+        # with the retained per-node feature dicts, which is what the
+        # columnar differential guards compare against
+        self._columnar = self.replay_unroll and not reference_encoding_active()
         self._var_to_loop: dict[str, str] | None = (
             skeleton.var_to_loop if skeleton is not None else None
         )
@@ -259,7 +270,7 @@ class GraphBuilder:
             self.unroll = unroll_factors
         else:
             self.unroll = effective_unroll_factors(function, self.config)
-        self.cdfg = CDFG(name=function.name)
+        self.cdfg = CDFG(name=function.name, columnar=self._columnar)
         self._port_nodes: dict[str, list[int]] = {}
         #: memoized per-instruction bank-connection rules (see _bank_rule)
         self._bank_rules: dict[int, tuple] = {}
@@ -286,7 +297,9 @@ class GraphBuilder:
         GraphBuilder.build_count += 1
         started = perf_counter()
         with _gc_paused():
-            self.cdfg = CDFG(name=f"{self.function.name}:{loop.label}")
+            self.cdfg = CDFG(
+                name=f"{self.function.name}:{loop.label}", columnar=self._columnar
+            )
             self._port_nodes = {}
             self._bank_rules = {}
             touched = self._arrays_touched(loop)
@@ -303,7 +316,17 @@ class GraphBuilder:
     # ------------------------------------------------------------------ #
     # memory ports
     # ------------------------------------------------------------------ #
+    #: feature row of every memory-port node (ports are characterized by the
+    #: fixed MEMORY_PORT operator; in/out degree and work are finalized later)
+    _PORT_FEATURE_ROW = (
+        1.0, 0.0, 0.0, float(MEMORY_PORT.cycles), MEMORY_PORT.delay_ns,
+        float(MEMORY_PORT.lut), float(MEMORY_PORT.dsp), float(MEMORY_PORT.ff),
+        0.0,
+    )
+
     def _add_memory_ports(self, arrays) -> None:
+        feat = self.cdfg.feat
+        port_row = self._PORT_FEATURE_ROW
         for info in arrays:
             directive = (
                 self.config.array(info.name) if self.pragma_aware else ArrayDirective()
@@ -312,20 +335,27 @@ class GraphBuilder:
             banks = min(banks, self.max_replication)
             node_ids = []
             for bank in range(banks):
-                node = self.cdfg.add_node(
-                    IOPORT_OPTYPE, kind=NodeKind.MEMORY_PORT, dtype=info.dtype,
-                    array=info.name, replica=bank,
-                    features={name: 0.0 for name in ()},
-                )
-                node.features.update(
-                    invocations=1.0,
-                    cycles=float(MEMORY_PORT.cycles),
-                    delay=MEMORY_PORT.delay_ns,
-                    lut=float(MEMORY_PORT.lut),
-                    dsp=float(MEMORY_PORT.dsp),
-                    ff=float(MEMORY_PORT.ff),
-                )
-                node_ids.append(node.node_id)
+                if feat is not None:
+                    node_id = self.cdfg.append_node(
+                        IOPORT_OPTYPE, NodeKind.MEMORY_PORT, info.dtype,
+                        "", info.name, -1, bank,
+                    )
+                    feat.matrix[node_id] = port_row
+                else:
+                    node = self.cdfg.add_node(
+                        IOPORT_OPTYPE, kind=NodeKind.MEMORY_PORT, dtype=info.dtype,
+                        array=info.name, replica=bank,
+                    )
+                    node_id = node.node_id
+                    node.features.update(
+                        invocations=1.0,
+                        cycles=float(MEMORY_PORT.cycles),
+                        delay=MEMORY_PORT.delay_ns,
+                        lut=float(MEMORY_PORT.lut),
+                        dsp=float(MEMORY_PORT.dsp),
+                        ff=float(MEMORY_PORT.ff),
+                    )
+                node_ids.append(node_id)
             self._port_nodes[info.name] = node_ids
 
     def _connected_banks(
@@ -438,7 +468,7 @@ class GraphBuilder:
             for rec in state.entry_recs:
                 rec.entry_dsts.append(dst - rec.node_start)
                 if state.prev_node is not None:
-                    rec.entry_edge_ids.append(len(self.cdfg.edge_src))
+                    rec.entry_edge_ids.append(self.cdfg.num_edges)
         if state.prev_node is not None:
             self.cdfg.add_edge(state.prev_node, dst, EdgeKind.CONTROL)
 
@@ -492,36 +522,53 @@ class GraphBuilder:
             return -1
         loop_label = state.loops[-1].label if state.loops else ""
         replica = state.loops[-1].replica if state.loops else 0
-        node = self.cdfg.add_node(
-            instr.opcode.value if instr.opcode is not Opcode.CALL else instr.callee,
-            kind=NodeKind.OPERATION, dtype=instr.dtype, loop_label=loop_label,
-            array=instr.array, instr_id=instr.instr_id, replica=replica,
+        optype = (
+            instr.opcode.value if instr.opcode is not Opcode.CALL else instr.callee
         )
-        if self._recorders:
-            self._record_replica_node(state, node.node_id)
-        node.features["invocations"] = float(self._invocations(state))
+        invocations = float(self._invocations(state))
         char = self._characterize(instr)
-        node.features.update(
-            cycles=float(char.cycles), delay=char.delay_ns, lut=float(char.lut),
-            dsp=float(char.dsp), ff=float(char.ff),
-            work=float(max(1, char.cycles)) * node.features["invocations"],
-        )
+        feat = self.cdfg.feat
+        if feat is not None:
+            node_id = self.cdfg.append_node(
+                optype, NodeKind.OPERATION, instr.dtype, loop_label,
+                instr.array, instr.instr_id, replica,
+            )
+            feat.matrix[node_id] = (
+                invocations, 0.0, 0.0, float(char.cycles), char.delay_ns,
+                float(char.lut), float(char.dsp), float(char.ff),
+                float(max(1, char.cycles)) * invocations,
+            )
+        else:
+            node = self.cdfg.add_node(
+                optype, kind=NodeKind.OPERATION, dtype=instr.dtype,
+                loop_label=loop_label, array=instr.array,
+                instr_id=instr.instr_id, replica=replica,
+            )
+            node_id = node.node_id
+            node.features["invocations"] = invocations
+            node.features.update(
+                cycles=float(char.cycles), delay=char.delay_ns, lut=float(char.lut),
+                dsp=float(char.dsp), ff=float(char.ff),
+                work=float(max(1, char.cycles)) * invocations,
+            )
+        if self._recorders:
+            self._record_replica_node(state, node_id)
         # data-flow edges from producing nodes
         for operand in instr.value_operands:
             src = state.scope.lookup(operand.instr_id)
             if src is not None:
-                self.cdfg.add_edge(src, node.node_id, EdgeKind.DATA)
+                self.cdfg.add_edge(src, node_id, EdgeKind.DATA)
         # sequential control edge (program order within the region)
-        self._chain_edge(state, node.node_id)
-        state.prev_node = node.node_id
+        self._chain_edge(state, node_id)
+        state.prev_node = node_id
         state.entry_recs = ()
-        state.scope.bind(instr.instr_id, node.node_id)
+        state.scope.bind(instr.instr_id, node_id)
         # memory edges to/from port banks
         if instr.opcode in (Opcode.LOAD, Opcode.STORE) and instr.array in self._port_nodes:
             self._add_memory_edges(
-                node.node_id, instr, state.offsets, instr.opcode is Opcode.LOAD
+                node_id, instr, state.offsets, instr.opcode is Opcode.LOAD
             )
-        return node.node_id
+        return node_id
 
     def _invocations(self, state: _EmitState) -> int:
         total = 1
@@ -543,22 +590,34 @@ class GraphBuilder:
         loop_scope = _ValueScope(parent=state.scope)
         if not fully_unrolled:
             for instr in loop.header_instrs + loop.latch_instrs:
-                loop_label = loop.label
-                node = self.cdfg.add_node(
-                    instr.opcode.value, kind=NodeKind.OPERATION, dtype=instr.dtype,
-                    loop_label=loop_label, instr_id=instr.instr_id,
-                )
-                node.features["invocations"] = float(
-                    self._invocations(state) * residual
-                )
+                invocations = float(self._invocations(state) * residual)
                 char = self._characterize(instr)
-                node.features.update(
-                    cycles=float(char.cycles), delay=char.delay_ns,
-                    lut=float(char.lut), dsp=float(char.dsp), ff=float(char.ff),
-                    work=float(max(1, char.cycles)) * node.features["invocations"],
-                )
-                loop_scope.bind(instr.instr_id, node.node_id)
-                header_nodes.append(node.node_id)
+                feat = self.cdfg.feat
+                if feat is not None:
+                    node_id = self.cdfg.append_node(
+                        instr.opcode.value, NodeKind.OPERATION, instr.dtype,
+                        loop.label, "", instr.instr_id, 0,
+                    )
+                    feat.matrix[node_id] = (
+                        invocations, 0.0, 0.0, float(char.cycles), char.delay_ns,
+                        float(char.lut), float(char.dsp), float(char.ff),
+                        float(max(1, char.cycles)) * invocations,
+                    )
+                else:
+                    node = self.cdfg.add_node(
+                        instr.opcode.value, kind=NodeKind.OPERATION,
+                        dtype=instr.dtype, loop_label=loop.label,
+                        instr_id=instr.instr_id,
+                    )
+                    node_id = node.node_id
+                    node.features["invocations"] = invocations
+                    node.features.update(
+                        cycles=float(char.cycles), delay=char.delay_ns,
+                        lut=float(char.lut), dsp=float(char.dsp), ff=float(char.ff),
+                        work=float(max(1, char.cycles)) * invocations,
+                    )
+                loop_scope.bind(instr.instr_id, node_id)
+                header_nodes.append(node_id)
             # wire header control/data flow: phi -> icmp -> br, phi -> incr
             if len(header_nodes) >= 4:
                 phi, icmp, br, incr = header_nodes[:4]
@@ -608,8 +667,8 @@ class GraphBuilder:
     ) -> None:
         """Replica-replay fast path: emit replica 0, bulk-copy the rest."""
         cdfg = self.cdfg
-        node_start = len(cdfg.nodes)
-        edge_start = len(cdfg.edge_src)
+        node_start = cdfg.num_nodes
+        edge_start = cdfg.num_edges
         replica_state = self._replica_state(loop, state, loop_scope, factor, residual, 0)
         rec = _ReplayRecorder(
             node_start=node_start, edge_start=edge_start,
@@ -627,7 +686,10 @@ class GraphBuilder:
                 r for r in replica_state.entry_recs if r is not rec
             )
 
-        span_nodes = cdfg.nodes[node_start:]
+        span_stop = cdfg.num_nodes
+        # the legacy dict path clones node objects, so it needs the span's
+        # object view; the columnar path never touches node objects at all
+        span_nodes = cdfg.nodes[node_start:] if cdfg.feat is None else ()
         # the replica's exit predecessor: remapped per copy when it lies in
         # the span, carried unchanged otherwise (both match naive emission)
         exit_rel = None
@@ -684,8 +746,8 @@ class GraphBuilder:
         # endpoints shift by the copy delta, out-of-span endpoints (values
         # produced before the loop, memory ports) stay.
         entry_ids = set(rec.entry_edge_ids)
-        span_src = cdfg.edge_src
-        span_dst = cdfg.edge_dst
+        span_src = cdfg.edge_src.tolist()
+        span_dst = cdfg.edge_dst.tolist()
         span_kinds = cdfg.edge_kinds
         for index in range(edge_start, len(span_src)):
             kind = span_kinds[index]
@@ -706,7 +768,7 @@ class GraphBuilder:
         for replica in range(1, factor):
             if self._budget_check():
                 break
-            base = len(cdfg.nodes)
+            base = cdfg.num_nodes
             if max_checkpoint >= 0 and base + max_checkpoint >= max_nodes:
                 # a nested unroll's budget check would flip at this offset,
                 # truncating elsewhere than in the recorded span — emit this
@@ -730,45 +792,54 @@ class GraphBuilder:
                         candidate = base - outer.node_start + max_checkpoint
                         if candidate > outer.max_checkpoint:
                             outer.max_checkpoint = candidate
+                # events recorded in the same emission state share their
+                # offsets dict; shift each distinct dict once per replica
+                shift_memo: dict[int, dict] = {}
                 for node_rel, instr, offsets, is_load in rec.mem_events:
-                    shifted = dict(offsets)
-                    shifted[loop_var] = replica
+                    shifted = shift_memo.get(id(offsets))
+                    if shifted is None:
+                        shifted = dict(offsets)
+                        shifted[loop_var] = replica
+                        shift_memo[id(offsets)] = shifted
                     for outer in self._recorders:
                         outer.mem_events.append(
                             (base + node_rel - outer.node_start,
                              instr, shifted, is_load)
                         )
-            append = cdfg.nodes.append
-            for source in span_nodes:
-                # the feature dict is shared with the source node: replicas
-                # differ only in their in/out degrees, which _finalize writes
-                # copy-on-write (clones follow their source in node order)
-                fields = dict(source.__dict__)
-                fields["node_id"] += delta
-                clone = new_node(CDFGNode)
-                clone.__dict__ = fields
-                append(clone)
-            nodes = cdfg.nodes
+            cdfg.extend_replica_span(node_start, span_stop)
+            if cdfg.feat is None:
+                # legacy dict path only: clone the node objects too (the
+                # feature dict is shared with the source node — replicas
+                # differ only in their in/out degrees, which _finalize
+                # writes copy-on-write; clones follow their source in node
+                # order).  The columnar path creates no objects at all.
+                append = cdfg._materialized.append
+                for source in span_nodes:
+                    fields = dict(source.__dict__)
+                    fields["node_id"] += delta
+                    clone = new_node(CDFGNode)
+                    clone.__dict__ = fields
+                    append(clone)
+                materialized = cdfg._materialized
+                for rel in rec.replica_nodes:
+                    materialized[base + rel].replica = replica
+            replicas = cdfg.node_replicas
             for rel in rec.replica_nodes:
-                nodes[base + rel].replica = replica
+                replicas[base + rel] = replica
             if template_src:
-                cdfg.edge_src.extend((src + delta * src_shift).tolist())
-                cdfg.edge_dst.extend((dst + delta * dst_shift).tolist())
+                cdfg._edges.extend(src + delta * src_shift, dst + delta * dst_shift)
                 cdfg.edge_kinds.extend(kinds)
             if chain_prev is not None:
                 for dst_rel in rec.entry_dsts:
                     cdfg.add_edge(chain_prev, base + dst_rel, EdgeKind.CONTROL)
-            src_append = cdfg.edge_src.append
-            dst_append = cdfg.edge_dst.append
+            edge_append = cdfg._edges.append
             kind_append = cdfg.edge_kinds.append
             for node_rel, ports, bank0, stride, is_load in linear_events:
                 bank = (bank0 + stride * replica) % len(ports)
                 if is_load:
-                    src_append(ports[bank])
-                    dst_append(base + node_rel)
+                    edge_append(ports[bank], base + node_rel)
                 else:
-                    src_append(base + node_rel)
-                    dst_append(ports[bank])
+                    edge_append(base + node_rel, ports[bank])
                 kind_append(memory_kind)
             if exit_rel is not None:
                 state.prev_node = base + exit_rel
@@ -778,13 +849,23 @@ class GraphBuilder:
         pipelined = self.condense_loops.get(loop.label, False)
         optype = SUPER_PIPELINED_OPTYPE if pipelined else SUPER_NONPIPELINED_OPTYPE
         replica = state.loops[-1].replica if state.loops else 0
-        node = self.cdfg.add_node(
-            optype, kind=NodeKind.SUPER_NODE,
-            loop_label=loop.label, replica=replica,
-        )
+        feat = self.cdfg.feat
+        if feat is not None:
+            node_id = self.cdfg.append_node(
+                optype, NodeKind.SUPER_NODE, "i32", loop.label, "", -1, replica,
+            )
+            feat.matrix[node_id, _COL_INVOCATIONS] = float(
+                self._invocations(state)
+            )
+        else:
+            node = self.cdfg.add_node(
+                optype, kind=NodeKind.SUPER_NODE,
+                loop_label=loop.label, replica=replica,
+            )
+            node_id = node.node_id
+            node.features["invocations"] = float(self._invocations(state))
         if self._recorders:
-            self._record_replica_node(state, node.node_id)
-        node.features["invocations"] = float(self._invocations(state))
+            self._record_replica_node(state, node_id)
         # data edges from outer values consumed inside the condensed loop
         if self.skeleton is not None:
             inner_ids = self.skeleton.inner_instr_ids(loop.label)
@@ -807,19 +888,19 @@ class GraphBuilder:
         for instr_id in external_uses_sorted:
             src = state.scope.lookup(instr_id)
             if src is not None:
-                self.cdfg.add_edge(src, node.node_id, EdgeKind.DATA)
+                self.cdfg.add_edge(src, node_id, EdgeKind.DATA)
         # memory edges between the super node and the banks of arrays it uses
         for instr in memory_instrs:
             if instr.array not in self._port_nodes:
                 continue
             self._add_memory_edges(
-                node.node_id, instr, state.offsets, instr.opcode is Opcode.LOAD
+                node_id, instr, state.offsets, instr.opcode is Opcode.LOAD
             )
         # values defined inside and used outside resolve to the super node
         for instr_id in inner_ids:
-            state.scope.bind(instr_id, node.node_id)
-        self._chain_edge(state, node.node_id)
-        state.prev_node = node.node_id
+            state.scope.bind(instr_id, node_id)
+        self._chain_edge(state, node_id)
+        state.prev_node = node_id
         state.entry_recs = ()
 
     def _emit_if(self, if_region: IfRegion, state: _EmitState) -> None:
@@ -847,23 +928,32 @@ class GraphBuilder:
     # ------------------------------------------------------------------ #
     def _finalize(self) -> None:
         in_degree, out_degree = self.cdfg.degree_arrays()
-        for node, fan_in, fan_out in zip(
-            self.cdfg.nodes, in_degree.tolist(), out_degree.tolist()
-        ):
-            # replay clones share their source node's feature dict; the
-            # source (earlier in node order) writes its degrees into the
-            # shared dict, and a clone unshares only when its own degrees
-            # differ (boundary nodes of a replica chain)
-            features = node.features
-            if (
-                features.get("in_degree") == fan_in
-                and features.get("out_degree") == fan_out
+        feat = self.cdfg.feat
+        if feat is not None:
+            # columnar path: every node owns its feature row, so the degree
+            # columns are written in two vectorized assignments — no
+            # per-node loop, no copy-on-write unsharing
+            matrix = feat.view()
+            matrix[:, _COL_IN_DEGREE] = in_degree
+            matrix[:, _COL_OUT_DEGREE] = out_degree
+        else:
+            for node, fan_in, fan_out in zip(
+                self.cdfg.nodes, in_degree.tolist(), out_degree.tolist()
             ):
-                continue
-            if "in_degree" in features:
-                node.features = features = dict(features)
-            features["in_degree"] = float(fan_in)
-            features["out_degree"] = float(fan_out)
+                # replay clones share their source node's feature dict; the
+                # source (earlier in node order) writes its degrees into the
+                # shared dict, and a clone unshares only when its own degrees
+                # differ (boundary nodes of a replica chain)
+                features = node.features
+                if (
+                    features.get("in_degree") == fan_in
+                    and features.get("out_degree") == fan_out
+                ):
+                    continue
+                if "in_degree" in features:
+                    node.features = features = dict(features)
+                features["in_degree"] = float(fan_in)
+                features["out_degree"] = float(fan_out)
         self.cdfg.metadata["kernel"] = self.function.name
         self.cdfg.metadata["config"] = self.config.describe()
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 
 from repro.frontend.pragmas import PragmaConfig
-from repro.graph.cdfg import CDFG, LoopLevelFeatures
+from repro.graph.cdfg import CDFG, FEATURE_COLUMN as _COLUMN, LoopLevelFeatures
 from repro.hls.directives import all_array_ports, effective_unroll_factors
 from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
 from repro.hls.scheduling import initiation_interval
@@ -135,7 +135,22 @@ def annotate_super_node(
 
     The super node keeps the full Table II feature set; latency maps onto the
     ``cycles`` feature and the predicted resources onto ``lut``/``dsp``/``ff``.
+    On the columnar path the annotation writes straight into the graph's
+    feature block without touching (or materializing) any node object.
     """
+    feat = graph.feat
+    if feat is not None:
+        row = feat.matrix[node_id]
+        row[_COLUMN["cycles"]] = float(latency)
+        row[_COLUMN["delay"]] = float(iteration_latency)
+        row[_COLUMN["lut"]] = float(lut)
+        row[_COLUMN["dsp"]] = float(dsp)
+        row[_COLUMN["ff"]] = float(ff)
+        invocations = float(row[_COLUMN["invocations"]])
+        row[_COLUMN["work"]] = float(latency) * (
+            invocations if invocations != 0.0 else 1.0
+        )
+        return
     node = graph.nodes[node_id]
     node.features["cycles"] = float(latency)
     node.features["delay"] = float(iteration_latency)
@@ -152,12 +167,21 @@ def scale_feature_matrix(graph: CDFG, log_scale: bool = True):
 
     Invocation counts, cycles and resource figures span several orders of
     magnitude; ``log1p`` compression keeps the GNN inputs well-conditioned.
+
+    On the columnar path this is a fused two-pass op over the graph's
+    feature block: one clamped copy, one in-place ``log1p`` — no per-node
+    walk and no intermediate full-size temporaries.  With
+    ``log_scale=False`` the columnar matrix is returned as a **zero-copy
+    view** (see :meth:`repro.graph.cdfg.CDFG.feature_matrix`).
     """
     import numpy as np
 
     matrix = graph.feature_matrix()
     if log_scale:
-        matrix = np.log1p(np.maximum(matrix, 0.0))
+        # clamp into a fresh buffer (never mutate the graph's columns),
+        # then compress in place in that same buffer
+        matrix = np.maximum(matrix, 0.0)
+        np.log1p(matrix, out=matrix)
     return matrix
 
 

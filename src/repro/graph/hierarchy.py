@@ -72,9 +72,11 @@ class HierarchicalDecomposition:
     def super_node_ids(self, label: str) -> list[int]:
         """Super nodes in the outer graph standing for loop ``label``
         (several when the parent loop is unrolled)."""
+        graph = self.outer_graph
+        labels = graph.node_loop_labels
         return [
-            node.node_id for node in self.outer_graph.nodes
-            if node.kind is NodeKind.SUPER_NODE and node.loop_label == label
+            node_id for node_id, kind in enumerate(graph.node_kinds)
+            if kind is NodeKind.SUPER_NODE and labels[node_id] == label
         ]
 
 

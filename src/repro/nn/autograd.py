@@ -61,6 +61,9 @@ class _ScatterIndexCache:
         self._entries: OrderedDict[tuple, tuple[weakref.ref, object]] = (
             OrderedDict()
         )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def _memo(self, ids: Array, key: tuple, compute):
         if reference_encoding_active():
@@ -69,8 +72,10 @@ class _ScatterIndexCache:
             return compute()
         entry = self._entries.get(key)
         if entry is not None and entry[0]() is ids:
+            self.hits += 1
             self._entries.move_to_end(key)
             return entry[1]
+        self.misses += 1
         value = compute()
         try:
             ref = weakref.ref(ids)
@@ -81,6 +86,7 @@ class _ScatterIndexCache:
             del entries[stale_key]
         while len(entries) >= self.max_entries:
             entries.popitem(last=False)
+            self.evictions += 1
         entries[key] = (ref, value)
         return value
 
@@ -116,6 +122,20 @@ class _ScatterIndexCache:
             lambda: np.maximum(
                 np.bincount(ids, minlength=num_segments).astype(np.float64), 1.0
             ),
+        )
+
+    def mean_edge_weights(self, ids: Array, num_segments: int) -> Array:
+        """Per-edge ``1 / count(dst)`` weights, memoized per id array.
+
+        Folding these into the fused gather-scatter operator turns SAGE's
+        mean aggregation into a single weighted CSR product — the division
+        happens per *edge* inside the accumulation instead of per node
+        afterwards (same value within float rounding), removing one
+        union-sized multiply and temporary per layer.
+        """
+        return self._memo(
+            ids, (id(ids), "mean_weights", num_segments),
+            lambda: (1.0 / self.segment_counts(ids, num_segments))[ids],
         )
 
     def scatter_matrix(self, ids: Array, num_segments: int):
@@ -208,8 +228,20 @@ class _ScatterIndexCache:
             ref_src, ref_weights, matrices = self._memo(dst, key, compute)
         return matrices
 
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current occupancy."""
+        return {
+            "scatter_index_hits": self.hits,
+            "scatter_index_misses": self.misses,
+            "scatter_index_evictions": self.evictions,
+            "scatter_index_entries": len(self._entries),
+        }
+
     def clear(self) -> None:
         self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
 
 #: process-wide memo shared by every scatter-add call
@@ -693,6 +725,112 @@ def gather_scatter_sum(
     return Tensor(out_data, _parents=(x,), _backward=backward)
 
 
+def embedding_linear(
+    codes: Array,
+    numeric: Array,
+    weight: Tensor,
+    bias: Tensor | None,
+    split: int,
+) -> Tensor:
+    """First-layer encoding as an embedding gather folded into ``weight``.
+
+    Computes ``dense @ weight (+ bias)`` where ``dense`` is the elided
+    ``[one-hot(codes, split) | numeric]`` node matrix — without ever
+    materializing the one-hot block: rows ``weight[:split]`` act as the
+    ``(n_optypes, hidden)`` embedding table (one gather per node replaces
+    each node's one-hot product, since a one-hot row times a matrix *is* a
+    row lookup), and the numeric block multiplies ``weight[split:]`` as a
+    small GEMM accumulated in place on top of the gathered rows.
+
+    ``numeric`` is a plain array (union buffers never require gradients);
+    gradients flow to ``weight`` — a scatter-add over the codes for the
+    table rows, ``numericᵀ @ grad`` for the rest — and to ``bias``, exactly
+    the expressions the dense product would produce.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    weight_data = weight.data
+    out_data = weight_data[codes]
+    if numeric.shape[1]:
+        np.add(out_data, _stable_matmul(numeric, weight_data[split:]), out=out_data)
+    if bias is not None:
+        np.add(out_data, bias.data, out=out_data)
+
+    def backward(grad: Array) -> None:
+        if weight._needs_graph:
+            weight_grad = np.zeros_like(weight_data)
+            if codes.size:
+                weight_grad[:split] = _scatter_add(codes, grad, split)
+            if numeric.shape[1]:
+                weight_grad[split:] = numeric.T @ grad
+            weight._accumulate(weight_grad)
+        if bias is not None and bias._needs_graph:
+            bias._accumulate(_unbroadcast(grad, bias.data.shape))
+
+    parents = (weight,) if bias is None else (weight, bias)
+    return Tensor(out_data, _parents=parents, _backward=backward)
+
+
+def linear_sum(
+    a: Tensor, weight_a: Tensor, bias_a: Tensor | None,
+    b: Tensor, weight_b: Tensor, bias_b: Tensor | None,
+) -> Tensor:
+    """``linear(a, Wa, ba) + linear(b, Wb, bb)`` as one fused node.
+
+    Value-for-value the composed expression — both addends are computed
+    exactly as :func:`linear` would and summed in the same association — but
+    the sum accumulates in place into the first addend's buffer, saving one
+    full-size output allocation per call (the SAGE ``self + neighbor``
+    combination, once per layer per forward).
+    """
+    out_data = _stable_matmul(a.data, weight_a.data)
+    if bias_a is not None:
+        np.add(out_data, bias_a.data, out=out_data)
+    other = _stable_matmul(b.data, weight_b.data)
+    if bias_b is not None:
+        np.add(other, bias_b.data, out=other)
+    np.add(out_data, other, out=out_data)
+
+    def backward(grad: Array) -> None:
+        if a._needs_graph:
+            a._accumulate(grad @ weight_a.data.T)
+        if weight_a._needs_graph:
+            weight_a._accumulate(a.data.T @ grad)
+        if bias_a is not None and bias_a._needs_graph:
+            bias_a._accumulate(_unbroadcast(grad, bias_a.data.shape))
+        if b._needs_graph:
+            b._accumulate(grad @ weight_b.data.T)
+        if weight_b._needs_graph:
+            weight_b._accumulate(b.data.T @ grad)
+        if bias_b is not None and bias_b._needs_graph:
+            bias_b._accumulate(_unbroadcast(grad, bias_b.data.shape))
+
+    parents = tuple(
+        tensor for tensor in (a, weight_a, bias_a, b, weight_b, bias_b)
+        if tensor is not None
+    )
+    return Tensor(out_data, _parents=parents, _backward=backward)
+
+
+def relu_add(y: Tensor, x: Tensor) -> Tensor:
+    """``y.relu() + x`` as one fused node (the residual connection).
+
+    Identical values to the composed ops — the clamp happens first, into a
+    fresh buffer, and the skip input is added in place into that same
+    buffer — with the same gradient expressions (masked into ``y``, full
+    into ``x``).  Saves one full-size temporary per propagation layer.
+    """
+    out_data = np.maximum(y.data, 0.0)
+    np.add(out_data, x.data, out=out_data)
+
+    def backward(grad: Array) -> None:
+        if y._needs_graph:
+            y._accumulate(grad * (y.data > 0))
+        if x._needs_graph:
+            x._accumulate(grad)
+
+    return Tensor(out_data, _parents=(y, x), _backward=backward)
+
+
 def linear(x: Tensor, weight: Tensor, bias: Tensor | None) -> Tensor:
     """``x @ weight (+ bias)`` as one fused node (in-place bias add).
 
@@ -797,5 +935,6 @@ def stack_rows(tensors: list[Tensor]) -> Tensor:
 __all__ = [
     "Tensor", "concat", "segment_sum", "segment_mean", "segment_max",
     "segment_softmax", "stack_rows", "gather_scatter_sum", "linear",
-    "reference_encoding", "reference_encoding_active", "SCATTER_INDEX_CACHE",
+    "linear_sum", "relu_add", "embedding_linear", "reference_encoding",
+    "reference_encoding_active", "SCATTER_INDEX_CACHE",
 ]

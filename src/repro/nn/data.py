@@ -8,8 +8,11 @@ mapping nodes back to their graph.
 Batch assembly is the cold-path encoder of the whole system (every
 ``predict_batch`` sweep and every training minibatch funnels through
 :func:`make_batch`), so it is vectorized end to end: one preallocated union
-buffer, one fancy-indexed one-hot pass, fused in-place feature scaling and
-``np.repeat``-based batch/edge offsets.  The per-sample implementation it
+buffer for the numeric columns, fused in-place feature scaling,
+``np.repeat``-based batch/edge offsets — and **no one-hot block at all**:
+the union carries per-node optype codes that the model's first layer
+resolves as an embedding gather from its own weights (see
+:func:`repro.nn.autograd.embedding_linear`).  The per-sample implementation it
 replaced is retained as :func:`make_batch_reference` — differential tests and
 ``benchmarks/test_perf_cold_path.py`` assert equivalence and speedup against
 it (see :func:`repro.nn.autograd.reference_encoding`).  :class:`BatchCache`
@@ -32,7 +35,14 @@ from repro.flags import reference_encoding_active
 # --------------------------------------------------------------------------- #
 @dataclass
 class GraphSample:
-    """One training sample: an annotated graph and its QoR labels."""
+    """One training sample: an annotated graph and its QoR labels.
+
+    ``graph_codes``/``graph_table`` optionally carry the source CDFG's
+    interned optype column (one small string table plus an int64 code per
+    node): when present, encoders translate the table once and gather the
+    codes instead of resolving one string per node.  ``optypes`` remains
+    authoritative — ``table[codes[i]] == optypes[i]`` always.
+    """
 
     optypes: list[str]
     features: np.ndarray
@@ -40,6 +50,8 @@ class GraphSample:
     targets: dict[str, float] = field(default_factory=dict)
     loop_features: np.ndarray = field(default_factory=lambda: np.zeros(5))
     metadata: dict[str, str] = field(default_factory=dict)
+    graph_codes: np.ndarray | None = None
+    graph_table: list[str] | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -58,6 +70,16 @@ class Batch:
     of the raw (unscaled) numerical node features — a global skip connection
     that gives the readout MLPs direct access to aggregate quantities such as
     the summed per-operation LUT/FF/DSP estimates.
+
+    Two node-feature layouts exist.  The reference layout stores the dense
+    ``[one-hot optype block | scaled numeric block]`` matrix in ``x`` with
+    ``optype_codes`` unset.  The vectorized encoder never materializes the
+    one-hot block: ``x`` holds only the scaled numeric columns while
+    ``optype_codes`` carries one vocabulary index per node and ``onehot_dim``
+    the width of the elided block — the first model layer turns the codes
+    into an **embedding gather** from its own weight rows (see
+    :func:`repro.nn.autograd.embedding_linear`), which is exactly
+    ``one-hot @ W`` without ever building the one-hot matrix.
     """
 
     x: np.ndarray
@@ -67,10 +89,34 @@ class Batch:
     targets: dict[str, np.ndarray]
     num_graphs: int
     feature_totals: np.ndarray = field(default_factory=lambda: np.zeros((0, 0)))
+    #: vocabulary index per node (``None`` on the dense reference layout)
+    optype_codes: np.ndarray | None = None
+    #: width of the elided one-hot block (0 on the dense reference layout)
+    onehot_dim: int = 0
 
     @property
     def num_nodes(self) -> int:
         return self.x.shape[0]
+
+
+def batch_dense_x(batch: Batch) -> np.ndarray:
+    """Materialize a batch's dense ``[one-hot | numeric]`` node matrix.
+
+    The identity the embedding-gather layout elides: for a codes-layout
+    batch this rebuilds exactly the matrix the reference encoder would have
+    produced (used by differential tests and debugging; the model hot path
+    never calls it).  Dense-layout batches return ``x`` unchanged.
+    """
+    if batch.optype_codes is None:
+        return batch.x
+    num_nodes = batch.x.shape[0]
+    dense = np.zeros(
+        (num_nodes, batch.onehot_dim + batch.x.shape[1]), dtype=np.float64
+    )
+    if num_nodes:
+        dense[np.arange(num_nodes), batch.optype_codes] = 1.0
+        dense[:, batch.onehot_dim:] = batch.x
+    return dense
 
 
 class OptypeEncoder:
@@ -90,6 +136,10 @@ class OptypeEncoder:
         self._codes_memo: OrderedDict[int, tuple[list[str], np.ndarray]] = (
             OrderedDict()
         )
+        #: per-graph-table translation memo (see :meth:`encode_sample_indices`)
+        self._table_memo: OrderedDict[int, tuple[list[str], np.ndarray]] = (
+            OrderedDict()
+        )
         if vocabulary:
             for optype in vocabulary:
                 self._index.setdefault(optype, len(self._index))
@@ -101,6 +151,7 @@ class OptypeEncoder:
                 self._index.setdefault(optype, len(self._index))
         self._index.setdefault(self.UNKNOWN, len(self._index))
         self._codes_memo.clear()
+        self._table_memo.clear()
         return self
 
     @property
@@ -138,6 +189,34 @@ class OptypeEncoder:
                 memo.popitem(last=False)
             memo[id(optypes)] = (optypes, columns)
         return columns
+
+    def encode_sample_indices(self, sample: "GraphSample") -> np.ndarray:
+        """Vocabulary index per node of ``sample``, preferring graph codes.
+
+        When the sample carries its CDFG's interned optype column, the
+        (tiny) per-graph table is translated into vocabulary indices once —
+        memoized per table object — and the per-node codes gather from it,
+        replacing one dict lookup per node with one fancy index.  Samples
+        without codes fall back to :meth:`encode_indices`.
+        """
+        codes = sample.graph_codes
+        if codes is None or reference_encoding_active():
+            return self.encode_indices(sample.optypes)
+        table = sample.graph_table
+        memo = self._table_memo
+        entry = memo.get(id(table))
+        if entry is None or entry[0] is not table or entry[1].shape[0] != len(table):
+            unknown = self._index[self.UNKNOWN]
+            translation = np.fromiter(
+                (self._index.get(optype, unknown) for optype in table),
+                dtype=np.int64, count=len(table),
+            )
+            while len(memo) >= self.MAX_MEMO_ENTRIES:
+                memo.popitem(last=False)
+            memo[id(table)] = entry = (table, translation)
+        else:
+            memo.move_to_end(id(table))
+        return entry[1][codes]
 
     def encode(self, optypes: list[str]) -> np.ndarray:
         columns = self.encode_indices(optypes)
@@ -235,7 +314,14 @@ def make_batch_reference(
     offset = 0
     for graph_id, sample in enumerate(samples):
         entry = None if encoded_cache is None else encoded_cache.get(id(sample))
-        cached = entry[1] if entry is not None and entry[0] is sample else None
+        # reference entries are (sample, dense rows, totals) triples; the
+        # vectorized encoder's 4-tuples (numeric-only rows + codes) are not
+        # valid here and are simply re-encoded
+        cached = (
+            entry[1]
+            if entry is not None and len(entry) == 3 and entry[0] is sample
+            else None
+        )
         sample_totals = _sample_totals(sample)
         if cached is None:
             numeric = sample.features
@@ -284,19 +370,22 @@ def make_batch(
 ) -> Batch:
     """Assemble a mini-batch from graph samples in one vectorized pass.
 
-    The disjoint-union node matrix is preallocated once; one-hot columns are
-    written with a single fancy-indexed assignment over every node of every
-    uncached sample, numerical features are staged into the same buffer and
-    scaled **in place** (clamp, ``log1p``, standardize — no per-sample
-    temporaries), and the batch vector / edge offsets come from ``np.repeat``
-    instead of per-sample allocations.  Numerically equivalent to
-    :func:`make_batch_reference` (bit-exact for the node matrix; the guards
-    assert <= 1e-9 end to end).
+    The union's numeric block is preallocated once and scaled **in place**
+    (clamp, ``log1p``, standardize — no per-sample temporaries), and the
+    batch vector / edge offsets come from ``np.repeat`` instead of
+    per-sample allocations.  The one-hot optype block is never materialized:
+    the batch carries one vocabulary code per node (``optype_codes``) and
+    the model's first layer gathers the corresponding rows of its own weight
+    matrix — value-for-value what multiplying the elided one-hot block by
+    those weights would produce (see
+    :func:`repro.nn.autograd.embedding_linear`).  Numerically equivalent to
+    :func:`make_batch_reference` (bit-exact for the numeric block; the
+    guards assert <= 1e-9 end to end).
 
     ``encoded_cache`` (keyed by ``id(sample)``) lets callers reuse encoded
-    node-feature rows across epochs instead of re-encoding every batch.  The
-    cache entries hold a reference to the sample itself so object ids can
-    never be recycled while an entry is alive.
+    node-feature rows and codes across epochs instead of re-encoding every
+    batch.  The cache entries hold a reference to the sample itself so
+    object ids can never be recycled while an entry is alive.
     """
     if reference_encoding_active():
         return make_batch_reference(
@@ -316,19 +405,20 @@ def make_batch(
             numeric_width = features.shape[1]
             break
     dim = encoder.dim
-    x = np.zeros((total_nodes, dim + numeric_width), dtype=np.float64)
-    all_rows = np.arange(total_nodes, dtype=np.int64)
-    numeric = x[:, dim:]
+    # every row is written below (cache hits and misses alike), so the
+    # union buffers start uninitialized
+    x = np.empty((total_nodes, numeric_width), dtype=np.float64)
+    codes = np.empty(total_nodes, dtype=np.int64)
+    numeric = x
     totals: list[np.ndarray | None] = [None] * num_graphs
     misses: list[tuple[int, int, int]] = []
-    miss_rows: list[np.ndarray] = []
-    miss_codes: list[np.ndarray] = []
     any_hit = False
     for graph_id, sample in enumerate(samples):
         start, stop = int(offsets[graph_id]), int(offsets[graph_id + 1])
         entry = None if encoded_cache is None else encoded_cache.get(id(sample))
-        if entry is not None and entry[0] is sample:
+        if entry is not None and len(entry) == 4 and entry[0] is sample:
             x[start:stop] = entry[1]
+            codes[start:stop] = entry[3]
             totals[graph_id] = (
                 entry[2] if entry[2] is not None else _sample_totals(sample)
             )
@@ -336,12 +426,9 @@ def make_batch(
             continue
         misses.append((graph_id, start, stop))
         if stop > start:
-            miss_rows.append(all_rows[start:stop])
-            miss_codes.append(encoder.encode_indices(sample.optypes))
+            codes[start:stop] = encoder.encode_sample_indices(sample)
             if numeric_width:
                 numeric[start:stop] = sample.features
-    if miss_rows:
-        x[np.concatenate(miss_rows), np.concatenate(miss_codes)] = 1.0
     # fused scaling over every uncached row: clamp, compress and standardize
     # in place in the union buffer (cached rows, already scaled, are masked
     # out); per-graph feature totals fall out of the clamped block for free
@@ -379,7 +466,8 @@ def make_batch(
         for graph_id, start, stop in misses:
             sample = samples[graph_id]
             encoded_cache[id(sample)] = (
-                sample, x[start:stop].copy(), totals[graph_id]
+                sample, x[start:stop].copy(), totals[graph_id],
+                codes[start:stop].copy(),
             )
     edge_counts = np.fromiter(
         (sample.num_edges for sample in samples), dtype=np.int64, count=num_graphs
@@ -412,7 +500,7 @@ def make_batch(
         if totals else np.zeros((0, 0))
     )
     return Batch(
-        x=x if num_graphs else np.zeros((0, dim)),
+        x=x,
         edge_index=edge_index,
         batch=np.repeat(np.arange(num_graphs, dtype=np.int64), counts),
         loop_features=(
@@ -425,6 +513,8 @@ def make_batch(
         targets=targets,
         num_graphs=num_graphs,
         feature_totals=stacked_totals,
+        optype_codes=codes,
+        onehot_dim=dim,
     )
 
 
@@ -580,7 +670,7 @@ def train_validation_test_split(
 
 __all__ = [
     "GraphSample", "Batch", "OptypeEncoder", "FeatureScaler", "TargetScaler",
-    "make_batch", "make_batch_reference", "BatchCache",
+    "make_batch", "make_batch_reference", "batch_dense_x", "BatchCache",
     "chunk_by_node_budget", "iterate_minibatches",
     "train_validation_test_split",
 ]

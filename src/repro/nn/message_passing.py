@@ -20,6 +20,7 @@ from repro.nn.autograd import (
     Tensor,
     concat,
     gather_scatter_sum,
+    linear_sum,
     segment_max,
     segment_mean,
     segment_softmax,
@@ -58,6 +59,7 @@ class _EdgeComputationCache:
         )
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def payload(self, edge_index: np.ndarray, num_nodes: int) -> dict:
         """The mutable memo dict for this ``(edge_index, num_nodes)`` pair."""
@@ -82,13 +84,24 @@ class _EdgeComputationCache:
             del entries[key]
         while len(entries) >= self.max_entries:
             entries.popitem(last=False)
+            self.evictions += 1
         entries[id(edge_index)] = (ref, num_nodes, payload)
         return payload
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters plus current occupancy."""
+        return {
+            "edge_cache_hits": self.hits,
+            "edge_cache_misses": self.misses,
+            "edge_cache_evictions": self.evictions,
+            "edge_cache_entries": len(self._entries),
+        }
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 #: process-wide cache shared by every propagation layer
@@ -206,12 +219,23 @@ class SAGEConv(MessagePassingLayer):
         if edge_index.size == 0:
             return self.linear_self(x)
         src, dst = _cached_rows(edge_index, num_nodes, self_loops=False)
-        fused = gather_scatter_sum(x, src, dst, num_nodes)
-        if fused is not None:
-            counts = SCATTER_INDEX_CACHE.segment_counts(dst, num_nodes)
-            neighbor_mean = fused * Tensor(1.0 / counts[:, None])
-        else:
-            neighbor_mean = segment_mean(x.gather_rows(src), dst, num_nodes)
+        # mean aggregation as one weighted CSR product: the cached per-edge
+        # 1/degree weights make the fused operator compute the neighbor
+        # mean directly (equal within float rounding to scaling the sum)
+        weights = (
+            None if reference_encoding_active()
+            else SCATTER_INDEX_CACHE.mean_edge_weights(dst, num_nodes)
+        )
+        neighbor_mean = gather_scatter_sum(x, src, dst, num_nodes, weights=weights)
+        if neighbor_mean is not None:
+            # one fused node for self + neighbor: same values and gradients
+            # as the composed linears, one union-sized allocation fewer
+            return linear_sum(
+                x, self.linear_self.weight, self.linear_self.bias,
+                neighbor_mean, self.linear_neighbor.weight,
+                self.linear_neighbor.bias,
+            )
+        neighbor_mean = segment_mean(x.gather_rows(src), dst, num_nodes)
         return self.linear_self(x) + self.linear_neighbor(neighbor_mean)
 
 

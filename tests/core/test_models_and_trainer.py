@@ -35,6 +35,11 @@ def synthetic_samples(count=24, seed=0):
     return samples
 
 
+def input_dim(batch):
+    """Model input width: the elided one-hot block plus numeric columns."""
+    return batch.onehot_dim + batch.x.shape[1]
+
+
 def batch_of(samples):
     encoder = OptypeEncoder().fit([s.optypes for s in samples])
     return make_batch(samples, encoder, target_names=("lut",)), encoder
@@ -44,13 +49,13 @@ class TestModelArchitectures:
     def test_encoder_output_shape(self, rng):
         samples = synthetic_samples(4)
         batch, encoder = batch_of(samples)
-        model = GNNEncoder(batch.x.shape[1], hidden=16, rng=rng)
+        model = GNNEncoder(input_dim(batch), hidden=16, rng=rng)
         assert model(batch).shape == (4, 32)
 
     def test_inner_model_outputs_all_targets(self, rng):
         samples = synthetic_samples(4)
         batch, encoder = batch_of(samples)
-        model = InnerLoopGNN(batch.x.shape[1], hidden=16, rng=rng)
+        model = InnerLoopGNN(input_dim(batch), hidden=16, rng=rng)
         outputs = model(batch)
         assert set(outputs) == {"lut", "dsp", "ff", "iteration_latency", "latency"}
         for tensor in outputs.values():
@@ -59,7 +64,7 @@ class TestModelArchitectures:
     def test_global_model_outputs(self, rng):
         samples = synthetic_samples(3)
         batch, encoder = batch_of(samples)
-        model = GlobalGNN(batch.x.shape[1], hidden=16, rng=rng)
+        model = GlobalGNN(input_dim(batch), hidden=16, rng=rng)
         outputs = model(batch)
         assert set(outputs) == {"lut", "dsp", "ff", "latency"}
 
@@ -67,7 +72,7 @@ class TestModelArchitectures:
     def test_all_conv_types_instantiable(self, conv_type, rng):
         samples = synthetic_samples(2)
         batch, encoder = batch_of(samples)
-        model = GlobalGNN(batch.x.shape[1], hidden=16, conv_type=conv_type, rng=rng)
+        model = GlobalGNN(input_dim(batch), hidden=16, conv_type=conv_type, rng=rng)
         outputs = model(batch)
         assert np.isfinite(outputs["lut"].numpy()).all()
 
@@ -76,7 +81,7 @@ class TestModelArchitectures:
         for sample in samples:
             sample.features *= 1e4
         batch, encoder = batch_of(samples)
-        model = GlobalGNN(batch.x.shape[1], hidden=16, rng=rng)
+        model = GlobalGNN(input_dim(batch), hidden=16, rng=rng)
         assert np.isfinite(model(batch)["latency"].numpy()).all()
 
 

@@ -187,3 +187,36 @@ def test_template_fast_path_without_prediction_memo(gemm_setup):
         model._graph_cache.stats.as_dict()["outer_misses"]
         == outer_builds_before
     )
+
+
+def test_cache_stats_surface_every_layer(gemm_setup):
+    """`cache_stats` reports the PR-4 encoding/message-passing caches —
+    scatter-index, edge-computation, batch and encoded-sample counters —
+    alongside the construction-cache stats."""
+    function, instances, configs = gemm_setup
+    model = trained_model(instances, "graphsage")
+    model.clear_inference_caches()
+    model.predict_batch(function, configs)
+    stats = model.cache_stats()
+    for key in (
+        "unit_hits", "unit_misses", "outer_hits", "outer_misses",
+        "memoized_predictions", "outer_templates",
+        "scatter_index_hits", "scatter_index_misses",
+        "scatter_index_evictions", "scatter_index_entries",
+        "edge_cache_hits", "edge_cache_misses", "edge_cache_evictions",
+        "edge_cache_entries",
+        "batch_cache_hits", "batch_cache_misses", "batch_cache_evictions",
+        "batch_cache_entries", "batch_cache_nodes", "encoded_samples",
+    ):
+        assert key in stats, key
+        assert stats[key] >= 0
+    # a batched sweep funnels every union through the scatter/edge caches
+    # and pins one encoded row block per distinct sample
+    assert stats["scatter_index_misses"] > 0
+    assert stats["edge_cache_misses"] > 0
+    assert stats["encoded_samples"] > 0
+    # the per-worker aggregation view sums counter dicts key-wise
+    from repro.core.predictor import QoRPredictor
+
+    summed = QoRPredictor.aggregate_cache_stats([stats, stats])
+    assert summed["edge_cache_misses"] == 2 * stats["edge_cache_misses"]

@@ -19,7 +19,7 @@ from repro.core.predictor import QoRPredictor
 from repro.dse import (
     DesignSpace,
     ShardedExplorer,
-    fronts_match,
+    fronts_equivalent,
     partition_space,
     predicted_front,
 )
@@ -148,14 +148,14 @@ class TestShardedExplorer:
             (p.key, p.objectives) for p in stream_front
         ]
         # and it is the same front the single-process engine selects
-        assert fronts_match(ref_front, result.front)
+        assert fronts_equivalent(ref_front, result.front)
 
     def test_single_worker_degenerates_gracefully(
         self, sharded_model_path, fir_space, reference
     ):
         result = ShardedExplorer(sharded_model_path, num_workers=1).explore(fir_space)
         assert result.num_workers == 1
-        assert fronts_match(reference[1], result.front)
+        assert fronts_equivalent(reference[1], result.front)
 
     def test_reports_and_cache_stats(self, sharded_model_path, fir_space):
         result = ShardedExplorer(
@@ -184,7 +184,7 @@ class TestShardedExplorer:
         assert result.recovered_configs == crashed.recovered
         # every configuration still got a prediction and the front is intact
         assert len(result.predictions) == len(fir_space)
-        assert fronts_match(reference[1], result.front)
+        assert fronts_equivalent(reference[1], result.front)
 
     def test_worker_crash_before_any_result(
         self, sharded_model_path, fir_space, reference
@@ -197,7 +197,7 @@ class TestShardedExplorer:
         crashed = result.shards[1]
         assert crashed.failed and crashed.completed == 0
         assert crashed.recovered == crashed.num_configs
-        assert fronts_match(reference[1], result.front)
+        assert fronts_equivalent(reference[1], result.front)
 
     def test_spawn_context_is_safe(
         self, sharded_model_path, fir_space, reference
@@ -211,7 +211,7 @@ class TestShardedExplorer:
         assert max_prediction_error(
             reference[0], result.predictions
         ) < PREDICTION_TOLERANCE
-        assert fronts_match(reference[1], result.front)
+        assert fronts_equivalent(reference[1], result.front)
 
     def test_missing_model_fails_before_spawning(self, tmp_path):
         with pytest.raises(FileNotFoundError):
@@ -229,6 +229,115 @@ class TestShardedExplorer:
         with pytest.raises(ValueError):
             ShardedExplorer(sharded_model_path, shard_strategy="nope")
 
+def skewed_partition(space, num_shards):
+    """Deliberately imbalanced shards: shard 0 owns ~70% of the space."""
+    count = len(space)
+    head = max(1, int(count * 0.7))
+    blocks = [tuple(range(head))]
+    rest = list(range(head, count))
+    per = max(1, -(-len(rest) // max(1, num_shards - 1))) if rest else 0
+    for index in range(num_shards - 1):
+        block = tuple(rest[index * per:(index + 1) * per])
+        if block:
+            blocks.append(block)
+    from repro.dse.sharding import ShardSpec
+
+    return [
+        ShardSpec(shard_id=index, config_ids=block)
+        for index, block in enumerate(blocks)
+    ]
+
+
+class TestWorkStealing:
+    def test_matches_single_process_engine(
+        self, sharded_model_path, fir_space, reference
+    ):
+        explorer = ShardedExplorer(
+            sharded_model_path, num_workers=2, chunk_size=3,
+            work_stealing=True,
+        )
+        result = explorer.explore(fir_space)
+        ref_predictions, ref_front = reference
+        assert result.work_stealing
+        assert result.recovered_configs == 0
+        assert max_prediction_error(
+            ref_predictions, result.predictions
+        ) < PREDICTION_TOLERANCE
+        # merged front == one front fed every streamed prediction, bitwise
+        stream_front = predicted_front(fir_space, result.predictions).points()
+        assert [(p.key, p.objectives) for p in result.front] == [
+            (p.key, p.objectives) for p in stream_front
+        ]
+        assert fronts_equivalent(ref_front, result.front)
+        # every delivered configuration is attributed to some worker
+        assert sum(shard.completed for shard in result.shards) == len(fir_space)
+
+    def test_skewed_partition_is_rebalanced(
+        self, sharded_model_path, fir_space, reference
+    ):
+        explorer = ShardedExplorer(
+            sharded_model_path, num_workers=2, chunk_size=2,
+            work_stealing=True, partitioner=skewed_partition,
+        )
+        result = explorer.explore(fir_space)
+        assert result.recovered_configs == 0
+        assert fronts_equivalent(reference[1], result.front)
+        # the queue spreads the skewed shard: no worker scores everything
+        completed = sorted(shard.completed for shard in result.shards)
+        assert completed[0] > 0
+
+    def test_worker_crash_mid_stream_is_recovered(
+        self, sharded_model_path, fir_space, reference
+    ):
+        # a single stealing worker makes the crash deterministic: it scores
+        # one chunk, hard-exits popping the second, and the coordinator
+        # must recover everything it never delivered
+        explorer = ShardedExplorer(
+            sharded_model_path, num_workers=1, chunk_size=2,
+            work_stealing=True, _fault_injection={0: 2},
+        )
+        result = explorer.explore(fir_space)
+        crashed = result.shards[0]
+        assert crashed.failed
+        # the scored chunk may or may not have been flushed before the hard
+        # exit (os._exit flushes nothing); either way every configuration
+        # the coordinator never saw is recovered in-process and attributed
+        # to the trailing coordinator report entry
+        assert crashed.completed in (0, 2)
+        assert result.recovered_configs == len(fir_space) - crashed.completed
+        coordinator = result.shards[-1]
+        assert coordinator.completed == 0
+        assert coordinator.recovered == result.recovered_configs
+        assert len(result.predictions) == len(fir_space)
+        assert fronts_equivalent(reference[1], result.front)
+
+    def test_whole_fleet_crash_is_recovered(
+        self, sharded_model_path, fir_space, reference
+    ):
+        explorer = ShardedExplorer(
+            sharded_model_path, num_workers=2, chunk_size=2,
+            work_stealing=True, _fault_injection={0: 0, 1: 0},
+        )
+        result = explorer.explore(fir_space)
+        worker_reports = result.shards[:result.num_workers]
+        assert all(shard.failed for shard in worker_reports)
+        assert result.recovered_configs == len(fir_space)
+        assert result.shards[-1].recovered == len(fir_space)
+        assert fronts_equivalent(reference[1], result.front)
+
+    def test_spawn_context_is_safe(
+        self, sharded_model_path, fir_space, reference
+    ):
+        result = ShardedExplorer(
+            sharded_model_path, num_workers=2, mp_context="spawn",
+            work_stealing=True, chunk_size=4,
+        ).explore(fir_space)
+        assert result.mp_context == "spawn"
+        assert result.recovered_configs == 0
+        assert fronts_equivalent(reference[1], result.front)
+
+
+class TestWarmCaches:
     def test_warm_caches_serve_workers(
         self, small_trained_model, fir_space, tmp_path
     ):

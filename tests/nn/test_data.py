@@ -10,6 +10,7 @@ from repro.nn.data import (
     GraphSample,
     OptypeEncoder,
     TargetScaler,
+    batch_dense_x,
     iterate_minibatches,
     make_batch,
     train_validation_test_split,
@@ -111,11 +112,17 @@ class TestBatching:
         assert np.allclose(batch.targets["lut"], [5.0, 7.0])
         assert np.allclose(batch.targets["latency"], [10.0, 14.0])
 
-    def test_batch_x_width_is_onehot_plus_numeric(self):
+    def test_batch_carries_codes_and_numeric_columns(self):
         samples = [make_sample()]
         encoder = OptypeEncoder().fit([s.optypes for s in samples])
         batch = make_batch(samples, encoder)
-        assert batch.x.shape[1] == encoder.dim + 3
+        # the one-hot block is elided: x holds only the numeric columns and
+        # the codes + onehot_dim describe the block the model reconstructs
+        # from its own first-layer weights
+        assert batch.x.shape[1] == 3
+        assert batch.onehot_dim == encoder.dim
+        assert batch.optype_codes.shape == (batch.num_nodes,)
+        assert batch_dense_x(batch).shape[1] == encoder.dim + 3
 
     def test_feature_totals_shape(self):
         samples = [make_sample(), make_sample(seed=3)]

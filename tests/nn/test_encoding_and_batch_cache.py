@@ -26,6 +26,7 @@ from repro.nn.data import (
     FeatureScaler,
     GraphSample,
     OptypeEncoder,
+    batch_dense_x,
     make_batch,
     make_batch_reference,
 )
@@ -54,7 +55,12 @@ def synthetic_sample(
 
 
 def assert_batches_identical(reference, vectorized):
-    assert (reference.x == vectorized.x).all()
+    # the vectorized union elides the one-hot block (optype codes + numeric
+    # columns); materializing it must reproduce the reference matrix bit
+    # for bit
+    assert (reference.x == batch_dense_x(vectorized)).all()
+    if vectorized.optype_codes is not None:
+        assert vectorized.x.shape[1] == reference.x.shape[1] - vectorized.onehot_dim
     # the vectorized union orders edges by destination; same multiset of
     # (src, dst) pairs, bit-identical values
     def canonical(edge_index):
@@ -112,8 +118,9 @@ class TestVectorizedEncoderDifferential:
         reference = make_batch_reference(samples, encoder, scaler)
         vectorized = make_batch(samples, encoder, scaler)
         assert_batches_identical(reference, vectorized)
-        unknown_column = encoder.dim - 1
-        assert vectorized.x[-1, unknown_column] == 1.0
+        unknown_code = encoder.dim - 1
+        assert vectorized.optype_codes[-1] == unknown_code
+        assert batch_dense_x(vectorized)[-1, unknown_code] == 1.0
 
     def test_empty_batch_and_zero_width_features(self):
         encoder = OptypeEncoder().fit([["add"]])
