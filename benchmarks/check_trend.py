@@ -68,7 +68,14 @@ def check_memory(baseline: dict, results_dir: Path) -> list[str]:
             try:
                 current = metric_value(payload, dotted_path)
             except KeyError as error:
-                warnings.append(f"{bench_file}: {error}")
+                warnings.append(
+                    f"{bench_file}: memory metric {dotted_path!r} "
+                    f"(baseline {reference:.4g} MiB) is missing from the "
+                    f"current results — {error}; if the benchmark layout "
+                    f"changed intentionally, update BASELINE.json (re-run "
+                    f"the perf benchmarks, then `python "
+                    f"benchmarks/check_trend.py --rebaseline`)"
+                )
                 continue
             ceiling = reference * (1.0 + max_growth)
             grown = current > ceiling
@@ -103,7 +110,14 @@ def check(baseline: dict, results_dir: Path) -> list[str]:
             try:
                 current = metric_value(payload, dotted_path)
             except KeyError as error:
-                failures.append(f"{bench_file}: {error}")
+                failures.append(
+                    f"{bench_file}: headline metric {dotted_path!r} "
+                    f"(baseline {reference:.4g}, direction {direction!r}) is "
+                    f"missing from the current results — {error}; if the "
+                    f"benchmark layout changed intentionally, update "
+                    f"BASELINE.json (re-run the perf benchmarks, then "
+                    f"`python benchmarks/check_trend.py --rebaseline`)"
+                )
                 continue
             if direction == "higher":
                 floor = reference * (1.0 - max_regression)

@@ -1,0 +1,163 @@
+"""Perf benchmark: precision tiers x surrogate-first funnel on the cold path.
+
+Times one cold sweep of a ``gemm`` design space under every combination of
+inference tier (float64 default, float32 cheap tier) and exploration engine
+(exhaustive batched scoring vs the :class:`~repro.dse.FunnelExplorer`
+surrogate-first funnel).  "Cold" means the inference caches are cleared
+before each measured exploration — the scenario where the matmul floor
+actually binds, because every prediction pays graph construction plus GNN
+forward passes.
+
+The funnel's throughput is *effective*: the whole space divided by total
+exploration time, even though only the surrogate-selected fraction ever
+reaches the full model.  Quality is measured as ADRS degradation versus the
+exhaustive float64 exploration of the same space (both against the exact
+front), clamped at zero for the trend gate — the funnel is occasionally
+*better* than exhaustive (dropping a noisy near-front prediction can help),
+and a negative baseline would break the ratio-based regression check.
+
+Guards: the float32+funnel combination must beat the exhaustive float64 cold
+sweep by >= 2x effective throughput, with ADRS degradation <= 1 percentage
+point.  Results land in ``benchmarks/results/BENCH_dse_funnel.json`` for the
+perf-trend gate.
+
+Environment knobs: ``REPRO_BENCH_FUNNEL_SPACE`` (space size, default 240),
+``REPRO_BENCH_PERF_EPOCHS`` (training epochs, default 10 — throughput does
+not depend on model quality).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, env_int, format_table, peak_rss_mb, write_result
+from repro.core import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    TrainingConfig,
+    build_design_instances,
+)
+from repro.dse import FunnelExplorer, ModelGuidedExplorer, exhaustive_ground_truth
+from repro.dse.space import sample_design_space
+from repro.kernels import load_kernel
+
+pytestmark = pytest.mark.perf
+
+KERNEL = "gemm"
+SPEEDUP_TARGET = 2.0
+ADRS_DEGRADATION_LIMIT_PP = 1.0
+
+
+def _train_model(function) -> HierarchicalQoRModel:
+    configs = sample_design_space(function, 12, rng=np.random.default_rng(7))
+    instances = build_design_instances({KERNEL: function}, {KERNEL: configs})
+    model = HierarchicalQoRModel(
+        HierarchicalModelConfig(
+            conv_type="graphsage", hidden=32,
+            training=TrainingConfig(
+                epochs=env_int("REPRO_BENCH_PERF_EPOCHS", 10), seed=0
+            ),
+        )
+    )
+    model.fit(instances)
+    return model
+
+
+def test_dse_funnel_throughput():
+    function = load_kernel(KERNEL)
+    model = _train_model(function)
+    configs = sample_design_space(
+        function, env_int("REPRO_BENCH_FUNNEL_SPACE", 240),
+        rng=np.random.default_rng(1),
+    )
+    space = exhaustive_ground_truth(function, configs)
+    num_configs = space.num_configs
+
+    combos: dict[str, dict] = {}
+    for tier in ("float64", "float32"):
+        for engine in ("exhaustive", "funnel"):
+            model.set_precision(tier)
+            model.clear_inference_caches()
+            if engine == "exhaustive":
+                result = ModelGuidedExplorer(
+                    predict_batch_fn=model.predict_batch
+                ).explore(function, space)
+                extra = {}
+            else:
+                result = FunnelExplorer(model.predict_batch).explore(
+                    function, space
+                )
+                extra = {
+                    "full_model_configs": result.full_model_configs,
+                    "configs_saved": result.configs_saved,
+                    "keep": result.keep,
+                    "rounds": result.rounds,
+                    "surrogate_seconds": round(result.surrogate_seconds, 6),
+                }
+            combos[f"{engine}_{tier}"] = {
+                "adrs_pp": round(result.adrs_percent, 4),
+                "explore_seconds": round(result.model_seconds, 6),
+                "effective_configs_per_second": round(
+                    result.configs_per_second, 2
+                ),
+                **extra,
+            }
+    model.set_precision("float64")
+
+    reference = combos["exhaustive_float64"]
+    headline = combos["funnel_float32"]
+    speedup = round(
+        headline["effective_configs_per_second"]
+        / reference["effective_configs_per_second"], 2,
+    )
+    degradation = round(headline["adrs_pp"] - reference["adrs_pp"], 4)
+
+    payload = {
+        "benchmark": "dse_funnel",
+        "kernel": KERNEL,
+        "num_configs": num_configs,
+        "combos": combos,
+        "funnel_float32_speedup_vs_exhaustive_float64": speedup,
+        "adrs_degradation_pp": degradation,
+        "adrs_degradation_pp_clamped": max(0.0, degradation),
+        "peak_rss_mb": peak_rss_mb(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_dse_funnel.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows = []
+    for name, stats in combos.items():
+        scored = stats.get("full_model_configs", num_configs)
+        rows.append([
+            name, f"{stats['explore_seconds']:.3f}",
+            f"{stats['effective_configs_per_second']:.1f}",
+            f"{scored}/{num_configs}", f"{stats['adrs_pp']:.2f}%",
+        ])
+    write_result(
+        "BENCH_dse_funnel.txt",
+        format_table(
+            ["combo", "explore s", "eff configs/s", "model-scored", "ADRS"],
+            rows,
+            title=f"Precision tiers x DSE funnel — {KERNEL}, "
+                  f"{num_configs} configs, cold sweeps; "
+                  f"funnel_float32 speedup {speedup:.2f}x, "
+                  f"ADRS degradation {degradation:+.2f}pp",
+        ),
+    )
+
+    assert speedup >= SPEEDUP_TARGET, (
+        f"float32+funnel effective throughput only {speedup:.2f}x the "
+        f"exhaustive float64 cold sweep (target >= {SPEEDUP_TARGET}x)"
+    )
+    assert degradation <= ADRS_DEGRADATION_LIMIT_PP, (
+        f"funnel ADRS degraded by {degradation:.2f}pp vs the exhaustive "
+        f"float64 front (limit {ADRS_DEGRADATION_LIMIT_PP}pp)"
+    )

@@ -38,7 +38,7 @@ from repro.core import (
     load_model,
     save_model,
 )
-from repro.dse import ModelGuidedExplorer, exhaustive_ground_truth
+from repro.dse import FunnelExplorer, ModelGuidedExplorer, exhaustive_ground_truth
 from repro.dse.sharding import SHARD_STRATEGIES
 from repro.dse.space import sample_design_space
 from repro.frontend import ArrayDirective, LoopDirective, PartitionType, PragmaConfig
@@ -170,7 +170,7 @@ def _sharded_dse(args: argparse.Namespace, function, space) -> list:
     explorer = ShardedExplorer(
         args.model, num_workers=args.workers,
         shard_strategy=args.shard_strategy, warm_caches=args.warm_cache,
-        work_stealing=args.work_stealing,
+        work_stealing=args.work_stealing, precision=args.precision,
     )
     result = explorer.explore(design_space)
     approx = space.true_front_of([point.key for point in result.front])
@@ -202,8 +202,12 @@ def cmd_dse(args: argparse.Namespace) -> int:
 
     With ``--workers N`` (N > 1) the sweep runs on the sharded multi-worker
     engine (:mod:`repro.dse.sharding`); otherwise the in-process batched
-    (or ``--sequential``) explorer is used.
+    (or ``--sequential``) explorer is used.  ``--funnel`` (or an explicit
+    ``--funnel-keep K``) routes the sweep through the surrogate-first
+    :class:`~repro.dse.explorer.FunnelExplorer`; ``--precision float32``
+    runs whichever engine was picked in the cheap inference tier.
     """
+    funnel = args.funnel or args.funnel_keep is not None
     if args.warm_cache and not args.model:
         raise SystemExit("--warm-cache requires --model (the caches are "
                          "persisted inside the model file)")
@@ -214,6 +218,12 @@ def cmd_dse(args: argparse.Namespace) -> int:
                          "bootstrap their predictors from the saved model)")
     if args.workers > 1 and args.sequential:
         raise SystemExit("--workers and --sequential are mutually exclusive")
+    if funnel and not args.model:
+        raise SystemExit("--funnel requires --model (the surrogate is "
+                         "distilled from the model's own predictions)")
+    if funnel and (args.sequential or args.workers > 1):
+        raise SystemExit("--funnel runs on the in-process batched engine; "
+                         "it cannot combine with --sequential or --workers")
     function = _load_function(args)
     rng = np.random.default_rng(args.seed)
     configs = sample_design_space(function, args.configs, rng=rng)
@@ -229,18 +239,37 @@ def cmd_dse(args: argparse.Namespace) -> int:
         if args.warm_cache and args.sequential:
             print("note: --sequential scores configs through the stateless "
                   "per-config path, which does not consult the warm caches")
-        model = load_model(args.model, warm_caches=args.warm_cache)
-        explorer = ModelGuidedExplorer(
-            model.predict, name="hierarchical",
-            predict_batch_fn=None if args.sequential else model.predict_batch,
-            cache_stats_fn=model.cache_stats,
+        model = load_model(
+            args.model, warm_caches=args.warm_cache, precision=args.precision
         )
-        result = explorer.explore(function, space)
-        mode = "batched" if result.batched else "sequential"
-        print(f"model-guided ADRS: {result.adrs_percent:.2f}%  "
-              f"model time {result.model_seconds:.2f}s ({mode}, "
-              f"{result.configs_per_second:,.0f} configs/s)  "
-              f"speedup {result.speedup:,.0f}x")
+        if funnel:
+            explorer = FunnelExplorer(
+                model.predict_batch, keep=args.funnel_keep,
+                cache_stats_fn=model.cache_stats,
+            )
+            result = explorer.explore(function, space)
+            budget = "adaptive" if result.adaptive_keep else "fixed"
+            print(f"funnel ADRS: {result.adrs_percent:.2f}%  "
+                  f"model time {result.model_seconds:.2f}s "
+                  f"({result.configs_per_second:,.0f} effective configs/s, "
+                  f"{args.precision})")
+            print(f"  full-model scored {result.full_model_configs}/"
+                  f"{result.num_configs} configs ({result.configs_saved} "
+                  f"saved; {budget} budget {result.keep}, "
+                  f"{result.rounds} surrogate rounds, "
+                  f"surrogate time {result.surrogate_seconds:.2f}s)")
+        else:
+            explorer = ModelGuidedExplorer(
+                model.predict, name="hierarchical",
+                predict_batch_fn=None if args.sequential else model.predict_batch,
+                cache_stats_fn=model.cache_stats,
+            )
+            result = explorer.explore(function, space)
+            mode = f"batched, {args.precision}" if result.batched else "sequential"
+            print(f"model-guided ADRS: {result.adrs_percent:.2f}%  "
+                  f"model time {result.model_seconds:.2f}s ({mode}, "
+                  f"{result.configs_per_second:,.0f} configs/s)  "
+                  f"speedup {result.speedup:,.0f}x")
         if args.warm_cache:
             stats = result.cache_stats
             print("cache stats:", json.dumps(stats, sort_keys=True))
@@ -319,6 +348,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "pragma-locality groups configurations sharing "
                           "graph-construction work, round-robin deals them "
                           "out blindly")
+    dse.add_argument("--precision", default="float64",
+                     choices=["float64", "float32"],
+                     help="inference tier for the model-guided sweep: float64 "
+                          "is the bit-exact reference, float32 casts the "
+                          "weights once for a faster sweep (predictions agree "
+                          "within a relaxed bound)")
+    dse.add_argument("--funnel", action="store_true",
+                     help="surrogate-first funnel: a cheap distilled surrogate "
+                          "scores the whole space and only Pareto-plausible "
+                          "candidates are scored by the full model")
+    dse.add_argument("--funnel-keep", type=int, default=None, metavar="K",
+                     help="fixed full-model budget for --funnel (default: "
+                          "adaptive, max(96, half the space)); implies "
+                          "--funnel")
     dse.add_argument("--work-stealing", action="store_true",
                      help="pull shard chunks from one shared queue instead "
                           "of fixing each worker's assignment, so early-"

@@ -39,7 +39,7 @@ from repro.graph.hierarchy import (
 )
 from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
 from repro.ir.structure import IRFunction
-from repro.flags import reference_encoding_active
+from repro.flags import normalize_precision, reference_encoding_active
 from repro.nn.data import GraphSample, train_validation_test_split
 
 #: column of each Table II feature in a sample's numerical feature matrix
@@ -176,6 +176,30 @@ class HierarchicalQoRModel:
         self._unit_pipelined: dict[tuple[str, str], bool] = {}
         self._outer_template_cache: dict[tuple[str, str], _OuterSampleTemplate] = {}
         self._prediction_cache: dict[tuple, dict[str, float]] = {}
+        #: active inference tier across the three trainers (see
+        #: :meth:`set_precision`; float64 is the bit-identical default)
+        self.precision = "float64"
+
+    def set_precision(self, value: str) -> None:
+        """Switch all three models to the given inference tier.
+
+        ``float32`` casts each trainer's weights once (the float64 master
+        copy is retained, so switching back — and serialization — is
+        bit-exact) and every subsequent :meth:`predict`/:meth:`predict_batch`
+        encodes batches and runs kernels in that dtype.  The per-design
+        prediction memo is dropped because its entries belong to the tier
+        that produced them; the graph/template/unit-sample caches hold raw
+        float64 features that are cast at batch-encoding time, so they
+        survive the switch.
+        """
+        value = normalize_precision(value)
+        if value == self.precision:
+            return
+        for trainer in (self.trainer_p, self.trainer_np, self.trainer_g):
+            if trainer is not None:
+                trainer.set_precision(value)
+        self._prediction_cache.clear()
+        self.precision = value
 
     def clear_inference_caches(self) -> None:
         """Drop cached graphs/samples/predictions (weights are unaffected).
@@ -272,8 +296,10 @@ class HierarchicalQoRModel:
         """Train GNNp, GNNnp and GNNg from design instances."""
         rng = rng or np.random.default_rng(self.config.seed)
         # retraining invalidates memoized predictions (graph caches would
-        # survive, but a full reset keeps the invariants trivial)
+        # survive, but a full reset keeps the invariants trivial); the fresh
+        # trainers come out of training in the float64 reference tier
         self.clear_inference_caches()
+        self.precision = "float64"
         report = HierarchicalTrainingReport()
 
         pipelined, non_pipelined = inner_unit_samples(instances, library=self.library)
@@ -462,7 +488,11 @@ class HierarchicalQoRModel:
         )
 
     def predict_batch(
-        self, function: IRFunction, configs: list[PragmaConfig | None]
+        self,
+        function: IRFunction,
+        configs: list[PragmaConfig | None],
+        *,
+        precision: str | None = None,
     ) -> list[dict[str, float]]:
         """Predict post-route QoR for a whole design space at once.
 
@@ -473,10 +503,14 @@ class HierarchicalQoRModel:
         disjoint-union forward pass per inner model (GNNp / GNNnp), the
         predictions are scattered onto the super nodes of the condensed
         outer graphs, and one batched GNNg pass scores all distinct outer
-        graphs.
+        graphs.  ``precision`` (``"float32"``/``"float64"``) switches the
+        inference tier first (see :meth:`set_precision`); ``None`` keeps the
+        active tier.
         """
         if self.trainer_g is None:
             raise RuntimeError("the hierarchical model has not been trained")
+        if precision is not None:
+            self.set_precision(precision)
         resolved = [config or PragmaConfig() for config in configs]
         if not resolved:
             return []

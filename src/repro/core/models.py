@@ -43,14 +43,18 @@ FEATURE_TOTAL_DIM = 9
 
 def _readout_input(embedding: Tensor, batch: Batch) -> Tensor:
     """Concatenate the pooled embedding with the per-graph feature totals."""
+    dtype = embedding.data.dtype
     totals = batch.feature_totals
     if totals.size == 0 or totals.shape[1] == 0:
-        totals = np.zeros((batch.num_graphs, FEATURE_TOTAL_DIM))
+        totals = np.zeros((batch.num_graphs, FEATURE_TOTAL_DIM), dtype=dtype)
     if totals.shape[1] != FEATURE_TOTAL_DIM:
-        padded = np.zeros((totals.shape[0], FEATURE_TOTAL_DIM))
+        padded = np.zeros((totals.shape[0], FEATURE_TOTAL_DIM), dtype=dtype)
         width = min(FEATURE_TOTAL_DIM, totals.shape[1])
         padded[:, :width] = totals[:, :width]
         totals = padded
+    elif totals.dtype != dtype:
+        # a float32 embedding must not be upcast by float64 totals in concat
+        totals = totals.astype(dtype)
     return concat([embedding, Tensor(totals)], axis=1)
 
 
@@ -137,7 +141,11 @@ class InnerLoopGNN(Module):
         }
         iteration_latency = self.iteration_latency_head(embedding)
         outputs[ITERATION_LATENCY_TARGET] = iteration_latency
-        loop_features = Tensor(np.log1p(np.maximum(batch.loop_features, 0.0)))
+        loop_features = Tensor(
+            np.log1p(np.maximum(batch.loop_features, 0.0)).astype(
+                iteration_latency.data.dtype, copy=False
+            )
+        )
         outputs[LATENCY_TARGET] = self.latency_head(
             concat([iteration_latency, loop_features], axis=1)
         )

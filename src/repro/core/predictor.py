@@ -89,16 +89,30 @@ class QoRPredictor:
         return self.model.predict(function, config)
 
     def predict_batch(
-        self, function: IRFunction, configs: list[PragmaConfig | None]
+        self,
+        function: IRFunction,
+        configs: list[PragmaConfig | None],
+        *,
+        precision: str | None = None,
     ) -> list[dict[str, float]]:
-        """Predict QoR for a whole design space in batched forward passes."""
-        return self.model.predict_batch(function, configs)
+        """Predict QoR for a whole design space in batched forward passes.
+
+        ``precision`` (``"float32"``/``"float64"``) switches the inference
+        tier before the sweep; ``None`` keeps the model's active tier.
+        """
+        return self.model.predict_batch(function, configs, precision=precision)
 
     def predict_source_batch(
-        self, source: str, configs: list[PragmaConfig | None]
+        self,
+        source: str,
+        configs: list[PragmaConfig | None],
+        *,
+        precision: str | None = None,
     ) -> list[dict[str, float]]:
         """Batched prediction straight from HLS-C source text."""
-        return self.model.predict_batch(self._lowered(source), configs)
+        return self.model.predict_batch(
+            self._lowered(source), configs, precision=precision
+        )
 
     # ------------------------------------------------------------------ #
     # persistence (warm-start workflow)
@@ -121,12 +135,19 @@ class QoRPredictor:
         *,
         warm_caches: bool = True,
         library: OperatorLibrary = DEFAULT_LIBRARY,
+        precision: str = "float64",
     ) -> "QoRPredictor":
-        """Restore a predictor saved with :meth:`save` (warm by default)."""
+        """Restore a predictor saved with :meth:`save` (warm by default).
+
+        ``precision="float32"`` casts the restored weights once into the
+        cheap inference tier (the archive itself always stores float64).
+        """
         from repro.core.serialization import load_model
 
         predictor = cls(library=library)
-        predictor.model = load_model(path, warm_caches=warm_caches)
+        predictor.model = load_model(
+            path, warm_caches=warm_caches, precision=precision
+        )
         predictor.model.library = library
         return predictor
 

@@ -66,7 +66,9 @@ def _pack_trainer(prefix: str, trainer: GraphRegressorTrainer, blob: dict) -> di
 
     Returns the JSON-compatible metadata describing the trainer.
     """
-    state = trainer.model.state_dict()
+    # always persist the float64 master weights: the on-disk format (and the
+    # warm-cache digest) is precision-tier independent
+    state = trainer.master_state()
     for key, value in state.items():
         blob[f"{prefix}.{key}"] = value
     blob[f"{prefix}.feature_mean"] = trainer.feature_scaler.mean_
@@ -189,7 +191,7 @@ def peek_manifest(path: str | Path) -> dict:
 
 
 def load_model(
-    path: str | Path, *, warm_caches: bool = True
+    path: str | Path, *, warm_caches: bool = True, precision: str = "float64"
 ) -> HierarchicalQoRModel:
     """Load a hierarchical model saved with :func:`save_model`.
 
@@ -197,6 +199,13 @@ def load_model(
     prediction memo in the archive are re-attached to the model — unless the
     blob's format version or weights digest does not match, in which case it
     is silently discarded (a stale cache must never influence predictions).
+
+    ``precision="float32"`` switches the restored model into the cheap
+    inference tier after unpacking (weights are cast once; the archive and
+    its digest always describe the float64 master copy).  The tier switch
+    happens *before* the warm caches attach, so a float64-produced
+    prediction memo keeps serving — its entries are exact where float32
+    recomputation would only be within the relaxed equivalence bound.
     """
     path = Path(path)
     if not path.exists():
@@ -218,6 +227,7 @@ def load_model(
         model.trainer_np = _unpack_trainer("np", manifest["np"], blob, "inner")
     if "g" in manifest:
         model.trainer_g = _unpack_trainer("g", manifest["g"], blob, "global")
+    model.set_precision(precision)
     if warm_caches and _WARM_CACHE_KEY in blob:
         payload = json.loads(bytes(blob[_WARM_CACHE_KEY]).decode("utf-8"))
         if (

@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.flags import reference_encoding_active
+from repro.flags import normalize_precision, precision, reference_encoding_active
+from repro.nn.autograd import PRECISION_DTYPES
 from repro.nn.data import (
     Batch,
     BatchCache,
@@ -91,6 +92,11 @@ class GraphRegressorTrainer:
         #: vectorized path — each layout validates its own entries
         self._encoded_cache: dict[int, tuple] = {}
         self._batch_cache = BatchCache()
+        #: active inference tier; training always runs float64
+        self.precision = "float64"
+        #: float64 reference weights, kept while a cheaper tier is active so
+        #: switching back (and serialization) is lossless
+        self._master_state: dict[str, np.ndarray] | None = None
 
     # ------------------------------------------------------------------ #
     # data preparation
@@ -99,6 +105,33 @@ class GraphRegressorTrainer:
         """Drop the encoded-feature and assembled-batch caches."""
         self._encoded_cache.clear()
         self._batch_cache.clear()
+
+    def master_state(self) -> dict[str, np.ndarray]:
+        """The float64 reference weights, regardless of the active tier."""
+        if self._master_state is not None:
+            return self._master_state
+        return self.model.state_dict()
+
+    def set_precision(self, value: str) -> None:
+        """Switch the inference tier, casting the model weights in place.
+
+        Entering ``float32`` snapshots the float64 weights first (the
+        *master* copy), so switching back to ``float64`` — and serializing
+        the trainer — is bit-exact.  A no-op when the tier is unchanged.
+        """
+        value = normalize_precision(value)
+        if value == self.precision:
+            return
+        if value == "float64":
+            if self._master_state is not None:
+                self.model.load_state_dict(self._master_state)
+                self._master_state = None
+        else:
+            self._master_state = self.master_state()
+            self.model.load_state_dict(
+                self._master_state, dtype=PRECISION_DTYPES[value]
+            )
+        self.precision = value
 
     def fit_preprocessing(self, samples: list[GraphSample]) -> None:
         """Fit the optype vocabulary, feature scaler and target scalers."""
@@ -161,6 +194,8 @@ class GraphRegressorTrainer:
     ) -> TrainingResult:
         if not train_samples:
             raise ValueError("cannot train on an empty dataset")
+        # training always runs the float64 reference tier
+        self.set_precision("float64")
         if self.encoder is None:
             self.fit_preprocessing(train_samples)
         config = self.config
@@ -257,14 +292,20 @@ class GraphRegressorTrainer:
         else:
             chunks = chunk_by_node_budget(samples, max_batch_nodes)
         collected: list[dict[str, np.ndarray]] = []
-        for chunk in chunks:
-            batch = self.prepare_batch(
-                chunk, cache=cache and max_batch_nodes is None
-            )
-            outputs = self.model(batch)
-            collected.append(
-                {name: outputs[name].numpy().reshape(-1) for name in self.target_names}
-            )
+        # batches are encoded in the trainer's tier so a float32 model gets
+        # float32 unions (float64 — the default — is bit-identical to before)
+        with precision(self.precision):
+            for chunk in chunks:
+                batch = self.prepare_batch(
+                    chunk, cache=cache and max_batch_nodes is None
+                )
+                outputs = self.model(batch)
+                collected.append(
+                    {
+                        name: outputs[name].numpy().reshape(-1)
+                        for name in self.target_names
+                    }
+                )
         return {
             name: self.target_scalers[name].inverse(
                 np.concatenate([part[name] for part in collected])

@@ -2,6 +2,8 @@
 
 from repro.dse.explorer import (
     DSEResult,
+    FunnelDSEResult,
+    FunnelExplorer,
     GroundTruthSpace,
     ModelGuidedExplorer,
     exhaustive_ground_truth,
@@ -39,7 +41,8 @@ from repro.dse.space import (
 )
 
 __all__ = [
-    "DSEResult", "GroundTruthSpace", "ModelGuidedExplorer",
+    "DSEResult", "FunnelDSEResult", "FunnelExplorer", "GroundTruthSpace",
+    "ModelGuidedExplorer",
     "exhaustive_ground_truth", "oracle_dse", "qor_objectives", "resource_cost",
     "DesignPoint", "ParetoFront", "adrs", "dominates", "hypervolume_2d",
     "merge_fronts", "normalize_objectives", "pareto_front",

@@ -1,6 +1,6 @@
 """Design-space exploration engines (Section IV-D).
 
-Two explorers are provided:
+Three explorers are provided:
 
 * :func:`exhaustive_ground_truth` — runs the complete C-to-bitstream flow for
   every configuration; its (simulated) tool runtime is what the paper reports
@@ -8,7 +8,13 @@ Two explorers are provided:
 * :class:`ModelGuidedExplorer` — queries a QoR prediction function for every
   configuration, selects the predicted-Pareto-optimal configurations, and is
   evaluated by the ADRS between the *true* QoR of its selections and the
-  exact front.
+  exact front;
+* :class:`FunnelExplorer` — a two-stage funnel: a cheap boosted-tree
+  surrogate (distilled from the hierarchical model's own predictions on a
+  small sample) scores the *whole* space, only the Pareto-plausible
+  candidates it surfaces are re-ranked by the full hierarchical model.  The
+  surrogate's measured fit error sets how wide the funnel opens, so a sloppy
+  surrogate automatically keeps more candidates.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from typing import Callable
+
+import numpy as np
 
 from repro.dse.pareto import DesignPoint, adrs, pareto_front
 from repro.frontend.pragmas import PragmaConfig
@@ -243,6 +251,368 @@ class ModelGuidedExplorer:
         )
 
 
+@dataclass
+class FunnelDSEResult(DSEResult):
+    """Outcome of one surrogate-first funnel exploration.
+
+    Extends :class:`DSEResult` with the funnel's own accounting: how many
+    configurations actually reached the full hierarchical model
+    (``full_model_configs``, including the distillation sample), how many the
+    surrogate filtered away (``configs_saved``), the candidate budget
+    (``keep``) and whether it was chosen adaptively, and the surrogate's
+    measured fit error in normalized objective units (``surrogate_spread``)
+    that sized the adaptive budget.  ``configs_per_second`` inherited from the base class is
+    the *effective* throughput: the whole space divided by total funnel time
+    (surrogate fit + surrogate sweep + full-model re-rank).
+    """
+
+    surrogate_seconds: float = 0.0
+    full_model_configs: int = 0
+    configs_saved: int = 0
+    keep: int = 0
+    adaptive_keep: bool = True
+    surrogate_spread: float = 0.0
+    #: surrogate refit rounds the active-learning loop ran (0 = degenerate)
+    rounds: int = 0
+
+
+def _plausibility_regret(normalized: np.ndarray) -> np.ndarray:
+    """Distance of each row to Pareto-plausibility, in normalized space.
+
+    ``normalized`` is an objective matrix min-max scaled to [0, 1] per
+    column; each row's regret is the smallest worst-dimension gap to any
+    member of the (normalized) Pareto front — exactly the ADRS point
+    distance, but measured on the surrogate's predicted objectives.  Front
+    members score 0; the further a point sits behind the front, the larger
+    its regret.
+    """
+    count = normalized.shape[0]
+    front_mask = np.ones(count, dtype=bool)
+    for index in range(count):
+        others = np.delete(normalized, index, axis=0)
+        dominated = np.any(
+            np.all(others <= normalized[index], axis=1)
+            & np.any(others < normalized[index], axis=1)
+        )
+        front_mask[index] = not dominated
+    front = normalized[front_mask]
+    # regret = min over front members of the worst-dimension shortfall
+    gaps = normalized[:, None, :] - front[None, :, :]
+    return np.maximum(gaps.max(axis=2), 0.0).min(axis=1)
+
+
+def _funnel_features(
+    function: IRFunction, configs: list[PragmaConfig]
+) -> np.ndarray:
+    """Config-resolved feature matrix for the funnel surrogate.
+
+    Unlike :func:`repro.baselines.gbm.extract_features` — which profiles the
+    *code* and summarizes pragmas into kernel-level aggregates — these rows
+    must separate configurations of one fixed kernel, so they spell out
+    every pragma site individually: per-loop effective unroll factor (log2),
+    pipeline and flatten bits, and per-array partition bank count.  Loops
+    and arrays are visited in sorted order, so the row layout is identical
+    for every configuration of a kernel.
+    """
+    from repro.hls.directives import effective_unroll_factors, partition_banks
+    from repro.ir.passes import loop_nest_analysis
+
+    labels = sorted(loop_nest_analysis(function))
+    arrays = sorted(function.arrays)
+    rows = np.empty((len(configs), 3 * len(labels) + len(arrays)))
+    for index, config in enumerate(configs):
+        unroll = effective_unroll_factors(function, config)
+        row = []
+        for label in labels:
+            directive = config.loop(label)
+            row.append(np.log2(float(max(1, unroll.get(label, 1)))))
+            row.append(float(bool(directive.pipeline)))
+            row.append(float(bool(directive.flatten)))
+        for name in arrays:
+            row.append(float(
+                partition_banks(function.arrays[name], config.array(name))
+            ))
+        rows[index] = row
+    return rows
+
+
+#: adaptive funnel budget: never fewer full-model scores than this (small
+#: spaces are cheap to score well), never more than this fraction of the
+#: space (large spaces are where the funnel pays)
+_MIN_FUNNEL_BUDGET = 96
+_FUNNEL_KEEP_FRACTION = 0.5
+
+
+def _quadratic_design(features: np.ndarray) -> np.ndarray:
+    """Quadratic ridge design matrix: intercept, features, all products.
+
+    Pairwise products capture exactly the structure of the underlying QoR
+    surfaces — latency and resources are near-multiplicative in unroll
+    factors, pipeline toggles and partition banks, so in log-objective space
+    the interaction of two pragma sites is (to first order) a product term.
+    """
+    count, width = features.shape
+    columns = [np.ones((count, 1)), features]
+    for i in range(width):
+        columns.append(features[:, i:] * features[:, i:i + 1])
+    return np.concatenate(columns, axis=1)
+
+
+def _ridge_solve(
+    design: np.ndarray, targets: np.ndarray, lam: float = 1e-3
+) -> np.ndarray:
+    """Ridge-regularized least squares (normal equations; tiny systems)."""
+    gram = design.T @ design + lam * np.eye(design.shape[1])
+    return np.linalg.solve(gram, design.T @ targets)
+
+
+class FunnelExplorer:
+    """Surrogate-first DSE funnel: filter with a ridge model, score with the GNN.
+
+    An active-learning funnel over one kernel's design space.  A strided
+    sample of configurations is scored by ``predict_batch_fn`` (the full
+    hierarchical model); a quadratic ridge surrogate — log-space
+    least-squares on config-resolved pragma features
+    (:func:`_funnel_features`), microseconds to fit — is distilled from
+    those scores and sweeps the *whole* space for free.  Each round, the
+    unscored configurations that the surrogate still ranks Pareto-plausible
+    (normalized regret behind the surrogate front within ``margin_scale``
+    times the surrogate's out-of-fold fit error) are scored with the full
+    model and fed back into the surrogate, which sharpens exactly where the
+    front lives.  The funnel closes when no unscored configuration is
+    plausible — or when the budget cap (an explicit ``keep``, else
+    ``max(96, half the space)``) is spent.  The final front is selected from
+    full-model scores only; the surrogate decides what to *score*, never
+    what to *select*.
+
+    ``surrogate="gbm"`` swaps the ridge for the
+    :class:`~repro.baselines.gbm.GradientBoostingRegressor` boosted trees
+    (the Zhong-et-al.-style baseline regressor) — same funnel, ~100x the
+    distillation cost; useful for comparing surrogate families, not for
+    beating the matmul floor.
+
+    ``predict_batch_fn(function, configs) -> list[dict]`` is the only model
+    interface required (e.g. ``QoRPredictor.predict_batch`` or a lambda that
+    pins a precision tier).  No ground-truth labels are consumed anywhere.
+    """
+
+    def __init__(
+        self,
+        predict_batch_fn: Callable[
+            [IRFunction, list[PragmaConfig]], list[dict[str, float]]
+        ],
+        *,
+        keep: int | None = None,
+        sample_size: int | None = None,
+        margin_scale: float = 2.0,
+        min_keep: int = 8,
+        max_rounds: int = 12,
+        surrogate: str = "ridge",
+        name: str = "funnel",
+        cache_stats_fn: Callable[[], dict] | None = None,
+    ):
+        if keep is not None and keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        if sample_size is not None and sample_size < 2:
+            raise ValueError(f"sample_size must be >= 2, got {sample_size}")
+        if surrogate not in ("ridge", "gbm"):
+            raise ValueError(f"unknown surrogate {surrogate!r}; "
+                             "available: 'ridge', 'gbm'")
+        self.predict_batch_fn = predict_batch_fn
+        #: explicit full-model budget; None = adaptive (max(96, half the space))
+        self.keep = keep
+        #: None = adaptive: an eighth of the space, at least 16 configs
+        self.sample_size = sample_size
+        self.margin_scale = margin_scale
+        self.min_keep = max(1, min_keep)
+        self.max_rounds = max(1, max_rounds)
+        self.surrogate = surrogate
+        self.name = name
+        self.cache_stats_fn = cache_stats_fn
+
+    # ------------------------------------------------------------------ #
+    def _surrogate_sweep(
+        self,
+        design: np.ndarray,
+        labeled_indices: np.ndarray,
+        labeled_objectives: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fit the surrogate on the labeled rows; score every row.
+
+        Returns the surrogate's objective matrix for the whole space and its
+        *out-of-fold* absolute errors on the labeled rows (two alternating
+        folds, each predicted by a model fitted on the other).  Out-of-fold
+        rather than training error: both surrogate families nearly
+        interpolate a few dozen points, so the training residual would
+        flatter the surrogate and close the funnel on true-front members it
+        actually misplaces.
+        """
+        targets = np.log1p(np.maximum(labeled_objectives, 0.0))
+        train_rows = design[labeled_indices]
+        folds = np.arange(len(labeled_indices)) % 2
+
+        if self.surrogate == "ridge":
+            coef = _ridge_solve(train_rows, targets)
+            predicted = np.expm1(design @ coef)
+            out_of_fold = np.empty_like(targets)
+            for fold in (0, 1):
+                held_out = folds == fold
+                half = _ridge_solve(train_rows[~held_out], targets[~held_out])
+                out_of_fold[held_out] = train_rows[held_out] @ half
+        else:
+            from repro.baselines.gbm import GradientBoostingRegressor
+
+            def boosted(rows: np.ndarray, values: np.ndarray):
+                model = GradientBoostingRegressor(
+                    n_estimators=60, learning_rate=0.15,
+                    max_depth=3, min_samples_leaf=2,
+                )
+                return model.fit(rows, values)
+
+            predicted = np.empty((design.shape[0], targets.shape[1]))
+            out_of_fold = np.empty_like(targets)
+            for column in range(targets.shape[1]):
+                model = boosted(train_rows, targets[:, column])
+                predicted[:, column] = np.expm1(model.predict(design))
+                for fold in (0, 1):
+                    held_out = folds == fold
+                    half = boosted(
+                        train_rows[~held_out], targets[~held_out, column]
+                    )
+                    out_of_fold[held_out, column] = half.predict(
+                        train_rows[held_out]
+                    )
+        fit_errors = np.abs(np.expm1(out_of_fold) - labeled_objectives)
+        return predicted, fit_errors
+
+    def explore(
+        self, function: IRFunction, space: GroundTruthSpace
+    ) -> FunnelDSEResult:
+        """Run the active-learning funnel over one kernel's design space.
+
+        Returns a :class:`FunnelDSEResult` whose ADRS is computed — exactly
+        as for :class:`ModelGuidedExplorer` — on the true QoR of the
+        selected configurations against the exact front, so the two engines
+        are directly comparable.  Spaces no bigger than the full-model
+        budget skip the surrogate entirely (every configuration is
+        full-model scored, nothing is saved).
+        """
+        configs = space.configs
+        total = len(configs)
+        if self.keep is not None:
+            budget = min(self.keep, total)
+        else:
+            budget = min(
+                max(_MIN_FUNNEL_BUDGET,
+                    int(np.ceil(_FUNNEL_KEEP_FRACTION * total))),
+                total,
+            )
+        start = time.perf_counter()
+        surrogate_seconds = 0.0
+        spread = 0.0
+        rounds = 0
+        if budget >= total:
+            # degenerate funnel: the budget covers the space
+            metrics_by_index: dict[int, dict[str, float]] = dict(
+                enumerate(self.predict_batch_fn(function, list(configs)))
+            )
+        else:
+            sample_count = min(
+                self.sample_size or max(16, total // 8), budget
+            )
+            # strided distillation sample: deterministic, and with the space
+            # enumerated as a nested pragma product it touches every factor
+            sample_indices = np.unique(
+                np.linspace(0, total - 1, sample_count).astype(int)
+            )
+            sample_metrics = self.predict_batch_fn(
+                function, [configs[i] for i in sample_indices]
+            )
+            metrics_by_index = {
+                int(i): m for i, m in zip(sample_indices, sample_metrics)
+            }
+            surrogate_start = time.perf_counter()
+            design = _quadratic_design(_funnel_features(function, configs))
+            surrogate_seconds += time.perf_counter() - surrogate_start
+            while len(metrics_by_index) < budget and rounds < self.max_rounds:
+                rounds += 1
+                surrogate_start = time.perf_counter()
+                labeled_indices = np.array(sorted(metrics_by_index))
+                labeled_objectives = np.array([
+                    qor_objectives(metrics_by_index[int(i)])
+                    for i in labeled_indices
+                ])
+                predicted, fit_errors = self._surrogate_sweep(
+                    design, labeled_indices, labeled_objectives
+                )
+                # regret and fit error share one normalization (the
+                # per-objective span of the surrogate sweep), so the margin
+                # below compares like with like; the median keeps the few
+                # worst-placed extreme points from setting the margin for
+                # the whole funnel
+                minima = predicted.min(axis=0)
+                span = np.maximum(predicted.max(axis=0) - minima, 1e-12)
+                regret = _plausibility_regret((predicted - minima) / span)
+                spread = float(np.median((fit_errors / span).max(axis=1)))
+                margin = self.margin_scale * spread
+                candidates = [
+                    int(i) for i in np.argsort(regret, kind="stable")
+                    if int(i) not in metrics_by_index and regret[i] <= margin
+                ]
+                surrogate_seconds += time.perf_counter() - surrogate_start
+                if not candidates:
+                    break
+                # geometric batch growth: each round may score as many new
+                # configs as are already labeled, so the funnel converges in
+                # O(log(budget)) rounds of surrogate refits
+                batch = candidates[:min(
+                    max(self.min_keep, len(metrics_by_index)),
+                    budget - len(metrics_by_index),
+                )]
+                batch_metrics = self.predict_batch_fn(
+                    function, [configs[i] for i in batch]
+                )
+                metrics_by_index.update(zip(batch, batch_metrics))
+        scored_indices = sorted(metrics_by_index)
+        model_seconds = time.perf_counter() - start
+
+        # the predicted front is selected from FULL-model scores only (the
+        # surrogate decided what to score, never what to select)
+        predicted_points = [
+            DesignPoint(
+                key=configs[i].key(),
+                objectives=qor_objectives(metrics_by_index[i]),
+                metadata={"config": configs[i]},
+            )
+            for i in scored_indices
+        ]
+        selected_keys = [p.key for p in pareto_front(predicted_points)]
+        explore_seconds = time.perf_counter() - start
+        approx_front = space.true_front_of(selected_keys)
+        exact_front = space.exact_front()
+        full_model_configs = len(metrics_by_index)
+        return FunnelDSEResult(
+            kernel=space.kernel,
+            num_configs=total,
+            adrs=adrs(exact_front, approx_front),
+            model_seconds=model_seconds,
+            simulated_tool_seconds=space.simulated_tool_seconds,
+            selected_keys=selected_keys,
+            exact_front=exact_front,
+            approx_front=approx_front,
+            batched=True,
+            explore_seconds=explore_seconds,
+            cache_stats=dict(self.cache_stats_fn()) if self.cache_stats_fn else {},
+            surrogate_seconds=surrogate_seconds,
+            full_model_configs=full_model_configs,
+            configs_saved=total - full_model_configs,
+            keep=int(budget),
+            adaptive_keep=self.keep is None,
+            surrogate_spread=spread,
+            rounds=rounds,
+        )
+
+
 def oracle_dse(space: GroundTruthSpace) -> DSEResult:
     """DSE with perfect knowledge (ADRS = 0); useful as a sanity baseline."""
     exact = space.exact_front()
@@ -256,5 +626,6 @@ def oracle_dse(space: GroundTruthSpace) -> DSEResult:
 
 __all__ = [
     "resource_cost", "qor_objectives", "GroundTruthSpace",
-    "exhaustive_ground_truth", "DSEResult", "ModelGuidedExplorer", "oracle_dse",
+    "exhaustive_ground_truth", "DSEResult", "ModelGuidedExplorer",
+    "FunnelDSEResult", "FunnelExplorer", "oracle_dse",
 ]

@@ -71,6 +71,7 @@ from repro.core.predictor import QoRPredictor
 from repro.dse.explorer import qor_objectives
 from repro.dse.pareto import DesignPoint, ParetoFront, merge_fronts
 from repro.dse.space import DesignSpace
+from repro.flags import normalize_precision
 from repro.frontend.pragmas import PragmaConfig
 from repro.graph.cache import GraphConstructionCache
 from repro.graph.hierarchy import decomposition_signature
@@ -225,6 +226,7 @@ def shard_worker(
     results: multiprocessing.Queue,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     fail_after: int | None = None,
+    precision: str = "float64",
 ) -> None:
     """Worker-process entrypoint: score one shard and stream results back.
 
@@ -248,9 +250,13 @@ def shard_worker(
     internal error, ``("error", shard_id, traceback_text)`` and a non-zero
     exit.  ``fail_after`` is a test hook: the worker hard-exits (no "done",
     as a real crash would) once that many configurations are scored.
+    ``precision`` selects the inference tier each worker casts its weights
+    into at load time (``"float64"`` default).
     """
     try:
-        predictor = QoRPredictor.load(model_path, warm_caches=warm_caches)
+        predictor = QoRPredictor.load(
+            model_path, warm_caches=warm_caches, precision=precision
+        )
         function = lower_source(source)
         completed = 0
         for start in range(0, len(items), max(1, chunk_size)):
@@ -282,6 +288,7 @@ def stealing_worker(
     tasks: multiprocessing.Queue,
     results: multiprocessing.Queue,
     fail_after: int | None = None,
+    precision: str = "float64",
 ) -> None:
     """Work-stealing worker: drain chunks from a shared queue until sentinel.
 
@@ -294,10 +301,13 @@ def stealing_worker(
     consuming one ends the worker with a ``("done", worker_id,
     cache_stats)`` message.  Message protocol and crash semantics otherwise
     match :func:`shard_worker` (``fail_after`` hard-exits mid-stream after
-    that many configurations, like a real crash).
+    that many configurations, like a real crash).  ``precision`` selects the
+    inference tier each worker casts its weights into at load time.
     """
     try:
-        predictor = QoRPredictor.load(model_path, warm_caches=warm_caches)
+        predictor = QoRPredictor.load(
+            model_path, warm_caches=warm_caches, precision=precision
+        )
         function = lower_source(source)
         completed = 0
         while True:
@@ -507,7 +517,11 @@ class ShardedExplorer:
     * ``worker_timeout`` — a *stall* timeout: seconds without any message
       from any worker before the remaining workers are deemed wedged,
       terminated, and their outstanding work recovered in-process.  An
-      actively-streaming fleet never trips it, however long the sweep.
+      actively-streaming fleet never trips it, however long the sweep;
+    * ``precision`` — inference tier every worker (and in-process recovery)
+      loads the model into: ``"float64"`` (the bit-exact default) or
+      ``"float32"`` (the cheap tier, see
+      :meth:`repro.core.predictor.QoRPredictor.load`).
 
     The ``partitioner`` hook (benchmarks/tests) replaces
     :func:`partition_space`: a callable ``(space, num_shards) ->
@@ -526,6 +540,7 @@ class ShardedExplorer:
         work_stealing: bool = False,
         mp_context: str | None = None,
         worker_timeout: float = 300.0,
+        precision: str = "float64",
         partitioner=None,
         _fault_injection: dict[int, int] | None = None,
     ):
@@ -544,6 +559,7 @@ class ShardedExplorer:
         self.work_stealing = work_stealing
         self.mp_context = mp_context or _default_mp_context()
         self.worker_timeout = worker_timeout
+        self.precision = normalize_precision(precision)
         self.partitioner = partitioner
         #: test hook: shard/worker id -> configs to score before a crash
         self._fault_injection = dict(_fault_injection or {})
@@ -650,7 +666,8 @@ class ShardedExplorer:
         if not missing_ids:
             return [], None
         predictor = QoRPredictor.load(
-            self.model_path, warm_caches=self.warm_caches
+            self.model_path, warm_caches=self.warm_caches,
+            precision=self.precision,
         )
         metrics_list = predictor.predict_batch(
             space.function(), [space.config(cid) for cid in missing_ids]
@@ -703,7 +720,7 @@ class ShardedExplorer:
                 args=(
                     shard.shard_id, str(self.model_path), space.source,
                     self.warm_caches, items, results_queue, self.chunk_size,
-                    self._fault_injection.get(shard.shard_id),
+                    self._fault_injection.get(shard.shard_id), self.precision,
                 ),
                 daemon=True,
             )
@@ -801,7 +818,7 @@ class ShardedExplorer:
                 args=(
                     worker_id, str(self.model_path), space.source,
                     self.warm_caches, tasks, results_queue,
-                    self._fault_injection.get(worker_id),
+                    self._fault_injection.get(worker_id), self.precision,
                 ),
                 daemon=True,
             )

@@ -1,24 +1,51 @@
 """Process-wide runtime toggles, dependency-free by design.
 
-Currently a single toggle: the *reference encoding* switch.  The vectorized
-cold-path pipeline (union encoder, batch/template caches, scatter-index and
-CSR memos, fused ops) retains its pre-vectorization implementation for
-differential testing and benchmarking; code at every layer — ``graph``,
-``nn`` and ``core`` — consults :func:`reference_encoding_active` to decide
-which path to take, so the flag lives here at the bottom of the dependency
-graph instead of inverting the ``graph -> nn`` layering.
+Two toggles live here, both at the bottom of the dependency graph so code at
+every layer — ``graph``, ``nn`` and ``core`` — can consult them without
+inverting the ``graph -> nn`` layering:
+
+* the *reference encoding* switch: the vectorized cold-path pipeline (union
+  encoder, batch/template caches, scatter-index and CSR memos, fused ops)
+  retains its pre-vectorization implementation for differential testing and
+  benchmarking;
+* the *precision* tier: ``float64`` (the bit-identical default and numerical
+  reference) or ``float32`` (the cheap inference tier — roughly half the
+  matmul bandwidth, guarded by a relaxed equivalence bound against the
+  float64 reference).
+
+Both toggles are backed by :class:`contextvars.ContextVar`, so concurrent
+requests in a threaded or async serving daemon each see their own setting:
+``with precision("float32")`` in one request cannot leak into another
+thread's forward pass, and the contextmanager API is unchanged from the
+module-global implementation it replaced.
 """
 
 from __future__ import annotations
 
 import contextlib
+from contextvars import ContextVar
 
-_REFERENCE_MODE = False
+_REFERENCE_MODE: ContextVar[bool] = ContextVar(
+    "repro_reference_encoding", default=False
+)
+
+#: the supported precision tiers, canonical spelling first
+PRECISIONS = ("float64", "float32")
+
+#: accepted aliases per canonical tier name
+_PRECISION_ALIASES = {
+    "float64": "float64", "f64": "float64", "fp64": "float64",
+    "double": "float64",
+    "float32": "float32", "f32": "float32", "fp32": "float32",
+    "single": "float32",
+}
+
+_PRECISION: ContextVar[str] = ContextVar("repro_precision", default="float64")
 
 
 def reference_encoding_active() -> bool:
     """Whether the retained reference (pre-vectorization) pipeline is forced."""
-    return _REFERENCE_MODE
+    return _REFERENCE_MODE.get()
 
 
 @contextlib.contextmanager
@@ -32,13 +59,51 @@ def reference_encoding():
     outer-template fast path, and the scatter ops recompute their indices
     (and skip their CSR operators) on every call.
     """
-    global _REFERENCE_MODE
-    previous = _REFERENCE_MODE
-    _REFERENCE_MODE = True
+    token = _REFERENCE_MODE.set(True)
     try:
         yield
     finally:
-        _REFERENCE_MODE = previous
+        _REFERENCE_MODE.reset(token)
 
 
-__all__ = ["reference_encoding", "reference_encoding_active"]
+def normalize_precision(value: str) -> str:
+    """Canonical tier name (``"float64"``/``"float32"``) for ``value``.
+
+    Accepts the common aliases (``f32``, ``fp32``, ``single``, ``double``,
+    ...); raises :class:`ValueError` for anything else so typos fail loudly
+    instead of silently running the wrong tier.
+    """
+    name = _PRECISION_ALIASES.get(str(value).strip().lower())
+    if name is None:
+        raise ValueError(
+            f"unknown precision {value!r}; expected one of {PRECISIONS}"
+        )
+    return name
+
+
+def active_precision() -> str:
+    """The precision tier of the current context (``"float64"`` default)."""
+    return _PRECISION.get()
+
+
+@contextlib.contextmanager
+def precision(value: str):
+    """Run the ``with`` block under the given precision tier.
+
+    Governs the dtype of arrays *created* inside the block — batch-encoding
+    union buffers, tensors built from scalars and lists — while arrays that
+    already carry a float32/float64 dtype (model weights cast once at load)
+    propagate their own dtype through the kernels.  The default tier,
+    float64, is bit-identical to the pre-tiered implementation.
+    """
+    token = _PRECISION.set(normalize_precision(value))
+    try:
+        yield
+    finally:
+        _PRECISION.reset(token)
+
+
+__all__ = [
+    "PRECISIONS", "reference_encoding", "reference_encoding_active",
+    "normalize_precision", "active_precision", "precision",
+]

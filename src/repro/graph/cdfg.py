@@ -121,8 +121,17 @@ class _FeatureColumns:
         self.count = count + span
 
     def view(self) -> np.ndarray:
-        """The live ``(count, 9)`` window of the block (zero-copy)."""
-        return self.matrix[: self.count]
+        """The live ``(count, 9)`` window of the block (zero-copy, read-only).
+
+        The returned slice is marked non-writeable: consumers share the
+        backing block, so a stray in-place edit through one view would
+        silently corrupt every other consumer's features.  Mutation goes
+        through :class:`_FeatureRow` (which writes the backing ``matrix``
+        directly) or an explicit :meth:`copy`.
+        """
+        window = self.matrix[: self.count]
+        window.setflags(write=False)
+        return window
 
     def copy(self) -> "_FeatureColumns":
         """An independent store holding a copy of the live rows."""
@@ -187,8 +196,12 @@ class _EdgeColumns:
         self.count = count + length
 
     def views(self) -> tuple[np.ndarray, np.ndarray]:
-        """Live zero-copy ``(src, dst)`` windows."""
-        return self.src[: self.count], self.dst[: self.count]
+        """Live zero-copy ``(src, dst)`` windows (read-only)."""
+        src = self.src[: self.count]
+        dst = self.dst[: self.count]
+        src.setflags(write=False)
+        dst.setflags(write=False)
+        return src, dst
 
     def copy(self) -> "_EdgeColumns":
         """An independent store holding a copy of the live edges."""
@@ -455,13 +468,18 @@ class CDFG:
 
     @property
     def edge_src(self) -> np.ndarray:
-        """Live zero-copy int64 view of the edge source column."""
-        return self._edges.src[: self._edges.count]
+        """Live zero-copy int64 view of the edge source column (read-only)."""
+        view = self._edges.src[: self._edges.count]
+        view.setflags(write=False)
+        return view
 
     @property
     def edge_dst(self) -> np.ndarray:
-        """Live zero-copy int64 view of the edge destination column."""
-        return self._edges.dst[: self._edges.count]
+        """Live zero-copy int64 view of the edge destination column
+        (read-only)."""
+        view = self._edges.dst[: self._edges.count]
+        view.setflags(write=False)
+        return view
 
     @property
     def edges(self) -> list[CDFGEdge]:
@@ -621,8 +639,9 @@ class CDFG:
 
         Memoized per edge count: repeated calls return the **same** array
         object, which lets identity-keyed consumers (the message-passing
-        edge cache, sample templates) share downstream memos.  Treat it as
-        read-only.
+        edge cache, sample templates) share downstream memos.  The array is
+        marked non-writeable — a mutation would desynchronise every memo
+        keyed on its identity.
         """
         cached = self._edge_index_cache
         count = self._edges.count
@@ -634,6 +653,7 @@ class CDFG:
             cached = np.empty((2, count), dtype=np.int64)
             cached[0] = self._edges.src[:count]
             cached[1] = self._edges.dst[:count]
+        cached.setflags(write=False)
         self._edge_index_cache = cached
         return cached
 
@@ -745,10 +765,12 @@ class CDFG:
     def feature_matrix(self) -> np.ndarray:
         """(N, len(NODE_FEATURE_NAMES)) matrix of numerical node features.
 
-        On the columnar path this is a **zero-copy view** of the live rows of
-        the feature block — writes through the view (or through any node's
-        ``features``) are visible to every other view.  Consumers that need
-        an independent matrix copy it explicitly.
+        On the columnar path this is a **zero-copy, read-only view** of the
+        live rows of the feature block — writes through any node's
+        ``features`` are visible to every view, but the view itself is
+        marked non-writeable (all views share one backing block, so an
+        in-place edit would corrupt every consumer).  Consumers that need a
+        mutable matrix copy it explicitly.
         """
         if self.feat is not None:
             return self.feat.view()

@@ -932,10 +932,11 @@ class GraphBuilder:
         if feat is not None:
             # columnar path: every node owns its feature row, so the degree
             # columns are written in two vectorized assignments — no
-            # per-node loop, no copy-on-write unsharing
-            matrix = feat.view()
-            matrix[:, _COL_IN_DEGREE] = in_degree
-            matrix[:, _COL_OUT_DEGREE] = out_degree
+            # per-node loop, no copy-on-write unsharing.  Write the backing
+            # matrix, not the (read-only) view.
+            count = feat.count
+            feat.matrix[:count, _COL_IN_DEGREE] = in_degree
+            feat.matrix[:count, _COL_OUT_DEGREE] = out_degree
         else:
             for node, fan_in, fan_out in zip(
                 self.cdfg.nodes, in_degree.tolist(), out_degree.tolist()

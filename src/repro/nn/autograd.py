@@ -8,9 +8,12 @@ graph message passing is built from.
 
 Design notes
 ------------
-* A :class:`Tensor` wraps an ``np.ndarray`` (always ``float64``), remembers
-  the tensors it was computed from and a closure that accumulates gradients
-  into them.
+* A :class:`Tensor` wraps an ``np.ndarray`` (``float64`` or ``float32`` — the
+  precision *tier*, see :mod:`repro.flags`; float64 is the bit-identical
+  default), remembers the tensors it was computed from and a closure that
+  accumulates gradients into them.  Kernels propagate the dtype of their
+  inputs; the ``precision`` context governs only arrays created from scalars
+  or lists, so mixing tiers by accident is impossible.
 * Broadcasting in ``+``/``*``/``-``/``/`` is supported; gradients are summed
   over the broadcast axes.
 * ``backward()`` runs a topological sort and applies the chain rule; only
@@ -26,7 +29,12 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.flags import reference_encoding, reference_encoding_active
+from repro.flags import (
+    active_precision,
+    precision,
+    reference_encoding,
+    reference_encoding_active,
+)
 
 try:  # optional: the scatter ops fall back to pure numpy without scipy
     from scipy import sparse as _scipy_sparse
@@ -35,11 +43,39 @@ except ImportError:  # pragma: no cover - scipy is present in CI and dev envs
 
 Array = np.ndarray
 
+#: numpy dtype per precision tier (see :mod:`repro.flags`)
+PRECISION_DTYPES = {"float64": np.dtype(np.float64), "float32": np.dtype(np.float32)}
+
+_FLOAT_DTYPES = tuple(PRECISION_DTYPES.values())
+
+
+def active_dtype() -> np.dtype:
+    """The numpy dtype of the context's precision tier."""
+    return PRECISION_DTYPES[active_precision()]
+
 
 def _as_array(value) -> Array:
-    if isinstance(value, np.ndarray):
-        return value.astype(np.float64, copy=False)
-    return np.asarray(value, dtype=np.float64)
+    # float32/float64 arrays (and numpy float scalars, e.g. a float32
+    # ``.sum()`` result) keep their dtype: weights are cast once at load and
+    # inputs propagate.  Everything else — python scalars, lists, integer
+    # arrays — adopts the context's precision tier (float64 by default,
+    # bit-identical to the pre-tiered behavior).
+    if isinstance(value, (np.ndarray, np.floating)):
+        value = np.asarray(value)
+        if value.dtype in _FLOAT_DTYPES:
+            return value
+        return value.astype(PRECISION_DTYPES[active_precision()], copy=False)
+    return np.asarray(value, dtype=PRECISION_DTYPES[active_precision()])
+
+
+def _scalar_operand(value, dtype: np.dtype) -> "Tensor":
+    """Wrap a non-Tensor binary-op operand, matching the Tensor's dtype.
+
+    Python scalars and lists adopt the other operand's dtype so a float32
+    graph is never silently upcast to float64 by a literal like ``+ 1e-12``.
+    For float64 operands this is exactly the old ``Tensor(other)`` behavior.
+    """
+    return Tensor(np.asarray(value, dtype=dtype))
 
 
 class _ScatterIndexCache:
@@ -65,6 +101,25 @@ class _ScatterIndexCache:
         self.misses = 0
         self.evictions = 0
 
+    @staticmethod
+    def _freeze(value):
+        """Mark memoized buffers read-only so shared-cache mutation fails loudly.
+
+        Cached arrays are handed to many forward passes; a caller writing
+        into one would silently corrupt every later sweep.  Freezing costs
+        nothing on the hot path (consumers only read) and turns that
+        corruption into an immediate ``ValueError``.
+        """
+        if isinstance(value, np.ndarray):
+            value.setflags(write=False)
+        elif isinstance(value, tuple):
+            for item in value:
+                if isinstance(item, np.ndarray):
+                    item.setflags(write=False)
+        elif _scipy_sparse is not None and _scipy_sparse.issparse(value):
+            value.data.setflags(write=False)
+        return value
+
     def _memo(self, ids: Array, key: tuple, compute):
         if reference_encoding_active():
             # the reference pipeline recomputes everything — it must not
@@ -76,7 +131,7 @@ class _ScatterIndexCache:
             self._entries.move_to_end(key)
             return entry[1]
         self.misses += 1
-        value = compute()
+        value = self._freeze(compute())
         try:
             ref = weakref.ref(ids)
         except TypeError:  # pragma: no cover - ndarrays are weakref-able
@@ -115,16 +170,20 @@ class _ScatterIndexCache:
 
         return self._memo(ids, (id(ids), "sorted"), compute)
 
-    def segment_counts(self, ids: Array, num_segments: int) -> Array:
+    def segment_counts(
+        self, ids: Array, num_segments: int, dtype: np.dtype = np.dtype(np.float64)
+    ) -> Array:
         """Clamped-to->=1 member count per segment (for :func:`segment_mean`)."""
         return self._memo(
-            ids, (id(ids), "counts", num_segments),
+            ids, (id(ids), "counts", num_segments, dtype.char),
             lambda: np.maximum(
-                np.bincount(ids, minlength=num_segments).astype(np.float64), 1.0
+                np.bincount(ids, minlength=num_segments).astype(dtype), 1.0
             ),
         )
 
-    def mean_edge_weights(self, ids: Array, num_segments: int) -> Array:
+    def mean_edge_weights(
+        self, ids: Array, num_segments: int, dtype: np.dtype = np.dtype(np.float64)
+    ) -> Array:
         """Per-edge ``1 / count(dst)`` weights, memoized per id array.
 
         Folding these into the fused gather-scatter operator turns SAGE's
@@ -134,11 +193,13 @@ class _ScatterIndexCache:
         union-sized multiply and temporary per layer.
         """
         return self._memo(
-            ids, (id(ids), "mean_weights", num_segments),
-            lambda: (1.0 / self.segment_counts(ids, num_segments))[ids],
+            ids, (id(ids), "mean_weights", num_segments, dtype.char),
+            lambda: (1.0 / self.segment_counts(ids, num_segments, dtype))[ids],
         )
 
-    def scatter_matrix(self, ids: Array, num_segments: int):
+    def scatter_matrix(
+        self, ids: Array, num_segments: int, dtype: np.dtype = np.dtype(np.float64)
+    ):
         """Sparse ``(num_segments, len(ids))`` row-gather operator, or ``None``.
 
         ``matrix @ values`` performs the scatter-add as one CSR
@@ -162,11 +223,11 @@ class _ScatterIndexCache:
             else:
                 indices = np.argsort(ids, kind="stable").astype(np.int64)
             return _scipy_sparse.csr_matrix(
-                (np.ones(length), indices, indptr),
+                (np.ones(length, dtype=dtype), indices, indptr),
                 shape=(num_segments, length),
             )
 
-        return self._memo(ids, (id(ids), "csr", num_segments), compute)
+        return self._memo(ids, (id(ids), "csr", num_segments, dtype.char), compute)
 
     def adjacency(
         self,
@@ -175,6 +236,7 @@ class _ScatterIndexCache:
         num_segments: int,
         num_sources: int,
         weights: Array | None = None,
+        dtype: np.dtype = np.dtype(np.float64),
     ):
         """Cached fused gather-scatter operator, or ``None`` without scipy.
 
@@ -189,7 +251,7 @@ class _ScatterIndexCache:
             return None
         key = (
             id(dst), "adj", id(src), num_segments, num_sources,
-            -1 if weights is None else id(weights),
+            -1 if weights is None else id(weights), dtype.char,
         )
 
         def compute():
@@ -197,8 +259,8 @@ class _ScatterIndexCache:
             counts = np.bincount(dst, minlength=num_segments)
             indptr = np.zeros(num_segments + 1, dtype=np.int64)
             np.cumsum(counts, out=indptr[1:])
-            data = np.ones(length) if weights is None else np.array(
-                weights, dtype=np.float64
+            data = np.ones(length, dtype=dtype) if weights is None else np.array(
+                weights, dtype=dtype
             ).reshape(length)
             if length and not bool((dst[1:] >= dst[:-1]).all()):
                 order = np.argsort(dst, kind="stable")
@@ -211,6 +273,9 @@ class _ScatterIndexCache:
                     (data, indices, indptr), shape=(num_segments, num_sources)
                 )
             }
+            # the enclosing tuple hides the CSR from _freeze; freeze its
+            # data buffer here (same shared-cache-mutation guarantee)
+            matrices["forward"].data.setflags(write=False)
             # the memo validates only the keying (dst) array; pin the other
             # participants with their own weak references so a recycled src
             # or weights id can be detected below
@@ -260,12 +325,16 @@ def _scatter_add(ids: Array, values: Array, num_segments: int) -> Array:
     temporaries at all.
     """
     if values.ndim == 1:
-        return np.bincount(ids, weights=values, minlength=num_segments)
+        # bincount accumulates in float64; cast back so float32 graphs stay
+        # float32 end to end (no-op copy for float64 inputs)
+        return np.bincount(ids, weights=values, minlength=num_segments).astype(
+            values.dtype, copy=False
+        )
     num_cols = int(np.prod(values.shape[1:]))
     if num_cols == 0 or ids.size == 0:
-        return np.zeros((num_segments,) + values.shape[1:], dtype=np.float64)
+        return np.zeros((num_segments,) + values.shape[1:], dtype=values.dtype)
     if not reference_encoding_active() and values.ndim == 2:
-        matrix = SCATTER_INDEX_CACHE.scatter_matrix(ids, num_segments)
+        matrix = SCATTER_INDEX_CACHE.scatter_matrix(ids, num_segments, values.dtype)
         if matrix is not None:
             return matrix @ values
     flat_ids = SCATTER_INDEX_CACHE.flat_ids(ids, num_cols)
@@ -274,7 +343,9 @@ def _scatter_add(ids: Array, values: Array, num_segments: int) -> Array:
         weights=values.reshape(ids.shape[0], num_cols).ravel(),
         minlength=num_segments * num_cols,
     )
-    return out.reshape((num_segments,) + values.shape[1:])
+    return out.reshape((num_segments,) + values.shape[1:]).astype(
+        values.dtype, copy=False
+    )
 
 
 def _stable_matmul(a: Array, b: Array) -> Array:
@@ -426,7 +497,8 @@ class Tensor:
     # arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        if not isinstance(other, Tensor):
+            other = _scalar_operand(other, self.data.dtype)
         out_data = self.data + other.data
 
         def backward(grad: Array) -> None:
@@ -449,14 +521,16 @@ class Tensor:
         return Tensor(out_data, _parents=(self,), _backward=backward)
 
     def __sub__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        if not isinstance(other, Tensor):
+            other = _scalar_operand(other, self.data.dtype)
         return self + (-other)
 
     def __rsub__(self, other) -> "Tensor":
-        return Tensor(other) + (-self)
+        return _scalar_operand(other, self.data.dtype) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        if not isinstance(other, Tensor):
+            other = _scalar_operand(other, self.data.dtype)
         out_data = self.data * other.data
 
         def backward(grad: Array) -> None:
@@ -470,7 +544,8 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        if not isinstance(other, Tensor):
+            other = _scalar_operand(other, self.data.dtype)
         out_data = self.data / other.data
 
         def backward(grad: Array) -> None:
@@ -484,7 +559,7 @@ class Tensor:
         return Tensor(out_data, _parents=(self, other), _backward=backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return Tensor(other) / self
+        return _scalar_operand(other, self.data.dtype) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         out_data = self.data ** exponent
@@ -544,7 +619,7 @@ class Tensor:
 
     def relu(self) -> "Tensor":
         if reference_encoding_active():
-            mask = (self.data > 0).astype(np.float64)
+            mask = (self.data > 0).astype(self.data.dtype)
             out_data = self.data * mask
 
             def backward(grad: Array) -> None:
@@ -563,7 +638,11 @@ class Tensor:
         return Tensor(out_data, _parents=(self,), _backward=backward)
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
-        mask = np.where(self.data > 0, 1.0, negative_slope)
+        # np.where over two python scalars yields float64; pin the mask to
+        # the input dtype so float32 attention graphs stay float32
+        mask = np.where(self.data > 0, 1.0, negative_slope).astype(
+            self.data.dtype, copy=False
+        )
         out_data = self.data * mask
 
         def backward(grad: Array) -> None:
@@ -708,7 +787,7 @@ def gather_scatter_sum(
     src = np.asarray(src, dtype=np.int64)
     dst = np.asarray(dst, dtype=np.int64)
     matrices = SCATTER_INDEX_CACHE.adjacency(
-        src, dst, num_segments, x.data.shape[0], weights
+        src, dst, num_segments, x.data.shape[0], weights, x.data.dtype
     )
     if matrices is None:
         return None
@@ -749,6 +828,10 @@ def embedding_linear(
     """
     codes = np.asarray(codes, dtype=np.int64)
     weight_data = weight.data
+    # the numeric block follows the weight dtype so a float32 model never
+    # silently runs its first-layer GEMM in float64
+    if numeric.dtype != weight_data.dtype:
+        numeric = numeric.astype(weight_data.dtype)
     out_data = weight_data[codes]
     if numeric.shape[1]:
         np.add(out_data, _stable_matmul(numeric, weight_data[split:]), out=out_data)
@@ -862,10 +945,14 @@ def segment_mean(values: Tensor, segment_ids: Array, num_segments: int) -> Tenso
     """Average rows of ``values`` per segment (empty segments give zero)."""
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     if reference_encoding_active():
-        counts = np.bincount(segment_ids, minlength=num_segments).astype(np.float64)
+        counts = np.bincount(segment_ids, minlength=num_segments).astype(
+            values.data.dtype
+        )
         counts = np.maximum(counts, 1.0)
     else:
-        counts = SCATTER_INDEX_CACHE.segment_counts(segment_ids, num_segments)
+        counts = SCATTER_INDEX_CACHE.segment_counts(
+            segment_ids, num_segments, values.data.dtype
+        )
     counts = counts.reshape((num_segments,) + (1,) * (values.ndim - 1))
     return segment_sum(values, segment_ids, num_segments) * Tensor(1.0 / counts)
 
@@ -874,7 +961,9 @@ def segment_max(values: Tensor, segment_ids: Array, num_segments: int) -> Tensor
     """Per-segment maximum; gradients flow to the arg-max rows only."""
     segment_ids = np.asarray(segment_ids, dtype=np.int64)
     feature_shape = values.data.shape[1:]
-    out_data = np.full((num_segments,) + feature_shape, -np.inf, dtype=np.float64)
+    out_data = np.full(
+        (num_segments,) + feature_shape, -np.inf, dtype=values.data.dtype
+    )
     segments = (
         SCATTER_INDEX_CACHE.sorted_segments(segment_ids)
         if not reference_encoding_active() and segment_ids.size and values.data.ndim >= 2
@@ -905,7 +994,7 @@ def segment_max(values: Tensor, segment_ids: Array, num_segments: int) -> Tensor
                     & ~empty[segment_ids]
                 )
                 state["is_max"] = is_max
-            values._accumulate(grad[segment_ids] * is_max.astype(np.float64))
+            values._accumulate(grad[segment_ids] * is_max)
 
     return Tensor(out_data, _parents=(values,), _backward=backward)
 
@@ -937,4 +1026,5 @@ __all__ = [
     "segment_softmax", "stack_rows", "gather_scatter_sum", "linear",
     "linear_sum", "relu_add", "embedding_linear", "reference_encoding",
     "reference_encoding_active", "SCATTER_INDEX_CACHE",
+    "precision", "active_precision", "active_dtype", "PRECISION_DTYPES",
 ]

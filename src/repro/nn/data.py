@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.flags import reference_encoding_active
+from repro.flags import active_precision, reference_encoding_active
 
 
 # --------------------------------------------------------------------------- #
@@ -111,7 +111,7 @@ def batch_dense_x(batch: Batch) -> np.ndarray:
         return batch.x
     num_nodes = batch.x.shape[0]
     dense = np.zeros(
-        (num_nodes, batch.onehot_dim + batch.x.shape[1]), dtype=np.float64
+        (num_nodes, batch.onehot_dim + batch.x.shape[1]), dtype=batch.x.dtype
     )
     if num_nodes:
         dense[np.arange(num_nodes), batch.optype_codes] = 1.0
@@ -406,8 +406,10 @@ def make_batch(
             break
     dim = encoder.dim
     # every row is written below (cache hits and misses alike), so the
-    # union buffers start uninitialized
-    x = np.empty((total_nodes, numeric_width), dtype=np.float64)
+    # union buffers start uninitialized; their dtype is the context's
+    # precision tier (float64 by default — bit-identical to before)
+    dtype = np.dtype(active_precision())
+    x = np.empty((total_nodes, numeric_width), dtype=dtype)
     codes = np.empty(total_nodes, dtype=np.int64)
     numeric = x
     totals: list[np.ndarray | None] = [None] * num_graphs
@@ -416,7 +418,12 @@ def make_batch(
     for graph_id, sample in enumerate(samples):
         start, stop = int(offsets[graph_id]), int(offsets[graph_id + 1])
         entry = None if encoded_cache is None else encoded_cache.get(id(sample))
-        if entry is not None and len(entry) == 4 and entry[0] is sample:
+        # cached rows must match the union dtype — a float64-era entry is
+        # simply re-encoded (and re-cached) under float32, and vice versa
+        if (
+            entry is not None and len(entry) == 4 and entry[0] is sample
+            and entry[1].dtype == dtype
+        ):
             x[start:stop] = entry[1]
             codes[start:stop] = entry[3]
             totals[graph_id] = (
@@ -505,7 +512,7 @@ def make_batch(
         batch=np.repeat(np.arange(num_graphs, dtype=np.int64), counts),
         loop_features=(
             np.stack([
-                np.asarray(sample.loop_features, dtype=np.float64)
+                np.asarray(sample.loop_features, dtype=dtype)
                 for sample in samples
             ])
             if samples else np.zeros((0, 5))
@@ -546,8 +553,11 @@ class BatchCache:
         return len(self._entries)
 
     @staticmethod
-    def _key(samples: list[GraphSample]) -> tuple[int, ...]:
-        return tuple(map(id, samples))
+    def _key(samples: list[GraphSample]) -> tuple:
+        # the precision tier is part of the key: a float64 union replayed
+        # under float32 (or vice versa) must miss, and both tiers' unions
+        # may coexist for the same sample grouping
+        return (active_precision(), *map(id, samples))
 
     def get(self, samples: list[GraphSample]) -> Batch | None:
         """The cached union for exactly this sample grouping, else ``None``."""

@@ -71,7 +71,15 @@ class Module:
             for index, parameter in enumerate(self.parameters())
         }
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+    def load_state_dict(
+        self, state: dict[str, np.ndarray], dtype: np.dtype = np.dtype(np.float64)
+    ) -> None:
+        """Load a flat parameter mapping, casting to ``dtype`` (float64 default).
+
+        Passing ``np.float32`` is how a model enters the float32 inference
+        tier: weights are cast once here and every kernel then propagates
+        their dtype (see :mod:`repro.nn.autograd`).
+        """
         parameters = self.parameters()
         if len(state) != len(parameters):
             raise ValueError(
@@ -84,7 +92,8 @@ class Module:
                     f"parameter {index} shape mismatch: "
                     f"{value.shape} vs {parameter.data.shape}"
                 )
-            parameter.data = value.astype(np.float64).copy()
+            parameter.data = value.astype(dtype).copy()
+            parameter.grad = None
 
     def num_parameters(self) -> int:
         return sum(parameter.data.size for parameter in self.parameters())
@@ -131,7 +140,7 @@ class Dropout(Module):
         if not self.training or self.rate <= 0.0:
             return x
         keep = 1.0 - self.rate
-        mask = (self.rng.random(x.shape) < keep).astype(np.float64) / keep
+        mask = (self.rng.random(x.shape) < keep).astype(x.data.dtype) / keep
         return x * Tensor(mask)
 
 

@@ -113,6 +113,7 @@ def _cached_self_loops(edge_index: np.ndarray, num_nodes: int) -> np.ndarray:
     edges = payload.get("self_loops")
     if edges is None:
         edges = add_self_loops(edge_index, num_nodes)
+        edges.setflags(write=False)
         payload["self_loops"] = edges
     return edges
 
@@ -148,21 +149,26 @@ def _cached_rows(
             destinations = edges[1]
             if destinations.size > 1 and (np.diff(destinations) < 0).any():
                 edges = edges[:, np.argsort(destinations, kind="stable")]
+                edges.setflags(write=False)
         rows = (edges[0], edges[1])
         payload[key] = rows
     return rows
 
 
 def _cached_degree(
-    edge_index: np.ndarray, dst: np.ndarray, num_nodes: int
+    edge_index: np.ndarray,
+    dst: np.ndarray,
+    num_nodes: int,
+    dtype: np.dtype = np.dtype(np.float64),
 ) -> np.ndarray:
     """In-degree (self-loop-augmented, clamped to >= 1) per node."""
     payload = EDGE_CACHE.payload(edge_index, num_nodes)
-    degree = payload.get("degree")
+    degree = payload.get(("degree", dtype.char))
     if degree is None:
-        degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+        degree = np.bincount(dst, minlength=num_nodes).astype(dtype)
         degree = np.maximum(degree, 1.0)
-        payload["degree"] = degree
+        degree.setflags(write=False)
+        payload[("degree", dtype.char)] = degree
     return degree
 
 
@@ -187,15 +193,18 @@ class GCNConv(MessagePassingLayer):
         num_nodes = x.shape[0]
         src, dst = _cached_rows(edge_index, num_nodes, self_loops=True)
         transformed = self.linear(x)
+        dtype = transformed.data.dtype
         payload = EDGE_CACHE.payload(edge_index, num_nodes)
         # keyed by the row pair's identity: the reference and vectorized
         # pipelines order the loop-augmented edges differently, so each row
-        # ordering owns its own (aligned) per-edge norm column
-        norm = payload.get(("gcn_norm", id(dst)))
+        # ordering owns its own (aligned) per-edge norm column — and by
+        # dtype, so float32 inference never mixes in a float64 column
+        norm = payload.get(("gcn_norm", id(dst), dtype.char))
         if norm is None:
-            degree = _cached_degree(edge_index, dst, num_nodes)
+            degree = _cached_degree(edge_index, dst, num_nodes, dtype)
             norm = (1.0 / np.sqrt(degree[src] * degree[dst]))[:, None]
-            payload[("gcn_norm", id(dst))] = norm
+            norm.setflags(write=False)
+            payload[("gcn_norm", id(dst), dtype.char)] = norm
         fused = gather_scatter_sum(
             transformed, src, dst, num_nodes, weights=norm
         )
@@ -224,7 +233,9 @@ class SAGEConv(MessagePassingLayer):
         # mean directly (equal within float rounding to scaling the sum)
         weights = (
             None if reference_encoding_active()
-            else SCATTER_INDEX_CACHE.mean_edge_weights(dst, num_nodes)
+            else SCATTER_INDEX_CACHE.mean_edge_weights(
+                dst, num_nodes, x.data.dtype
+            )
         )
         neighbor_mean = gather_scatter_sum(x, src, dst, num_nodes, weights=weights)
         if neighbor_mean is not None:
@@ -327,16 +338,19 @@ class PNAConv(MessagePassingLayer):
             segment_max(messages, dst, num_nodes),
             segment_sum(messages, dst, num_nodes),
         ]
+        dtype = transformed.data.dtype
         payload = EDGE_CACHE.payload(edge_index, num_nodes)
-        scalers = payload.get(("pna_scalers", self.log_average_degree))
+        scalers = payload.get(("pna_scalers", self.log_average_degree, dtype.char))
         if scalers is None:
-            degree = _cached_degree(edge_index, dst, num_nodes)
+            degree = _cached_degree(edge_index, dst, num_nodes, dtype)
             log_degree = np.log(degree + 1.0)
             scalers = (
                 (log_degree / self.log_average_degree)[:, None],
                 (self.log_average_degree / log_degree)[:, None],
             )
-            payload[("pna_scalers", self.log_average_degree)] = scalers
+            for scaler in scalers:
+                scaler.setflags(write=False)
+            payload[("pna_scalers", self.log_average_degree, dtype.char)] = scalers
         amplification, attenuation = scalers
         scaled = []
         for aggregate in aggregated:

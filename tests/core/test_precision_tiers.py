@@ -1,0 +1,100 @@
+"""Float32 inference-tier equivalence smoke tests (fast, non-perf).
+
+The cheap tier's contract: predictions within a relaxed relative bound of the
+float64 tier, a bit-identical float64 default (master weights restore
+exactly), and a precision-independent on-disk format (archives always hold
+the float64 masters, whichever tier was active at save time).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    TrainingConfig,
+    build_design_instances,
+)
+from repro.core.serialization import load_model, save_model
+from repro.dse.space import sample_design_space
+from repro.kernels import load_kernel
+
+#: relaxed equivalence bound for the float32 tier (the float64 tier is held
+#: to 1e-9 bit-level equivalence elsewhere; see tests/core/test_predict_batch)
+FLOAT32_BOUND = 1e-4
+
+
+@pytest.fixture(scope="module")
+def tier_setup():
+    function = load_kernel("gemm")
+    train = sample_design_space(function, 6, rng=np.random.default_rng(0))
+    instances = build_design_instances({"gemm": function}, {"gemm": train})
+    model = HierarchicalQoRModel(
+        HierarchicalModelConfig(
+            conv_type="graphsage", hidden=16, num_layers=2,
+            training=TrainingConfig(epochs=2, batch_size=16, seed=0),
+        )
+    )
+    model.fit(instances)
+    configs = sample_design_space(function, 16, rng=np.random.default_rng(1))
+    baseline = model.predict_batch(function, configs)
+    return function, model, configs, baseline
+
+
+def worst_relative_gap(first, second):
+    gap = 0.0
+    for a, b in zip(first, second):
+        assert set(a) == set(b)
+        for name in a:
+            gap = max(gap, abs(a[name] - b[name]) / max(abs(a[name]), 1.0))
+    return gap
+
+
+def test_float32_predictions_within_bound(tier_setup):
+    function, model, configs, baseline = tier_setup
+    model.clear_inference_caches()
+    cheap = model.predict_batch(function, configs, precision="float32")
+    assert model.precision == "float32"
+    assert worst_relative_gap(baseline, cheap) <= FLOAT32_BOUND
+    model.predict_batch(function, [], precision="float64")
+
+
+def test_float64_restore_is_bit_identical(tier_setup):
+    function, model, configs, baseline = tier_setup
+    model.set_precision("float32")
+    model.set_precision("float64")
+    model.clear_inference_caches()
+    restored = model.predict_batch(function, configs)
+    assert all(a == b for a, b in zip(baseline, restored))
+
+
+def test_precision_aliases_and_validation(tier_setup):
+    _, model, _, _ = tier_setup
+    model.set_precision("fp32")
+    assert model.precision == "float32"
+    model.set_precision("double")
+    assert model.precision == "float64"
+    with pytest.raises(ValueError):
+        model.set_precision("bfloat16")
+
+
+def test_archive_is_precision_independent(tier_setup, tmp_path):
+    """Saving while the float32 tier is active must persist the float64
+    masters: a reload in either tier matches the corresponding in-memory
+    tier exactly."""
+    function, model, configs, baseline = tier_setup
+    model.set_precision("float32")
+    path = save_model(model, tmp_path / "model.npz", warm_caches=False)
+    model.set_precision("float64")
+
+    reloaded = load_model(path, warm_caches=False)
+    assert reloaded.precision == "float64"
+    assert all(
+        a == b
+        for a, b in zip(baseline, reloaded.predict_batch(function, configs))
+    )
+
+    cheap = load_model(path, warm_caches=False, precision="float32")
+    assert cheap.precision == "float32"
+    gap = worst_relative_gap(baseline, cheap.predict_batch(function, configs))
+    assert gap <= FLOAT32_BOUND

@@ -1,0 +1,147 @@
+"""Tests for the surrogate-first DSE funnel (:class:`FunnelExplorer`).
+
+The funnel's contract: the surrogate decides what to *score*, never what to
+*select* — the final front comes from full-model scores only, so with a
+perfect predictor its ADRS stays close to the exhaustive explorer's, while a
+large share of the space never reaches the full model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dse import (
+    FunnelDSEResult,
+    FunnelExplorer,
+    ModelGuidedExplorer,
+    exhaustive_ground_truth,
+)
+from repro.dse.space import sample_design_space
+from repro.kernels import load_kernel
+
+#: relaxed equivalence bound for the float32 inference tier
+FLOAT32_BOUND = 1e-5
+
+
+@pytest.fixture(scope="module")
+def gemm_funnel_setup():
+    """A gemm space big enough that the adaptive budget is a real filter."""
+    function = load_kernel("gemm")
+    configs = sample_design_space(function, 120, rng=np.random.default_rng(7))
+    space = exhaustive_ground_truth(function, configs)
+    return function, space
+
+
+def perfect_batch(space, cast=None):
+    """Batch predictor returning the simulated ground truth (optionally
+    round-tripped through ``cast``, e.g. ``np.float32`` to model the cheap
+    inference tier's output perturbation)."""
+
+    def predict_batch(function, configs):
+        metrics = [space.results[c.key()].as_dict() for c in configs]
+        if cast is not None:
+            metrics = [
+                {name: float(cast(value)) for name, value in m.items()}
+                for m in metrics
+            ]
+        return metrics
+
+    return predict_batch
+
+
+class TestValidation:
+    def test_keep_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FunnelExplorer(lambda f, cs: [], keep=0)
+
+    def test_sample_size_floor(self):
+        with pytest.raises(ValueError):
+            FunnelExplorer(lambda f, cs: [], sample_size=1)
+
+    def test_unknown_surrogate(self):
+        with pytest.raises(ValueError):
+            FunnelExplorer(lambda f, cs: [], surrogate="mlp")
+
+
+class TestDegenerateSpaces:
+    def test_small_space_scores_everything(self, vadd_function):
+        configs = sample_design_space(
+            vadd_function, 24, rng=np.random.default_rng(1)
+        )
+        space = exhaustive_ground_truth(vadd_function, configs)
+        result = FunnelExplorer(perfect_batch(space)).explore(
+            vadd_function, space
+        )
+        assert isinstance(result, FunnelDSEResult)
+        # the adaptive budget covers the space: no surrogate, nothing saved
+        assert result.rounds == 0
+        assert result.configs_saved == 0
+        assert result.full_model_configs == space.num_configs
+        assert result.adrs == pytest.approx(0.0)
+        assert result.approx_front == space.exact_front()
+
+
+class TestFunnel:
+    def test_adaptive_budget_saves_configs(self, gemm_funnel_setup):
+        function, space = gemm_funnel_setup
+        result = FunnelExplorer(perfect_batch(space)).explore(function, space)
+        assert result.adaptive_keep
+        assert result.keep < space.num_configs
+        assert result.full_model_configs <= result.keep
+        assert result.configs_saved == (
+            space.num_configs - result.full_model_configs
+        )
+        assert result.configs_saved > 0
+        assert result.rounds >= 1
+        assert result.surrogate_seconds >= 0.0
+        assert result.batched
+
+    def test_explicit_keep_budget_respected(self, gemm_funnel_setup):
+        function, space = gemm_funnel_setup
+        result = FunnelExplorer(
+            perfect_batch(space), keep=32, sample_size=12
+        ).explore(function, space)
+        assert not result.adaptive_keep
+        assert result.keep == 32
+        assert result.full_model_configs <= 32
+
+    def test_adrs_close_to_exhaustive(self, gemm_funnel_setup):
+        """The acceptance criterion in miniature: funnel ADRS degrades by at
+        most a couple of points versus scoring the entire space."""
+        function, space = gemm_funnel_setup
+        batch = perfect_batch(space)
+        exhaustive = ModelGuidedExplorer(predict_batch_fn=batch).explore(
+            function, space
+        )
+        funnel = FunnelExplorer(batch).explore(function, space)
+        assert funnel.adrs <= exhaustive.adrs + 0.02
+
+    def test_float32_tier_front_matches_float64(self, gemm_funnel_setup):
+        """Differential: the funnel re-ranked under float32-perturbed scores
+        must select a front equivalent to the float64 one within the relaxed
+        float32 bound."""
+        function, space = gemm_funnel_setup
+        front64 = FunnelExplorer(perfect_batch(space)).explore(
+            function, space
+        ).approx_front
+        front32 = FunnelExplorer(
+            perfect_batch(space, cast=np.float32)
+        ).explore(function, space).approx_front
+        reference = [np.asarray(p.objectives, dtype=np.float64) for p in front64]
+        for point in front32:
+            objectives = np.asarray(point.objectives, dtype=np.float64)
+            assert any(
+                np.allclose(objectives, other,
+                            rtol=FLOAT32_BOUND, atol=FLOAT32_BOUND)
+                for other in reference
+            ), point
+
+    def test_gbm_surrogate_family(self, gemm_funnel_setup):
+        """The boosted-tree surrogate is a drop-in family swap (slow — for
+        comparing surrogates, not for the perf path)."""
+        function, space = gemm_funnel_setup
+        result = FunnelExplorer(
+            perfect_batch(space), keep=16, sample_size=8,
+            max_rounds=2, surrogate="gbm",
+        ).explore(function, space)
+        assert result.full_model_configs <= 16
+        assert result.adrs >= 0.0

@@ -85,6 +85,37 @@ class TestQueries:
         assert sorted(codes.tolist()) == [0, 0, 2]
 
 
+class TestReadOnlyViews:
+    """Zero-copy/memoized surfaces are frozen against accidental mutation."""
+
+    def test_edge_index_is_read_only(self, small_graph):
+        edge_index = small_graph.edge_index()
+        assert not edge_index.flags.writeable
+        with pytest.raises(ValueError):
+            edge_index[0, 0] = 99
+
+    def test_edge_columns_are_read_only(self, small_graph):
+        assert not small_graph.edge_src.flags.writeable
+        assert not small_graph.edge_dst.flags.writeable
+
+    def test_feature_matrix_view_is_read_only(self, small_graph):
+        matrix = small_graph.feature_matrix()
+        if small_graph.feat is None:
+            pytest.skip("reference encoding: feature_matrix is a fresh copy")
+        assert not matrix.flags.writeable
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1.0
+
+    def test_node_feature_writes_still_land(self, small_graph):
+        # mutation goes through the node's feature mapping, which writes the
+        # backing block directly — the frozen view must observe the update
+        before = small_graph.feature_matrix()
+        column = NODE_FEATURE_NAMES.index("lut")
+        small_graph.nodes[0].features["lut"] = 77.0
+        assert before[0, column] == 77.0
+        assert small_graph.feature_matrix()[0, column] == 77.0
+
+
 class TestFeatures:
     def test_feature_vector_order(self, small_graph):
         vector = small_graph.nodes[0].feature_vector()
