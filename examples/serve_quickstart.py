@@ -1,0 +1,78 @@
+"""Quickstart for the prediction daemon: start, request, drain.
+
+Spawns ``repro-qor serve`` as a real subprocess around a saved model,
+waits for its readiness line, scores a couple of design points through the
+blocking :class:`~repro.serve.QoRClient`, prints the server's batching
+stats, then delivers SIGTERM and checks the graceful drain exited 0.
+
+Run from the repository root (train a model first, see examples/README.md)::
+
+    PYTHONPATH=src python examples/serve_quickstart.py --model qor_model.npz
+
+The same sequence doubles as the CI smoke test for the serving stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+
+def main() -> int:
+    """Start the daemon, make requests, drain it; 0 on a clean lifecycle."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--model", default="qor_model.npz",
+                        help="saved model for the daemon to keep resident")
+    parser.add_argument("--kernel", default="gemm",
+                        help="registry kernel to request predictions for")
+    args = parser.parse_args()
+
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    env["PYTHONUNBUFFERED"] = "1"
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--model", args.model, "--port", "0"],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    try:
+        line = ""
+        deadline = time.monotonic() + 90
+        while time.monotonic() < deadline and daemon.poll() is None:
+            line = daemon.stdout.readline()
+            if line.startswith("serving on "):
+                break
+        if not line.startswith("serving on "):
+            raise RuntimeError("daemon never reported readiness")
+        host, _, port = line.removeprefix("serving on ").strip().rpartition(":")
+        print(line.strip())
+
+        from repro.serve import QoRClient
+
+        with QoRClient(host, int(port)) as client:
+            baseline, pipelined = client.predict_kernel(args.kernel, [
+                None,  # baseline: no pragmas
+                {"loops": ["L0_0=pipeline+unroll:2"], "arrays": ["A=cyclic:4:2"]},
+            ])
+            print(f"{args.kernel} baseline latency:  {baseline['latency']:.0f}")
+            print(f"{args.kernel} pipelined latency: {pipelined['latency']:.0f}")
+            print("batcher:", json.dumps(client.stats()["batcher"]))
+
+        daemon.send_signal(signal.SIGTERM)
+        code = daemon.wait(timeout=60)
+        print(f"daemon drained with exit code {code}")
+        return 0 if code == 0 else 1
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+            daemon.wait(timeout=30)
+        daemon.stdout.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

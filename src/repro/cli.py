@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three subcommands cover the library's main workflows:
+Four subcommands cover the library's main workflows:
 
 ``repro-qor train``
     Generate ground-truth labels for a set of kernels (running the flow
@@ -19,12 +19,19 @@ Three subcommands cover the library's main workflows:
     saved model) and merges the per-shard Pareto fronts deterministically;
     ``--shard-strategy`` picks how configurations are grouped.
 
+``repro-qor serve``
+    Keep one trained predictor resident and serve QoR predictions to many
+    concurrent clients over newline-delimited JSON TCP.  Requests arriving
+    within a short window are coalesced into shared batched inference
+    passes (see :mod:`repro.serve`); SIGINT/SIGTERM drain gracefully.
+
 Run ``python -m repro.cli --help`` for the full option list.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 
@@ -285,6 +292,60 @@ def cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+async def _serve_main(args: argparse.Namespace) -> int:
+    """Async body of ``repro-qor serve``: run until signalled, then drain."""
+    import signal
+
+    from repro.core.predictor import QoRPredictor
+    from repro.serve import QoRServer
+
+    predictor = QoRPredictor.load(
+        args.model, warm_caches=args.warm_cache, precision=args.precision
+    )
+    server = QoRServer(
+        predictor,
+        host=args.host,
+        port=args.port,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+    )
+    await server.start()
+    host, port = server.address
+    # parseable readiness line: harnesses wait for it before connecting
+    print(f"serving on {host}:{port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, stop.set)
+    try:
+        await server.serve_until(stop)
+    finally:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.remove_signal_handler(signum)
+    stats = server.batcher.stats
+    print(
+        f"drained: {server.requests} requests, {stats.batches} batches, "
+        f"{stats.coalesced_batches} coalesced",
+        flush=True,
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro-qor serve``: the resident prediction daemon."""
+    if args.batch_window_ms < 0:
+        raise SystemExit(
+            f"--batch-window-ms must be >= 0, got {args.batch_window_ms}"
+        )
+    if args.max_batch < 1:
+        raise SystemExit(f"--max-batch must be >= 1, got {args.max_batch}")
+    if args.max_pending < 1:
+        raise SystemExit(f"--max-pending must be >= 1, got {args.max_pending}")
+    return asyncio.run(_serve_main(args))
+
+
 # --------------------------------------------------------------------------- #
 # argument parsing
 # --------------------------------------------------------------------------- #
@@ -369,14 +430,54 @@ def build_parser() -> argparse.ArgumentParser:
                           "(front is identical — the Pareto merge is "
                           "partition-invariant)")
     dse.set_defaults(func=cmd_dse)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve QoR predictions from a resident model over TCP"
+    )
+    serve.add_argument("--model", required=True,
+                       help="saved model (.npz) to keep resident")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port to listen on (0 picks a free port, "
+                            "reported on the 'serving on HOST:PORT' line)")
+    serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                       help="cross-request coalescing window: how long the "
+                            "first request of a batch waits for company "
+                            "before the shared inference pass runs")
+    serve.add_argument("--max-batch", type=int, default=512,
+                       help="flush a batch early once this many "
+                            "configurations have accumulated")
+    serve.add_argument("--max-pending", type=int, default=4096,
+                       help="admission-control bound: total configurations "
+                            "allowed in flight before new requests are "
+                            "rejected with an 'overloaded' error")
+    serve.add_argument("--warm-cache", action="store_true",
+                       help="hydrate the construction cache / prediction "
+                            "memo persisted in the model file, so the first "
+                            "requests are served from warm state")
+    serve.add_argument("--precision", default="float64",
+                       choices=["float64", "float32"],
+                       help="inference tier the resident model serves at")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    A ``KeyboardInterrupt`` that escapes a subcommand exits with the
+    conventional 130 (128 + SIGINT) instead of a traceback; ``serve``
+    installs its own SIGINT handler and drains gracefully, so only an
+    interrupt outside the drain path (e.g. during model load, or in the
+    long-running ``train``/``dse`` commands) takes this route.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

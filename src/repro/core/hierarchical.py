@@ -38,6 +38,7 @@ from repro.graph.hierarchy import (
     decomposition_signature,
 )
 from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
+from repro.core.lru import LRUDict
 from repro.ir.structure import IRFunction
 from repro.flags import normalize_precision, reference_encoding_active
 from repro.nn.data import GraphSample, train_validation_test_split
@@ -155,11 +156,20 @@ class HierarchicalQoRModel:
     #: node budget of one disjoint-union forward pass in :meth:`predict_batch`
     MAX_BATCH_NODES = 200_000
 
+    #: default bound of the per-design prediction memo.  Generous — a memo
+    #: entry is a handful of floats, so the default costs tens of MB at
+    #: worst — but finite, so a resident service under a churning workload
+    #: (unboundedly many distinct designs) recycles the memo instead of
+    #: leaking it.  ``prediction_cache_capacity=None`` restores the
+    #: unbounded behaviour.
+    PREDICTION_CACHE_CAPACITY = 200_000
+
     def __init__(
         self,
         config: HierarchicalModelConfig | None = None,
         *,
         library: OperatorLibrary = DEFAULT_LIBRARY,
+        prediction_cache_capacity: int | None = PREDICTION_CACHE_CAPACITY,
     ):
         self.config = config or HierarchicalModelConfig()
         self.library = library
@@ -175,7 +185,9 @@ class HierarchicalQoRModel:
         self._unit_sample_cache: dict[tuple[str, str], GraphSample] = {}
         self._unit_pipelined: dict[tuple[str, str], bool] = {}
         self._outer_template_cache: dict[tuple[str, str], _OuterSampleTemplate] = {}
-        self._prediction_cache: dict[tuple, dict[str, float]] = {}
+        self._prediction_cache: LRUDict[tuple, dict[str, float]] = LRUDict(
+            prediction_cache_capacity
+        )
         #: active inference tier across the three trainers (see
         #: :meth:`set_precision`; float64 is the bit-identical default)
         self.precision = "float64"
@@ -234,6 +246,7 @@ class HierarchicalQoRModel:
 
         stats = dict(self._graph_cache.stats.as_dict())
         stats["memoized_predictions"] = len(self._prediction_cache)
+        stats["prediction_cache_evictions"] = self._prediction_cache.evictions
         stats["outer_templates"] = len(self._outer_template_cache)
         stats.update(SCATTER_INDEX_CACHE.stats())
         stats.update(EDGE_CACHE.stats())
@@ -531,15 +544,23 @@ class HierarchicalQoRModel:
             )
             for config in resolved
         ]
+        # ``served`` pins every metrics dict this call hands out: the memo is
+        # LRU-bounded, so a batch larger than the remaining capacity could
+        # evict its own early entries before the final scatter reads them
+        served: dict[tuple, dict[str, float]] = {}
         seen: set[tuple] = set()
         pending: list[tuple[tuple, PragmaConfig]] = []
         for signature, config in zip(signatures, resolved):
-            if signature in self._prediction_cache or signature in seen:
+            if signature in served or signature in seen:
+                continue
+            hit = self._prediction_cache.get(signature)
+            if hit is not None:
+                served[signature] = hit
                 continue
             seen.add(signature)
             pending.append((signature, config))
         if not pending:
-            return [dict(self._prediction_cache[s]) for s in signatures]
+            return [dict(served[s]) for s in signatures]
 
         # 1) resolve every pending design to its inner-unit keys, an outer
         #    sample template and (only when the delta has never been seen) a
@@ -646,12 +667,14 @@ class HierarchicalQoRModel:
             outer_samples, max_batch_nodes=self.MAX_BATCH_NODES
         )
         for index, (signature, _) in enumerate(pending):
-            self._prediction_cache[signature] = {
+            metrics = {
                 name: float(values[index]) for name, values in outputs.items()
             }
+            self._prediction_cache[signature] = metrics
+            served[signature] = metrics
         # hand out copies: callers may mutate their result dicts freely
         # without corrupting the memo
-        return [dict(self._prediction_cache[s]) for s in signatures]
+        return [dict(served[s]) for s in signatures]
 
     def evaluate(self, instances: list[DesignInstance]) -> dict[str, float]:
         """Whole-design MAPE of the hierarchical predictor over instances."""

@@ -1,0 +1,89 @@
+"""A bounded LRU mapping for long-lived inference memos.
+
+Several memoization layers of the predictor — the source-lowering memo and
+the per-design prediction memo most prominently — were plain dicts that grew
+without bound.  In a one-shot CLI sweep that is invisible; in a resident
+prediction service (``repro.serve``) a churning workload (many distinct
+kernels or design points) leaks memory until the process dies.
+
+:class:`LRUDict` is the drop-in replacement: a dict with a capacity, where
+inserting past capacity evicts the least-recently-*used* entry (reads count
+as uses).  It exposes an ``evictions`` counter so ``cache_stats()`` can
+surface how much a bounded memo is actually churning — a service whose
+eviction counters climb steadily needs a bigger capacity (or a smaller
+working set), and the counter is what makes that visible.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+from typing import Generic, TypeVar
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+
+class LRUDict(Generic[K, V]):
+    """A dict bounded to ``capacity`` entries with least-recently-used eviction.
+
+    Semantics match a plain dict for the operations the inference memos use
+    (``in``, ``[]``, ``get``, ``items``, ``len``, ``clear``), with two
+    differences: successful lookups refresh an entry's recency, and inserting
+    a new key at capacity silently evicts the stalest entry (incrementing
+    :attr:`evictions`).  ``capacity=None`` disables the bound entirely,
+    which keeps the class usable where unbounded growth is intended.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self._data: OrderedDict[K, V] = OrderedDict()
+        #: entries dropped to respect ``capacity`` since the last :meth:`clear`
+        self.evictions = 0
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    def __getitem__(self, key: K) -> V:
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key: K, value: V) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if self.capacity is not None:
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """``dict.get`` with LRU refresh on a hit."""
+        if key in self._data:
+            return self[key]
+        return default
+
+    def items(self) -> list[tuple[K, V]]:
+        """Snapshot of ``(key, value)`` pairs, stalest first (no refresh)."""
+        return list(self._data.items())
+
+    def keys(self) -> list[K]:
+        """Snapshot of the keys, stalest first (no refresh)."""
+        return list(self._data.keys())
+
+    def clear(self) -> None:
+        """Drop every entry and reset the eviction counter."""
+        self._data.clear()
+        self.evictions = 0
+
+
+__all__ = ["LRUDict"]

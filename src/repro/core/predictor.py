@@ -16,6 +16,7 @@ from repro.core.hierarchical import (
     HierarchicalQoRModel,
     HierarchicalTrainingReport,
 )
+from repro.core.lru import LRUDict
 from repro.frontend.pragmas import PragmaConfig
 from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
 from repro.ir.builder import lower_source
@@ -25,19 +26,30 @@ from repro.ir.structure import IRFunction
 class QoRPredictor:
     """End-to-end predictor: HLS-C source + pragmas -> post-route QoR."""
 
+    #: default bound of the source-lowering memo.  Lowered IR trees are
+    #: heavy (they anchor the graph cache's per-object memos too), so a
+    #: resident service fed unboundedly many distinct sources must recycle
+    #: them; all cross-request caches key by *content* fingerprint, so a
+    #: re-lowered source hits the same warm state as the evicted one.
+    LOWERED_SOURCE_CAPACITY = 256
+
     def __init__(
         self,
         config: HierarchicalModelConfig | None = None,
         *,
         library: OperatorLibrary = DEFAULT_LIBRARY,
+        lowered_cache_capacity: int | None = LOWERED_SOURCE_CAPACITY,
     ):
         self.library = library
         self.model = HierarchicalQoRModel(config, library=library)
         self._functions: dict[str, IRFunction] = {}
-        # lowering memo: the model's inference caches key by function
-        # *object*, so repeated predictions from identical source text must
-        # resolve to the same IRFunction to get any cache reuse
-        self._lowered_sources: dict[str, IRFunction] = {}
+        # lowering memo: the model's per-object fast paths key by function
+        # object, so repeated predictions from identical source text should
+        # resolve to the same IRFunction; LRU-bounded because a long-lived
+        # server would otherwise pin every source it ever saw
+        self._lowered_sources: LRUDict[str, IRFunction] = LRUDict(
+            lowered_cache_capacity
+        )
 
     # ------------------------------------------------------------------ #
     # training
@@ -169,9 +181,16 @@ class QoRPredictor:
         the model's trainers) and ``encoded_samples`` (per-sample encoded
         rows pinned by those trainers).  Model-level counters reset on
         :meth:`clear_inference_caches` and on retraining; the process-wide
-        scatter/edge counters are cumulative for the process.
+        scatter/edge counters are cumulative for the process.  On top of the
+        model's counters, the predictor adds its source-lowering memo:
+        ``lowered_sources`` (entries held) and ``lowered_source_evictions``
+        (sources recycled by the LRU bound — see
+        :attr:`LOWERED_SOURCE_CAPACITY`).
         """
-        return self.model.cache_stats()
+        stats = self.model.cache_stats()
+        stats["lowered_sources"] = len(self._lowered_sources)
+        stats["lowered_source_evictions"] = self._lowered_sources.evictions
+        return stats
 
     @staticmethod
     def aggregate_cache_stats(per_worker: list[dict]) -> dict[str, int]:

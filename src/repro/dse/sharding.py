@@ -653,8 +653,37 @@ class ShardedExplorer:
             if process.is_alive():
                 process.terminate()
             process.join()
-        results_queue.close()
         return predictions_by_id, streamed, worker_stats, errors
+
+    @staticmethod
+    def _cleanup_fleet(
+        processes: dict[int, multiprocessing.Process], *queues
+    ) -> None:
+        """Terminate/join every live worker and release the queues.
+
+        Runs in the ``finally`` of both exploration modes so that a
+        coordinator-side exception — a failure mid-merge or mid-recovery, or
+        a ``KeyboardInterrupt`` while draining the result stream — cannot
+        leak live worker processes or queue feeder threads, which a resident
+        caller (the serving daemon, a notebook) would accumulate forever.
+        Idempotent: on the normal path the fleet has already retired and
+        every step is a no-op.
+        """
+        for process in processes.values():
+            try:
+                if process.is_alive():
+                    process.terminate()
+                process.join()
+            except (OSError, ValueError, AssertionError):
+                pass  # already reaped / never fully started
+        for queue in queues:
+            try:
+                # discard unflushed buffers so the feeder thread cannot block
+                # interpreter exit, then close the queue's pipe ends
+                queue.cancel_join_thread()
+                queue.close()
+            except (OSError, ValueError):
+                pass  # already closed
 
     def _recover_missing(
         self,
@@ -713,6 +742,19 @@ class ShardedExplorer:
         context = multiprocessing.get_context(self.mp_context)
         results_queue = context.Queue()
         processes: dict[int, multiprocessing.Process] = {}
+        try:
+            return self._explore_fixed(
+                space, shards, context, results_queue, processes, start
+            )
+        finally:
+            # a coordinator-side exception (mid-drain, mid-merge, Ctrl-C)
+            # must not leak live workers or the queue feeder thread
+            self._cleanup_fleet(processes, results_queue)
+
+    def _explore_fixed(
+        self, space, shards, context, results_queue, processes, start
+    ) -> ShardedDSEResult:
+        """Fixed-assignment exploration body (cleanup owned by caller)."""
         for shard in shards:
             items = [(cid, space.config(cid)) for cid in shard.config_ids]
             process = context.Process(
@@ -807,11 +849,24 @@ class ShardedExplorer:
         context = multiprocessing.get_context(self.mp_context)
         results_queue = context.Queue()
         tasks = context.Queue()
+        processes: dict[int, multiprocessing.Process] = {}
+        try:
+            return self._explore_stealing_body(
+                space, chunks, num_workers, context, results_queue, tasks,
+                processes, start,
+            )
+        finally:
+            self._cleanup_fleet(processes, results_queue, tasks)
+
+    def _explore_stealing_body(
+        self, space, chunks, num_workers, context, results_queue, tasks,
+        processes, start,
+    ) -> ShardedDSEResult:
+        """Work-stealing exploration body (cleanup owned by caller)."""
         for chunk in chunks:
             tasks.put(chunk)
         for _ in range(num_workers):
             tasks.put(None)  # one end-of-work sentinel per worker
-        processes: dict[int, multiprocessing.Process] = {}
         for worker_id in range(num_workers):
             process = context.Process(
                 target=stealing_worker,

@@ -1,0 +1,28 @@
+"""QoR prediction as a service.
+
+One resident :class:`~repro.core.predictor.QoRPredictor` behind a
+newline-delimited-JSON TCP daemon, with a cross-request micro-batcher that
+merges concurrent clients' configurations into shared ``predict_batch``
+passes.  See :mod:`repro.serve.server` for the architecture and
+``repro-qor serve`` for the CLI entry point.
+"""
+
+from repro.serve.batcher import BatcherStats, MicroBatcher
+from repro.serve.client import QoRClient, ServeError
+from repro.serve.protocol import (
+    ERROR_CODES,
+    ProtocolError,
+    config_from_payload,
+    config_to_payload,
+    decode_message,
+    encode_message,
+    error_response,
+)
+from repro.serve.server import QoRServer
+
+__all__ = [
+    "BatcherStats", "MicroBatcher", "QoRClient", "ServeError", "QoRServer",
+    "ERROR_CODES", "ProtocolError", "config_from_payload",
+    "config_to_payload", "decode_message", "encode_message",
+    "error_response",
+]

@@ -1,0 +1,132 @@
+"""A small blocking client for the QoR prediction daemon.
+
+:class:`QoRClient` is the reference consumer of the wire protocol
+(:mod:`repro.serve.protocol`): plain sockets, one request per call, no
+asyncio required on the caller's side.  The load-generator benchmark and
+the serving tests drive the daemon through it, and it doubles as the
+example for anyone integrating from another process::
+
+    with QoRClient("127.0.0.1", 9178) as client:
+        metrics = client.predict_kernel("gemm", [config])[0]
+
+Structured server failures surface as :class:`ServeError` with the
+protocol error code on ``.code`` (``"overloaded"`` means back off and
+retry; ``"draining"`` means the daemon is shutting down).
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.frontend.pragmas import PragmaConfig
+from repro.serve.protocol import (
+    config_to_payload,
+    decode_message,
+    encode_message,
+)
+
+
+class ServeError(RuntimeError):
+    """A structured error response from the daemon."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.detail = message
+
+
+class QoRClient:
+    """Blocking newline-delimited-JSON client for :class:`QoRServer`."""
+
+    def __init__(self, host: str, port: int, *, timeout: float | None = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    # plumbing
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "QoRClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, message: dict) -> dict:
+        """Send one raw request and block for its response.
+
+        Fills in ``id`` when absent.  Raises :class:`ServeError` for a
+        structured failure and :class:`ConnectionError` if the daemon went
+        away mid-request.
+        """
+        if "id" not in message:
+            self._next_id += 1
+            message = {**message, "id": self._next_id}
+        self._sock.sendall(encode_message(message))
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_message(line)
+        if not response.get("ok", False):
+            raise ServeError(
+                response.get("error", "internal"),
+                response.get("message", "unknown server error"),
+            )
+        return response
+
+    # ------------------------------------------------------------------ #
+    # the protocol verbs
+    # ------------------------------------------------------------------ #
+    def ping(self) -> bool:
+        """Liveness check."""
+        return bool(self.request({"type": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        """Server counters, batcher stats and predictor cache stats."""
+        response = self.request({"type": "stats"})
+        return {
+            key: value
+            for key, value in response.items()
+            if key not in ("id", "ok")
+        }
+
+    def predict_kernel(
+        self, kernel: str, configs: list[PragmaConfig | None]
+    ) -> list[dict[str, float]]:
+        """Score configurations of a registry kernel, one metrics dict each."""
+        response = self.request({
+            "type": "predict",
+            "kernel": kernel,
+            "configs": [self._config_payload(config) for config in configs],
+        })
+        return response["results"]
+
+    def predict_source(
+        self, source: str, configs: list[PragmaConfig | None]
+    ) -> list[dict[str, float]]:
+        """Score configurations of raw HLS-C source text."""
+        response = self.request({
+            "type": "predict",
+            "source": source,
+            "configs": [self._config_payload(config) for config in configs],
+        })
+        return response["results"]
+
+    @staticmethod
+    def _config_payload(config) -> dict | None:
+        """Wire form of one configuration argument."""
+        if config is None:
+            return None
+        if isinstance(config, PragmaConfig):
+            return config_to_payload(config)
+        return config  # already a wire payload (dict/spec-string form)
+
+
+__all__ = ["QoRClient", "ServeError"]

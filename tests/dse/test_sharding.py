@@ -337,6 +337,68 @@ class TestWorkStealing:
         assert fronts_equivalent(reference[1], result.front)
 
 
+class TestCoordinatorCleanup:
+    """A coordinator-side failure must never leak live worker processes."""
+
+    @pytest.mark.parametrize("work_stealing", [False, True])
+    def test_coordinator_exception_leaks_no_workers(
+        self, sharded_model_path, fir_space, monkeypatch, work_stealing
+    ):
+        spawned = {}
+
+        def exploding_run_fleet(self, processes, results_queue):
+            # fail exactly where the real coordinator would: after the
+            # workers are live, before any of them has been reaped
+            spawned.update(processes)
+            raise RuntimeError("injected coordinator failure")
+
+        monkeypatch.setattr(ShardedExplorer, "_run_fleet", exploding_run_fleet)
+        explorer = ShardedExplorer(
+            sharded_model_path, num_workers=2, chunk_size=2,
+            work_stealing=work_stealing,
+        )
+        with pytest.raises(RuntimeError, match="injected coordinator failure"):
+            explorer.explore(fir_space)
+        # the finally-cleanup terminated and joined every spawned worker
+        assert spawned
+        assert not any(process.is_alive() for process in spawned.values())
+
+    def test_keyboard_interrupt_mid_drain_leaks_no_workers(
+        self, sharded_model_path, fir_space, monkeypatch
+    ):
+        spawned = {}
+
+        def interrupted_run_fleet(self, processes, results_queue):
+            spawned.update(processes)
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            ShardedExplorer, "_run_fleet", interrupted_run_fleet
+        )
+        explorer = ShardedExplorer(sharded_model_path, num_workers=2)
+        with pytest.raises(KeyboardInterrupt):
+            explorer.explore(fir_space)
+        assert spawned
+        assert not any(process.is_alive() for process in spawned.values())
+
+    def test_exception_after_fleet_retired_still_cleans_up(
+        self, sharded_model_path, fir_space, monkeypatch
+    ):
+        import repro.dse.sharding as sharding_module
+
+        def exploding_merge(fronts):
+            raise RuntimeError("injected merge failure")
+
+        monkeypatch.setattr(sharding_module, "merge_fronts", exploding_merge)
+        explorer = ShardedExplorer(sharded_model_path, num_workers=2)
+        with pytest.raises(RuntimeError, match="injected merge failure"):
+            explorer.explore(fir_space)
+        # workers had retired normally; cleanup must still be a clean no-op
+        import multiprocessing
+
+        assert not multiprocessing.active_children()
+
+
 class TestWarmCaches:
     def test_warm_caches_serve_workers(
         self, small_trained_model, fir_space, tmp_path

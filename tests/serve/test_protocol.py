@@ -1,0 +1,110 @@
+"""Unit tests for the serving wire protocol (no sockets involved)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import parse_config
+from repro.frontend import (
+    ArrayDirective,
+    LoopDirective,
+    PartitionType,
+    PragmaConfig,
+)
+from repro.serve.protocol import (
+    ERROR_CODES,
+    ProtocolError,
+    config_from_payload,
+    config_to_payload,
+    decode_message,
+    encode_message,
+    error_response,
+)
+
+
+class TestFraming:
+    def test_encode_decode_roundtrip(self):
+        message = {"type": "predict", "id": 3, "kernel": "gemm", "configs": [None]}
+        wire = encode_message(message)
+        assert wire.endswith(b"\n") and wire.count(b"\n") == 1
+        assert decode_message(wire) == message
+
+    def test_decode_rejects_invalid_json(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"{not json}\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"[1, 2, 3]\n")
+
+    def test_error_response_shape(self):
+        response = error_response(9, "overloaded", "queue full")
+        assert response == {
+            "id": 9, "ok": False, "error": "overloaded", "message": "queue full",
+        }
+        assert response["error"] in ERROR_CODES
+
+
+class TestConfigPayloads:
+    def _config(self) -> PragmaConfig:
+        return PragmaConfig.from_dicts(
+            loops={
+                "L0_0": LoopDirective(pipeline=True, ii=2),
+                "L0": LoopDirective(unroll_factor=4, flatten=True),
+            },
+            arrays={"A": ArrayDirective(PartitionType.CYCLIC, factor=4, dim=2)},
+        )
+
+    def test_canonical_roundtrip(self):
+        config = self._config()
+        payload = config_to_payload(config)
+        assert config_from_payload(payload) == config
+        # and the payload itself is a fixed point
+        assert config_to_payload(config_from_payload(payload)) == payload
+
+    def test_none_and_empty_mean_baseline(self):
+        assert config_from_payload(None) == PragmaConfig()
+        assert config_from_payload({}) == PragmaConfig()
+
+    def test_spec_string_form_matches_cli_parser(self):
+        loops = ["L0_0=pipeline:2", "L0=unroll:4+flatten"]
+        arrays = ["A=cyclic:4:2"]
+        via_payload = config_from_payload({"loops": loops, "arrays": arrays})
+        assert via_payload == parse_config(loops, arrays)
+        assert via_payload == self._config()
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(ProtocolError):
+            config_from_payload("L0=pipeline")
+
+    def test_rejects_non_dict_directive(self):
+        with pytest.raises(ProtocolError):
+            config_from_payload({"loops": {"L0": "pipeline"}})
+        with pytest.raises(ProtocolError):
+            config_from_payload({"arrays": {"A": 4}})
+
+    def test_rejects_invalid_directive_values(self):
+        with pytest.raises(ProtocolError):
+            config_from_payload({"loops": {"L0": {"unroll": "lots"}}})
+        with pytest.raises(ProtocolError):
+            config_from_payload({"arrays": {"A": {"type": "diagonal"}}})
+
+    def test_spec_list_with_empty_or_missing_half(self):
+        # regression: an explicit empty list (or an absent half) next to a
+        # spec-string list must mean "no directives of that kind", not a
+        # bad-request — clients naturally send {"loops": [...], "arrays": []}
+        loops = ["L0_0=unroll:2"]
+        expected = parse_config(loops, [])
+        assert config_from_payload({"loops": loops, "arrays": []}) == expected
+        assert config_from_payload({"loops": loops}) == expected
+        assert config_from_payload({"loops": loops, "arrays": {}}) == expected
+        arrays = ["A=cyclic:4:2"]
+        assert config_from_payload({"arrays": arrays}) == parse_config([], arrays)
+
+    def test_rejects_mixed_list_forms(self):
+        with pytest.raises(ProtocolError):
+            config_from_payload({"loops": ["L0=pipeline"], "arrays": [7]})
+
+    def test_rejects_bad_spec_string(self):
+        with pytest.raises(ProtocolError, match="invalid directive spec"):
+            config_from_payload({"loops": ["L0=teleport"], "arrays": []})

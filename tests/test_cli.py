@@ -74,6 +74,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["dse", "--shard-strategy", "alphabetical"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--model", "m.npz"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.batch_window_ms == 2.0
+        assert args.max_batch == 512
+        assert args.max_pending == 4096
+        assert args.precision == "float64"
+        assert not args.warm_cache
+
+    def test_serve_requires_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_rejects_bad_bounds(self):
+        with pytest.raises(SystemExit, match="--max-batch"):
+            main(["serve", "--model", "m.npz", "--max-batch", "0"])
+        with pytest.raises(SystemExit, match="--max-pending"):
+            main(["serve", "--model", "m.npz", "--max-pending", "0"])
+        with pytest.raises(SystemExit, match="--batch-window-ms"):
+            main(["serve", "--model", "m.npz", "--batch-window-ms", "-1"])
+
 
 class TestCommands:
     def test_predict_with_flow(self, capsys):
@@ -116,3 +138,16 @@ class TestCommands:
         with pytest.raises(SystemExit, match="mutually exclusive"):
             main(["dse", "--kernel", "fir", "--workers", "2",
                   "--sequential", "--model", "whatever.npz"])
+
+
+class TestInterrupts:
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        """An interrupt that escapes a subcommand maps to 128 + SIGINT."""
+        import repro.cli as cli_module
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "cmd_dse", interrupted)
+        assert main(["dse", "--kernel", "fir"]) == 130
+        assert "interrupted" in capsys.readouterr().err
