@@ -19,7 +19,13 @@ version, so the memory trend informs rather than gates.
 Usage (from the repository root)::
 
     python benchmarks/check_trend.py                 # gate (exit 1 on regression)
+    python benchmarks/check_trend.py --summary       # + markdown step summary
     python benchmarks/check_trend.py --rebaseline    # intentional rebaseline
+
+``--summary`` renders the verdict and the headline metrics (speedups, dedup
+ratios, peak RSS) as GitHub-flavored markdown, appended to the file named by
+``$GITHUB_STEP_SUMMARY`` when that variable is set (the CI job summary) and
+printed to stdout otherwise.
 
 Rebaselining after an intentional perf change is one line: re-run the perf
 benchmarks, then ``python benchmarks/check_trend.py --rebaseline`` and commit
@@ -30,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -50,11 +57,14 @@ def metric_value(payload: dict, dotted_path: str):
     return float(node)
 
 
-def check_memory(baseline: dict, results_dir: Path) -> list[str]:
+def check_memory(
+    baseline: dict, results_dir: Path, rows: list[dict] | None = None
+) -> list[str]:
     """Warning messages for peak-RSS growth past the allowed fraction.
 
     Non-fatal by design: the returned messages are printed, not turned into
-    a gate failure (see the module docstring).
+    a gate failure (see the module docstring).  ``rows``, when given,
+    collects one record per tracked metric for the markdown summary.
     """
     max_growth = float(baseline.get("max_memory_growth", 0.30))
     warnings: list[str] = []
@@ -80,6 +90,12 @@ def check_memory(baseline: dict, results_dir: Path) -> list[str]:
             ceiling = reference * (1.0 + max_growth)
             grown = current > ceiling
             status = "MEM-GROWN" if grown else "ok"
+            if rows is not None:
+                rows.append({
+                    "bench": bench_file, "metric": dotted_path,
+                    "current": current, "baseline": reference,
+                    "bound": f"<= {ceiling:.4g}", "flagged": grown,
+                })
             print(
                 f"{status:>9}  {bench_file}::{dotted_path} = {current:.4g} MiB "
                 f"(baseline {reference:.4g}, warn above {ceiling:.4g})"
@@ -94,8 +110,14 @@ def check_memory(baseline: dict, results_dir: Path) -> list[str]:
     return warnings
 
 
-def check(baseline: dict, results_dir: Path) -> list[str]:
-    """All regression messages (empty when every headline metric holds up)."""
+def check(
+    baseline: dict, results_dir: Path, rows: list[dict] | None = None
+) -> list[str]:
+    """All regression messages (empty when every headline metric holds up).
+
+    ``rows``, when given, collects one record per tracked metric for the
+    markdown summary.
+    """
     max_regression = float(baseline.get("max_regression", 0.20))
     failures: list[str] = []
     for bench_file, metrics in baseline.get("metrics", {}).items():
@@ -128,6 +150,12 @@ def check(baseline: dict, results_dir: Path) -> list[str]:
                 regressed = current > ceiling
                 bound = f"<= {ceiling:.4g}"
             status = "REGRESSED" if regressed else "ok"
+            if rows is not None:
+                rows.append({
+                    "bench": bench_file, "metric": dotted_path,
+                    "current": current, "baseline": reference,
+                    "bound": bound, "flagged": regressed,
+                })
             print(
                 f"{status:>9}  {bench_file}::{dotted_path} = {current:.4g} "
                 f"(baseline {reference:.4g}, allowed {bound})"
@@ -141,6 +169,91 @@ def check(baseline: dict, results_dir: Path) -> list[str]:
                     f"--rebaseline`"
                 )
     return failures
+
+
+def _dedup_summary_lines(results_dir: Path) -> list[str]:
+    """Markdown block describing the design-space dedup algebra, if present."""
+    path = results_dir / "BENCH_dse_sharded.json"
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text())
+    section = payload.get("deduped_space")
+    if not section:
+        return []
+    lines = ["", "### Design-space dedup (effective-directive classes)", ""]
+    per_kernel = section.get("classes_per_kernel", {})
+    if per_kernel:
+        lines += [
+            "| kernel | raw configs | classes | dedup ratio |",
+            "|---|---:|---:|---:|",
+        ]
+        for kernel, stats in sorted(per_kernel.items()):
+            lines.append(
+                f"| {kernel} | {stats['raw_configs']} | {stats['classes']} "
+                f"| {stats['dedup_ratio']:.2f}x |"
+            )
+    sweep = section.get("cold_sweep")
+    if sweep:
+        lines += [
+            "",
+            f"Cold sweep on `{sweep['kernel']}`: "
+            f"{sweep['raw_configs']} raw configurations scored as "
+            f"{sweep['classes']} class representatives — "
+            f"**{sweep['effective_configs_per_second_gain']:.2f}x** "
+            f"effective configs/s "
+            f"({sweep['raw_configs_per_second']:.0f} → "
+            f"{sweep['dedup_effective_configs_per_second']:.0f}).",
+        ]
+    return lines
+
+
+def build_summary(
+    passed: bool,
+    metric_rows: list[dict],
+    memory_rows: list[dict],
+    results_dir: Path,
+) -> str:
+    """The markdown step summary: verdict + headline metrics tables."""
+    verdict = "✅ passed" if passed else "❌ FAILED"
+    lines = [f"## Perf-trend gate: {verdict}", ""]
+    if metric_rows:
+        lines += [
+            "| benchmark | metric | current | baseline | allowed | status |",
+            "|---|---|---:|---:|---|---|",
+        ]
+        for row in metric_rows:
+            status = "❌ regressed" if row["flagged"] else "✅ ok"
+            lines.append(
+                f"| {row['bench']} | `{row['metric']}` "
+                f"| {row['current']:.4g} | {row['baseline']:.4g} "
+                f"| {row['bound']} | {status} |"
+            )
+    lines += _dedup_summary_lines(results_dir)
+    if memory_rows:
+        lines += [
+            "",
+            "### Memory (peak RSS, MiB — warns only)",
+            "",
+            "| benchmark | current | baseline | warn above | status |",
+            "|---|---:|---:|---|---|",
+        ]
+        for row in memory_rows:
+            status = "⚠️ grown" if row["flagged"] else "✅ ok"
+            lines.append(
+                f"| {row['bench']} | {row['current']:.4g} "
+                f"| {row['baseline']:.4g} | {row['bound']} | {status} |"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def write_summary(text: str) -> None:
+    """Append markdown to ``$GITHUB_STEP_SUMMARY``, or print it."""
+    target = os.environ.get("GITHUB_STEP_SUMMARY")
+    if target:
+        with open(target, "a", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        print(text)
 
 
 def rebaseline(baseline: dict, results_dir: Path, baseline_path: Path) -> None:
@@ -181,6 +294,11 @@ def main(argv: list[str] | None = None) -> int:
         "--rebaseline", action="store_true",
         help="rewrite the manifest's baselines from the current results",
     )
+    parser.add_argument(
+        "--summary", action="store_true",
+        help="emit a markdown verdict + headline-metrics report, appended "
+             "to $GITHUB_STEP_SUMMARY when set (stdout otherwise)",
+    )
     args = parser.parse_args(argv)
     baseline = json.loads(args.baseline.read_text())
     if args.max_regression is not None:
@@ -188,8 +306,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.rebaseline:
         rebaseline(baseline, args.results_dir, args.baseline)
         return 0
-    failures = check(baseline, args.results_dir)
-    memory_warnings = check_memory(baseline, args.results_dir)
+    metric_rows: list[dict] = []
+    memory_rows: list[dict] = []
+    failures = check(baseline, args.results_dir, metric_rows)
+    memory_warnings = check_memory(baseline, args.results_dir, memory_rows)
+    if args.summary:
+        write_summary(
+            build_summary(not failures, metric_rows, memory_rows, args.results_dir)
+        )
     if memory_warnings:
         # informative, never fatal: see the module docstring
         print("\nperf-trend memory WARNINGS:", file=sys.stderr)

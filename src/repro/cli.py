@@ -178,6 +178,7 @@ def _sharded_dse(args: argparse.Namespace, function, space) -> list:
         args.model, num_workers=args.workers,
         shard_strategy=args.shard_strategy, warm_caches=args.warm_cache,
         work_stealing=args.work_stealing, precision=args.precision,
+        dedup=not args.no_dedup,
     )
     result = explorer.explore(design_space)
     approx = space.true_front_of([point.key for point in result.front])
@@ -185,11 +186,15 @@ def _sharded_dse(args: argparse.Namespace, function, space) -> list:
     # unlike the single-process "model time" (prediction only), the sharded
     # figure is end-to-end: spawn + per-worker model load + predict + merge
     mode = "work-stealing" if result.work_stealing else "fixed shards"
+    dedup_note = (
+        f", {result.num_classes} classes ({result.dedup_ratio:.2f}x dedup)"
+        if result.dedup else ", dedup off"
+    )
     print(f"model-guided ADRS: {adrs(exact, approx) * 100:.2f}%  "
           f"sharded over {result.num_workers} workers "
-          f"({result.shard_strategy}, {mode}, {result.mp_context})  "
+          f"({result.shard_strategy}, {mode}, {result.mp_context}{dedup_note})  "
           f"end-to-end {result.model_seconds:.2f}s "
-          f"({result.configs_per_second:,.0f} configs/s)")
+          f"({result.configs_per_second:,.0f} effective configs/s)")
     for shard in result.shards:
         status = "failed" if shard.failed else "ok"
         recovered = (
@@ -234,6 +239,17 @@ def cmd_dse(args: argparse.Namespace) -> int:
     function = _load_function(args)
     rng = np.random.default_rng(args.seed)
     configs = sample_design_space(function, args.configs, rng=rng)
+    if not args.no_dedup:
+        # effective-directive equivalence summary: how much of the sampled
+        # space collapses once pragmas are rewritten into canonical form
+        from repro.dse import DesignSpace
+
+        deduped = DesignSpace.from_lowered(
+            function, _load_source_text(args), configs
+        ).dedup()
+        print(f"design space: {len(configs)} configurations, "
+              f"{deduped.num_classes} effective classes "
+              f"({deduped.dedup_ratio:.2f}x dedup)")
     print(f"evaluating {len(configs)} configurations with the ground-truth flow...")
     space = exhaustive_ground_truth(function, configs)
     print(f"exhaustive (simulated) flow time: {space.simulated_tool_seconds/3600:.1f} h")
@@ -423,6 +439,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fixed full-model budget for --funnel (default: "
                           "adaptive, max(96, half the space)); implies "
                           "--funnel")
+    dse.add_argument("--no-dedup", action="store_true",
+                     help="score every raw configuration instead of one "
+                          "canonical representative per effective-directive "
+                          "equivalence class; also hides the class-count "
+                          "summary (dedup is on by default and never "
+                          "changes the front)")
     dse.add_argument("--work-stealing", action="store_true",
                      help="pull shard chunks from one shared queue instead "
                           "of fixing each worker's assignment, so early-"

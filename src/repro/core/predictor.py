@@ -114,6 +114,25 @@ class QoRPredictor:
         """
         return self.model.predict_batch(function, configs, precision=precision)
 
+    def canonical_signature(
+        self, source: str, config: PragmaConfig | None
+    ) -> str:
+        """Canonical (effective-directive) signature of a design request.
+
+        Two requests with this signature are guaranteed bit-identical
+        predictions: the signature is the pragma key of the *canonicalized*
+        configuration — the single key under which the construction cache,
+        the prediction memo and the warm-cache blobs store the design.  The
+        serve-layer micro-batcher uses it to score duplicate submissions
+        (same source, HLS-equivalent pragmas) once per batch.
+        """
+        from repro.frontend.pragmas import PragmaConfig as _PragmaConfig
+        from repro.hls.directives import canonicalize_config
+
+        function = self._lowered(source)
+        resolved = config if config is not None else _PragmaConfig()
+        return canonicalize_config(function, resolved).key()
+
     def predict_source_batch(
         self,
         source: str,

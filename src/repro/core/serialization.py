@@ -34,9 +34,12 @@ _MODEL_KINDS = {"p": "inner", "np": "inner", "g": "global"}
 
 #: format version of the persisted warm-cache payload; bump on layout change.
 #: v2: columnar CDFG payloads — interned optype tables + one feature-row
-#: matrix per graph instead of per-node feature dicts (PR 5); v1 blobs are
-#: discarded on load and rebuilt by the next sweep.
-WARM_CACHE_VERSION = 2
+#: matrix per graph instead of per-node feature dicts (PR 5).  v3: cache
+#: keys and memoized prediction signatures are computed over the
+#: *effective* (canonicalized) directives — v2 blobs keyed by raw
+#: directives would be silently unreachable (or worse, collide), so they
+#: are discarded on load and rebuilt by the next sweep.
+WARM_CACHE_VERSION = 3
 
 _WARM_CACHE_KEY = "__warm_caches__"
 _MANIFEST_KEY = "__manifest__"

@@ -16,6 +16,7 @@ from repro.dse.pareto import (
     ParetoFront,
     adrs,
     dominates,
+    fronts_bit_equal,
     hypervolume_2d,
     merge_fronts,
     normalize_objectives,
@@ -33,6 +34,8 @@ from repro.dse.sharding import (
 )
 from repro.dse.space import (
     UNROLL_FACTORS,
+    DedupedSpace,
+    DesignClass,
     DesignSpace,
     LoopChain,
     enumerate_design_space,
@@ -44,10 +47,11 @@ __all__ = [
     "DSEResult", "FunnelDSEResult", "FunnelExplorer", "GroundTruthSpace",
     "ModelGuidedExplorer",
     "exhaustive_ground_truth", "oracle_dse", "qor_objectives", "resource_cost",
-    "DesignPoint", "ParetoFront", "adrs", "dominates", "hypervolume_2d",
-    "merge_fronts", "normalize_objectives", "pareto_front",
+    "DesignPoint", "ParetoFront", "adrs", "dominates", "fronts_bit_equal",
+    "hypervolume_2d", "merge_fronts", "normalize_objectives", "pareto_front",
     "SHARD_STRATEGIES", "ShardedDSEResult", "ShardedExplorer", "ShardSpec",
     "fronts_equivalent", "fronts_match", "partition_space", "predicted_front",
-    "UNROLL_FACTORS", "DesignSpace", "LoopChain", "enumerate_design_space",
-    "loop_chains", "sample_design_space",
+    "UNROLL_FACTORS", "DedupedSpace", "DesignClass", "DesignSpace",
+    "LoopChain", "enumerate_design_space", "loop_chains",
+    "sample_design_space",
 ]

@@ -313,14 +313,26 @@ def _funnel_features(
     pipeline and flatten bits, and per-array partition bank count.  Loops
     and arrays are visited in sorted order, so the row layout is identical
     for every configuration of a kernel.
+
+    Configurations are canonicalized to their effective form first, so
+    HLS-equivalent design points get identical surrogate rows — the ridge
+    fit cannot be told apart by directives HLS ignores, and its ranking is
+    consistent with the full model's (which canonicalizes the same way).
     """
-    from repro.hls.directives import effective_unroll_factors, partition_banks
+    from repro.flags import canonical_directives_active
+    from repro.hls.directives import (
+        canonicalize_config,
+        effective_unroll_factors,
+        partition_banks,
+    )
     from repro.ir.passes import loop_nest_analysis
 
     labels = sorted(loop_nest_analysis(function))
     arrays = sorted(function.arrays)
     rows = np.empty((len(configs), 3 * len(labels) + len(arrays)))
     for index, config in enumerate(configs):
+        if canonical_directives_active():
+            config = canonicalize_config(function, config)
         unroll = effective_unroll_factors(function, config)
         row = []
         for label in labels:

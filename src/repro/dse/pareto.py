@@ -175,6 +175,24 @@ def merge_fronts(fronts: Iterable[ParetoFront]) -> ParetoFront:
     return merged
 
 
+def fronts_bit_equal(a: list[DesignPoint], b: list[DesignPoint]) -> bool:
+    """True when two fronts are *bit-identical*: same length, and pairwise
+    equal keys and objective vectors (``==`` on floats, no tolerance).
+
+    This is the tightened cross-process guarantee: with effective-directive
+    canonicalization, every process scores a duplicate design through one
+    canonical signature, so equivalent design points can no longer produce
+    ulp-level different objectives — coordinator and single-process fronts
+    must match exactly, not merely within tolerance.
+    """
+    if len(a) != len(b):
+        return False
+    return all(
+        pa.key == pb.key and pa.objectives == pb.objectives
+        for pa, pb in zip(a, b)
+    )
+
+
 def _normalized_distance(
     reference: tuple[float, ...], candidate: tuple[float, ...]
 ) -> float:
@@ -245,5 +263,5 @@ def normalize_objectives(points: list[DesignPoint]) -> list[DesignPoint]:
 
 __all__ = [
     "DesignPoint", "dominates", "pareto_front", "ParetoFront", "merge_fronts",
-    "adrs", "hypervolume_2d", "normalize_objectives",
+    "fronts_bit_equal", "adrs", "hypervolume_2d", "normalize_objectives",
 ]

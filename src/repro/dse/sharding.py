@@ -23,6 +23,19 @@ next chunk the moment it finishes one — early finishers steal the chunks a
 skewed partition would have stranded on a straggler, while the
 partition-invariant merge keeps the front bit-identical either way.
 
+**Dedup mode.**  By default the coordinator first partitions the space into
+HLS-equivalence classes (:meth:`~repro.dse.space.DesignSpace.dedup`):
+configurations that canonicalize to the same effective form
+(:func:`~repro.hls.directives.canonicalize_config`) predict bit-identically,
+so only one *representative* per class — the member with the smallest config
+id — is sharded and scored, and the coordinator fans each representative's
+prediction back out to every class member.  The front needs no fan-out at
+all: :class:`~repro.dse.pareto.ParetoFront` keeps the smallest config id on
+exact objective ties, and every non-representative member has a larger id
+than its (bit-identically-predicting) representative, so the front over
+representatives *is* the front over the full space.  ``dedup=False``
+restores the exhaustive sweep.
+
 **Determinism guarantee.**  Two layers, guarded separately:
 
 * the *merge* is bit-exact: :class:`~repro.dse.pareto.ParetoFront` is a pure
@@ -31,24 +44,38 @@ partition-invariant merge keeps the front bit-identical either way.
   merged front — it is identical, member for member and in the same
   canonical order, to one front fed every prediction directly;
 * the *predictions* agree with the single-process batched engine to within
-  1e-9 relative (typically <= 1e-12).  Workers load the same weights and
+  1e-9 relative (typically bit-exact).  Workers load the same weights and
   run the same deterministic numpy arithmetic; the residual last-ulp
   variation comes from BLAS choosing different (equally correct) kernels
   for different disjoint-union sizes.  The degenerate single-row /
   single-column dispatch — by far the largest such effect — is removed at
   the source (see ``repro.nn.autograd._stable_matmul``).  Dominance gaps
   between *distinct* designs are macroscopic, so this noise cannot flip
-  front membership between them.  The one place ulps can matter is
-  **duplicate designs**: distinct configurations that lower to identical
-  graphs (e.g. a pipeline directive on a fully-unrolled loop) predict
-  *exactly* equal objectives when scored by one process — the Pareto tie
-  then keeps the smallest config id — but last-ulp-different objectives
-  when scored by different processes, letting either duplicate survive the
-  tie.  The cross-process guarantee is therefore
-  :func:`fronts_equivalent`: same front, member for member, up to swaps
-  between such interchangeable duplicates (``pragma-locality`` additionally
-  keeps equal-*signature* runs on one worker so recognized duplicates tie
-  exactly; :func:`fronts_match` remains the strict in-process check).
+  front membership between them.  **Duplicate designs** — distinct
+  configurations HLS resolves identically — used to be the one place ulps
+  could matter: scored by different processes they could come back
+  last-ulp different, letting either duplicate survive the Pareto tie.
+  Effective-directive canonicalization closes that hole at the source:
+  every process rewrites a configuration to its canonical form before
+  graph construction, so duplicates share one decomposition signature —
+  one prediction-memo entry per process (duplicates scored by the *same*
+  process tie exactly), one warm-cache blob, adjacent never-split slots
+  in the ``pragma-locality`` order (so exhaustive locality sweeps keep
+  each duplicate family on one worker) — and dedup mode (the default)
+  never scores more than one family member to begin with, under *any*
+  strategy.  Front **membership** is therefore exactly reproducible
+  cross-process: :func:`fronts_match` (exact keys and order, tolerance
+  only on the stored objective floats) is the sharded-vs-single-process
+  guarantee, and full **bit-equality**
+  (:func:`~repro.dse.pareto.fronts_bit_equal` — objectives included)
+  holds between any two sweeps that score identical chunk compositions:
+  repeated runs, fixed vs work-stealing fleets over the same shards,
+  crashed-and-recovered vs clean fleets, and dedup vs exhaustive sweeps
+  in one process.  :func:`fronts_equivalent` (tolerating duplicate
+  swaps) remains only for the raw-directives differential path —
+  ``dedup=False`` under a signature-blind distribution — which
+  reintroduces the duplicate-tie ambiguity that canonicalization
+  removes.
 
 **Failure handling.**  A worker that dies mid-shard (crash, OOM-kill) simply
 stops streaming: the coordinator notices the process is gone without a
@@ -69,7 +96,12 @@ from pathlib import Path
 
 from repro.core.predictor import QoRPredictor
 from repro.dse.explorer import qor_objectives
-from repro.dse.pareto import DesignPoint, ParetoFront, merge_fronts
+from repro.dse.pareto import (
+    DesignPoint,
+    ParetoFront,
+    fronts_bit_equal,
+    merge_fronts,
+)
 from repro.dse.space import DesignSpace
 from repro.flags import normalize_precision
 from repro.frontend.pragmas import PragmaConfig
@@ -127,13 +159,17 @@ class ShardSpec:
         return len(self.config_ids)
 
 
-def _round_robin_blocks(count: int, num_shards: int) -> list[tuple[int, ...]]:
-    """Deal config ids ``0..count-1`` round-robin into ``num_shards`` piles."""
-    return [tuple(range(i, count, num_shards)) for i in range(num_shards)]
+def _round_robin_blocks(
+    config_ids: list[int], num_shards: int
+) -> list[tuple[int, ...]]:
+    """Deal the (sorted) config ids round-robin into ``num_shards`` piles."""
+    return [
+        tuple(config_ids[i::num_shards]) for i in range(num_shards)
+    ]
 
 
 def _pragma_locality_blocks(
-    space: DesignSpace, num_shards: int
+    space: DesignSpace, num_shards: int, config_ids: list[int]
 ) -> list[tuple[int, ...]]:
     """Contiguous balanced blocks over the pragma-delta locality order.
 
@@ -156,8 +192,10 @@ def _pragma_locality_blocks(
     cache = GraphConstructionCache()
     function = space.function()
     signatures = []
-    for config_id, config in space.items():
-        outer_key, unit_keys = decomposition_signature(function, config, cache)
+    for config_id in config_ids:
+        outer_key, unit_keys = decomposition_signature(
+            function, space.config(config_id), cache
+        )
         signatures.append((unit_keys, outer_key, config_id))
     signatures.sort()
     keys = [(unit_keys, outer_key) for unit_keys, outer_key, _ in signatures]
@@ -180,22 +218,30 @@ def _pragma_locality_blocks(
 
 
 def partition_space(
-    space: DesignSpace, num_shards: int, strategy: str = "round-robin"
+    space: DesignSpace,
+    num_shards: int,
+    strategy: str = "round-robin",
+    *,
+    config_ids: list[int] | None = None,
 ) -> list[ShardSpec]:
     """Partition a design space into at most ``num_shards`` balanced shards.
 
     Strategies:
 
-    * ``round-robin`` — config id ``i`` goes to shard ``i % num_shards``;
-      cheap and delta-agnostic, sizes differ by at most one configuration;
+    * ``round-robin`` — the i-th id (in ascending order) goes to shard
+      ``i % num_shards``; cheap and delta-agnostic, sizes differ by at most
+      one configuration;
     * ``pragma-locality`` — configurations sharing pragma deltas are grouped
       onto the same shard so each worker's construction cache sees maximal
       reuse; sizes balance to within one *signature run* because a block
       boundary never splits equal-signature duplicates
       (see :func:`_pragma_locality_blocks`).
 
-    Empty shards (more workers than configurations) are dropped.  The
-    partition is deterministic: same space, count and strategy — same shards.
+    ``config_ids`` restricts the partition to a subset of the space — the
+    dedup mode shards only class representatives this way.  Default: every
+    id.  Empty shards (more workers than configurations) are dropped.  The
+    partition is deterministic: same space, ids, count and strategy — same
+    shards.
     """
     if num_shards < 1:
         raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -203,10 +249,11 @@ def partition_space(
         raise ValueError(
             f"unknown shard strategy {strategy!r}; available: {SHARD_STRATEGIES}"
         )
+    ids = sorted(config_ids) if config_ids is not None else list(range(len(space)))
     if strategy == "pragma-locality":
-        blocks = _pragma_locality_blocks(space, num_shards)
+        blocks = _pragma_locality_blocks(space, num_shards, ids)
     else:
-        blocks = _round_robin_blocks(len(space), num_shards)
+        blocks = _round_robin_blocks(ids, num_shards)
     return [
         ShardSpec(shard_id=index, config_ids=block)
         for index, block in enumerate(blocks)
@@ -366,9 +413,11 @@ class ShardedDSEResult:
     """Outcome of one sharded exploration.
 
     ``predictions`` is aligned with the canonical configuration order of the
-    explored space; ``front`` is the merged predicted-Pareto front in the
-    canonical ``(objectives, config_id)`` order — bit-identical to
-    :func:`predicted_front` over ``predictions``, and identical in
+    explored space (in dedup mode, non-representative members carry a copy
+    of their representative's prediction — which is what a full sweep would
+    have produced, bit for bit); ``front`` is the merged predicted-Pareto
+    front in the canonical ``(objectives, config_id)`` order — bit-identical
+    to :func:`predicted_front` over ``predictions``, and identical in
     membership and order to the single-process engine's front (see the
     module docstring for the exact guarantee).
     """
@@ -389,13 +438,24 @@ class ShardedDSEResult:
     mp_context: str = ""
     #: whether chunks were pulled from a shared work-stealing queue
     work_stealing: bool = False
+    #: whether only equivalence-class representatives were scored
+    dedup: bool = False
+    #: equivalence classes in the space (== num_configs when dedup is off)
+    num_classes: int = 0
 
     @property
     def configs_per_second(self) -> float:
-        """End-to-end sharded throughput (spawn + load + predict + merge)."""
+        """Effective end-to-end throughput: raw configurations covered per
+        second (spawn + load + predict + merge; in dedup mode fanned-out
+        members count, which is the point of sweeping fewer of them)."""
         if self.model_seconds <= 0:
             return float("inf")
         return self.num_configs / self.model_seconds
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Raw configurations per scored representative (1.0 = no dedup)."""
+        return self.num_configs / max(1, self.num_classes or self.num_configs)
 
 
 def predicted_front(
@@ -454,19 +514,20 @@ def fronts_equivalent(
     *,
     rel_tolerance: float = PREDICTION_TOLERANCE,
 ) -> bool:
-    """Like :func:`fronts_match`, but accepting duplicate-design swaps.
+    """Like :func:`fronts_match`, but accepting near-tie swaps.
 
-    Design spaces can contain *duplicate designs* — distinct configurations
-    that lower to identical graphs (e.g. a pipeline directive on a loop
-    that is fully unrolled anyway) and therefore predict identical
-    objectives up to last-ulp batch-composition effects.  When such
-    duplicates are scored by different processes, which of them survives
-    the Pareto tie depends on those ulps.  Signature-blind distributions
-    (round-robin, work-stealing chunk queues) cannot co-locate duplicates,
-    so their cross-process front guarantee is this: same length, and at
-    every position either the same key (objectives within tolerance) or a
-    swap between points whose objectives agree within tolerance — i.e.
-    interchangeable representatives of the same design point.
+    The dedup algebra makes Pareto ties *within* an equivalence class exact
+    — every member carries its representative's prediction bit-for-bit, so
+    the deterministic tie-break always picks the same survivor.  What it
+    cannot make exact are near-ties between *distinct* designs: two
+    configurations that HLS resolves differently (e.g. a pipeline directive
+    on a fully unrolled loop shifts the simulated schedule by a few cycles)
+    can still be mapped by a trained model to objectives equal up to
+    last-ulp batch-composition effects.  Which of such a pair survives
+    dominance then depends on those ulps, which differ between process
+    topologies (one big batch vs per-shard chunks).  The cross-topology
+    front guarantee is therefore: same length, and at every position
+    objectives agreeing within tolerance — i.e. interchangeable near-ties.
     """
     if len(a) != len(b):
         return False
@@ -521,7 +582,13 @@ class ShardedExplorer:
     * ``precision`` — inference tier every worker (and in-process recovery)
       loads the model into: ``"float64"`` (the bit-exact default) or
       ``"float32"`` (the cheap tier, see
-      :meth:`repro.core.predictor.QoRPredictor.load`).
+      :meth:`repro.core.predictor.QoRPredictor.load`);
+    * ``dedup`` — partition the space into HLS-equivalence classes first
+      (:meth:`~repro.dse.space.DesignSpace.dedup`), shard and score only
+      the class representatives, and fan each representative's prediction
+      out to its members.  On by default; the result is identical to the
+      exhaustive sweep — same predictions, same front, bit for bit — at
+      ``num_classes`` forward passes instead of ``num_configs``.
 
     The ``partitioner`` hook (benchmarks/tests) replaces
     :func:`partition_space`: a callable ``(space, num_shards) ->
@@ -541,6 +608,7 @@ class ShardedExplorer:
         mp_context: str | None = None,
         worker_timeout: float = 300.0,
         precision: str = "float64",
+        dedup: bool = True,
         partitioner=None,
         _fault_injection: dict[int, int] | None = None,
     ):
@@ -560,6 +628,7 @@ class ShardedExplorer:
         self.mp_context = mp_context or _default_mp_context()
         self.worker_timeout = worker_timeout
         self.precision = normalize_precision(precision)
+        self.dedup = dedup
         self.partitioner = partitioner
         #: test hook: shard/worker id -> configs to score before a crash
         self._fault_injection = dict(_fault_injection or {})
@@ -577,11 +646,34 @@ class ShardedExplorer:
             )
 
     # ------------------------------------------------------------------ #
-    def _partition(self, space: DesignSpace) -> list[ShardSpec]:
-        """The shard partition (``partitioner`` hook or :func:`partition_space`)."""
+    def _partition(
+        self, space: DesignSpace, config_ids: list[int] | None = None
+    ) -> list[ShardSpec]:
+        """The shard partition (``partitioner`` hook or :func:`partition_space`).
+
+        ``config_ids`` restricts the partition to the dedup representatives.
+        A custom partitioner sees the full space (it may be signature- or
+        skew-driven); its shards are filtered down to the restricted ids
+        afterwards so the hook composes with dedup mode.
+        """
         if self.partitioner is not None:
-            return list(self.partitioner(space, self.num_workers))
-        return partition_space(space, self.num_workers, self.shard_strategy)
+            shards = list(self.partitioner(space, self.num_workers))
+            if config_ids is not None:
+                keep = set(config_ids)
+                shards = [
+                    ShardSpec(
+                        shard_id=shard.shard_id,
+                        config_ids=tuple(
+                            cid for cid in shard.config_ids if cid in keep
+                        ),
+                    )
+                    for shard in shards
+                ]
+                shards = [shard for shard in shards if shard.config_ids]
+            return shards
+        return partition_space(
+            space, self.num_workers, self.shard_strategy, config_ids=config_ids
+        )
 
     def _run_fleet(
         self,
@@ -733,26 +825,39 @@ class ShardedExplorer:
         merged Pareto front; never raises on worker death — missing work is
         recovered in-process (see ``ShardedDSEResult.recovered_configs``).
         With ``work_stealing`` the same guarantees hold over the shared
-        chunk queue (see the class docstring).
+        chunk queue (see the class docstring).  In dedup mode (the default)
+        only equivalence-class representatives are dispatched; members get
+        their representative's prediction fanned back out.
         """
+        deduped = space.dedup() if self.dedup else None
         if self.work_stealing:
-            return self._explore_stealing(space)
+            return self._explore_stealing(space, deduped)
         start = time.perf_counter()
-        shards = self._partition(space)
+        shards = self._partition(
+            space, deduped.representative_ids() if deduped else None
+        )
         context = multiprocessing.get_context(self.mp_context)
         results_queue = context.Queue()
         processes: dict[int, multiprocessing.Process] = {}
         try:
             return self._explore_fixed(
-                space, shards, context, results_queue, processes, start
+                space, deduped, shards, context, results_queue, processes,
+                start,
             )
         finally:
             # a coordinator-side exception (mid-drain, mid-merge, Ctrl-C)
             # must not leak live workers or the queue feeder thread
             self._cleanup_fleet(processes, results_queue)
 
+    @staticmethod
+    def _fan_out(deduped, predictions_by_id):
+        """Predictions over every config id (copy reps to members)."""
+        if deduped is None:
+            return predictions_by_id
+        return deduped.fan_out(predictions_by_id)
+
     def _explore_fixed(
-        self, space, shards, context, results_queue, processes, start
+        self, space, deduped, shards, context, results_queue, processes, start
     ) -> ShardedDSEResult:
         """Fixed-assignment exploration body (cleanup owned by caller)."""
         for shard in shards:
@@ -813,21 +918,26 @@ class ShardedExplorer:
         all_stats = [stats for stats in worker_stats.values()]
         if coordinator_stats is not None:
             all_stats.append(coordinator_stats)
+        full = self._fan_out(deduped, predictions_by_id)
         return ShardedDSEResult(
             kernel=space.kernel,
             num_configs=len(space),
             num_workers=len(shards),
             shard_strategy=self.shard_strategy,
-            predictions=[predictions_by_id[cid] for cid in range(len(space))],
+            predictions=[full[cid] for cid in range(len(space))],
             front=merged.points(),
             model_seconds=model_seconds,
             shards=reports,
             recovered_configs=sum(recovered_by_shard.values()),
             cache_stats=QoRPredictor.aggregate_cache_stats(all_stats),
             mp_context=self.mp_context,
+            dedup=deduped is not None,
+            num_classes=(
+                deduped.num_classes if deduped is not None else len(space)
+            ),
         )
 
-    def _explore_stealing(self, space: DesignSpace) -> ShardedDSEResult:
+    def _explore_stealing(self, space: DesignSpace, deduped) -> ShardedDSEResult:
         """Work-stealing exploration over one shared chunk queue.
 
         Shards are computed exactly as in the fixed mode (so pragma-locality
@@ -839,7 +949,9 @@ class ShardedExplorer:
         front.
         """
         start = time.perf_counter()
-        shards = self._partition(space)
+        shards = self._partition(
+            space, deduped.representative_ids() if deduped else None
+        )
         chunks: list[list[tuple[int, PragmaConfig]]] = []
         for shard in shards:
             items = [(cid, space.config(cid)) for cid in shard.config_ids]
@@ -852,15 +964,15 @@ class ShardedExplorer:
         processes: dict[int, multiprocessing.Process] = {}
         try:
             return self._explore_stealing_body(
-                space, chunks, num_workers, context, results_queue, tasks,
-                processes, start,
+                space, deduped, chunks, num_workers, context, results_queue,
+                tasks, processes, start,
             )
         finally:
             self._cleanup_fleet(processes, results_queue, tasks)
 
     def _explore_stealing_body(
-        self, space, chunks, num_workers, context, results_queue, tasks,
-        processes, start,
+        self, space, deduped, chunks, num_workers, context, results_queue,
+        tasks, processes, start,
     ) -> ShardedDSEResult:
         """Work-stealing exploration body (cleanup owned by caller)."""
         for chunk in chunks:
@@ -883,8 +995,11 @@ class ShardedExplorer:
         predictions_by_id, streamed, worker_stats, errors = self._run_fleet(
             processes, results_queue
         )
+        wanted_ids = (
+            deduped.representative_ids() if deduped else range(len(space))
+        )
         missing_ids = [
-            config_id for config_id in range(len(space))
+            config_id for config_id in wanted_ids
             if config_id not in predictions_by_id
         ]
         recovered, coordinator_stats = self._recover_missing(
@@ -926,12 +1041,13 @@ class ShardedExplorer:
         all_stats = [stats for stats in worker_stats.values()]
         if coordinator_stats is not None:
             all_stats.append(coordinator_stats)
+        full = self._fan_out(deduped, predictions_by_id)
         return ShardedDSEResult(
             kernel=space.kernel,
             num_configs=len(space),
             num_workers=num_workers,
             shard_strategy=self.shard_strategy,
-            predictions=[predictions_by_id[cid] for cid in range(len(space))],
+            predictions=[full[cid] for cid in range(len(space))],
             front=merged.points(),
             model_seconds=model_seconds,
             shards=reports,
@@ -939,6 +1055,10 @@ class ShardedExplorer:
             cache_stats=QoRPredictor.aggregate_cache_stats(all_stats),
             mp_context=self.mp_context,
             work_stealing=True,
+            dedup=deduped is not None,
+            num_classes=(
+                deduped.num_classes if deduped is not None else len(space)
+            ),
         )
 
 
@@ -946,5 +1066,6 @@ __all__ = [
     "SHARD_STRATEGIES", "DEFAULT_CHUNK_SIZE", "PREDICTION_TOLERANCE",
     "ShardSpec", "partition_space", "shard_worker", "stealing_worker",
     "ShardReport", "ShardedDSEResult", "predicted_front", "fronts_match",
-    "fronts_equivalent", "max_prediction_error", "ShardedExplorer",
+    "fronts_equivalent", "fronts_bit_equal", "max_prediction_error",
+    "ShardedExplorer",
 ]

@@ -307,6 +307,41 @@ class DesignSpace:
 
         return partition_space(self, num_shards, strategy)
 
+    def dedup(self) -> "DedupedSpace":
+        """Partition the space into HLS-equivalence classes.
+
+        Two configurations are equivalent when they canonicalize
+        (:func:`repro.hls.directives.canonicalize_config`) to the same
+        effective form — HLS resolves them to identical designs, the model
+        predicts them bit-identically, so one *representative* per class is
+        enough to sweep.  The representative is the member with the smallest
+        config id, which makes the choice deterministic across processes
+        (ids are enumeration order, and enumeration is deterministic for a
+        seed) and keeps the Pareto tie-break exact: the front over
+        representatives equals the front over all ids bit-for-bit, because
+        :class:`~repro.dse.pareto.ParetoFront` keeps the smallest id on
+        exact objective ties and every non-representative member has a
+        larger id than its representative.
+        """
+        function = self.function()
+        from repro.hls.directives import canonicalize_config
+
+        by_signature: dict[str, list[int]] = {}
+        for config_id, config in enumerate(self.configs):
+            signature = canonicalize_config(function, config).key()
+            by_signature.setdefault(signature, []).append(config_id)
+        classes = tuple(
+            DesignClass(
+                signature=signature,
+                representative=members[0],
+                members=tuple(members),
+            )
+            for signature, members in sorted(
+                by_signature.items(), key=lambda item: item[1][0]
+            )
+        )
+        return DedupedSpace(space=self, classes=classes)
+
     def __getstate__(self) -> dict:
         # the lowered IR holds cross-referencing objects that are expensive
         # (and pointless) to pickle: workers re-lower from source instead
@@ -321,7 +356,86 @@ class DesignSpace:
         self._function = None
 
 
+@dataclass(frozen=True)
+class DesignClass:
+    """One HLS-equivalence class of a design space.
+
+    ``signature`` is the canonical (effective-form) key shared by every
+    member; ``members`` are the config ids in ascending order and
+    ``representative`` is the smallest of them — the one configuration that
+    is actually swept.
+    """
+
+    signature: str
+    representative: int
+    members: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class DedupedSpace:
+    """A design space partitioned into equivalence classes (dedup algebra).
+
+    The sweep contract: score the representatives (``representative_ids``),
+    then :meth:`fan_out` copies each representative's prediction to every
+    member of its class.  Because class members predict bit-identically,
+    the fanned-out result equals a full sweep exactly — at the cost of
+    ``num_classes`` forward passes instead of ``len(space)``.
+    """
+
+    space: DesignSpace
+    classes: tuple[DesignClass, ...]
+
+    def __post_init__(self) -> None:
+        self.classes = tuple(self.classes)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of equivalence classes (= configs actually swept)."""
+        return len(self.classes)
+
+    @property
+    def num_configs(self) -> int:
+        """Raw configuration count of the underlying space."""
+        return len(self.space)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Raw configurations per class (1.0 means no duplicates)."""
+        return self.num_configs / max(1, self.num_classes)
+
+    def representative_ids(self) -> list[int]:
+        """Config ids to actually sweep, in ascending order."""
+        return sorted(cls.representative for cls in self.classes)
+
+    def class_of(self, config_id: int) -> DesignClass:
+        """The equivalence class containing ``config_id``."""
+        for cls in self.classes:
+            if config_id in cls.members:
+                return cls
+        raise KeyError(f"config id {config_id} not in space")
+
+    def fan_out(self, predictions: dict[int, dict]) -> dict[int, dict]:
+        """Expand representative predictions to every class member.
+
+        ``predictions`` maps representative ids to prediction dicts; the
+        result maps *every* config id in the space to a (per-member copied)
+        dict.  Representatives missing from ``predictions`` are skipped, so
+        partial sweeps fan out partially.
+        """
+        full: dict[int, dict] = {}
+        for cls in self.classes:
+            prediction = predictions.get(cls.representative)
+            if prediction is None:
+                continue
+            for member in cls.members:
+                full[member] = dict(prediction)
+        return full
+
+
 __all__ = [
     "UNROLL_FACTORS", "LoopChain", "loop_chains", "enumerate_design_space",
-    "sample_design_space", "DesignSpace",
+    "sample_design_space", "DesignSpace", "DesignClass", "DedupedSpace",
 ]

@@ -1,6 +1,6 @@
 """Process-wide runtime toggles, dependency-free by design.
 
-Two toggles live here, both at the bottom of the dependency graph so code at
+Three toggles live here, all at the bottom of the dependency graph so code at
 every layer — ``graph``, ``nn`` and ``core`` — can consult them without
 inverting the ``graph -> nn`` layering:
 
@@ -11,9 +11,15 @@ inverting the ``graph -> nn`` layering:
 * the *precision* tier: ``float64`` (the bit-identical default and numerical
   reference) or ``float32`` (the cheap inference tier — roughly half the
   matmul bandwidth, guarded by a relaxed equivalence bound against the
-  float64 reference).
+  float64 reference);
+* the *canonical directives* switch: graph construction normally rewrites
+  every configuration to its effective form first
+  (:func:`repro.hls.directives.canonicalize_config`), so equivalent design
+  points share one cache/memo signature; ``raw_directives()`` disables the
+  rewrite for differential testing and for benchmarking what the
+  canonicalization buys.
 
-Both toggles are backed by :class:`contextvars.ContextVar`, so concurrent
+All toggles are backed by :class:`contextvars.ContextVar`, so concurrent
 requests in a threaded or async serving daemon each see their own setting:
 ``with precision("float32")`` in one request cannot leak into another
 thread's forward pass, and the contextmanager API is unchanged from the
@@ -66,6 +72,39 @@ def reference_encoding():
         _REFERENCE_MODE.reset(token)
 
 
+_RAW_DIRECTIVES: ContextVar[bool] = ContextVar(
+    "repro_raw_directives", default=False
+)
+
+
+def canonical_directives_active() -> bool:
+    """Whether configurations are canonicalized before graph construction.
+
+    True by default; :func:`raw_directives` flips it off for the enclosed
+    block.
+    """
+    return not _RAW_DIRECTIVES.get()
+
+
+@contextlib.contextmanager
+def raw_directives():
+    """Disable effective-directive canonicalization within the ``with`` block.
+
+    Inside the block, :func:`~repro.graph.hierarchy.decompose` and
+    :func:`~repro.graph.hierarchy.decomposition_signature` consume the
+    configuration exactly as written: equivalent design points keep their
+    distinct cache keys and prediction-memo entries.  Used by the
+    differential tests (canonicalized and raw predictions must agree
+    bit-for-bit) and by the dedup benchmarks to measure the raw-sweep
+    baseline.
+    """
+    token = _RAW_DIRECTIVES.set(True)
+    try:
+        yield
+    finally:
+        _RAW_DIRECTIVES.reset(token)
+
+
 def normalize_precision(value: str) -> str:
     """Canonical tier name (``"float64"``/``"float32"``) for ``value``.
 
@@ -105,5 +144,6 @@ def precision(value: str):
 
 __all__ = [
     "PRECISIONS", "reference_encoding", "reference_encoding_active",
+    "raw_directives", "canonical_directives_active",
     "normalize_precision", "active_precision", "precision",
 ]

@@ -442,8 +442,14 @@ class GraphConstructionCache:
         self._persisted_units: dict[tuple[str, str], dict] = {}
         self._persisted_outer: dict[tuple[str, str], dict] = {}
         #: per-(function, config key) classification / unroll-factor memo,
-        #: shared between decomposition_signature and decompose
+        #: shared between decomposition_signature and decompose.  Keyed by
+        #: the *canonical* configuration key, so equivalent raw
+        #: configurations share one classification pass
         self.analysis: dict[tuple[int, str], tuple] = {}
+        #: per-(function, raw config key) effective-form memo (see
+        #: :func:`repro.hls.directives.canonicalize_config`); populated by
+        #: the decomposition entrypoints so each raw design is rewritten once
+        self.canonical: dict[tuple[int, str], PragmaConfig] = {}
         self.stats = CacheStats()
 
     def library_token(self, library) -> str:
@@ -574,6 +580,7 @@ class GraphConstructionCache:
         self._persisted_units.clear()
         self._persisted_outer.clear()
         self.analysis.clear()
+        self.canonical.clear()
         self.stats = CacheStats()
 
 

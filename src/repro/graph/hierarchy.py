@@ -16,12 +16,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import IntEnum
 
+from repro.flags import canonical_directives_active
 from repro.frontend.pragmas import PragmaConfig
 from repro.graph.cache import GraphConstructionCache, outer_cache_key, unit_cache_key
 from repro.graph.cdfg import CDFG, NodeKind
 from repro.graph.construction import GraphBuilder
 from repro.graph.features import loop_level_features
-from repro.hls.directives import effective_unroll_factors, resolve_loop_roles
+from repro.hls.directives import (
+    canonicalize_config,
+    effective_unroll_factors,
+    resolve_loop_roles,
+)
 from repro.hls.op_library import DEFAULT_LIBRARY, OperatorLibrary
 from repro.ir.structure import IRFunction, Loop
 
@@ -132,6 +137,31 @@ def classify_inner_units(
     return units
 
 
+def _canonical_config(
+    function: IRFunction,
+    config: PragmaConfig,
+    cache: GraphConstructionCache | None,
+) -> PragmaConfig:
+    """The effective form of ``config`` (memoized per raw key in the cache).
+
+    Both decomposition entrypoints canonicalize through this, so unit/outer
+    cache keys, the analysis memo and every signature downstream (prediction
+    memo, warm-cache blobs, sharding order) key by the *effective* design —
+    equivalent raw configurations collapse to one entry everywhere.  The
+    :func:`repro.flags.raw_directives` toggle bypasses the rewrite.
+    """
+    if not canonical_directives_active():
+        return config
+    if cache is None:
+        return canonicalize_config(function, config)
+    key = (id(function), config.key())
+    entry = cache.canonical.get(key)
+    if entry is None:
+        entry = canonicalize_config(function, config)
+        cache.canonical[key] = entry
+    return entry
+
+
 def _loop_analysis(
     function: IRFunction,
     config: PragmaConfig,
@@ -169,8 +199,11 @@ def decomposition_signature(
     subgraphs that are feature-identical, hence identical QoR predictions.
     Computing the signature costs only classification plus key strings, which
     lets batched inference skip construction for already-seen design deltas.
+    The configuration is canonicalized to its effective form first (see
+    :func:`repro.hls.directives.canonicalize_config`), so equivalent raw
+    configurations — designs HLS resolves identically — share one signature.
     """
-    config = config or PragmaConfig()
+    config = _canonical_config(function, config or PragmaConfig(), cache)
     skeleton = cache.skeleton(function)
     token = cache.library_token(library)
     classified, unroll = _loop_analysis(function, config, cache)
@@ -202,8 +235,13 @@ def decompose(
     that copy and returns the shared pristine outer graph for **read-only**
     consumers (the vectorized batched-inference path, which annotates
     feature-matrix copies instead of graphs).
+
+    The configuration is canonicalized first (matching
+    :func:`decomposition_signature`), so the decomposition's ``config`` —
+    and the provenance stamped into graph metadata — is the *effective*
+    design; disable with :func:`repro.flags.raw_directives`.
     """
-    config = config or PragmaConfig()
+    config = _canonical_config(function, config or PragmaConfig(), cache)
     classified, unroll = _loop_analysis(function, config, cache)
     skeleton = cache.skeleton(function) if cache is not None else None
     library_token = cache.library_token(library) if cache is not None else ""

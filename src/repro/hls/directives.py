@@ -17,16 +17,73 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.frontend.pragmas import ArrayDirective, PartitionType, PragmaConfig
+from repro.frontend.pragmas import (
+    ArrayDirective,
+    LoopDirective,
+    PartitionType,
+    PragmaConfig,
+)
 from repro.ir.structure import ArrayInfo, IRFunction, Loop
 
 #: A BRAM bank exposes a true dual-port interface.
 PORTS_PER_BANK = 2
 
 
+def _flatten_target(config: PragmaConfig, loop: Loop) -> Loop | None:
+    """The innermost loop of a perfect nest rooted at ``loop`` if the whole
+    chain requests flattening down to a pipelined innermost loop."""
+    current = loop
+    while True:
+        subs = current.sub_loops()
+        if not subs:
+            return current if config.loop(current.label).pipeline else None
+        if len(subs) != 1 or sum(1 for _ in current.body.instructions()) > 0:
+            return None
+        # intermediate levels must request (or default to) flattening
+        if not (config.loop(current.label).flatten or current is loop):
+            return None
+        current = subs[0]
+
+
+def flatten_chain_targets(function: IRFunction, config: PragmaConfig) -> dict[str, str]:
+    """Map every non-innermost member of an *active* flatten chain to the
+    label of the pipelined innermost loop it collapses into.
+
+    A chain is active when its root (and every intermediate level) requests
+    flattening, is not itself pipelined, sits under no pipelined ancestor,
+    and the nest is perfect down to a pipelined innermost loop — the exact
+    conditions under which :func:`resolve_loop_roles` assigns
+    ``flattened_into``.  Only structure and directives are consulted, never
+    unroll factors, so :func:`effective_unroll_factors` can use the result
+    without circularity.
+    """
+    targets: dict[str, str] = {}
+
+    def visit(loop: Loop, ancestor_pipelined: bool) -> None:
+        directive = config.loop(loop.label)
+        if not ancestor_pipelined and not directive.pipeline and directive.flatten:
+            target = _flatten_target(config, loop)
+            if target is not None and target.label != loop.label:
+                targets[loop.label] = target.label
+        for sub in loop.sub_loops():
+            visit(sub, ancestor_pipelined or directive.pipeline)
+
+    for top in function.top_level_loops():
+        visit(top, False)
+    return targets
+
+
 def effective_unroll_factors(function: IRFunction, config: PragmaConfig) -> dict[str, int]:
-    """Resolve the unroll factor actually applied to every loop."""
+    """Resolve the unroll factor actually applied to every loop.
+
+    Non-innermost members of an active flatten chain resolve to factor 1
+    regardless of what the directive requests: flattening collapses the
+    whole nest into the pipelined innermost loop, whose iteration space is
+    the product of the *full* outer trip counts — an unroll factor on an
+    absorbed outer level has no loop left to replicate.
+    """
     factors: dict[str, int] = {}
+    flattened_away = flatten_chain_targets(function, config)
 
     def visit(loop: Loop, force_full: bool) -> None:
         directive = config.loop(loop.label)
@@ -35,6 +92,8 @@ def effective_unroll_factors(function: IRFunction, config: PragmaConfig) -> dict
         if force_full or factor == 0:
             factor = tripcount
         factor = max(1, min(factor, tripcount))
+        if loop.label in flattened_away:
+            factor = 1
         factors[loop.label] = factor
         for sub in loop.sub_loops():
             visit(sub, force_full or directive.pipeline)
@@ -86,28 +145,13 @@ def resolve_loop_roles(function: IRFunction, config: PragmaConfig) -> dict[str, 
     unroll = effective_unroll_factors(function, config)
     roles: dict[str, LoopRole] = {}
 
-    def pipelined_descendant_of_perfect_nest(loop: Loop) -> Loop | None:
-        """The innermost loop of a perfect nest rooted at ``loop`` if the whole
-        chain requests flattening down to a pipelined innermost loop."""
-        current = loop
-        while True:
-            subs = current.sub_loops()
-            if not subs:
-                return current if config.loop(current.label).pipeline else None
-            if len(subs) != 1 or sum(1 for _ in current.body.instructions()) > 0:
-                return None
-            # intermediate levels must request (or default to) flattening
-            if not (config.loop(current.label).flatten or current is loop):
-                return None
-            current = subs[0]
-
     def visit(loop: Loop, ancestor_pipelined: bool) -> None:
         directive = config.loop(loop.label)
         fully_unrolled = unroll.get(loop.label, 1) >= max(1, loop.tripcount)
         flattened_into = ""
         pipelined = directive.pipeline
         if not pipelined and not ancestor_pipelined and directive.flatten:
-            target = pipelined_descendant_of_perfect_nest(loop)
+            target = _flatten_target(config, loop)
             if target is not None and target.label != loop.label:
                 flattened_into = target.label
         if ancestor_pipelined:
@@ -127,7 +171,104 @@ def resolve_loop_roles(function: IRFunction, config: PragmaConfig) -> dict[str, 
     return roles
 
 
+# --------------------------------------------------------------------------- #
+# effective-directive canonicalization
+# --------------------------------------------------------------------------- #
+def _directive_lenses(function: IRFunction, config: PragmaConfig) -> tuple:
+    """Everything HLS (graph construction, features, the flow simulator)
+    actually reads out of a configuration: the effective unroll map, the
+    loop roles, the pipeline II targets of loops whose II is live (the loop
+    is pipelined or flattens into a pipelined one), and per partitioned
+    array the bank count, the resolved dimension and whether bank
+    resolution runs the ``block`` branch (``cyclic`` and ``complete``
+    share one branch).  Two configurations with equal lenses produce
+    identical graphs, identical features and identical flow reports."""
+    unroll = effective_unroll_factors(function, config)
+    roles = resolve_loop_roles(function, config)
+    live_ii = {
+        label: config.loop(label).ii
+        for label, role in roles.items()
+        if role.pipelined or role.flattened_into
+    }
+    arrays = {}
+    for name, info in function.arrays.items():
+        directive = config.array(name)
+        banks = partition_banks(info, directive)
+        if banks <= 1:
+            continue
+        dim = min(max(directive.dim, 1), max(1, len(info.dims)))
+        arrays[name] = (
+            banks, dim, directive.partition_type is PartitionType.BLOCK
+        )
+    return unroll, roles, live_ii, arrays
+
+
+def canonicalize_config(function: IRFunction, config: PragmaConfig) -> PragmaConfig:
+    """Rewrite a configuration into its *effective* (canonical) form.
+
+    The returned configuration requests exactly what HLS resolves the raw
+    one to: per-loop directives are rebuilt from the loop's role (pipeline
+    iff the loop carries the pipeline, flatten iff it collapses into a
+    pipelined descendant) and its effective unroll factor (clamped to the
+    trip count, with factor 0 / pipelined-ancestor full unrolling spelled
+    out), IIs survive only where they are live, and array partitioning is
+    rewritten to the resolved bank count (directives resolving to a single
+    bank are dropped, ``complete`` becomes the equivalent ``cyclic`` over
+    the same banks, dimensions clamp to the array rank).  Directives naming
+    loops or arrays the kernel does not have are discarded.
+
+    Configurations that HLS treats identically — e.g. flatten-chain outer
+    levels carrying different (absorbed) unroll factors, or a partition
+    factor above the unrolled parallelism it was matched to — therefore
+    collapse to one canonical key, which is what the design-space dedup
+    algebra (:meth:`repro.dse.space.DesignSpace.dedup`) and every
+    canonical-signature cache key by.
+
+    The rewrite is self-verifying: the canonical candidate must resolve to
+    lenses (unroll map, roles, live IIs, bank resolution) identical to the
+    raw configuration's, and idempotence is guaranteed because the lenses
+    determine the rewrite.  If an exotic directive interplay breaks the
+    round trip — e.g. a pipeline bit that only matters as a flatten-chain
+    endpoint of some ancestor — the raw configuration is returned
+    unchanged, trading dedup for exactness.
+    """
+    raw_lenses = _directive_lenses(function, config)
+    unroll, roles = raw_lenses[0], raw_lenses[1]
+    loops: dict[str, LoopDirective] = {}
+    for loop in function.all_loops():
+        role = roles[loop.label]
+        pipeline = role.pipelined
+        flatten = bool(role.flattened_into)
+        factor = unroll.get(loop.label, 1)
+        ii = config.loop(loop.label).ii if (pipeline or flatten) else 0
+        if pipeline or flatten or factor > 1:
+            loops[loop.label] = LoopDirective(
+                pipeline=pipeline, ii=ii, unroll_factor=factor, flatten=flatten
+            )
+    arrays: dict[str, ArrayDirective] = {}
+    for name, info in function.arrays.items():
+        directive = config.array(name)
+        banks = partition_banks(info, directive)
+        if banks <= 1:
+            continue
+        partition_type = directive.partition_type
+        if partition_type is PartitionType.COMPLETE:
+            partition_type = PartitionType.CYCLIC
+        arrays[name] = ArrayDirective(
+            partition_type=partition_type,
+            factor=banks,
+            dim=min(max(directive.dim, 1), max(1, len(info.dims))),
+        )
+    candidate = PragmaConfig.from_dicts(loops, arrays)
+    if candidate == config:
+        return config
+    if _directive_lenses(function, candidate) != raw_lenses:
+        return config
+    return candidate
+
+
 __all__ = [
-    "PORTS_PER_BANK", "effective_unroll_factors", "partition_banks",
-    "array_ports", "all_array_ports", "LoopRole", "resolve_loop_roles",
+    "PORTS_PER_BANK", "flatten_chain_targets", "effective_unroll_factors",
+    "partition_banks", "array_ports", "all_array_ports", "LoopRole",
+    "resolve_loop_roles", "canonicalize_config",
 ]

@@ -19,6 +19,13 @@ a resident predictor safe to share between clients at all: the model's
 memo dictionaries are not thread-safe, so the batcher **serializes** every
 ``predict_batch`` (and every ``cache_stats``) on that one inference thread
 while the asyncio front end keeps accepting and parsing traffic.
+
+With a ``signature_fn`` (the server wires
+:meth:`QoRPredictor.canonical_signature`), each flushed pass also
+**deduplicates across requests**: configurations whose effective
+(canonicalized) directives coincide are scored once and the shared result
+is fanned back out to every submitter — the serve-side face of the design
+-space dedup algebra in :mod:`repro.dse.space`.
 """
 
 from __future__ import annotations
@@ -51,6 +58,9 @@ class BatcherStats:
     coalesced_batches: int = 0
     #: largest single pass, in configurations
     max_batch_configs: int = 0
+    #: configurations answered from another config's score in the same pass
+    #: (identical canonical signature); only counted with a ``signature_fn``
+    duplicate_configs: int = 0
     #: configurations per pass -> number of passes of that size
     batch_size_histogram: dict[int, int] = field(default_factory=dict)
 
@@ -72,6 +82,7 @@ class BatcherStats:
             "batches": self.batches,
             "coalesced_batches": self.coalesced_batches,
             "max_batch_configs": self.max_batch_configs,
+            "duplicate_configs": self.duplicate_configs,
             "batch_size_histogram": {
                 str(size): count
                 for size, count in sorted(self.batch_size_histogram.items())
@@ -88,6 +99,13 @@ class MicroBatcher:
     the first request of a batch waits for company; ``max_batch`` flushes a
     batch early once that many configurations have accumulated, bounding
     both latency and the size of one disjoint-union pass.
+
+    ``signature_fn(source, config) -> str``, when given, deduplicates each
+    pass: configurations sharing a signature are scored once and the result
+    is copied back to every duplicate (counted in
+    ``stats.duplicate_configs``).  It runs on the inference thread too —
+    the canonical implementation lowers source text through the predictor's
+    (non-thread-safe) memo.
     """
 
     def __init__(
@@ -97,10 +115,12 @@ class MicroBatcher:
         window_seconds: float = 0.002,
         max_batch: int = 512,
         executor: ThreadPoolExecutor | None = None,
+        signature_fn=None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self._predict_fn = predict_fn
+        self._signature_fn = signature_fn
         self.window_seconds = max(0.0, window_seconds)
         self.max_batch = max_batch
         self._executor = executor or ThreadPoolExecutor(
@@ -203,14 +223,35 @@ class MicroBatcher:
             if batch:
                 await self._flush(batch)
 
+    def _score_deduped(self, source: str, configs: list) -> tuple[list, int]:
+        """Score one pass with signature dedup (inference thread only).
+
+        Computes the canonical signature of every configuration, scores one
+        representative per signature, and copies its result to each
+        duplicate.  Returns ``(results, num_duplicates)`` with ``results``
+        aligned to ``configs`` (fresh dicts per slot, so per-request
+        consumers can never alias each other's payloads).
+        """
+        signatures = [self._signature_fn(source, config) for config in configs]
+        unique_index: dict[str, int] = {}
+        unique_configs: list = []
+        for signature, config in zip(signatures, configs):
+            if signature not in unique_index:
+                unique_index[signature] = len(unique_configs)
+                unique_configs.append(config)
+        scored = self._predict_fn(source, unique_configs)
+        results = [dict(scored[unique_index[s]]) for s in signatures]
+        return results, len(configs) - len(unique_configs)
+
     async def _flush(self, batch: list[_Pending]) -> None:
         """Score one coalesced batch and demultiplex results per request.
 
         Entries are grouped by kernel source; each group becomes one
-        disjoint-union ``predict_batch`` pass on the inference thread.
-        Requests whose clients vanished (cancelled futures) are still
-        scored — their work was already merged — but their results are
-        simply dropped.
+        disjoint-union ``predict_batch`` pass on the inference thread (with
+        ``signature_fn``, one pass over the *unique canonical signatures*
+        of the group).  Requests whose clients vanished (cancelled futures)
+        are still scored — their work was already merged — but their
+        results are simply dropped.
         """
         groups: dict[str, list[_Pending]] = {}
         for entry in batch:
@@ -222,9 +263,15 @@ class MicroBatcher:
             ]
             self.stats.record_batch(len(entries), len(configs))
             try:
-                results = await loop.run_in_executor(
-                    self._executor, self._predict_fn, source, configs
-                )
+                if self._signature_fn is not None:
+                    results, duplicates = await loop.run_in_executor(
+                        self._executor, self._score_deduped, source, configs
+                    )
+                    self.stats.duplicate_configs += duplicates
+                else:
+                    results = await loop.run_in_executor(
+                        self._executor, self._predict_fn, source, configs
+                    )
             except Exception as exc:  # noqa: BLE001 - forwarded per request
                 for entry in entries:
                     if not entry.future.done():

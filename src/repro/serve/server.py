@@ -62,10 +62,14 @@ class QoRServer:
         self.host = host
         self.port = port
         self.max_pending = max_pending
+        # signature_fn makes the batcher dedup-aware: HLS-equivalent pragma
+        # configurations submitted by different clients in one window are
+        # scored once under their shared canonical signature
         self.batcher = MicroBatcher(
             predictor.predict_source_batch,
             window_seconds=batch_window_ms / 1000.0,
             max_batch=max_batch,
+            signature_fn=predictor.canonical_signature,
         )
         self._server: asyncio.AbstractServer | None = None
         self._draining = False

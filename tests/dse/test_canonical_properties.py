@@ -1,0 +1,146 @@
+"""Property tests for effective-directive canonicalization + dedup algebra.
+
+Three properties back the whole canonical-signature story:
+
+* **idempotence** — canonicalizing a canonical configuration is a no-op, so
+  the canonical form is a well-defined class representative;
+* **semantic preservation** — the HLS flow resolves a raw configuration and
+  its canonical form to the *same report* (modulo the raw ``config_key``
+  text), which is what "equivalence class" means here;
+* **deterministic representatives** — the dedup partition (signatures,
+  members, representative choice) is a pure function of the design space,
+  reproducible across fresh objects and across processes.
+
+The model-level consequence (class members predict bit-identically) is
+covered by ``tests/dse/test_sharding.py::TestDedupAlgebra``; here the
+decomposition *signature* — the key of every prediction memo and warm-cache
+blob — is checked to collapse class members, which is what forces those
+bit-identical predictions.
+
+These tests use ``hypothesis`` when it is installed and skip cleanly where
+it is not (it is not a runtime dependency of the library).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dse.space import DesignSpace, sample_design_space
+from repro.graph.cache import GraphConstructionCache
+from repro.graph.hierarchy import decomposition_signature
+from repro.hls.directives import canonicalize_config
+from repro.hls.flow import run_hls
+from repro.kernels import load_kernel
+
+#: kernels with distinct loop shapes: single loop (fir), imperfect nest
+#: (gemm), flatten-rich 3-deep nest with real duplicate classes (stencil3d)
+KERNELS = ("fir", "gemm", "stencil3d")
+
+PROPERTY_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@lru_cache(maxsize=None)
+def _kernel_space(kernel: str):
+    """A fixed sampled configuration pool per kernel (cached per process)."""
+    function = load_kernel(kernel)
+    configs = sample_design_space(function, 48, rng=np.random.default_rng(11))
+    return function, configs
+
+
+def _draw_config(kernel: str, index: int):
+    function, configs = _kernel_space(kernel)
+    return function, configs[index % len(configs)]
+
+
+class TestCanonicalizationProperties:
+    @given(kernel=st.sampled_from(KERNELS), index=st.integers(0, 10**6))
+    @PROPERTY_SETTINGS
+    def test_idempotent(self, kernel, index):
+        function, config = _draw_config(kernel, index)
+        once = canonicalize_config(function, config)
+        twice = canonicalize_config(function, once)
+        assert once.key() == twice.key()
+
+    @given(kernel=st.sampled_from(KERNELS), index=st.integers(0, 10**6))
+    @PROPERTY_SETTINGS
+    def test_preserves_hls_report(self, kernel, index):
+        # the equivalence contract: HLS resolves raw and canonical forms to
+        # the same design; only the raw config_key text may differ (and the
+        # simulated tool runtime, which scales with directive count)
+        function, config = _draw_config(kernel, index)
+        canonical = canonicalize_config(function, config)
+        raw_report = run_hls(function, config)
+        canonical_report = run_hls(function, canonical)
+        normalize = lambda report: dataclasses.replace(  # noqa: E731
+            report, config_key="", runtime_seconds=0.0
+        )
+        assert normalize(raw_report) == normalize(canonical_report)
+
+    @given(kernel=st.sampled_from(KERNELS), index=st.integers(0, 10**6))
+    @PROPERTY_SETTINGS
+    def test_collapses_decomposition_signature(self, kernel, index):
+        # the memo key of the prediction engine cannot tell a raw
+        # configuration from its canonical form — this is what makes class
+        # members predict bit-identically
+        function, config = _draw_config(kernel, index)
+        canonical = canonicalize_config(function, config)
+        cache = GraphConstructionCache()
+        assert decomposition_signature(
+            function, config, cache
+        ) == decomposition_signature(function, canonical, cache)
+
+
+class TestRepresentativeDeterminism:
+    @given(seed=st.integers(0, 40), count=st.sampled_from([12, 32]))
+    @PROPERTY_SETTINGS
+    def test_dedup_pure_function_of_space(self, seed, count):
+        first = DesignSpace.from_kernel("stencil3d", count, seed=seed).dedup()
+        second = DesignSpace.from_kernel("stencil3d", count, seed=seed).dedup()
+        assert [
+            (cls.signature, cls.representative, cls.members)
+            for cls in first.classes
+        ] == [
+            (cls.signature, cls.representative, cls.members)
+            for cls in second.classes
+        ]
+        for cls in first.classes:
+            assert cls.representative == min(cls.members)
+
+    def test_representatives_stable_across_processes(self):
+        # the coordinator and its workers each dedup independently; the
+        # partition must be byte-identical in a fresh interpreter
+        script = (
+            "from repro.dse.space import DesignSpace\n"
+            "d = DesignSpace.from_kernel('stencil3d', 32, seed=5).dedup()\n"
+            "for c in d.classes:\n"
+            "    print(c.representative, ','.join(map(str, c.members)),"
+            " c.signature, sep='\\t')\n"
+        )
+        src_dir = Path(__file__).resolve().parents[2] / "src"
+        child = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": str(src_dir), "PATH": "/usr/bin:/bin"},
+        )
+        local = DesignSpace.from_kernel("stencil3d", 32, seed=5).dedup()
+        expected = "".join(
+            f"{cls.representative}\t{','.join(map(str, cls.members))}"
+            f"\t{cls.signature}\n"
+            for cls in local.classes
+        )
+        assert child.stdout == expected

@@ -19,7 +19,7 @@ from repro.core.predictor import QoRPredictor
 from repro.dse import (
     DesignSpace,
     ShardedExplorer,
-    fronts_equivalent,
+    fronts_bit_equal,
     partition_space,
     predicted_front,
 )
@@ -27,6 +27,7 @@ from repro.dse.sharding import (
     PREDICTION_TOLERANCE,
     SHARD_STRATEGIES,
     ShardSpec,
+    fronts_match,
     max_prediction_error,
 )
 
@@ -124,6 +125,15 @@ class TestPartitioning:
         with pytest.raises(ValueError):
             partition_space(fir_space, 2, "alphabetical")
 
+    @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
+    def test_config_ids_subset_covered_exactly_once(self, fir_space, strategy):
+        # dedup mode shards only class representatives: an arbitrary subset
+        # of config ids must be covered exactly once, nothing else
+        subset = [0, 3, 5, 8, 11]
+        shards = partition_space(fir_space, 2, strategy, config_ids=subset)
+        covered = sorted(cid for shard in shards for cid in shard.config_ids)
+        assert covered == subset
+
 
 class TestShardedExplorer:
     @pytest.mark.parametrize("strategy", SHARD_STRATEGIES)
@@ -148,14 +158,14 @@ class TestShardedExplorer:
             (p.key, p.objectives) for p in stream_front
         ]
         # and it is the same front the single-process engine selects
-        assert fronts_equivalent(ref_front, result.front)
+        assert fronts_match(ref_front, result.front)
 
     def test_single_worker_degenerates_gracefully(
         self, sharded_model_path, fir_space, reference
     ):
         result = ShardedExplorer(sharded_model_path, num_workers=1).explore(fir_space)
         assert result.num_workers == 1
-        assert fronts_equivalent(reference[1], result.front)
+        assert fronts_match(reference[1], result.front)
 
     def test_reports_and_cache_stats(self, sharded_model_path, fir_space):
         result = ShardedExplorer(
@@ -184,7 +194,7 @@ class TestShardedExplorer:
         assert result.recovered_configs == crashed.recovered
         # every configuration still got a prediction and the front is intact
         assert len(result.predictions) == len(fir_space)
-        assert fronts_equivalent(reference[1], result.front)
+        assert fronts_match(reference[1], result.front)
 
     def test_worker_crash_before_any_result(
         self, sharded_model_path, fir_space, reference
@@ -197,7 +207,7 @@ class TestShardedExplorer:
         crashed = result.shards[1]
         assert crashed.failed and crashed.completed == 0
         assert crashed.recovered == crashed.num_configs
-        assert fronts_equivalent(reference[1], result.front)
+        assert fronts_match(reference[1], result.front)
 
     def test_spawn_context_is_safe(
         self, sharded_model_path, fir_space, reference
@@ -211,7 +221,7 @@ class TestShardedExplorer:
         assert max_prediction_error(
             reference[0], result.predictions
         ) < PREDICTION_TOLERANCE
-        assert fronts_equivalent(reference[1], result.front)
+        assert fronts_match(reference[1], result.front)
 
     def test_missing_model_fails_before_spawning(self, tmp_path):
         with pytest.raises(FileNotFoundError):
@@ -268,7 +278,7 @@ class TestWorkStealing:
         assert [(p.key, p.objectives) for p in result.front] == [
             (p.key, p.objectives) for p in stream_front
         ]
-        assert fronts_equivalent(ref_front, result.front)
+        assert fronts_match(ref_front, result.front)
         # every delivered configuration is attributed to some worker
         assert sum(shard.completed for shard in result.shards) == len(fir_space)
 
@@ -281,7 +291,7 @@ class TestWorkStealing:
         )
         result = explorer.explore(fir_space)
         assert result.recovered_configs == 0
-        assert fronts_equivalent(reference[1], result.front)
+        assert fronts_match(reference[1], result.front)
         # the queue spreads the skewed shard: no worker scores everything
         completed = sorted(shard.completed for shard in result.shards)
         assert completed[0] > 0
@@ -309,7 +319,7 @@ class TestWorkStealing:
         assert coordinator.completed == 0
         assert coordinator.recovered == result.recovered_configs
         assert len(result.predictions) == len(fir_space)
-        assert fronts_equivalent(reference[1], result.front)
+        assert fronts_match(reference[1], result.front)
 
     def test_whole_fleet_crash_is_recovered(
         self, sharded_model_path, fir_space, reference
@@ -323,7 +333,7 @@ class TestWorkStealing:
         assert all(shard.failed for shard in worker_reports)
         assert result.recovered_configs == len(fir_space)
         assert result.shards[-1].recovered == len(fir_space)
-        assert fronts_equivalent(reference[1], result.front)
+        assert fronts_match(reference[1], result.front)
 
     def test_spawn_context_is_safe(
         self, sharded_model_path, fir_space, reference
@@ -334,7 +344,146 @@ class TestWorkStealing:
         ).explore(fir_space)
         assert result.mp_context == "spawn"
         assert result.recovered_configs == 0
-        assert fronts_equivalent(reference[1], result.front)
+        assert fronts_match(reference[1], result.front)
+
+
+@pytest.fixture(scope="session")
+def dedup_space():
+    """A space with real duplicate designs (stencil3d: 32 configs collapse
+    to fewer effective-directive equivalence classes)."""
+    return DesignSpace.from_kernel("stencil3d", 32, seed=5)
+
+
+@pytest.fixture(scope="session")
+def dedup_sharded_run(sharded_model_path, dedup_space):
+    """One clean sharded dedup sweep, the reference for the bit-equality
+    differentials (every comparison run uses the same fleet shape)."""
+    return ShardedExplorer(
+        sharded_model_path, num_workers=2, chunk_size=8
+    ).explore(dedup_space)
+
+
+class TestDedupAlgebra:
+    """The DesignSpace dedup algebra and its sharded-engine guarantees.
+
+    The tightened contract: with canonicalization, every process scores one
+    representative per equivalence class, so sweeps over identical chunk
+    compositions are **bit-identical** — same floats, not merely within
+    tolerance (see the module docstring of ``repro.dse.sharding``).
+    """
+
+    def test_classes_partition_the_space(self, dedup_space):
+        deduped = dedup_space.dedup()
+        assert 0 < deduped.num_classes < len(dedup_space)  # real duplicates
+        assert deduped.dedup_ratio > 1.0
+        all_members = sorted(
+            member for cls in deduped.classes for member in cls.members
+        )
+        assert all_members == list(range(len(dedup_space)))
+        for cls in deduped.classes:
+            assert cls.representative == min(cls.members)
+            assert deduped.class_of(cls.representative) is cls
+        signatures = [cls.signature for cls in deduped.classes]
+        assert len(set(signatures)) == len(signatures)
+        # classes are ordered by representative id: deterministic output
+        reps = [cls.representative for cls in deduped.classes]
+        assert reps == sorted(reps)
+
+    def test_dedup_deterministic(self, dedup_space):
+        first = dedup_space.dedup()
+        second = DesignSpace.from_kernel("stencil3d", 32, seed=5).dedup()
+        assert [
+            (cls.signature, cls.members) for cls in first.classes
+        ] == [(cls.signature, cls.members) for cls in second.classes]
+
+    def test_fan_out_copies_and_partial_sweeps(self, dedup_space):
+        deduped = dedup_space.dedup()
+        reps = deduped.representative_ids()
+        predictions = {rid: {"latency": float(rid)} for rid in reps}
+        full = deduped.fan_out(predictions)
+        assert sorted(full) == list(range(len(dedup_space)))
+        for cls in deduped.classes:
+            for member in cls.members:
+                assert full[member] == predictions[cls.representative]
+                # per-member copies: consumers can never alias each other
+                assert full[member] is not predictions[cls.representative]
+        # representatives missing from a partial sweep fan out partially
+        partial = deduped.fan_out({reps[0]: {"latency": 1.0}})
+        assert sorted(partial) == sorted(deduped.classes[0].members)
+
+    def test_members_predict_bit_identically(
+        self, small_trained_model, dedup_space
+    ):
+        # full sweep and representative sweep + fan-out, both from cold
+        # caches in one process, must agree bit-for-bit — duplicates
+        # resolve to one canonical signature before any float is computed
+        model = small_trained_model
+        function = dedup_space.function()
+        model.clear_inference_caches()
+        full = model.predict_batch(function, list(dedup_space.configs))
+        deduped = dedup_space.dedup()
+        reps = deduped.representative_ids()
+        model.clear_inference_caches()
+        rep_predictions = model.predict_batch(
+            function, [dedup_space.config(rid) for rid in reps]
+        )
+        fanned = deduped.fan_out(dict(zip(reps, rep_predictions)))
+        fan_list = [fanned[cid] for cid in range(len(dedup_space))]
+        assert full == fan_list
+        assert fronts_bit_equal(
+            predicted_front(dedup_space, full).points(),
+            predicted_front(dedup_space, fan_list).points(),
+        )
+        model.clear_inference_caches()
+
+    def test_sharded_dedup_matches_exhaustive(
+        self, sharded_model_path, dedup_space, dedup_sharded_run
+    ):
+        deduped_run = dedup_sharded_run
+        exhaustive_run = ShardedExplorer(
+            sharded_model_path, num_workers=2, chunk_size=8, dedup=False
+        ).explore(dedup_space)
+        assert deduped_run.dedup and not exhaustive_run.dedup
+        assert deduped_run.num_classes == dedup_space.dedup().num_classes
+        assert deduped_run.dedup_ratio > 1.0
+        assert exhaustive_run.num_classes == len(dedup_space)
+        # every member got a prediction despite only reps being scored
+        assert len(deduped_run.predictions) == len(dedup_space)
+        assert all(p for p in deduped_run.predictions)
+        # fronts agree by membership and order; objectives within tolerance
+        # (the exhaustive union has a different batch composition, so the
+        # comparison is fronts_match, not bit-equality)
+        assert fronts_match(exhaustive_run.front, deduped_run.front)
+
+    def test_repeated_sharded_runs_bit_identical(
+        self, sharded_model_path, dedup_space, dedup_sharded_run
+    ):
+        second = ShardedExplorer(
+            sharded_model_path, num_workers=2, chunk_size=8
+        ).explore(dedup_space)
+        assert dedup_sharded_run.predictions == second.predictions
+        assert fronts_bit_equal(dedup_sharded_run.front, second.front)
+
+    def test_fixed_vs_stealing_bit_identical(
+        self, sharded_model_path, dedup_space, dedup_sharded_run
+    ):
+        stealing = ShardedExplorer(
+            sharded_model_path, num_workers=2, chunk_size=8,
+            work_stealing=True,
+        ).explore(dedup_space)
+        assert dedup_sharded_run.predictions == stealing.predictions
+        assert fronts_bit_equal(dedup_sharded_run.front, stealing.front)
+
+    def test_crash_recovery_bit_identical(
+        self, sharded_model_path, dedup_space, dedup_sharded_run
+    ):
+        crashed = ShardedExplorer(
+            sharded_model_path, num_workers=2, chunk_size=8,
+            _fault_injection={0: 1},
+        ).explore(dedup_space)
+        assert crashed.recovered_configs > 0
+        assert dedup_sharded_run.predictions == crashed.predictions
+        assert fronts_bit_equal(dedup_sharded_run.front, crashed.front)
 
 
 class TestCoordinatorCleanup:
