@@ -1,0 +1,206 @@
+"""Perf benchmark: fault-tolerant sweeps — checkpoint/resume + write-back.
+
+Measures what the fault-tolerance machinery costs and saves on a ``gemm``
+design space:
+
+* **checkpoint overhead** — an uninterrupted checkpointed sweep vs the same
+  sweep with checkpointing off (the periodic atomic JSON writes are the
+  only delta);
+* **crash + resume** — the coordinator is killed mid-sweep through the
+  fault-injection harness (:class:`repro.testing.faults.FaultPlan`, abort
+  after the first periodic checkpoint save), then the sweep is resumed from
+  the checkpoint.  Guards: the resumed front is **bit-equal** to the
+  uninterrupted one, nothing already scored is re-dispatched
+  (``configs_rescored`` — trend-gated at exactly 0), and the resumed run
+  only pays for the remaining work;
+* **warm-cache write-back** — a first fleet over a cold model file banks
+  the construction/memo entries its workers built
+  (``write_back=True``); a second ``warm_caches`` fleet must then do
+  **zero** cold graph builds (``second_run_cold_builds`` — trend-gated at
+  exactly 0) and replays correspondingly faster (``warm_replay_gain``).
+
+Environment knobs: ``REPRO_BENCH_DSE_RESUME_SPACE`` (space size, default
+96), ``REPRO_BENCH_DSE_WORKERS`` (worker count, default 4),
+``REPRO_BENCH_PERF_EPOCHS`` (training epochs, default 10).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, env_int, format_table, peak_rss_mb, write_result
+from repro.core import (
+    HierarchicalModelConfig,
+    HierarchicalQoRModel,
+    TrainingConfig,
+    build_design_instances,
+    save_model,
+)
+from repro.dse import DesignSpace, ShardedExplorer, fronts_bit_equal
+from repro.dse.space import sample_design_space
+from repro.kernels import load_kernel
+from repro.testing import FaultPlan, InjectedFault
+
+pytestmark = pytest.mark.perf
+
+KERNEL = "gemm"
+
+
+def _train_and_save(tmp_path, name: str) -> str:
+    function = load_kernel(KERNEL)
+    configs = sample_design_space(function, 12, rng=np.random.default_rng(7))
+    instances = build_design_instances({KERNEL: function}, {KERNEL: configs})
+    model = HierarchicalQoRModel(
+        HierarchicalModelConfig(
+            conv_type="graphsage", hidden=32,
+            training=TrainingConfig(
+                epochs=env_int("REPRO_BENCH_PERF_EPOCHS", 10), seed=0
+            ),
+        )
+    )
+    model.fit(instances)
+    path = tmp_path / name
+    save_model(model, path, warm_caches=False)
+    return str(path)
+
+
+def test_dse_resume_and_write_back(tmp_path):
+    model_path = _train_and_save(tmp_path, "qor_model.npz")
+    num_workers = max(2, env_int("REPRO_BENCH_DSE_WORKERS", 4))
+    space = DesignSpace.from_kernel(
+        KERNEL, env_int("REPRO_BENCH_DSE_RESUME_SPACE", 96), seed=1
+    )
+    num_classes = space.dedup().num_classes
+    # one periodic save covers roughly half the sweep, so the injected
+    # abort kills the coordinator with ~50% of the work checkpointed
+    interval = max(1, num_classes // 2)
+    checkpoint = tmp_path / "sweep.ckpt"
+
+    def explorer(**kwargs) -> ShardedExplorer:
+        kwargs.setdefault("num_workers", num_workers)
+        kwargs.setdefault("chunk_size", 8)
+        return ShardedExplorer(model_path, **kwargs)
+
+    # --- uninterrupted references: checkpointing off, then on ------------
+    start = time.perf_counter()
+    clean = explorer().explore(space)
+    clean_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    checkpointed = explorer(
+        checkpoint=tmp_path / "overhead.ckpt", checkpoint_interval=interval
+    ).explore(space)
+    checkpointed_seconds = time.perf_counter() - start
+    assert fronts_bit_equal(clean.front, checkpointed.front)
+
+    # --- crash mid-sweep, then resume ------------------------------------
+    start = time.perf_counter()
+    with pytest.raises(InjectedFault):
+        explorer(
+            checkpoint=checkpoint, checkpoint_interval=interval,
+            fault_plan=FaultPlan(abort_coordinator_after_checkpoints=1),
+        ).explore(space)
+    aborted_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    resumed = explorer(checkpoint=checkpoint, resume=True).explore(space)
+    resume_seconds = time.perf_counter() - start
+
+    assert fronts_bit_equal(clean.front, resumed.front), (
+        "resumed front is not bit-equal to the uninterrupted sweep"
+    )
+    assert resumed.predictions == clean.predictions
+    assert resumed.rescored_configs == 0
+    assert resumed.resumed_configs >= interval
+
+    # --- warm-cache write-back -------------------------------------------
+    bank_path = _train_and_save(tmp_path, "bank_model.npz")
+    start = time.perf_counter()
+    first = ShardedExplorer(
+        bank_path, num_workers=num_workers, chunk_size=8,
+        warm_caches=True, write_back=True,
+    ).explore(space)
+    cold_seconds = time.perf_counter() - start
+    assert first.write_back_stats["deltas"] >= 1
+
+    start = time.perf_counter()
+    second = ShardedExplorer(
+        bank_path, num_workers=num_workers, chunk_size=8, warm_caches=True,
+    ).explore(space)
+    warm_seconds = time.perf_counter() - start
+    second_run_cold_builds = (
+        second.cache_stats["unit_misses"] + second.cache_stats["outer_misses"]
+    )
+    assert second_run_cold_builds == 0, (
+        "write-back left cold graph builds for the second fleet"
+    )
+    assert second.predictions == first.predictions
+
+    payload = {
+        "benchmark": "dse_resume",
+        "kernel": KERNEL,
+        "num_configs": len(space),
+        "num_classes": num_classes,
+        "num_workers": num_workers,
+        "checkpoint_interval": interval,
+        "uninterrupted_seconds": round(clean_seconds, 6),
+        "checkpointed_seconds": round(checkpointed_seconds, 6),
+        #: checkpointed / uninterrupted wall time — the cost of durability
+        "checkpoint_overhead_ratio": round(
+            checkpointed_seconds / clean_seconds, 4
+        ),
+        "aborted_seconds": round(aborted_seconds, 6),
+        "resume_seconds": round(resume_seconds, 6),
+        "resumed_configs": resumed.resumed_configs,
+        #: already-checkpointed configurations a worker scored again —
+        #: exactly 0 by construction, trend-gated so it stays that way
+        "configs_rescored": resumed.rescored_configs,
+        #: uninterrupted / resume wall time (resume pays only the remainder)
+        "resume_speedup_vs_full": round(clean_seconds / resume_seconds, 4),
+        "write_back": {
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "write_back_stats": first.write_back_stats,
+            #: cold banking run / warm replay run wall time
+            "warm_replay_gain": round(cold_seconds / warm_seconds, 4),
+            #: cold graph builds in the second fleet — 0 means the bank
+            #: covered the whole space, trend-gated at exactly 0
+            "second_run_cold_builds": second_run_cold_builds,
+        },
+        "peak_rss_mb": peak_rss_mb(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_dse_resume.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    rows = [
+        ["uninterrupted", f"{clean_seconds:.3f}", "-"],
+        ["checkpointed", f"{checkpointed_seconds:.3f}",
+         f"{payload['checkpoint_overhead_ratio']:.2f}x overhead"],
+        ["aborted @ ~50%", f"{aborted_seconds:.3f}",
+         f"{resumed.resumed_configs} configs banked"],
+        ["resume", f"{resume_seconds:.3f}",
+         f"{payload['resume_speedup_vs_full']:.2f}x vs full, 0 rescored"],
+        ["write-back (cold)", f"{cold_seconds:.3f}",
+         f"{first.write_back_stats.get('new_predictions', 0)} banked"],
+        ["warm replay", f"{warm_seconds:.3f}",
+         f"{payload['write_back']['warm_replay_gain']:.2f}x, 0 cold builds"],
+    ]
+    write_result(
+        "BENCH_dse_resume.txt",
+        format_table(
+            ["phase", "seconds", "notes"], rows,
+            title=(
+                f"Fault-tolerant DSE: {KERNEL}, {len(space)} configs "
+                f"({num_classes} classes), {num_workers} workers"
+            ),
+        ),
+    )

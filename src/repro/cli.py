@@ -179,6 +179,9 @@ def _sharded_dse(args: argparse.Namespace, function, space) -> list:
         shard_strategy=args.shard_strategy, warm_caches=args.warm_cache,
         work_stealing=args.work_stealing, precision=args.precision,
         dedup=not args.no_dedup,
+        checkpoint=args.checkpoint, resume=args.resume,
+        checkpoint_interval=args.checkpoint_interval,
+        write_back=args.write_back,
     )
     result = explorer.explore(design_space)
     approx = space.true_front_of([point.key for point in result.front])
@@ -203,9 +206,18 @@ def _sharded_dse(args: argparse.Namespace, function, space) -> list:
         print(f"  shard {shard.shard_id}: {shard.completed}/{shard.num_configs} "
               f"configs ({status}{recovered})")
     print("fleet cache stats:", json.dumps(result.cache_stats, sort_keys=True))
-    if args.warm_cache:
-        print("note: with --workers the persisted warm caches are read-only "
-              "(worker caches are not saved back to the model file)")
+    if result.checkpoint_path:
+        resumed = (
+            f"resumed {result.resumed_configs} configs "
+            f"({result.rescored_configs} re-scored), " if args.resume else ""
+        )
+        print(f"checkpoint: {resumed}progress persisted to "
+              f"{result.checkpoint_path}")
+    if args.warm_cache and not result.write_back:
+        print("note: worker warm caches are adopted read-only; add "
+              "--write-back to bank what the fleet builds into the model file")
+    if result.write_back:
+        print("write-back:", json.dumps(result.write_back_stats, sort_keys=True))
     return approx
 
 
@@ -230,6 +242,16 @@ def cmd_dse(args: argparse.Namespace) -> int:
                          "bootstrap their predictors from the saved model)")
     if args.workers > 1 and args.sequential:
         raise SystemExit("--workers and --sequential are mutually exclusive")
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint (the file the "
+                         "interrupted sweep persisted its progress to)")
+    if args.checkpoint and args.workers <= 1:
+        raise SystemExit("--checkpoint requires --workers > 1 (checkpointing "
+                         "is the sharded coordinator's crash protection)")
+    if args.write_back and args.workers <= 1:
+        raise SystemExit("--write-back requires --workers > 1 (the "
+                         "single-process engine already saves caches back "
+                         "via --warm-cache)")
     if funnel and not args.model:
         raise SystemExit("--funnel requires --model (the surrogate is "
                          "distilled from the model's own predictions)")
@@ -318,6 +340,8 @@ async def _serve_main(args: argparse.Namespace) -> int:
     predictor = QoRPredictor.load(
         args.model, warm_caches=args.warm_cache, precision=args.precision
     )
+    from repro.serve.server import MAX_LINE_BYTES
+
     server = QoRServer(
         predictor,
         host=args.host,
@@ -325,6 +349,10 @@ async def _serve_main(args: argparse.Namespace) -> int:
         batch_window_ms=args.batch_window_ms,
         max_batch=args.max_batch,
         max_pending=args.max_pending,
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+        max_line_bytes=(
+            args.max_line_bytes if args.max_line_bytes else MAX_LINE_BYTES
+        ),
     )
     await server.start()
     host, port = server.address
@@ -359,6 +387,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit(f"--max-batch must be >= 1, got {args.max_batch}")
     if args.max_pending < 1:
         raise SystemExit(f"--max-pending must be >= 1, got {args.max_pending}")
+    if args.idle_timeout < 0:
+        raise SystemExit(
+            f"--idle-timeout must be >= 0, got {args.idle_timeout}"
+        )
+    if args.max_line_bytes is not None and args.max_line_bytes < 1024:
+        raise SystemExit(
+            f"--max-line-bytes must be >= 1024, got {args.max_line_bytes}"
+        )
     return asyncio.run(_serve_main(args))
 
 
@@ -451,6 +487,26 @@ def build_parser() -> argparse.ArgumentParser:
                           "finishing workers steal the remaining chunks "
                           "(front is identical — the Pareto merge is "
                           "partition-invariant)")
+    dse.add_argument("--checkpoint", metavar="PATH",
+                     help="persist sharded-sweep progress to this file "
+                          "(atomic, digest-sealed) so a killed fleet can be "
+                          "restarted with --resume; requires --workers > 1")
+    dse.add_argument("--resume", action="store_true",
+                     help="fold the checkpoint at --checkpoint back in and "
+                          "score only what it does not cover; the resumed "
+                          "front is bit-equal to an uninterrupted sweep's "
+                          "(an unusable checkpoint is discarded with a "
+                          "warning and the sweep restarts from zero)")
+    dse.add_argument("--checkpoint-interval", type=int, default=64,
+                     metavar="N",
+                     help="newly scored configurations between periodic "
+                          "checkpoint writes (default 64)")
+    dse.add_argument("--write-back", action="store_true",
+                     help="merge the warm-cache entries the workers newly "
+                          "built back into the model file after the sweep, "
+                          "so the next --warm-cache fleet over the same "
+                          "space does zero cold graph builds; requires "
+                          "--workers > 1")
     dse.set_defaults(func=cmd_dse)
 
     serve = subparsers.add_parser(
@@ -480,6 +536,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--precision", default="float64",
                        choices=["float64", "float32"],
                        help="inference tier the resident model serves at")
+    serve.add_argument("--idle-timeout", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="close a connection after this many seconds of "
+                            "silence with nothing in flight (0 disables; "
+                            "connections waiting on their own requests are "
+                            "never culled)")
+    serve.add_argument("--max-line-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="reject request lines larger than this with a "
+                            "structured bad-request error instead of "
+                            "silently dropping the connection (default 8 MiB)")
     serve.set_defaults(func=cmd_serve)
     return parser
 

@@ -188,6 +188,10 @@ class HierarchicalQoRModel:
         self._prediction_cache: LRUDict[tuple, dict[str, float]] = LRUDict(
             prediction_cache_capacity
         )
+        # memo signatures adopted from a warm-cache blob; subtracted by
+        # export_warm_caches(delta_only=True) so sharded workers ship only
+        # what they computed themselves back to the coordinator
+        self._imported_prediction_keys: set[tuple] = set()
         #: active inference tier across the three trainers (see
         #: :meth:`set_precision`; float64 is the bit-identical default)
         self.precision = "float64"
@@ -211,6 +215,7 @@ class HierarchicalQoRModel:
             if trainer is not None:
                 trainer.set_precision(value)
         self._prediction_cache.clear()
+        self._imported_prediction_keys.clear()
         self.precision = value
 
     def clear_inference_caches(self) -> None:
@@ -225,6 +230,7 @@ class HierarchicalQoRModel:
         self._unit_pipelined.clear()
         self._outer_template_cache.clear()
         self._prediction_cache.clear()
+        self._imported_prediction_keys.clear()
         for trainer in (self.trainer_p, self.trainer_np, self.trainer_g):
             if trainer is not None:
                 trainer.clear_caches()
@@ -265,7 +271,7 @@ class HierarchicalQoRModel:
     # ------------------------------------------------------------------ #
     # warm-cache persistence (see core.serialization)
     # ------------------------------------------------------------------ #
-    def export_warm_caches(self) -> dict:
+    def export_warm_caches(self, *, delta_only: bool = False) -> dict:
         """JSON-compatible snapshot of the construction cache and the
         per-design prediction memo.
 
@@ -274,14 +280,25 @@ class HierarchicalQoRModel:
         alongside the weights and ``load_model`` feeds it back through
         :meth:`import_warm_caches`, letting a restarted service serve its
         first sweep from the memo without building a single graph.
+        ``delta_only`` subtracts everything adopted through
+        :meth:`import_warm_caches` — the bounded write-back payload a
+        sharded worker ships to the coordinator, which merges only what
+        the worker newly warmed.
         """
         predictions = [
             [fingerprint, outer_key, [list(unit) for unit in units], dict(metrics)]
             for (fingerprint, (outer_key, units)), metrics
             in self._prediction_cache.items()
+            if not (
+                delta_only
+                and (fingerprint, (outer_key, units))
+                in self._imported_prediction_keys
+            )
         ]
         return {
-            "construction": self._graph_cache.export_warm_state(),
+            "construction": self._graph_cache.export_warm_state(
+                delta_only=delta_only
+            ),
             "predictions": predictions,
         }
 
@@ -296,6 +313,19 @@ class HierarchicalQoRModel:
             self._prediction_cache[signature] = {
                 name: float(value) for name, value in metrics.items()
             }
+            self._imported_prediction_keys.add(signature)
+
+    def warm_cache_sizes(self) -> dict[str, int]:
+        """Entry counts of the persistable warm caches.
+
+        ``units``/``outer`` are the construction cache's live plus
+        still-unhydrated persisted graphs, ``predictions`` the memo size;
+        the write-back merge reports its effect as before/after deltas of
+        these counts.
+        """
+        sizes = dict(self._graph_cache.warm_state_sizes())
+        sizes["predictions"] = len(self._prediction_cache)
+        return sizes
 
     # ------------------------------------------------------------------ #
     # training

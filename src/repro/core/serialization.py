@@ -174,6 +174,23 @@ def save_model(
     return path
 
 
+def model_weights_digest(path: str | Path) -> str:
+    """The weights digest of a saved model archive.
+
+    Recomputes :func:`_weights_digest` over the archive's arrays — the same
+    digest ``save_model`` embeds in warm-cache payloads — so external
+    artifacts (DSE sweep checkpoints most prominently) can bind themselves
+    to the exact weights they were produced with and be discarded when the
+    model file changes underneath them.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no saved model at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        blob = {key: archive[key] for key in archive.files}
+    return _weights_digest(blob)
+
+
 def peek_manifest(path: str | Path) -> dict:
     """Read only the manifest of a saved model archive.
 
@@ -241,4 +258,7 @@ def load_model(
     return model
 
 
-__all__ = ["save_model", "load_model", "peek_manifest", "WARM_CACHE_VERSION"]
+__all__ = [
+    "save_model", "load_model", "peek_manifest", "model_weights_digest",
+    "WARM_CACHE_VERSION",
+]

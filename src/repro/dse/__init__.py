@@ -1,5 +1,13 @@
 """Design-space exploration: space enumeration, Pareto analysis, explorers."""
 
+from repro.dse.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointWriter,
+    SweepCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+    space_fingerprint,
+)
 from repro.dse.explorer import (
     DSEResult,
     FunnelDSEResult,
@@ -44,6 +52,8 @@ from repro.dse.space import (
 )
 
 __all__ = [
+    "CHECKPOINT_VERSION", "CheckpointWriter", "SweepCheckpoint",
+    "load_checkpoint", "save_checkpoint", "space_fingerprint",
     "DSEResult", "FunnelDSEResult", "FunnelExplorer", "GroundTruthSpace",
     "ModelGuidedExplorer",
     "exhaustive_ground_truth", "oracle_dse", "qor_objectives", "resource_cost",

@@ -70,8 +70,8 @@ restores the exhaustive sweep.
   (:func:`~repro.dse.pareto.fronts_bit_equal` — objectives included)
   holds between any two sweeps that score identical chunk compositions:
   repeated runs, fixed vs work-stealing fleets over the same shards,
-  crashed-and-recovered vs clean fleets, and dedup vs exhaustive sweeps
-  in one process.  :func:`fronts_equivalent` (tolerating duplicate
+  crashed-and-recovered vs clean fleets, resumed vs uninterrupted sweeps,
+  and dedup vs exhaustive sweeps in one process.  :func:`fronts_equivalent` (tolerating duplicate
   swaps) remains only for the raw-directives differential path —
   ``dedup=False`` under a signature-blind distribution — which
   reintroduces the duplicate-tie ambiguity that canonicalization
@@ -82,6 +82,35 @@ stops streaming: the coordinator notices the process is gone without a
 completion message, drains whatever the worker did deliver, and re-scores
 the missing configurations in-process, so the sweep always completes with
 the exact same front.
+
+**Checkpoint/resume.**  With ``checkpoint=PATH`` the coordinator persists
+every scored prediction through :class:`~repro.dse.checkpoint.CheckpointWriter`
+(atomic tmp+rename writes, digest-sealed, bound to the space fingerprint,
+model weights digest and precision tier); ``resume=True`` folds a verified
+checkpoint back in and dispatches only the not-yet-scored configurations.
+Bit-equality with an uninterrupted sweep is achieved **by construction**:
+predictions carry last-ulp sensitivity to ``predict_batch`` composition
+(BLAS kernel dispatch varies with the disjoint-union size), so the resumed
+run reproduces the clean run's exact chunk compositions — the partition is
+computed over the *full* wanted set exactly as a clean run would, already-
+scored work is dropped only in **whole chunks** of that canonical layout
+(checkpoint records are chunk-granular, results stream per whole chunk),
+and in-process recovery re-scores missing work one original chunk per
+batch.  Checkpointed predictions round-trip exactly through JSON's
+``repr``-based float encoding, and the merge is a pure function of the
+``(objectives, config_id)`` multiset — so the resumed front is bit-equal
+(:func:`~repro.dse.pareto.fronts_bit_equal`) to the uninterrupted one.
+The fault-injection differential tests (``repro.testing.faults``) assert
+exactly this for fleets killed, stalled and aborted mid-sweep in both
+dispatch modes.
+
+**Warm-cache write-back.**  With ``write_back=True`` every worker ships the
+construction-cache / prediction-memo entries *it* built (a bounded,
+canonical-keyed delta — adopted entries are subtracted) back over the
+result queue, and the coordinator merges all deltas into the model file
+under the versioned warm-cache machinery of ``core.serialization``.  The
+next fleet run over the same space adopts them and does zero cold graph
+builds.
 """
 
 from __future__ import annotations
@@ -95,6 +124,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.predictor import QoRPredictor
+from repro.core.serialization import load_model, model_weights_digest, save_model
+from repro.dse.checkpoint import (
+    DEFAULT_CHECKPOINT_INTERVAL,
+    CheckpointWriter,
+    load_checkpoint,
+    space_fingerprint,
+)
 from repro.dse.explorer import qor_objectives
 from repro.dse.pareto import (
     DesignPoint,
@@ -108,12 +144,19 @@ from repro.frontend.pragmas import PragmaConfig
 from repro.graph.cache import GraphConstructionCache
 from repro.graph.hierarchy import decomposition_signature
 from repro.ir.builder import lower_source
+from repro.testing.faults import InjectedFault, normalize_fault
 
 #: the shard strategies understood by :func:`partition_space`
 SHARD_STRATEGIES: tuple[str, ...] = ("round-robin", "pragma-locality")
 
 #: configurations scored (and streamed) per worker chunk
 DEFAULT_CHUNK_SIZE = 32
+
+#: per-category bound on one worker's write-back delta.  Deltas are
+#: canonical-keyed, so entries past the bound are not lost correctness-wise
+#: — they are simply rebuilt by a later sweep instead of banked; the bound
+#: keeps one queue message from ballooning on enormous spaces
+WRITE_BACK_MAX_ENTRIES = 8192
 
 #: relative agreement guaranteed between worker-process and single-process
 #: predictions (see the determinism notes in the module docstring); the
@@ -264,6 +307,26 @@ def partition_space(
 # --------------------------------------------------------------------------- #
 # worker side
 # --------------------------------------------------------------------------- #
+def _bounded_warm_delta(predictor: QoRPredictor) -> dict:
+    """The worker's write-back payload: newly warmed entries, bounded.
+
+    Exports only the cache/memo entries this process built itself
+    (``delta_only`` subtracts everything adopted from the model file) and
+    truncates each category at :data:`WRITE_BACK_MAX_ENTRIES` — dict
+    iteration order is insertion order, so the kept prefix is the
+    deterministic earliest-built slice.
+    """
+    delta = predictor.model.export_warm_caches(delta_only=True)
+    construction = delta.get("construction", {})
+    return {
+        "construction": {
+            "units": construction.get("units", [])[:WRITE_BACK_MAX_ENTRIES],
+            "outer": construction.get("outer", [])[:WRITE_BACK_MAX_ENTRIES],
+        },
+        "predictions": delta.get("predictions", [])[:WRITE_BACK_MAX_ENTRIES],
+    }
+
+
 def shard_worker(
     shard_id: int,
     model_path: str,
@@ -272,8 +335,9 @@ def shard_worker(
     items: list[tuple[int, PragmaConfig]],
     results: multiprocessing.Queue,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
-    fail_after: int | None = None,
+    fault=None,
     precision: str = "float64",
+    write_back: bool = False,
 ) -> None:
     """Worker-process entrypoint: score one shard and stream results back.
 
@@ -293,34 +357,46 @@ def shard_worker(
     shows how many deltas each worker captured).
 
     Messages on ``results``: ``("results", shard_id, [(config_id, metrics),
-    ...])`` per chunk, then ``("done", shard_id, cache_stats)``; on an
-    internal error, ``("error", shard_id, traceback_text)`` and a non-zero
-    exit.  ``fail_after`` is a test hook: the worker hard-exits (no "done",
-    as a real crash would) once that many configurations are scored.
-    ``precision`` selects the inference tier each worker casts its weights
-    into at load time (``"float64"`` default).
+    ...])`` per chunk, with ``write_back`` one ``("caches", shard_id,
+    delta)`` carrying the bounded newly-warmed-cache delta, then ``("done",
+    shard_id, cache_stats)``; on an internal error, ``("error", shard_id,
+    traceback_text)`` and a non-zero exit.  ``fault`` is the injection
+    hook: an int (legacy: hard-exit after N configs) or a
+    :class:`~repro.testing.faults.WorkerFault` descriptor, consulted
+    between chunks (kill / stall / drop — a kill is ``os._exit``, nothing
+    flushed, exactly like a real crash).  ``precision`` selects the
+    inference tier each worker casts its weights into at load time
+    (``"float64"`` default).
     """
     try:
+        fault = normalize_fault(fault)
         predictor = QoRPredictor.load(
             model_path, warm_caches=warm_caches, precision=precision
         )
         function = lower_source(source)
         completed = 0
+        chunk_index = 0
         for start in range(0, len(items), max(1, chunk_size)):
-            if fail_after is not None and completed >= fail_after:
+            if fault is not None and fault.should_kill(chunk_index, completed):
                 os._exit(3)  # simulate a hard crash: nothing is flushed
+            if fault is not None and fault.stalls_at(chunk_index):
+                time.sleep(fault.stall_seconds)
             chunk = items[start:start + max(1, chunk_size)]
             metrics_list = predictor.predict_batch(
                 function, [config for _, config in chunk]
             )
-            results.put((
-                "results", shard_id,
-                [
-                    (config_id, metrics)
-                    for (config_id, _), metrics in zip(chunk, metrics_list)
-                ],
-            ))
+            if fault is None or not fault.drops(chunk_index):
+                results.put((
+                    "results", shard_id,
+                    [
+                        (config_id, metrics)
+                        for (config_id, _), metrics in zip(chunk, metrics_list)
+                    ],
+                ))
             completed += len(chunk)
+            chunk_index += 1
+        if write_back:
+            results.put(("caches", shard_id, _bounded_warm_delta(predictor)))
         results.put(("done", shard_id, predictor.cache_stats()))
     except BaseException:
         results.put(("error", shard_id, traceback.format_exc()))
@@ -334,8 +410,9 @@ def stealing_worker(
     warm_caches: bool,
     tasks: multiprocessing.Queue,
     results: multiprocessing.Queue,
-    fail_after: int | None = None,
+    fault=None,
     precision: str = "float64",
+    write_back: bool = False,
 ) -> None:
     """Work-stealing worker: drain chunks from a shared queue until sentinel.
 
@@ -346,34 +423,44 @@ def stealing_worker(
     that a fixed partition would have left on a straggler.  ``tasks``
     carries exactly one ``None`` sentinel per worker after the chunks;
     consuming one ends the worker with a ``("done", worker_id,
-    cache_stats)`` message.  Message protocol and crash semantics otherwise
-    match :func:`shard_worker` (``fail_after`` hard-exits mid-stream after
-    that many configurations, like a real crash).  ``precision`` selects the
-    inference tier each worker casts its weights into at load time.
+    cache_stats)`` message (preceded, with ``write_back``, by its bounded
+    ``("caches", ...)`` delta).  Message protocol and crash semantics
+    otherwise match :func:`shard_worker`: ``fault`` takes the same int /
+    :class:`~repro.testing.faults.WorkerFault` hook, with chunk indices
+    counted in pull order.  ``precision`` selects the inference tier each
+    worker casts its weights into at load time.
     """
     try:
+        fault = normalize_fault(fault)
         predictor = QoRPredictor.load(
             model_path, warm_caches=warm_caches, precision=precision
         )
         function = lower_source(source)
         completed = 0
+        chunk_index = 0
         while True:
             chunk = tasks.get()
             if chunk is None:
                 break
-            if fail_after is not None and completed >= fail_after:
+            if fault is not None and fault.should_kill(chunk_index, completed):
                 os._exit(3)  # simulate a hard crash: nothing is flushed
+            if fault is not None and fault.stalls_at(chunk_index):
+                time.sleep(fault.stall_seconds)
             metrics_list = predictor.predict_batch(
                 function, [config for _, config in chunk]
             )
-            results.put((
-                "results", worker_id,
-                [
-                    (config_id, metrics)
-                    for (config_id, _), metrics in zip(chunk, metrics_list)
-                ],
-            ))
+            if fault is None or not fault.drops(chunk_index):
+                results.put((
+                    "results", worker_id,
+                    [
+                        (config_id, metrics)
+                        for (config_id, _), metrics in zip(chunk, metrics_list)
+                    ],
+                ))
             completed += len(chunk)
+            chunk_index += 1
+        if write_back:
+            results.put(("caches", worker_id, _bounded_warm_delta(predictor)))
         results.put(("done", worker_id, predictor.cache_stats()))
     except BaseException:
         results.put(("error", worker_id, traceback.format_exc()))
@@ -442,6 +529,17 @@ class ShardedDSEResult:
     dedup: bool = False
     #: equivalence classes in the space (== num_configs when dedup is off)
     num_classes: int = 0
+    #: configurations restored from a resumed checkpoint (never re-scored)
+    resumed_configs: int = 0
+    #: checkpoint-covered configurations a worker redundantly re-scored
+    #: (zero by construction — resumed sweeps dispatch only unscored work)
+    rescored_configs: int = 0
+    #: checkpoint file progress was persisted to ("" = no checkpointing)
+    checkpoint_path: str = ""
+    #: whether worker warm-cache deltas were merged back into the model file
+    write_back: bool = False
+    #: write-back merge summary: deltas received and entries newly banked
+    write_back_stats: dict = field(default_factory=dict)
 
     @property
     def configs_per_second(self) -> float:
@@ -562,7 +660,7 @@ class ShardedExplorer:
     * ``num_workers`` — worker processes (= maximum shard count);
     * ``shard_strategy`` — ``"round-robin"`` or ``"pragma-locality"``;
     * ``warm_caches`` — workers adopt the warm caches persisted in the model
-      file (read-only: worker caches are not written back);
+      file (pair with ``write_back`` to also bank what they newly build);
     * ``work_stealing`` — instead of handing each worker one fixed shard,
       split every shard into ``chunk_size`` chunks on one shared task
       queue: each worker pulls the next chunk as soon as it finishes the
@@ -588,7 +686,25 @@ class ShardedExplorer:
       the class representatives, and fan each representative's prediction
       out to its members.  On by default; the result is identical to the
       exhaustive sweep — same predictions, same front, bit for bit — at
-      ``num_classes`` forward passes instead of ``num_configs``.
+      ``num_classes`` forward passes instead of ``num_configs``;
+    * ``checkpoint`` — persist sweep progress to this path through
+      :class:`~repro.dse.checkpoint.CheckpointWriter` (atomic, digest-sealed,
+      bound to the space fingerprint / model weights digest / precision
+      tier), every ``checkpoint_interval`` newly scored configurations;
+    * ``resume`` — fold a verified checkpoint at ``checkpoint`` back in
+      before dispatching: already-scored configurations are never re-sent to
+      a worker, and the resumed front is **bit-equal** to an uninterrupted
+      sweep's (see the module docstring).  An unusable checkpoint —
+      truncated, corrupted, or bound to a different space/model/precision —
+      is discarded with a :class:`RuntimeWarning` and the sweep restarts
+      from zero.  Requires ``checkpoint``;
+    * ``write_back`` — workers ship the warm-cache entries they newly built
+      back to the coordinator (bounded deltas on the result queue), which
+      merges them into the model file after the sweep; the next
+      ``warm_caches`` fleet over the same space does zero cold graph builds;
+    * ``fault_plan`` — a :class:`~repro.testing.faults.FaultPlan` injecting
+      worker kills/stalls/drops and coordinator aborts (test harness; merged
+      over the legacy ``_fault_injection`` hook).
 
     The ``partitioner`` hook (benchmarks/tests) replaces
     :func:`partition_space`: a callable ``(space, num_shards) ->
@@ -609,6 +725,11 @@ class ShardedExplorer:
         worker_timeout: float = 300.0,
         precision: str = "float64",
         dedup: bool = True,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
+        checkpoint_interval: int = DEFAULT_CHECKPOINT_INTERVAL,
+        write_back: bool = False,
+        fault_plan=None,
         partitioner=None,
         _fault_injection: dict[int, int] | None = None,
     ):
@@ -619,6 +740,8 @@ class ShardedExplorer:
                 f"unknown shard strategy {shard_strategy!r}; "
                 f"available: {SHARD_STRATEGIES}"
             )
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint path")
         self.model_path = Path(model_path)
         self.num_workers = num_workers
         self.shard_strategy = shard_strategy
@@ -629,9 +752,29 @@ class ShardedExplorer:
         self.worker_timeout = worker_timeout
         self.precision = normalize_precision(precision)
         self.dedup = dedup
+        self.checkpoint = Path(checkpoint) if checkpoint is not None else None
+        self.resume = resume
+        self.checkpoint_interval = max(1, checkpoint_interval)
+        self.write_back = write_back
         self.partitioner = partitioner
-        #: test hook: shard/worker id -> configs to score before a crash
-        self._fault_injection = dict(_fault_injection or {})
+        # fault-injection hooks: the legacy per-worker int map and the
+        # structured FaultPlan merge into one WorkerFault-per-id table
+        faults = {
+            worker_id: normalize_fault(fault)
+            for worker_id, fault in (_fault_injection or {}).items()
+        }
+        self._abort_after = None
+        if fault_plan is not None:
+            faults.update({
+                worker_id: normalize_fault(fault)
+                for worker_id, fault in fault_plan.workers.items()
+            })
+            self._abort_after = fault_plan.abort_coordinator_after_checkpoints
+        self._worker_faults = faults
+        # per-explore state consulted by _run_fleet (whose signature is
+        # stable: tests monkeypatch it)
+        self._checkpoint_writer = None
+        self._pending_cache_deltas: dict[int, dict] = {}
         self._validate_model()
 
     def _validate_model(self) -> None:
@@ -686,7 +829,11 @@ class ShardedExplorer:
         keyed by shard id in the former, worker id in the latter).  Returns
         ``(predictions_by_id, streamed, worker_stats, errors)``; handles
         silent worker death (retired with an error after a final drain) and
-        the fleet-wide stall timeout.
+        the fleet-wide stall timeout.  Side channels ride the same stream:
+        every scored prediction is recorded into the active
+        :class:`~repro.dse.checkpoint.CheckpointWriter` (when checkpointing)
+        and ``("caches", ...)`` write-back deltas are parked in
+        ``_pending_cache_deltas`` for the post-sweep merge.
         """
         predictions_by_id: dict[int, dict[str, float]] = {}
         streamed: dict[int, list[tuple[int, dict[str, float]]]] = {
@@ -702,9 +849,14 @@ class ShardedExplorer:
         def handle(message: tuple) -> None:
             kind, key = message[0], message[1]
             if kind == "results":
+                writer = self._checkpoint_writer
                 for config_id, metrics in message[2]:
                     predictions_by_id[config_id] = metrics
                     streamed[key].append((config_id, metrics))
+                    if writer is not None:
+                        writer.record(config_id, metrics)
+            elif kind == "caches":
+                self._pending_cache_deltas[key] = message[2]
             elif kind == "done":
                 worker_stats[key] = message[2]
                 pending.discard(key)
@@ -780,23 +932,150 @@ class ShardedExplorer:
     def _recover_missing(
         self,
         space: DesignSpace,
-        missing_ids: list[int],
+        missing_chunks: list[list[int]],
         predictions_by_id: dict[int, dict[str, float]],
-    ) -> tuple[list[tuple[int, dict[str, float]]], dict | None]:
-        """Score configurations no worker delivered, in-process."""
-        if not missing_ids:
-            return [], None
+    ) -> tuple[list[tuple[int, dict[str, float]]], dict | None, dict | None]:
+        """Score configurations no worker delivered, in-process.
+
+        ``missing_chunks`` preserves the chunk layout the lost worker would
+        have scored, and each chunk is re-scored as its own batch: BLAS
+        kernel dispatch varies at the last ulp with batch composition, so
+        recovery must reproduce the compositions exactly for the
+        crashed-and-recovered front to stay bit-equal to a clean fleet's.
+
+        Returns ``(recovered, cache_stats, write_back_delta)`` — the last a
+        bounded warm-cache delta (the coordinator is just another scoring
+        process as far as write-back is concerned), ``None`` unless
+        ``write_back`` is on and something was recovered.
+        """
+        if not any(missing_chunks):
+            return [], None, None
         predictor = QoRPredictor.load(
             self.model_path, warm_caches=self.warm_caches,
             precision=self.precision,
         )
-        metrics_list = predictor.predict_batch(
-            space.function(), [space.config(cid) for cid in missing_ids]
-        )
-        recovered = list(zip(missing_ids, metrics_list))
+        function = space.function()
+        recovered: list[tuple[int, dict[str, float]]] = []
+        for chunk in missing_chunks:
+            if not chunk:
+                continue
+            metrics_list = predictor.predict_batch(
+                function, [space.config(cid) for cid in chunk]
+            )
+            recovered.extend(zip(chunk, metrics_list))
         for config_id, metrics in recovered:
             predictions_by_id[config_id] = metrics
-        return recovered, predictor.cache_stats()
+        delta = _bounded_warm_delta(predictor) if self.write_back else None
+        return recovered, predictor.cache_stats(), delta
+
+    def _prepare_sweep(self, space: DesignSpace) -> dict[int, dict[str, float]]:
+        """Reset per-sweep state; load the checkpoint and arm the writer.
+
+        Returns the prior scored table — the configurations a resumed sweep
+        must not dispatch again (empty without ``resume``, or when the
+        checkpoint is missing/unusable, or without checkpointing at all).
+        """
+        self._pending_cache_deltas = {}
+        self._checkpoint_writer = None
+        if self.checkpoint is None:
+            return {}
+        fingerprint = space_fingerprint(space)
+        digest = model_weights_digest(self.model_path)
+        prior: dict[int, dict[str, float]] = {}
+        if self.resume:
+            loaded = load_checkpoint(
+                self.checkpoint,
+                expected_space=fingerprint,
+                expected_model=digest,
+                expected_precision=self.precision,
+            )
+            if loaded is not None:
+                prior = {
+                    config_id: metrics
+                    for config_id, metrics in loaded.scored.items()
+                    if 0 <= config_id < len(space)
+                }
+        on_save = None
+        if self._abort_after is not None:
+            abort_after = self._abort_after
+
+            def on_save(saves: int) -> None:
+                """Injected coordinator crash: die after N durable saves."""
+                if saves >= abort_after:
+                    raise InjectedFault(
+                        f"coordinator aborted after {saves} checkpoint saves"
+                    )
+
+        self._checkpoint_writer = CheckpointWriter(
+            self.checkpoint,
+            space_fingerprint=fingerprint,
+            model_digest=digest,
+            precision=self.precision,
+            interval=self.checkpoint_interval,
+            prior=prior,
+            on_save=on_save,
+        )
+        return prior
+
+    def _persist_write_back(self, deltas: list[dict]) -> dict:
+        """Merge worker warm-cache deltas into the model file.
+
+        Reloads the saved model with its persisted warm caches, imports
+        every delta (canonical-keyed, so overlapping entries merge
+        idempotently) and re-saves.  The weight arrays re-serialize
+        bit-identically (the archive always holds the float64 masters), so
+        the model weights digest — and with it any live checkpoint — stays
+        valid across the rewrite.  Returns a merge summary of entries newly
+        banked per category.
+        """
+        deltas = [delta for delta in deltas if delta]
+        if not deltas:
+            return {"deltas": 0}
+        model = load_model(self.model_path, warm_caches=True)
+        before = model.warm_cache_sizes()
+        for delta in deltas:
+            model.import_warm_caches(delta)
+        after = model.warm_cache_sizes()
+        save_model(model, self.model_path, warm_caches=True)
+        return {
+            "deltas": len(deltas),
+            "new_units": after["units"] - before["units"],
+            "new_outer": after["outer"] - before["outer"],
+            "new_predictions": after["predictions"] - before["predictions"],
+        }
+
+    def _finish_sweep(
+        self,
+        prior: dict[int, dict[str, float]],
+        predictions_by_id: dict[int, dict[str, float]],
+        recovered: list[tuple[int, dict[str, float]]],
+        coordinator_delta: dict | None,
+    ) -> dict:
+        """Post-fleet bookkeeping shared by both exploration modes.
+
+        Records coordinator-recovered predictions into the checkpoint, folds
+        the resumed prior back into the prediction table, seals the
+        checkpoint as ``complete`` and merges any pending write-back deltas
+        into the model file.  Returns the write-back summary (empty dict
+        when write-back is off).
+        """
+        writer = self._checkpoint_writer
+        if writer is not None:
+            for config_id, metrics in recovered:
+                writer.record(config_id, metrics)
+        for config_id, metrics in prior.items():
+            predictions_by_id.setdefault(config_id, metrics)
+        if writer is not None:
+            writer.save(complete=True)
+        if not self.write_back:
+            return {}
+        deltas = [
+            self._pending_cache_deltas[key]
+            for key in sorted(self._pending_cache_deltas)
+        ]
+        if coordinator_delta:
+            deltas.append(coordinator_delta)
+        return self._persist_write_back(deltas)
 
     @staticmethod
     def _stream_front(
@@ -827,22 +1106,34 @@ class ShardedExplorer:
         With ``work_stealing`` the same guarantees hold over the shared
         chunk queue (see the class docstring).  In dedup mode (the default)
         only equivalence-class representatives are dispatched; members get
-        their representative's prediction fanned back out.
+        their representative's prediction fanned back out.  With a resumed
+        checkpoint, configurations its scored table covers are folded in
+        directly and only the remainder is dispatched.
         """
         deduped = space.dedup() if self.dedup else None
-        if self.work_stealing:
-            return self._explore_stealing(space, deduped)
-        start = time.perf_counter()
-        shards = self._partition(
-            space, deduped.representative_ids() if deduped else None
+        wanted = list(
+            deduped.representative_ids() if deduped else range(len(space))
         )
+        prior = self._prepare_sweep(space)
+        to_score = [cid for cid in wanted if cid not in prior]
+        if self.work_stealing:
+            return self._explore_stealing(space, deduped, prior, wanted, to_score)
+        start = time.perf_counter()
+        # None = "everything" preserves the partitioner hook's full view.
+        # Dedup restricts the partition to class representatives; a resumed
+        # prior deliberately does NOT — the partition (hence the chunk
+        # layout) must match the uninterrupted sweep's, and already-scored
+        # work is dropped per whole chunk at dispatch instead, so every
+        # remaining batch keeps its original composition (bit-equality)
+        restrict = wanted if deduped is not None else None
+        shards = self._partition(space, restrict)
         context = multiprocessing.get_context(self.mp_context)
         results_queue = context.Queue()
         processes: dict[int, multiprocessing.Process] = {}
         try:
             return self._explore_fixed(
-                space, deduped, shards, context, results_queue, processes,
-                start,
+                space, deduped, prior, shards, context, results_queue,
+                processes, start,
             )
         finally:
             # a coordinator-side exception (mid-drain, mid-merge, Ctrl-C)
@@ -856,18 +1147,53 @@ class ShardedExplorer:
             return predictions_by_id
         return deduped.fan_out(predictions_by_id)
 
+    def _dispatch_layout(
+        self, config_ids: list[int], prior: dict
+    ) -> tuple[list[int], list[list[int]]]:
+        """What a worker actually scores after dropping resumed work.
+
+        Returns ``(flat dispatch list, its chunk layout)``.  Already-scored
+        configurations are removed at *chunk* granularity: results stream
+        per whole chunk, so a checkpoint's scored table is a union of whole
+        chunks of this same layout, and dropping them leaves every surviving
+        chunk's batch composition identical to the uninterrupted sweep's
+        (dropped and surviving blocks are all ``chunk_size`` long bar a
+        final short one, so re-chunking the concatenation reproduces the
+        surviving chunks exactly).  That composition invariance is what
+        makes a resumed front bit-equal, not merely tolerance-close.
+        """
+        kept: list[int] = []
+        for offset in range(0, len(config_ids), self.chunk_size):
+            kept.extend(
+                cid
+                for cid in config_ids[offset:offset + self.chunk_size]
+                if cid not in prior
+            )
+        layout = [
+            kept[offset:offset + self.chunk_size]
+            for offset in range(0, len(kept), self.chunk_size)
+        ]
+        return kept, layout
+
     def _explore_fixed(
-        self, space, deduped, shards, context, results_queue, processes, start
+        self, space, deduped, prior, shards, context, results_queue,
+        processes, start,
     ) -> ShardedDSEResult:
         """Fixed-assignment exploration body (cleanup owned by caller)."""
+        dispatched: dict[int, list[int]] = {}
+        layouts: dict[int, list[list[int]]] = {}
         for shard in shards:
-            items = [(cid, space.config(cid)) for cid in shard.config_ids]
+            flat, layout = self._dispatch_layout(shard.config_ids, prior)
+            dispatched[shard.shard_id] = flat
+            layouts[shard.shard_id] = layout
+            items = [(cid, space.config(cid)) for cid in flat]
             process = context.Process(
                 target=shard_worker,
                 args=(
                     shard.shard_id, str(self.model_path), space.source,
                     self.warm_caches, items, results_queue, self.chunk_size,
-                    self._fault_injection.get(shard.shard_id), self.precision,
+                    self._worker_faults.get(shard.shard_id), self.precision,
+                    self.write_back,
                 ),
                 daemon=True,
             )
@@ -877,35 +1203,55 @@ class ShardedExplorer:
         predictions_by_id, streamed, worker_stats, errors = self._run_fleet(
             processes, results_queue
         )
-
-        # recover configurations no worker delivered, in-process
-        recovered_by_shard: dict[int, int] = {}
-        missing = [
-            (shard, config_id)
-            for shard in shards
-            for config_id in shard.config_ids
-            if config_id not in predictions_by_id
-        ]
-        recovered, coordinator_stats = self._recover_missing(
-            space, [config_id for _, config_id in missing], predictions_by_id
+        # the acceptance guard for resume: workers only ever receive
+        # not-yet-scored configurations, so nothing checkpointed comes back
+        rescored = sum(
+            1 for stream in streamed.values()
+            for config_id, _ in stream if config_id in prior
         )
-        for (shard, _), (config_id, metrics) in zip(missing, recovered):
-            streamed[shard.shard_id].append((config_id, metrics))
-            recovered_by_shard[shard.shard_id] = (
-                recovered_by_shard.get(shard.shard_id, 0) + 1
-            )
 
-        # per-shard fronts, merged deterministically
-        merged = merge_fronts([
+        # recover configurations no worker delivered, in-process — chunk by
+        # chunk in the layout the worker would have scored (losses are
+        # chunk-granular, so compositions — and hence bits — are preserved)
+        recovered_by_shard: dict[int, int] = {}
+        recovery_chunks: list[list[int]] = []
+        chunk_owner: list[int] = []
+        for shard in shards:
+            for chunk in layouts[shard.shard_id]:
+                miss = [c for c in chunk if c not in predictions_by_id]
+                if miss:
+                    recovery_chunks.append(miss)
+                    chunk_owner.append(shard.shard_id)
+        recovered, coordinator_stats, coordinator_delta = self._recover_missing(
+            space, recovery_chunks, predictions_by_id
+        )
+        index = 0
+        for owner, chunk in zip(chunk_owner, recovery_chunks):
+            for _ in chunk:
+                config_id, metrics = recovered[index]
+                index += 1
+                streamed[owner].append((config_id, metrics))
+                recovered_by_shard[owner] = recovered_by_shard.get(owner, 0) + 1
+
+        write_back_stats = self._finish_sweep(
+            prior, predictions_by_id, recovered, coordinator_delta
+        )
+
+        # per-shard fronts, merged deterministically; resumed predictions
+        # join as one more front (the merge is partition-invariant)
+        fronts = [
             self._stream_front(space, streamed[shard.shard_id])
             for shard in shards
-        ])
+        ]
+        if prior:
+            fronts.append(self._stream_front(space, sorted(prior.items())))
+        merged = merge_fronts(fronts)
         model_seconds = time.perf_counter() - start
 
         reports = [
             ShardReport(
                 shard_id=shard.shard_id,
-                num_configs=len(shard),
+                num_configs=len(dispatched[shard.shard_id]),
                 completed=len(streamed[shard.shard_id])
                 - recovered_by_shard.get(shard.shard_id, 0),
                 recovered=recovered_by_shard.get(shard.shard_id, 0),
@@ -935,9 +1281,16 @@ class ShardedExplorer:
             num_classes=(
                 deduped.num_classes if deduped is not None else len(space)
             ),
+            resumed_configs=len(prior),
+            rescored_configs=rescored,
+            checkpoint_path=str(self.checkpoint or ""),
+            write_back=self.write_back,
+            write_back_stats=write_back_stats,
         )
 
-    def _explore_stealing(self, space: DesignSpace, deduped) -> ShardedDSEResult:
+    def _explore_stealing(
+        self, space: DesignSpace, deduped, prior, wanted, to_score
+    ) -> ShardedDSEResult:
         """Work-stealing exploration over one shared chunk queue.
 
         Shards are computed exactly as in the fixed mode (so pragma-locality
@@ -949,30 +1302,37 @@ class ShardedExplorer:
         front.
         """
         start = time.perf_counter()
-        shards = self._partition(
-            space, deduped.representative_ids() if deduped else None
-        )
+        # same partition as a clean sweep (see explore()): resumed work is
+        # dropped per whole chunk so surviving chunks keep their composition
+        restrict = wanted if deduped is not None else None
+        shards = self._partition(space, restrict)
         chunks: list[list[tuple[int, PragmaConfig]]] = []
         for shard in shards:
-            items = [(cid, space.config(cid)) for cid in shard.config_ids]
-            for offset in range(0, len(items), self.chunk_size):
-                chunks.append(items[offset:offset + self.chunk_size])
-        num_workers = max(1, min(self.num_workers, len(chunks)))
+            for offset in range(0, len(shard.config_ids), self.chunk_size):
+                chunk = [
+                    (cid, space.config(cid))
+                    for cid in shard.config_ids[offset:offset + self.chunk_size]
+                    if cid not in prior
+                ]
+                if chunk:
+                    chunks.append(chunk)
+        # a fully-resumed sweep has no chunks and spawns no workers at all
+        num_workers = min(self.num_workers, len(chunks)) if chunks else 0
         context = multiprocessing.get_context(self.mp_context)
         results_queue = context.Queue()
         tasks = context.Queue()
         processes: dict[int, multiprocessing.Process] = {}
         try:
             return self._explore_stealing_body(
-                space, deduped, chunks, num_workers, context, results_queue,
-                tasks, processes, start,
+                space, deduped, prior, to_score, chunks, num_workers, context,
+                results_queue, tasks, processes, start,
             )
         finally:
             self._cleanup_fleet(processes, results_queue, tasks)
 
     def _explore_stealing_body(
-        self, space, deduped, chunks, num_workers, context, results_queue,
-        tasks, processes, start,
+        self, space, deduped, prior, to_score, chunks, num_workers, context,
+        results_queue, tasks, processes, start,
     ) -> ShardedDSEResult:
         """Work-stealing exploration body (cleanup owned by caller)."""
         for chunk in chunks:
@@ -985,7 +1345,8 @@ class ShardedExplorer:
                 args=(
                     worker_id, str(self.model_path), space.source,
                     self.warm_caches, tasks, results_queue,
-                    self._fault_injection.get(worker_id), self.precision,
+                    self._worker_faults.get(worker_id), self.precision,
+                    self.write_back,
                 ),
                 daemon=True,
             )
@@ -995,15 +1356,19 @@ class ShardedExplorer:
         predictions_by_id, streamed, worker_stats, errors = self._run_fleet(
             processes, results_queue
         )
-        wanted_ids = (
-            deduped.representative_ids() if deduped else range(len(space))
+        rescored = sum(
+            1 for stream in streamed.values()
+            for config_id, _ in stream if config_id in prior
         )
-        missing_ids = [
-            config_id for config_id in wanted_ids
-            if config_id not in predictions_by_id
+        recovery_chunks = [
+            [cid for cid, _ in chunk if cid not in predictions_by_id]
+            for chunk in chunks
         ]
-        recovered, coordinator_stats = self._recover_missing(
-            space, missing_ids, predictions_by_id
+        recovered, coordinator_stats, coordinator_delta = self._recover_missing(
+            space, recovery_chunks, predictions_by_id
+        )
+        write_back_stats = self._finish_sweep(
+            prior, predictions_by_id, recovered, coordinator_delta
         )
         fronts = [
             self._stream_front(space, streamed[worker_id])
@@ -1011,6 +1376,8 @@ class ShardedExplorer:
         ]
         if recovered:
             fronts.append(self._stream_front(space, recovered))
+        if prior:
+            fronts.append(self._stream_front(space, sorted(prior.items())))
         merged = merge_fronts(fronts)
         model_seconds = time.perf_counter() - start
 
@@ -1059,11 +1426,17 @@ class ShardedExplorer:
             num_classes=(
                 deduped.num_classes if deduped is not None else len(space)
             ),
+            resumed_configs=len(prior),
+            rescored_configs=rescored,
+            checkpoint_path=str(self.checkpoint or ""),
+            write_back=self.write_back,
+            write_back_stats=write_back_stats,
         )
 
 
 __all__ = [
     "SHARD_STRATEGIES", "DEFAULT_CHUNK_SIZE", "PREDICTION_TOLERANCE",
+    "WRITE_BACK_MAX_ENTRIES",
     "ShardSpec", "partition_space", "shard_worker", "stealing_worker",
     "ShardReport", "ShardedDSEResult", "predicted_front", "fronts_match",
     "fronts_equivalent", "fronts_bit_equal", "max_prediction_error",

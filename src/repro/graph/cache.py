@@ -441,6 +441,11 @@ class GraphConstructionCache:
         #: on first use (entries for changed kernels simply never hydrate)
         self._persisted_units: dict[tuple[str, str], dict] = {}
         self._persisted_outer: dict[tuple[str, str], dict] = {}
+        #: keys adopted from a warm-cache blob (hydrated or not); what
+        #: ``export_warm_state(delta_only=True)`` subtracts, so a worker
+        #: ships only the entries it built itself back to the coordinator
+        self._imported_unit_keys: set[tuple[str, str]] = set()
+        self._imported_outer_keys: set[tuple[str, str]] = set()
         #: per-(function, config key) classification / unroll-factor memo,
         #: shared between decomposition_signature and decompose.  Keyed by
         #: the *canonical* configuration key, so equivalent raw
@@ -536,40 +541,61 @@ class GraphConstructionCache:
     # ------------------------------------------------------------------ #
     # warm-cache persistence
     # ------------------------------------------------------------------ #
-    def export_warm_state(self) -> dict:
+    def export_warm_state(self, *, delta_only: bool = False) -> dict:
         """JSON-compatible snapshot of every pragma-delta graph entry.
 
         Still-unhydrated imported entries are passed through, so repeated
-        save/load cycles never lose cache contents.
+        save/load cycles never lose cache contents.  ``delta_only``
+        restricts the snapshot to entries *this process built* (imported
+        keys are subtracted) — the write-back payload a sharded worker
+        ships to the coordinator, which already has everything imported.
         """
         units = [
             [fingerprint, key, cdfg_to_payload(unit.subgraph)]
             for (fingerprint, key), unit in self._units.items()
+            if not (delta_only and (fingerprint, key) in self._imported_unit_keys)
         ]
-        units += [
-            [fingerprint, key, payload]
-            for (fingerprint, key), payload in self._persisted_units.items()
-        ]
+        if not delta_only:
+            units += [
+                [fingerprint, key, payload]
+                for (fingerprint, key), payload in self._persisted_units.items()
+            ]
         outer = [
             [fingerprint, key, cdfg_to_payload(template)]
             for (fingerprint, key), template in self._outer.items()
+            if not (delta_only and (fingerprint, key) in self._imported_outer_keys)
         ]
-        outer += [
-            [fingerprint, key, payload]
-            for (fingerprint, key), payload in self._persisted_outer.items()
-        ]
+        if not delta_only:
+            outer += [
+                [fingerprint, key, payload]
+                for (fingerprint, key), payload in self._persisted_outer.items()
+            ]
         return {"units": units, "outer": outer}
 
     def import_warm_state(self, state: dict) -> None:
         """Adopt a snapshot produced by :meth:`export_warm_state`.
 
         Graphs are kept serialized and hydrated on first use, so importing
-        is cheap regardless of how many kernels the blob covers.
+        is cheap regardless of how many kernels the blob covers.  Imported
+        keys are remembered so delta exports can subtract them.
         """
         for fingerprint, key, payload in state.get("units", ()):
             self._persisted_units[(fingerprint, key)] = payload
+            self._imported_unit_keys.add((fingerprint, key))
         for fingerprint, key, payload in state.get("outer", ()):
             self._persisted_outer[(fingerprint, key)] = payload
+            self._imported_outer_keys.add((fingerprint, key))
+
+    def warm_state_sizes(self) -> dict[str, int]:
+        """Entry counts of the persistable graph caches (live + unhydrated).
+
+        The write-back merge reports its effect as before/after deltas of
+        exactly these counts.
+        """
+        return {
+            "units": len(self._units) + len(self._persisted_units),
+            "outer": len(self._outer) + len(self._persisted_outer),
+        }
 
     # ------------------------------------------------------------------ #
     def clear(self) -> None:
@@ -579,6 +605,8 @@ class GraphConstructionCache:
         self._outer.clear()
         self._persisted_units.clear()
         self._persisted_outer.clear()
+        self._imported_unit_keys.clear()
+        self._imported_outer_keys.clear()
         self.analysis.clear()
         self.canonical.clear()
         self.stats = CacheStats()

@@ -9,14 +9,26 @@ example for anyone integrating from another process::
     with QoRClient("127.0.0.1", 9178) as client:
         metrics = client.predict_kernel("gemm", [config])[0]
 
-Structured server failures surface as :class:`ServeError` with the
-protocol error code on ``.code`` (``"overloaded"`` means back off and
-retry; ``"draining"`` means the daemon is shutting down).
+**Retry policy.**  The daemon's admission control answers with structured
+``overloaded`` / ``draining`` errors, and a restarting daemon refuses
+connections for a moment — all transient, so the client absorbs them
+instead of surfacing every blip to the sweep driving it.  Connecting
+retries with exponential backoff plus jitter (:func:`backoff_delay`, up to
+``connect_attempts``); a request retries on a dropped connection
+(reconnect and resend — every protocol verb is idempotent: predictions are
+pure functions of the design, ping/stats are reads) and on the retryable
+error codes, bounded by ``request_attempts`` and a per-request wall-clock
+``request_deadline``.  What still fails after that surfaces as before —
+:class:`ServeError` with the protocol code on ``.code`` (plus how many
+tries it took on ``.attempts``) or :class:`ConnectionError` — so callers
+only ever see errors that genuinely need a human.
 """
 
 from __future__ import annotations
 
+import random
 import socket
+import time
 
 from repro.frontend.pragmas import PragmaConfig
 from repro.serve.protocol import (
@@ -25,33 +37,137 @@ from repro.serve.protocol import (
     encode_message,
 )
 
+#: structured error codes worth retrying: both mean "the server is alive
+#: but momentarily unwilling" — overload clears as the batcher drains, and
+#: a draining server is typically being rotated for a fresh one
+RETRYABLE_CODES = ("overloaded", "draining")
+
+#: indirection over :func:`time.sleep` so tests can count/skip real delays
+_sleep = time.sleep
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base: float,
+    cap: float,
+    rng: random.Random,
+) -> float:
+    """Exponential backoff with full jitter for retry ``attempt`` (1-based).
+
+    The deterministic schedule ``base * 2**(attempt-1)`` is capped at
+    ``cap`` and scaled by a uniform factor in ``[0.5, 1.0]`` — jitter keeps
+    a fleet of clients that failed together from retrying in lockstep
+    against a recovering server.
+    """
+    return min(cap, base * (2.0 ** (attempt - 1))) * rng.uniform(0.5, 1.0)
+
 
 class ServeError(RuntimeError):
-    """A structured error response from the daemon."""
+    """A structured error response from the daemon.
 
-    def __init__(self, code: str, message: str):
+    ``attempts`` counts how many tries the client spent before giving up
+    (1 for a non-retryable code answered on the first try).
+    """
+
+    def __init__(self, code: str, message: str, *, attempts: int = 1):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.detail = message
+        self.attempts = attempts
 
 
 class QoRClient:
-    """Blocking newline-delimited-JSON client for :class:`QoRServer`."""
+    """Blocking newline-delimited-JSON client for :class:`QoRServer`.
 
-    def __init__(self, host: str, port: int, *, timeout: float | None = 60.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rb")
+    Parameters beyond host/port tune the retry policy (see the module
+    docstring): ``timeout`` is the per-socket-operation timeout,
+    ``connect_attempts`` bounds connection retries, ``request_attempts``
+    bounds per-request retries (connection drops and retryable error codes
+    alike), ``retry_base_delay``/``retry_max_delay`` shape the backoff and
+    ``request_deadline`` caps one request's total wall clock across all its
+    retries (``None`` = attempts-bounded only).  ``rng`` injects a seeded
+    jitter source for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = 60.0,
+        connect_attempts: int = 5,
+        request_attempts: int = 4,
+        retry_base_delay: float = 0.05,
+        retry_max_delay: float = 2.0,
+        request_deadline: float | None = 60.0,
+        rng: random.Random | None = None,
+    ):
+        if connect_attempts < 1:
+            raise ValueError("connect_attempts must be >= 1")
+        if request_attempts < 1:
+            raise ValueError("request_attempts must be >= 1")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_attempts = connect_attempts
+        self.request_attempts = request_attempts
+        self.retry_base_delay = retry_base_delay
+        self.retry_max_delay = retry_max_delay
+        self.request_deadline = request_deadline
+        self._rng = rng if rng is not None else random.Random()
+        self._sock: socket.socket | None = None
+        self._file = None
         self._next_id = 0
+        self._connect()
 
     # ------------------------------------------------------------------ #
     # plumbing
     # ------------------------------------------------------------------ #
+    def _connect(self) -> None:
+        """(Re)establish the connection, with backoff between attempts."""
+        self._teardown()
+        last: Exception | None = None
+        for attempt in range(1, self.connect_attempts + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                self._file = self._sock.makefile("rb")
+                return
+            except OSError as exc:
+                last = exc
+                self._teardown()
+                if attempt < self.connect_attempts:
+                    _sleep(backoff_delay(
+                        attempt,
+                        base=self.retry_base_delay,
+                        cap=self.retry_max_delay,
+                        rng=self._rng,
+                    ))
+        raise ConnectionError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{self.connect_attempts} attempts: {last}"
+        )
+
+    def _teardown(self) -> None:
+        """Drop the current connection, swallowing close errors."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
     def close(self) -> None:
         """Close the connection (idempotent)."""
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "QoRClient":
         return self
@@ -59,18 +175,17 @@ class QoRClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def request(self, message: dict) -> dict:
-        """Send one raw request and block for its response.
-
-        Fills in ``id`` when absent.  Raises :class:`ServeError` for a
-        structured failure and :class:`ConnectionError` if the daemon went
-        away mid-request.
-        """
-        if "id" not in message:
-            self._next_id += 1
-            message = {**message, "id": self._next_id}
-        self._sock.sendall(encode_message(message))
-        line = self._file.readline()
+    def _attempt(self, message: dict) -> dict:
+        """One send/receive round trip on the current connection."""
+        if self._sock is None:
+            self._connect()
+        try:
+            self._sock.sendall(encode_message(message))
+            line = self._file.readline()
+        except OSError as exc:
+            raise ConnectionError(
+                f"connection failed mid-request: {exc}"
+            ) from exc
         if not line:
             raise ConnectionError("server closed the connection")
         response = decode_message(line)
@@ -80,6 +195,63 @@ class QoRClient:
                 response.get("message", "unknown server error"),
             )
         return response
+
+    def request(self, message: dict) -> dict:
+        """Send one raw request and block for its response, with retries.
+
+        Fills in ``id`` when absent.  Dropped connections and retryable
+        error codes (:data:`RETRYABLE_CODES`) are retried with backoff up
+        to ``request_attempts`` tries within ``request_deadline`` seconds;
+        resending is safe because every verb is idempotent.  Raises
+        :class:`ServeError` (``.attempts`` filled in) for a structured
+        failure that exhausted its retries — immediately for non-retryable
+        codes — and :class:`ConnectionError` if the daemon stayed
+        unreachable.
+        """
+        if "id" not in message:
+            self._next_id += 1
+            message = {**message, "id": self._next_id}
+        deadline = (
+            None if self.request_deadline is None
+            else time.monotonic() + self.request_deadline
+        )
+        attempts = 0
+        last: Exception | None = None
+        while True:
+            attempts += 1
+            reconnect = False
+            try:
+                return self._attempt(message)
+            except ConnectionError as exc:
+                last = exc
+                reconnect = True
+            except ServeError as exc:
+                exc.attempts = attempts
+                if exc.code not in RETRYABLE_CODES:
+                    raise
+                last = exc
+                # a draining server is going away; the replacement (if any)
+                # answers on a fresh connection
+                reconnect = exc.code == "draining"
+            out_of_time = deadline is not None and time.monotonic() >= deadline
+            if attempts >= self.request_attempts or out_of_time:
+                if isinstance(last, ServeError):
+                    raise last
+                raise ConnectionError(
+                    f"request failed after {attempts} attempts: {last}"
+                ) from last
+            _sleep(backoff_delay(
+                attempts,
+                base=self.retry_base_delay,
+                cap=self.retry_max_delay,
+                rng=self._rng,
+            ))
+            if reconnect:
+                try:
+                    self._connect()
+                except ConnectionError as exc:
+                    last = exc
+                    # fall through: the bounded loop decides next iteration
 
     # ------------------------------------------------------------------ #
     # the protocol verbs
@@ -129,4 +301,4 @@ class QoRClient:
         return config  # already a wire payload (dict/spec-string form)
 
 
-__all__ = ["QoRClient", "ServeError"]
+__all__ = ["QoRClient", "ServeError", "RETRYABLE_CODES", "backoff_delay"]

@@ -21,6 +21,12 @@ The architecture is an asyncio front end over a single inference thread:
 * **graceful drain** — on SIGINT/SIGTERM (wired by the CLI) the server
   stops admitting (``draining`` errors), finishes every in-flight request,
   flushes the batcher and closes its sockets, then lets the process exit 0.
+* **connection hygiene** — a connection silent for ``idle_timeout`` seconds
+  with nothing in flight is closed (abandoned sockets must not accumulate
+  in a long-lived daemon; a connection *waiting on its own request* is
+  never culled), and a request line over ``max_line_bytes`` is answered
+  with a structured ``bad-request`` before the connection is dropped
+  instead of being torn down silently.
 """
 
 from __future__ import annotations
@@ -57,11 +63,15 @@ class QoRServer:
         batch_window_ms: float = 2.0,
         max_batch: int = 512,
         max_pending: int = 4096,
+        idle_timeout: float | None = 300.0,
+        max_line_bytes: int = MAX_LINE_BYTES,
     ):
         self.predictor = predictor
         self.host = host
         self.port = port
         self.max_pending = max_pending
+        self.idle_timeout = idle_timeout
+        self.max_line_bytes = max_line_bytes
         # signature_fn makes the batcher dedup-aware: HLS-equivalent pragma
         # configurations submitted by different clients in one window are
         # scored once under their shared canonical signature
@@ -82,6 +92,8 @@ class QoRServer:
         self.rejected_draining = 0
         self.bad_requests = 0
         self.internal_errors = 0
+        self.idle_disconnects = 0
+        self.oversize_lines = 0
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -93,7 +105,7 @@ class QoRServer:
             self._handle_connection,
             host=self.host,
             port=self.port,
-            limit=MAX_LINE_BYTES,
+            limit=self.max_line_bytes,
         )
 
     @property
@@ -155,6 +167,9 @@ class QoRServer:
                 "rejected_draining": self.rejected_draining,
                 "bad_requests": self.bad_requests,
                 "internal_errors": self.internal_errors,
+                "idle_disconnects": self.idle_disconnects,
+                "oversize_lines": self.oversize_lines,
+                "idle_timeout": self.idle_timeout,
                 "queue_depth_configs": self._pending_configs,
                 "max_pending_configs": self.max_pending,
                 "draining": self._draining,
@@ -170,14 +185,49 @@ class QoRServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        """Per-connection read loop: one task per request line."""
+        """Per-connection read loop: one task per request line.
+
+        The loop enforces the two per-connection bounds: ``idle_timeout``
+        seconds of silence close the connection *unless it has requests in
+        flight* (a client blocked on a slow batch is waiting on us, not
+        idle), and a line over ``max_line_bytes`` is answered with a
+        structured ``bad-request`` before closing (the stream cannot be
+        resynchronized past a discarded partial line).
+        """
         self._connections.add(writer)
         write_lock = asyncio.Lock()  # responses interleave per connection
+        conn_inflight: set[asyncio.Task] = set()
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+                    if self.idle_timeout is None:
+                        line = await reader.readline()
+                    else:
+                        line = await asyncio.wait_for(
+                            reader.readline(), timeout=self.idle_timeout
+                        )
+                except asyncio.TimeoutError:
+                    if any(not task.done() for task in conn_inflight):
+                        continue  # quiet but waiting on its own requests
+                    self.idle_disconnects += 1
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    # StreamReader raises ValueError for an over-limit line
+                    # (the partial line is discarded, so close afterwards)
+                    self.oversize_lines += 1
+                    self.bad_requests += 1
+                    await self._send(
+                        writer,
+                        write_lock,
+                        error_response(
+                            None,
+                            "bad-request",
+                            f"request line exceeds {self.max_line_bytes} "
+                            "bytes",
+                        ),
+                    )
+                    break
+                except ConnectionError:
                     break
                 if not line:
                     break
@@ -187,7 +237,9 @@ class QoRServer:
                     self._handle_request(line, writer, write_lock)
                 )
                 self._inflight.add(task)
+                conn_inflight.add(task)
                 task.add_done_callback(self._inflight.discard)
+                task.add_done_callback(conn_inflight.discard)
         finally:
             self._connections.discard(writer)
             try:

@@ -1,0 +1,24 @@
+"""Test-support machinery shipped with the library.
+
+The modules under :mod:`repro.testing` are *production-adjacent*: they are
+imported by the differential test suites and the chaos benchmarks, but also
+by the sharded DSE coordinator itself (worker fault descriptors travel to
+worker processes as pickled arguments, so they must live in an importable
+module rather than in ``tests/``).  Nothing here touches the model, the
+graphs or the numerics — only controlled ways to make the infrastructure
+fail.
+"""
+
+from repro.testing.faults import (
+    CHECKPOINT_CORRUPTIONS,
+    FaultPlan,
+    InjectedFault,
+    WorkerFault,
+    corrupt_checkpoint_file,
+    random_fault_plan,
+)
+
+__all__ = [
+    "CHECKPOINT_CORRUPTIONS", "FaultPlan", "InjectedFault", "WorkerFault",
+    "corrupt_checkpoint_file", "random_fault_plan",
+]

@@ -1,0 +1,37 @@
+"""Shared fixtures for the DSE test package.
+
+The sharded, checkpoint and fault-injection suites all drive worker fleets
+off one saved model and one small design space; building them once per
+session keeps the whole package fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import save_model
+from repro.core.predictor import QoRPredictor
+from repro.dse import DesignSpace, predicted_front
+
+
+@pytest.fixture(scope="session")
+def sharded_model_path(small_trained_model, tmp_path_factory):
+    """The shared small trained model, saved once for worker bootstrap."""
+    path = tmp_path_factory.mktemp("sharded") / "model.npz"
+    save_model(small_trained_model, path, warm_caches=False)
+    return path
+
+
+@pytest.fixture(scope="session")
+def fir_space():
+    return DesignSpace.from_kernel("fir", 12, seed=5)
+
+
+@pytest.fixture(scope="session")
+def reference(sharded_model_path, fir_space):
+    """Single-process predictions and front for the differential checks."""
+    predictor = QoRPredictor.load(sharded_model_path, warm_caches=False)
+    predictions = predictor.predict_batch(
+        fir_space.function(), list(fir_space.configs)
+    )
+    return predictions, predicted_front(fir_space, predictions).points()

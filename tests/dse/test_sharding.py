@@ -15,7 +15,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core import HierarchicalQoRModel, save_model
-from repro.core.predictor import QoRPredictor
 from repro.dse import (
     DesignSpace,
     ShardedExplorer,
@@ -30,29 +29,6 @@ from repro.dse.sharding import (
     fronts_match,
     max_prediction_error,
 )
-
-
-@pytest.fixture(scope="session")
-def sharded_model_path(small_trained_model, tmp_path_factory):
-    """The shared small trained model, saved once for worker bootstrap."""
-    path = tmp_path_factory.mktemp("sharded") / "model.npz"
-    save_model(small_trained_model, path, warm_caches=False)
-    return path
-
-
-@pytest.fixture(scope="session")
-def fir_space():
-    return DesignSpace.from_kernel("fir", 12, seed=5)
-
-
-@pytest.fixture(scope="session")
-def reference(sharded_model_path, fir_space):
-    """Single-process predictions and front for the differential checks."""
-    predictor = QoRPredictor.load(sharded_model_path, warm_caches=False)
-    predictions = predictor.predict_batch(
-        fir_space.function(), list(fir_space.configs)
-    )
-    return predictions, predicted_front(fir_space, predictions).points()
 
 
 class TestDesignSpace:
@@ -567,4 +543,46 @@ class TestWarmCaches:
         # every worker adopts the full persisted memo, so the fleet-wide sum
         # counts it once per worker; the load-bearing claim is zero builds
         assert stats["memoized_predictions"] >= len(fir_space)
+        assert stats["unit_misses"] == 0 and stats["outer_misses"] == 0
+
+    @pytest.mark.parametrize("work_stealing", [False, True])
+    def test_write_back_makes_second_fleet_fully_warm(
+        self, small_trained_model, fir_space, tmp_path, work_stealing
+    ):
+        # first fleet starts from a cold model file but banks what its
+        # workers built; the second fleet then does zero cold graph builds
+        path = tmp_path / "bank.npz"
+        save_model(small_trained_model, path, warm_caches=False)
+        first = ShardedExplorer(
+            path, num_workers=2, warm_caches=True, write_back=True,
+            work_stealing=work_stealing,
+        ).explore(fir_space)
+        assert first.write_back
+        assert first.cache_stats["unit_misses"] > 0  # the cold run built
+        stats = first.write_back_stats
+        assert stats["deltas"] >= 1
+        assert stats["new_predictions"] > 0
+        second = ShardedExplorer(
+            path, num_workers=2, warm_caches=True,
+            work_stealing=work_stealing,
+        ).explore(fir_space)
+        warmed = second.cache_stats
+        assert warmed["unit_misses"] == 0 and warmed["outer_misses"] == 0
+        assert second.predictions == first.predictions
+
+    def test_write_back_without_warm_adoption_still_banks(
+        self, small_trained_model, fir_space, tmp_path
+    ):
+        # write_back does not require warm_caches: a cold fleet can still
+        # bank its work for later warm runs
+        path = tmp_path / "bank.npz"
+        save_model(small_trained_model, path, warm_caches=False)
+        result = ShardedExplorer(
+            path, num_workers=2, write_back=True
+        ).explore(fir_space)
+        assert result.write_back_stats["deltas"] >= 1
+        warm = ShardedExplorer(
+            path, num_workers=2, warm_caches=True
+        ).explore(fir_space)
+        stats = warm.cache_stats
         assert stats["unit_misses"] == 0 and stats["outer_misses"] == 0

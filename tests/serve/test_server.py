@@ -164,7 +164,9 @@ class TestAdmissionControl:
                 break
             threading.Event().wait(0.01)
         assert harness.server._pending_configs >= len(fir_sweep)
-        with QoRClient(*harness.address) as client:
+        # request_attempts=1: this test asserts the rejection itself, not
+        # the client's (default) retry-on-overload policy
+        with QoRClient(*harness.address, request_attempts=1) as client:
             with pytest.raises(ServeError) as excinfo:
                 client.predict_kernel("fir", [fir_sweep[0]])
             assert excinfo.value.code == "overloaded"
@@ -196,7 +198,7 @@ class TestDrain:
         assert harness.server._pending_configs >= len(fir_sweep)
 
         # flip into draining mode while the request is still in the window
-        rejected = QoRClient(*harness.address)
+        rejected = QoRClient(*harness.address, request_attempts=1)
         harness.call_soon(lambda: setattr(harness.server, "_draining", True))
         for _ in range(100):
             if harness.server._draining:

@@ -74,6 +74,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["dse", "--shard-strategy", "alphabetical"])
 
+    def test_dse_checkpoint_defaults(self):
+        args = build_parser().parse_args(["dse"])
+        assert args.checkpoint is None
+        assert not args.resume
+        assert args.checkpoint_interval == 64
+        assert not args.write_back
+
+    def test_dse_checkpoint_options(self):
+        args = build_parser().parse_args([
+            "dse", "--workers", "2", "--checkpoint", "sweep.ckpt",
+            "--resume", "--checkpoint-interval", "16", "--write-back",
+        ])
+        assert args.checkpoint == "sweep.ckpt"
+        assert args.resume and args.write_back
+        assert args.checkpoint_interval == 16
+
+    def test_serve_hygiene_defaults(self):
+        args = build_parser().parse_args(["serve", "--model", "m.npz"])
+        assert args.idle_timeout == 300.0
+        assert args.max_line_bytes is None
+
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve", "--model", "m.npz"])
         assert args.host == "127.0.0.1"
@@ -95,6 +116,18 @@ class TestParser:
             main(["serve", "--model", "m.npz", "--max-pending", "0"])
         with pytest.raises(SystemExit, match="--batch-window-ms"):
             main(["serve", "--model", "m.npz", "--batch-window-ms", "-1"])
+        with pytest.raises(SystemExit, match="--idle-timeout"):
+            main(["serve", "--model", "m.npz", "--idle-timeout", "-1"])
+        with pytest.raises(SystemExit, match="--max-line-bytes"):
+            main(["serve", "--model", "m.npz", "--max-line-bytes", "10"])
+
+    def test_dse_checkpoint_flag_validation(self):
+        with pytest.raises(SystemExit, match="--resume requires --checkpoint"):
+            main(["dse", "--kernel", "fir", "--resume"])
+        with pytest.raises(SystemExit, match="--checkpoint requires"):
+            main(["dse", "--kernel", "fir", "--checkpoint", "s.ckpt"])
+        with pytest.raises(SystemExit, match="--write-back requires"):
+            main(["dse", "--kernel", "fir", "--write-back"])
 
 
 class TestCommands:

@@ -27,9 +27,11 @@ FULLY_DOCUMENTED = (
     "dse/space.py",
     "dse/pareto.py",
     "dse/explorer.py",
+    "dse/checkpoint.py",
     "core/predictor.py",
     "core/serialization.py",
     "cli.py",
+    "testing/faults.py",
 )
 
 
